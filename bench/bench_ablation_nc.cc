@@ -1,0 +1,142 @@
+// Ablation bench (not in the paper; DESIGN.md §5): quantifies the design
+// choices inside the Noise-Corrected method.
+//
+//  (i)   full NC (transformed lift + posterior sdev) vs the footnote-2
+//        Binomial p-value variant;
+//  (ii)  Bayesian posterior vs the naive plug-in P^_ij = N_ij / N_..
+//        (whose variance degenerates at zero-weight edges);
+//  (iii) paper Eq. 8 beta-prior vs the reference implementation's
+//        (1 - mu^2) erratum;
+//  (iv)  the bilateral null model vs the Disparity Filter's single-node
+//        null (the NC-vs-DF crux, measured on the recovery task).
+
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/disparity_filter.h"
+#include "core/filter.h"
+#include "core/noise_corrected.h"
+#include "eval/recovery.h"
+#include "gen/barabasi_albert.h"
+#include "gen/noise_model.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::NaN;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+namespace {
+
+double Recovery(const nb::ScoredEdges& scored,
+                const nb::NoisyNetwork& noisy) {
+  const nb::BackboneMask mask = nb::TopK(scored, noisy.num_true_edges);
+  const auto jaccard = nb::JaccardRecovery(mask.keep, noisy.ground_truth);
+  return jaccard.ok() ? *jaccard : netbone::bench::NaN();
+}
+
+}  // namespace
+
+int main() {
+  Banner("Ablation", "NC design choices on the Sec. V-A recovery task");
+  const bool quick = netbone::bench::QuickMode();
+  const int num_seeds = quick ? 2 : 5;
+
+  PrintRow({"eta", "NC full", "NC pvalue", "NC plugin", "NC erratum",
+            "DF"});
+  for (const double eta : {0.05, 0.15, 0.25}) {
+    double full = 0.0, pvalue = 0.0, plugin = 0.0, erratum = 0.0,
+           df_total = 0.0;
+    int n = 0;
+    for (int seed = 0; seed < num_seeds; ++seed) {
+      const auto truth = nb::GenerateBarabasiAlbert(
+          {.num_nodes = 150,
+           .average_degree = 3.0,
+           .seed = static_cast<uint64_t>(300 + seed)});
+      if (!truth.ok()) continue;
+      const auto noisy = nb::ApplySectionVANoise(
+          *truth, eta, static_cast<uint64_t>(400 + seed));
+      if (!noisy.ok()) continue;
+
+      nb::NoiseCorrectedOptions defaults;
+      nb::NoiseCorrectedOptions use_pvalue;
+      use_pvalue.use_binomial_pvalue = true;
+      nb::NoiseCorrectedOptions use_plugin;
+      use_plugin.bayesian_prior = false;
+      nb::NoiseCorrectedOptions use_erratum;
+      use_erratum.python_erratum_beta = true;
+
+      const auto a = nb::NoiseCorrected(noisy->noisy, defaults);
+      const auto b = nb::NoiseCorrected(noisy->noisy, use_pvalue);
+      const auto c = nb::NoiseCorrected(noisy->noisy, use_plugin);
+      const auto d = nb::NoiseCorrected(noisy->noisy, use_erratum);
+      const auto e = nb::DisparityFilter(noisy->noisy);
+      if (!a.ok() || !b.ok() || !c.ok() || !d.ok() || !e.ok()) continue;
+      full += Recovery(*a, *noisy);
+      pvalue += Recovery(*b, *noisy);
+      plugin += Recovery(*c, *noisy);
+      erratum += Recovery(*d, *noisy);
+      df_total += Recovery(*e, *noisy);
+      ++n;
+    }
+    if (n == 0) continue;
+    PrintRow({Num(eta, 2), Num(full / n, 3), Num(pvalue / n, 3),
+              Num(plugin / n, 3), Num(erratum / n, 3),
+              Num(df_total / n, 3)});
+  }
+
+  // (ii) zero-variance degeneracy, shown directly: the share of edges
+  // whose estimated sdev is exactly zero under each estimator.
+  const auto truth = nb::GenerateBarabasiAlbert(
+      {.num_nodes = 150, .average_degree = 3.0, .seed = 310});
+  const auto noisy = nb::ApplySectionVANoise(*truth, 0.15, 410);
+  if (noisy.ok()) {
+    nb::NoiseCorrectedOptions use_plugin;
+    use_plugin.bayesian_prior = false;
+    const auto bayes = nb::NoiseCorrected(noisy->noisy);
+    const auto plugin = nb::NoiseCorrected(noisy->noisy, use_plugin);
+    if (bayes.ok() && plugin.ok()) {
+      const auto zero_share = [](const nb::ScoredEdges& scored) {
+        int64_t zero = 0;
+        for (nb::EdgeId id = 0; id < scored.size(); ++id) {
+          if (scored.at(id).sdev == 0.0) ++zero;
+        }
+        return static_cast<double>(zero) /
+               static_cast<double>(scored.size());
+      };
+      std::printf(
+          "\nshare of edges with degenerate (zero) sdev: bayesian=%s "
+          "plugin=%s\n",
+          Num(zero_share(*bayes), 4).c_str(),
+          Num(zero_share(*plugin), 4).c_str());
+    }
+  }
+
+  // (iii) erratum magnitude: max absolute sdev deviation across edges.
+  if (noisy.ok()) {
+    nb::NoiseCorrectedOptions use_erratum;
+    use_erratum.python_erratum_beta = true;
+    const auto paper_scores = nb::NoiseCorrected(noisy->noisy);
+    const auto erratum_scores =
+        nb::NoiseCorrected(noisy->noisy, use_erratum);
+    if (paper_scores.ok() && erratum_scores.ok()) {
+      double max_rel = 0.0;
+      for (nb::EdgeId id = 0; id < paper_scores->size(); ++id) {
+        const double a = paper_scores->at(id).sdev;
+        const double b = erratum_scores->at(id).sdev;
+        if (a > 0.0) max_rel = std::max(max_rel, std::fabs(a - b) / a);
+      }
+      std::printf(
+          "max relative sdev difference, paper Eq.8 vs python erratum: "
+          "%.2e\n",
+          max_rel);
+    }
+  }
+
+  std::printf(
+      "\nExpected: the full NC dominates or matches every ablated variant;\n"
+      "the erratum is numerically negligible; the plug-in estimator\n"
+      "degenerates on zero/low-information edges.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Regenerates the paper's Sec. VI case study: skill relatedness between
+// occupations.
+//
+// Pipeline: O*NET-style importance/level scores -> above-average
+// association filter -> skill co-occurrence network -> NC and DF
+// backbones at matched edge budgets -> compare (a) surviving nodes,
+// (b) Infomap (map equation) codelength compression, (c) modularity of
+// the two-digit occupation classification, (d) NMI of discovered
+// communities vs that classification, (e) labor-flow prediction
+// correlation on all pairs / DF pairs / NC pairs.
+//
+// Paper numbers for reference: DF drops ~50 occupations, NC almost none;
+// codelength gain 15.0% (NC) vs 9.3% (DF); modularity .192 vs .115; NMI
+// .423 vs .401; flow correlation .390 (all) < .431 (DF) < .454 (NC).
+
+#include <vector>
+
+#include "bench_common.h"
+#include "community/map_equation.h"
+#include "community/modularity.h"
+#include "community/nmi.h"
+#include "core/filter.h"
+#include "core/registry.h"
+#include "gen/occupations.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+namespace {
+
+struct BackboneReport {
+  std::string name;
+  int64_t edges = 0;
+  int64_t nodes_kept = 0;
+  double one_level_bits = 0.0;
+  double two_level_bits = 0.0;
+  double compression_gain = 0.0;
+  double modularity_two_digit = 0.0;
+  double nmi_vs_two_digit = 0.0;
+  double flow_correlation = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Banner("Sec. VI case study", "occupation skill relatedness, NC vs DF");
+  const bool quick = netbone::bench::QuickMode();
+
+  nb::OccupationWorldOptions options;
+  options.num_occupations = quick ? 150 : 430;
+  options.num_skills = quick ? 80 : 180;
+  options.seed = 99;
+  const auto world = nb::GenerateOccupationWorld(options);
+  if (!world.ok()) {
+    std::printf("generation failed: %s\n",
+                world.status().ToString().c_str());
+    return 1;
+  }
+  const nb::Graph& co = world->co_occurrence;
+  std::printf("co-occurrence network: %d occupations, %lld weighted pairs\n",
+              co.num_nodes(), static_cast<long long>(co.num_edges()));
+
+  // "The two networks have roughly the same number of connections": match
+  // both backbones to ~8 edges per node.
+  const int64_t budget = co.num_nodes() * 8;
+
+  const nb::Partition two_digit(world->minor_group);
+
+  std::vector<BackboneReport> reports;
+  for (const nb::Method method :
+       {nb::Method::kNoiseCorrected, nb::Method::kDisparityFilter}) {
+    const auto scored = nb::RunMethod(method, co);
+    if (!scored.ok()) continue;
+    const nb::BackboneMask mask = nb::TopK(*scored, budget);
+    const auto backbone = nb::ApplyMask(co, mask);
+    if (!backbone.ok()) continue;
+
+    BackboneReport report;
+    report.name = nb::MethodTag(method);
+    report.edges = mask.kept;
+    report.nodes_kept =
+        backbone->num_nodes() - backbone->CountIsolates();
+
+    const auto one_level = nb::OneLevelCodelength(*backbone);
+    const auto communities = nb::GreedyInfomap(*backbone, {.seed = 3});
+    if (one_level.ok() && communities.ok()) {
+      const auto two_level =
+          nb::MapEquationCodelength(*backbone, *communities);
+      if (two_level.ok()) {
+        report.one_level_bits = *one_level;
+        report.two_level_bits = *two_level;
+        report.compression_gain = 1.0 - *two_level / *one_level;
+      }
+      const auto nmi =
+          nb::NormalizedMutualInformation(*communities, two_digit);
+      if (nmi.ok()) report.nmi_vs_two_digit = *nmi;
+    }
+    const auto modularity = nb::Modularity(*backbone, two_digit);
+    if (modularity.ok()) report.modularity_two_digit = *modularity;
+
+    // Flow prediction restricted to pairs the backbone keeps.
+    std::vector<bool> flow_mask(
+        static_cast<size_t>(world->flows.num_edges()), false);
+    for (nb::EdgeId id = 0; id < world->flows.num_edges(); ++id) {
+      const nb::Edge& e = world->flows.edge(id);
+      const nb::EdgeId co_id = co.FindEdge(e.src, e.dst);
+      if (co_id >= 0 && mask.keep[static_cast<size_t>(co_id)]) {
+        flow_mask[static_cast<size_t>(id)] = true;
+      }
+    }
+    const auto corr = nb::FlowPredictionCorrelation(*world, flow_mask);
+    if (corr.ok()) report.flow_correlation = *corr;
+    reports.push_back(report);
+  }
+
+  PrintRow({"metric", "NC", "DF"});
+  const auto row = [&](const std::string& name, auto getter,
+                       int precision) {
+    PrintRow({name, Num(getter(reports[0]), precision),
+              Num(getter(reports[1]), precision)});
+  };
+  if (reports.size() == 2) {
+    row("edges", [](const BackboneReport& r) {
+      return static_cast<double>(r.edges); }, 0);
+    row("nodes kept", [](const BackboneReport& r) {
+      return static_cast<double>(r.nodes_kept); }, 0);
+    row("1-level bits", [](const BackboneReport& r) {
+      return r.one_level_bits; }, 2);
+    row("2-level bits", [](const BackboneReport& r) {
+      return r.two_level_bits; }, 2);
+    row("compression gain", [](const BackboneReport& r) {
+      return r.compression_gain; }, 3);
+    row("modularity (2-digit)", [](const BackboneReport& r) {
+      return r.modularity_two_digit; }, 3);
+    row("NMI vs 2-digit", [](const BackboneReport& r) {
+      return r.nmi_vs_two_digit; }, 3);
+    row("flow correlation", [](const BackboneReport& r) {
+      return r.flow_correlation; }, 3);
+  }
+
+  const auto all_pairs =
+      nb::FlowPredictionCorrelation(*world, std::vector<bool>());
+  if (all_pairs.ok()) {
+    std::printf("\nflow correlation on ALL pairs: %s\n",
+                Num(*all_pairs, 3).c_str());
+  }
+  std::printf(
+      "\nPaper reference: DF drops ~50 occupations; codelength gain 15.0%%\n"
+      "(NC) vs 9.3%% (DF); modularity .192 vs .115; NMI .423 vs .401;\n"
+      "flow correlation .390 (all) < .431 (DF) < .454 (NC).\n");
+  return 0;
+}

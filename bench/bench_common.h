@@ -1,0 +1,55 @@
+// Copyright 2026 The netbone Authors.
+//
+// Shared helpers for the experiment harnesses: aligned table printing and
+// the quick-mode switch (NETBONE_BENCH_QUICK=1 shrinks workloads for CI).
+
+#ifndef NETBONE_BENCH_BENCH_COMMON_H_
+#define NETBONE_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace netbone::bench {
+
+/// True when the NETBONE_BENCH_QUICK environment variable is set to a
+/// non-zero value; harnesses then shrink sizes/seeds to smoke-test level.
+inline bool QuickMode() {
+  const char* env = std::getenv("NETBONE_BENCH_QUICK");
+  return env != nullptr && std::string(env) != "0" &&
+         std::string(env) != "";
+}
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+inline void Banner(const std::string& experiment,
+                   const std::string& description) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  std::printf("================================================================================\n");
+}
+
+/// Fixed-width row printer: first column 22 chars, the rest 12.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf(i == 0 ? "%-22s" : "%12s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+/// Formats a double with the given precision ("n/a" for NaN sentinels).
+inline std::string Num(double value, int precision = 4) {
+  if (value != value) return "n/a";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+/// NaN sentinel used to mark "n/a" cells.
+inline double NaN() { return std::nan(""); }
+
+}  // namespace netbone::bench
+
+#endif  // NETBONE_BENCH_BENCH_COMMON_H_

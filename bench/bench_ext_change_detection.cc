@@ -1,0 +1,146 @@
+// Extension bench (paper future work, Sec. VII): distinguishing real
+// from spurious changes in networks.
+//
+// Setup: year 1 is a pure count-resample of year 0 (every pair redrawn
+// Poisson around its previous weight — spurious change only) except for
+// a small set of *planted* structural changes (pairs whose intensity is
+// shifted several-fold). A good change detector ranks the planted pairs
+// above the resampling noise. We compare the NC z-test on transformed
+// lifts against a naive log-ratio detector at matched flag counts: the
+// naive detector is distracted by small-count pairs (2 -> 6 looks like a
+// 3x jump), while the NC z-score knows such swings are within sampling
+// error.
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "core/change_detection.h"
+#include "gen/countries.h"
+#include "graph/builder.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+namespace {
+
+uint64_t PairKey(nb::NodeId a, nb::NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+}  // namespace
+
+int main() {
+  Banner("Extension: change detection",
+         "real vs spurious year-on-year changes (paper Sec. VII)");
+  const bool quick = netbone::bench::QuickMode();
+  const int32_t num_countries = quick ? 50 : 120;
+  const int num_planted = quick ? 20 : 60;
+
+  const auto suite =
+      nb::GenerateCountrySuite(/*seed=*/77, /*num_years=*/1, num_countries);
+  if (!suite.ok()) return 1;
+  const nb::Graph& before =
+      suite->network(nb::CountryNetworkKind::kTrade).front();
+
+  // Year 1 = Poisson resample of year 0 + planted multiplicative shocks
+  // (booms x2.5, collapses /2.5) on mid-weight pairs. Mid-weight keeps the
+  // countries' marginals essentially unchanged, so the planted pairs are
+  // the only *pair-level* structural changes; shocking a dominant pair
+  // would mechanically shift the relative salience of every pair sharing
+  // its endpoints (which the z-test then flags, correctly but
+  // confusingly).
+  std::vector<nb::EdgeId> candidates;
+  for (nb::EdgeId id = 0; id < before.num_edges(); ++id) {
+    const double w = before.edge(id).weight;
+    if (w >= 50.0 && w <= 5000.0) candidates.push_back(id);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](nb::EdgeId a, nb::EdgeId b) {
+              return before.edge(a).weight > before.edge(b).weight;
+            });
+  std::unordered_set<nb::EdgeId> planted_ids;
+  const int stride =
+      std::max<int>(1, static_cast<int>(candidates.size()) / num_planted);
+  for (int i = 0;
+       i < num_planted && i * stride < static_cast<int>(candidates.size());
+       ++i) {
+    planted_ids.insert(candidates[static_cast<size_t>(i * stride)]);
+  }
+
+  nb::Rng rng(4242);
+  std::unordered_set<uint64_t> planted;
+  nb::GraphBuilder builder(nb::Directedness::kDirected);
+  builder.ReserveNodes(before.num_nodes());
+  for (nb::EdgeId id = 0; id < before.num_edges(); ++id) {
+    const nb::Edge& e = before.edge(id);
+    double intensity = e.weight;
+    if (planted_ids.contains(id)) {
+      intensity = planted.size() % 2 == 0 ? intensity * 2.5
+                                          : std::max(1.0, intensity / 2.5);
+      planted.insert(PairKey(e.src, e.dst));
+    }
+    const int64_t count = rng.Poisson(intensity);
+    if (count > 0) {
+      builder.AddEdge(e.src, e.dst, static_cast<double>(count));
+    }
+  }
+  const auto after = builder.Build();
+  if (!after.ok()) return 1;
+
+  // NC z-test.
+  const auto report = nb::DetectChanges(before, *after, {.delta = 0.0});
+  if (!report.ok()) {
+    std::printf("%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  // Rank pairs by |z| and measure precision at k = #planted, plus recall
+  // curves; compare with the naive |log ratio| detector.
+  struct Flag {
+    double strength;
+    bool is_planted;
+  };
+  std::vector<Flag> nc_flags, naive_flags;
+  for (const nb::EdgeChange& change : report->changes) {
+    const bool is_planted =
+        planted.contains(PairKey(change.src, change.dst));
+    nc_flags.push_back({std::fabs(change.z), is_planted});
+    const double ratio =
+        std::log1p(change.weight_after) - std::log1p(change.weight_before);
+    naive_flags.push_back({std::fabs(ratio), is_planted});
+  }
+  const auto precision_at = [](std::vector<Flag> flags, size_t k) {
+    std::sort(flags.begin(), flags.end(), [](const Flag& a, const Flag& b) {
+      return a.strength > b.strength;
+    });
+    k = std::min(k, flags.size());
+    if (k == 0) return 0.0;
+    size_t hits = 0;
+    for (size_t i = 0; i < k; ++i) hits += flags[i].is_planted ? 1 : 0;
+    return static_cast<double>(hits) / static_cast<double>(k);
+  };
+
+  std::printf("pairs evaluated: %lld; planted changes: %zu\n\n",
+              static_cast<long long>(report->evaluated_pairs),
+              planted.size());
+  PrintRow({"detector", "P@k", "P@2k", "P@5k"});
+  PrintRow({"NC z-test", Num(precision_at(nc_flags, planted.size()), 3),
+            Num(precision_at(nc_flags, 2 * planted.size()), 3),
+            Num(precision_at(nc_flags, 5 * planted.size()), 3)});
+  PrintRow({"naive log-ratio",
+            Num(precision_at(naive_flags, planted.size()), 3),
+            Num(precision_at(naive_flags, 2 * planted.size()), 3),
+            Num(precision_at(naive_flags, 5 * planted.size()), 3)});
+
+  std::printf(
+      "\nExpected: the NC z-test concentrates the planted changes at the\n"
+      "top of its ranking; the naive log-ratio detector is distracted by\n"
+      "sampling noise on small counts.\n");
+  return 0;
+}

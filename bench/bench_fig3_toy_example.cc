@@ -1,0 +1,65 @@
+// Regenerates paper Fig. 3: the hub-and-spoke toy example contrasting the
+// Noise-Corrected backbone with the Disparity Filter.
+//
+// Paper claims to reproduce:
+//  * DF selects the hub's links to the interconnected peripheral pair
+//    (the blue dashed edges) because those links dominate the peripheral
+//    nodes' own strengths;
+//  * NC instead ranks the weak peripheral-peripheral edge highest: two
+//    weak nodes connecting is a larger deviation from randomness than any
+//    connection involving the hub.
+
+#include "bench_common.h"
+#include "core/disparity_filter.h"
+#include "core/filter.h"
+#include "core/noise_corrected.h"
+#include "graph/builder.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+int main() {
+  Banner("Fig. 3", "toy example: NC vs DF on a hub with a peripheral tie");
+
+  nb::GraphBuilder builder(nb::Directedness::kUndirected);
+  builder.AddEdge(0, 1, 10.0);  // hub -> interconnected node 1
+  builder.AddEdge(0, 2, 10.0);  // hub -> interconnected node 2
+  builder.AddEdge(0, 3, 10.0);  // hub -> pendant spokes
+  builder.AddEdge(0, 4, 10.0);
+  builder.AddEdge(0, 5, 10.0);
+  builder.AddEdge(1, 2, 4.0);   // the weak peripheral-peripheral tie
+  const auto graph = builder.Build();
+  if (!graph.ok()) return 1;
+
+  const auto nc = nb::NoiseCorrected(*graph);
+  const auto df = nb::DisparityFilter(*graph);
+  if (!nc.ok() || !df.ok()) return 1;
+
+  const nb::BackboneMask nc_top4 = nb::TopK(*nc, 4);
+  const nb::BackboneMask df_top4 = nb::TopK(*df, 4);
+
+  PrintRow({"edge", "weight", "NC score", "NC sdev", "DF score", "NC@4",
+            "DF@4"});
+  for (nb::EdgeId id = 0; id < graph->num_edges(); ++id) {
+    const nb::Edge& e = graph->edge(id);
+    PrintRow({std::to_string(e.src) + "-" + std::to_string(e.dst),
+              Num(e.weight, 1), Num(nc->at(id).score, 4),
+              Num(nc->at(id).sdev, 4), Num(df->at(id).score, 4),
+              nc_top4.keep[static_cast<size_t>(id)] ? "keep" : "drop",
+              df_top4.keep[static_cast<size_t>(id)] ? "keep" : "drop"});
+  }
+
+  const nb::EdgeId peripheral = graph->FindEdge(1, 2);
+  const nb::EdgeId hub_edge = graph->FindEdge(0, 1);
+  std::printf(
+      "\nNC ranks 1-2 %s 0-1  |  DF ranks 1-2 %s 0-1\n",
+      nc->at(peripheral).score > nc->at(hub_edge).score ? "ABOVE" : "below",
+      df->at(peripheral).score > df->at(hub_edge).score ? "above" : "BELOW");
+  std::printf(
+      "Paper reference: at a budget of 4 edges, NC keeps the peripheral\n"
+      "tie plus the pendant spokes and drops the hub's links to nodes 1-2;\n"
+      "DF does the opposite.\n");
+  return 0;
+}

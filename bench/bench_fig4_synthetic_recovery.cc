@@ -1,0 +1,82 @@
+// Regenerates paper Fig. 4: recovery of the true backbone of synthetic
+// Barabási–Albert networks under increasing noise.
+//
+// Workload (Sec. V-A): BA networks with 200 nodes and average degree 3;
+// true edges weighted (k_i + k_j) * U(eta, 1), the complement filled with
+// (k_i + k_j) * U(0, eta). Every method is matched to the true edge count
+// and scored by the Jaccard coefficient between its backbone and the true
+// edge set, averaged over seeds.
+//
+// Paper shape to reproduce: NT and DF are best at very low noise; NC is
+// the most noise-resilient with the best overall performance; MST and HSS
+// sit below; at high noise DF degrades toward NT.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "eval/edge_budget.h"
+#include "eval/recovery.h"
+#include "gen/barabasi_albert.h"
+#include "gen/noise_model.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::NaN;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+int main() {
+  Banner("Fig. 4", "recovery of the true backbone of synthetic BA networks");
+
+  const bool quick = netbone::bench::QuickMode();
+  const int num_seeds = quick ? 2 : 5;
+  const nb::NodeId num_nodes = quick ? 100 : 200;
+  const std::vector<double> etas = {0.0,  0.05, 0.10, 0.15,
+                                    0.20, 0.25, 0.30};
+
+  std::vector<std::string> header = {"eta"};
+  for (const nb::Method m : nb::PaperMethods()) {
+    header.push_back(nb::MethodTag(m));
+  }
+  PrintRow(header);
+
+  for (const double eta : etas) {
+    std::map<nb::Method, double> total;
+    std::map<nb::Method, int> valid;
+    for (int seed = 0; seed < num_seeds; ++seed) {
+      const auto truth = nb::GenerateBarabasiAlbert(
+          {.num_nodes = num_nodes,
+           .average_degree = 3.0,
+           .seed = static_cast<uint64_t>(1000 + seed)});
+      if (!truth.ok()) continue;
+      const auto noisy = nb::ApplySectionVANoise(
+          *truth, eta, static_cast<uint64_t>(9000 + seed));
+      if (!noisy.ok()) continue;
+      for (const nb::Method m : nb::PaperMethods()) {
+        const auto mask =
+            nb::BudgetedBackbone(m, noisy->noisy, noisy->num_true_edges);
+        if (!mask.ok()) continue;  // e.g. DS without total support
+        const auto jaccard =
+            nb::JaccardRecovery(mask->keep, noisy->ground_truth);
+        if (!jaccard.ok()) continue;
+        total[m] += *jaccard;
+        valid[m] += 1;
+      }
+    }
+    std::vector<std::string> row = {Num(eta, 2)};
+    for (const nb::Method m : nb::PaperMethods()) {
+      row.push_back(valid[m] > 0 ? Num(total[m] / valid[m], 3)
+                                 : Num(NaN()));
+    }
+    PrintRow(row);
+  }
+
+  std::printf(
+      "\nPaper reference: NC has the best overall recovery and degrades\n"
+      "most slowly with noise; NT/DF lead only at the lowest noise "
+      "levels.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates paper Fig. 5: the cumulative (survival) edge-weight
+// distributions of the six country networks on log-log axes.
+//
+// Paper shape to reproduce: all networks have broad weight distributions
+// (none a clean power law); Trade spans the most decades; Country Space
+// is the narrowest; Ownership pairs a tiny median with a huge top
+// percentile.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/countries.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+int main() {
+  Banner("Fig. 5", "cumulative edge weight distributions (survival, log-log)");
+  const bool quick = netbone::bench::QuickMode();
+  const auto suite = nb::GenerateCountrySuite(
+      /*seed=*/42, /*num_years=*/1, /*num_countries=*/quick ? 60 : 190);
+  if (!suite.ok()) return 1;
+
+  PrintRow({"network", "edges", "median", "p99", "decades"});
+  for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
+    const nb::Graph& g = suite->network(kind).front();
+    std::vector<double> weights;
+    weights.reserve(static_cast<size_t>(g.num_edges()));
+    for (const nb::Edge& e : g.edges()) weights.push_back(e.weight);
+    const double lo = nb::Quantile(weights, 0.001);
+    const double hi = nb::Max(weights);
+    const double decades =
+        lo > 0.0 ? std::log10(hi) - std::log10(lo) : std::log10(hi);
+    PrintRow({nb::CountryNetworkName(kind),
+              std::to_string(g.num_edges()), Num(nb::Median(weights), 2),
+              Num(nb::Quantile(weights, 0.99), 1), Num(decades, 1)});
+  }
+
+  std::printf("\nSurvival series CDF(w) = share of edges with weight >= w:\n");
+  for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
+    const nb::Graph& g = suite->network(kind).front();
+    std::vector<double> weights;
+    for (const nb::Edge& e : g.edges()) weights.push_back(e.weight);
+    const nb::Ecdf ecdf(weights);
+    std::printf("%-14s", nb::CountryNetworkName(kind).c_str());
+    for (const auto& [x, survival] : ecdf.LogSurvivalSeries(9)) {
+      std::printf("  (%.3g, %.3g)", x, survival);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper reference: broad distributions across several decades, the\n"
+      "Trade network widest, Country Space narrowest.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates paper Fig. 6: edge weight vs the average weight of the
+// edges incident to the edge's endpoints, summarized by the log-log
+// Pearson correlation per network.
+//
+// Paper shape to reproduce: all six correlations are positive and highly
+// significant, ranging from ~0.4 (weakest, Flight in the paper) to ~0.75
+// (strongest, Country Space). This local correlation is one of the two
+// structural facts (with broad weights) that break naive thresholding.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/countries.h"
+#include "stats/correlation.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::NaN;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+int main() {
+  Banner("Fig. 6", "edge weight vs average neighbor edge weight (log-log r)");
+  const bool quick = netbone::bench::QuickMode();
+  const auto suite = nb::GenerateCountrySuite(
+      /*seed=*/42, /*num_years=*/1, /*num_countries=*/quick ? 60 : 190);
+  if (!suite.ok()) return 1;
+
+  PrintRow({"network", "log-log r"});
+  for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
+    const nb::Graph& g = suite->network(kind).front();
+    // Average incident weight per node (both directions for directed
+    // graphs, matching "edges connected to either of its nodes").
+    std::vector<double> node_avg(static_cast<size_t>(g.num_nodes()), 0.0);
+    for (nb::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const int64_t degree = g.out_degree(v) + g.in_degree(v);
+      if (degree > 0) {
+        node_avg[static_cast<size_t>(v)] =
+            (g.out_strength(v) + g.in_strength(v)) /
+            static_cast<double>(degree);
+      }
+    }
+    std::vector<double> weights, neighbor_avgs;
+    weights.reserve(static_cast<size_t>(g.num_edges()));
+    neighbor_avgs.reserve(static_cast<size_t>(g.num_edges()));
+    for (const nb::Edge& e : g.edges()) {
+      weights.push_back(e.weight);
+      neighbor_avgs.push_back((node_avg[static_cast<size_t>(e.src)] +
+                               node_avg[static_cast<size_t>(e.dst)]) /
+                              2.0);
+    }
+    const auto r = nb::LogLogPearsonCorrelation(weights, neighbor_avgs);
+    PrintRow({nb::CountryNetworkName(kind),
+              r.ok() ? Num(*r, 3) : Num(NaN())});
+  }
+  std::printf(
+      "\nPaper reference: correlations between .42 and .75, all positive\n"
+      "and significant (p < 1e-15) — weights are locally correlated.\n");
+  return 0;
+}

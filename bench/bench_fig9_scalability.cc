@@ -1,0 +1,110 @@
+// Regenerates paper Fig. 9: running time vs number of edges on
+// Erdős–Rényi graphs with average degree 3 and uniform random weights.
+//
+// Paper shape to reproduce: NC scales near-linearly (the paper fits
+// |E|^1.14 for its pandas implementation), indistinguishable in slope
+// from NT and DF; MST pays an extra log factor for sorting; HSS and DS
+// are orders of magnitude slower and cannot run beyond small sizes.
+// Absolute times are hardware-dependent and (being compiled C++) far
+// below the paper's pandas numbers; the fitted exponent is the
+// comparable statistic.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/registry.h"
+#include "gen/erdos_renyi.h"
+#include "stats/ols.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::NaN;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+namespace {
+
+/// Median-of-three timing of one method on one graph; NaN on failure.
+double TimeMethod(nb::Method method, const nb::Graph& graph) {
+  std::vector<double> times;
+  for (int rep = 0; rep < 3; ++rep) {
+    nb::Timer timer;
+    nb::RunMethodOptions options;
+    const auto scored = nb::RunMethod(method, graph, options);
+    if (!scored.ok()) return netbone::bench::NaN();
+    times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[1];
+}
+
+}  // namespace
+
+int main() {
+  Banner("Fig. 9", "running time vs |E| (ER graphs, average degree 3)");
+  const bool quick = netbone::bench::QuickMode();
+
+  // Node counts; |E| = 1.5 |V|. The paper sweeps 25k..6.5M nodes.
+  std::vector<nb::NodeId> sizes = {25000, 50000, 100000, 200000,
+                                   400000, 800000, 1600000};
+  if (quick) sizes = {25000, 50000, 100000};
+  // HSS and DS get the paper treatment: capped at small sizes ("we could
+  // not run them on networks larger than a few thousand edges").
+  const int64_t slow_method_edge_cap = 6000;
+
+  const std::vector<nb::Method> fast_methods = {
+      nb::Method::kNoiseCorrected, nb::Method::kDisparityFilter,
+      nb::Method::kNaiveThreshold, nb::Method::kMaximumSpanningTree};
+
+  std::vector<std::string> header = {"edges"};
+  for (const nb::Method m : fast_methods) header.push_back(nb::MethodTag(m));
+  PrintRow(header);
+
+  std::vector<double> log_edges, log_nc_seconds;
+  for (const nb::NodeId n : sizes) {
+    const auto graph = nb::GenerateErdosRenyi(
+        {.num_nodes = n, .average_degree = 3.0, .seed = 77});
+    if (!graph.ok()) continue;
+    std::vector<std::string> row = {std::to_string(graph->num_edges())};
+    for (const nb::Method m : fast_methods) {
+      const double seconds = TimeMethod(m, *graph);
+      row.push_back(Num(seconds, 4));
+      if (m == nb::Method::kNoiseCorrected && seconds == seconds) {
+        log_edges.push_back(std::log10(
+            static_cast<double>(graph->num_edges())));
+        log_nc_seconds.push_back(std::log10(seconds));
+      }
+    }
+    PrintRow(row);
+  }
+
+  // Slow methods at small sizes only.
+  std::printf("\nslow methods (size-capped, as in the paper):\n");
+  PrintRow({"edges", "HSS", "DS"});
+  for (const nb::NodeId n : {500, 1000, 2000, 4000}) {
+    const auto graph = nb::GenerateErdosRenyi(
+        {.num_nodes = n, .average_degree = 3.0, .seed = 78});
+    if (!graph.ok() || graph->num_edges() > slow_method_edge_cap) continue;
+    PrintRow({std::to_string(graph->num_edges()),
+              Num(TimeMethod(nb::Method::kHighSalienceSkeleton, *graph), 4),
+              Num(TimeMethod(nb::Method::kDoublyStochastic, *graph), 4)});
+  }
+
+  // Fitted scaling exponent of NC: log t = a + b log |E|.
+  if (log_edges.size() >= 3) {
+    nb::OlsFitter fitter;
+    fitter.AddColumn("log_edges", log_edges);
+    const auto fit = fitter.Fit(log_nc_seconds);
+    if (fit.ok()) {
+      std::printf("\nNC fitted time complexity: ~O(|E|^%.2f)\n",
+                  fit->coefficients[1]);
+    }
+  }
+  std::printf(
+      "Paper reference: NC ~O(|E|^1.14), indistinguishable in slope from\n"
+      "NT and DF; 20M edges in 82 s in pandas on a 2.3 GHz Xeon.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks for the library's hot kernels: the NC
+// scoring pipeline and its stages, the DF closed form, Sinkhorn sweeps,
+// shortest-path trees, Kruskal, and top-k selection. These complement the
+// wall-clock scalability study (bench_fig9_scalability) with per-kernel
+// numbers suitable for regression tracking.
+
+#include <benchmark/benchmark.h>
+
+#include "core/disparity_filter.h"
+#include "core/doubly_stochastic.h"
+#include "core/filter.h"
+#include "core/high_salience_skeleton.h"
+#include "core/maximum_spanning_tree.h"
+#include "core/noise_corrected.h"
+#include "gen/erdos_renyi.h"
+#include "stats/distributions.h"
+#include "stats/special_functions.h"
+
+namespace nb = netbone;
+
+namespace {
+
+nb::Graph MakeGraph(int64_t nodes) {
+  auto g = nb::GenerateErdosRenyi({.num_nodes = static_cast<nb::NodeId>(nodes),
+                                   .average_degree = 6.0,
+                                   .seed = 99});
+  return *std::move(g);
+}
+
+void BM_NoiseCorrected(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto scored = nb::NoiseCorrected(g);
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_NoiseCorrected)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NoiseCorrectedEdgeKernel(benchmark::State& state) {
+  double nij = 3.0;
+  for (auto _ : state) {
+    auto detail = nb::NoiseCorrectedEdge(nij, 120.0, 90.0, 100000.0);
+    benchmark::DoNotOptimize(detail);
+    nij = nij < 80.0 ? nij + 1.0 : 3.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NoiseCorrectedEdgeKernel);
+
+void BM_DisparityFilter(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto scored = nb::DisparityFilter(g);
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_DisparityFilter)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MaximumSpanningTree(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto scored = nb::MaximumSpanningTree(g);
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_MaximumSpanningTree)->Arg(1000)->Arg(10000);
+
+void BM_HighSalienceSkeleton(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto scored = nb::HighSalienceSkeleton(g);
+    benchmark::DoNotOptimize(scored);
+  }
+}
+BENCHMARK(BM_HighSalienceSkeleton)->Arg(200)->Arg(500);
+
+void BM_DoublyStochastic(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto scored = nb::DoublyStochastic(g);
+    benchmark::DoNotOptimize(scored);
+  }
+}
+BENCHMARK(BM_DoublyStochastic)->Arg(200)->Arg(500);
+
+void BM_TopK(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  const auto scored = nb::NoiseCorrected(g);
+  for (auto _ : state) {
+    auto mask = nb::TopK(*scored, g.num_edges() / 10);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_TopK)->Arg(10000)->Arg(100000);
+
+void BM_BetaFit(benchmark::State& state) {
+  double ni = 10.0;
+  for (auto _ : state) {
+    const nb::PriorMoments prior =
+        nb::HypergeometricPriorMoments(ni, 35.0, 100000.0);
+    auto params = nb::FitBetaByMoments(prior.mean, prior.variance);
+    benchmark::DoNotOptimize(params);
+    ni = ni < 5000.0 ? ni + 1.0 : 10.0;
+  }
+}
+BENCHMARK(BM_BetaFit);
+
+void BM_BinomialCdf(benchmark::State& state) {
+  double k = 0.0;
+  for (auto _ : state) {
+    const double cdf = nb::BinomialCdf(k, 100000.0, 1e-4);
+    benchmark::DoNotOptimize(cdf);
+    k = k < 60.0 ? k + 1.0 : 0.0;
+  }
+}
+BENCHMARK(BM_BinomialCdf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Regenerates paper Table I: validation of the NC variance estimate.
+//
+// The NC model predicts V[L~_ij] for every edge. Observing each network
+// in several years gives an *empirical* variance of the transformed lift
+// per node pair; Table I reports the correlation between predicted and
+// observed variances per network.
+//
+// Paper shape to reproduce: all correlations positive and significant
+// (paper values range from .064 on Migration to .872 on Ownership).
+
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/noise_corrected.h"
+#include "gen/countries.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::NaN;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+namespace {
+
+uint64_t PairKey(nb::NodeId a, nb::NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table I",
+         "correlation of predicted vs observed variance of L~_ij");
+  const bool quick = netbone::bench::QuickMode();
+  const int num_years = quick ? 3 : 6;
+  const auto suite = nb::GenerateCountrySuite(
+      /*seed=*/42, num_years, /*num_countries=*/quick ? 60 : 150);
+  if (!suite.ok()) return 1;
+
+  PrintRow({"network", "NC corr", "pairs"});
+  for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
+    const nb::TemporalNetwork& network = suite->network(kind);
+
+    // Transformed lift per pair per year; prediction from year 0.
+    std::unordered_map<uint64_t, std::vector<double>> lift_series;
+    std::unordered_map<uint64_t, double> predicted_variance;
+    for (int64_t year = 0; year < network.num_snapshots(); ++year) {
+      const nb::Graph& g = network.snapshot(year);
+      std::vector<nb::NoiseCorrectedDetail> details;
+      const auto scored = nb::NoiseCorrectedWithDetails(g, {}, &details);
+      if (!scored.ok()) continue;
+      for (nb::EdgeId id = 0; id < g.num_edges(); ++id) {
+        const nb::Edge& e = g.edge(id);
+        const uint64_t key = PairKey(e.src, e.dst);
+        lift_series[key].push_back(
+            details[static_cast<size_t>(id)].transformed_lift);
+        if (year == 0) {
+          predicted_variance[key] =
+              details[static_cast<size_t>(id)].variance_lift;
+        }
+      }
+    }
+
+    // Observed variance across years for pairs present in every year and
+    // predicted in year 0.
+    std::vector<double> predicted, observed;
+    for (const auto& [key, series] : lift_series) {
+      if (static_cast<int64_t>(series.size()) != network.num_snapshots()) {
+        continue;
+      }
+      const auto it = predicted_variance.find(key);
+      if (it == predicted_variance.end()) continue;
+      predicted.push_back(it->second);
+      observed.push_back(nb::SampleVariance(series));
+    }
+    const auto corr = nb::PearsonCorrelation(predicted, observed);
+    PrintRow({nb::CountryNetworkName(kind),
+              corr.ok() ? Num(*corr, 3) : Num(NaN()),
+              std::to_string(predicted.size())});
+  }
+  std::printf(
+      "\nPaper reference (Table I): Business .590, Country Space .627,\n"
+      "Flight .613, Migration .064, Ownership .872, Trade .162 — all\n"
+      "positive and significant at p < 1e-9.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Regenerates paper Table II: the improvement in predictive power when a
+// gravity-style OLS model (log(N_ij + 1) = beta X_ij + eps) is fitted on
+// backbone edges instead of all edges. Quality = R²_backbone / R²_full.
+//
+// Protocol (Sec. V-E): every parametric method is matched to the same
+// edge budget — the HSS backbone size at a low (0.5 salience) threshold,
+// "because it is the most strict backbone methodology". MST and DS keep
+// their natural sizes.
+//
+// Paper shape to reproduce: NC is the best method on every network and
+// the only one whose quality exceeds 1 everywhere.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "eval/edge_budget.h"
+#include "eval/quality.h"
+#include "gen/countries.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::NaN;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+int main() {
+  Banner("Table II", "quality = R2(backbone) / R2(full network)");
+  const bool quick = netbone::bench::QuickMode();
+  const auto suite = nb::GenerateCountrySuite(
+      /*seed=*/42, /*num_years=*/1, /*num_countries=*/quick ? 60 : 190);
+  if (!suite.ok()) return 1;
+
+  std::vector<std::string> header = {"method"};
+  for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
+    header.push_back(nb::CountryNetworkName(kind) == "Country Space"
+                         ? "CSpace"
+                         : nb::CountryNetworkName(kind));
+  }
+  PrintRow(header);
+
+  // Budget per network: the HSS backbone size at a low salience threshold
+  // (paper protocol). When the positive-salience set is degenerate —
+  // dense co-occurrence graphs can place most edges in some shortest-path
+  // tree — fall back to a slightly stricter low threshold, floored at
+  // three edges per node so the backbone regression stays meaningful.
+  std::vector<int64_t> budgets;
+  for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
+    const nb::Graph& g = suite->network(kind).front();
+    const auto budget = nb::HssEdgeBudget(g, /*salience=*/0.0);
+    int64_t chosen = budget.ok() ? *budget
+                                 : std::max<int64_t>(g.num_edges() / 20,
+                                                     64);
+    if (chosen > g.num_edges() / 5) {
+      const auto stricter = nb::HssEdgeBudget(g, /*salience=*/0.02);
+      chosen = std::max<int64_t>(stricter.ok() ? *stricter : chosen / 10,
+                                 3 * g.num_nodes());
+    }
+    budgets.push_back(chosen);
+  }
+
+  for (const nb::Method method : nb::PaperMethods()) {
+    std::vector<std::string> row = {nb::MethodTag(method)};
+    size_t kind_index = 0;
+    for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
+      const nb::Graph& g = suite->network(kind).front();
+      const int64_t budget = budgets[kind_index++];
+      const auto predictors = nb::CountryPredictors(*suite, kind, g);
+      if (!predictors.ok()) {
+        row.push_back(Num(NaN()));
+        continue;
+      }
+      // Parametric methods share the HSS-matched budget; MST and DS have
+      // no tunable size and run at their natural size (paper protocol).
+      const auto mask = nb::BudgetedBackbone(
+          method, g, nb::IsParameterFree(method) ? 0 : budget);
+      if (!mask.ok()) {
+        row.push_back(Num(NaN()));  // e.g. DS without total support
+        continue;
+      }
+      const auto quality = nb::QualityRatio(g, predictors->columns, *mask);
+      row.push_back(quality.ok() ? Num(quality->ratio, 4) : Num(NaN()));
+    }
+    PrintRow(row);
+  }
+
+  std::printf(
+      "\nPaper reference (Table II): NC best on all six networks and the\n"
+      "only method always above 1 (e.g. NC 2.24 on Country Space vs DF\n"
+      "1.41; NC 1.47 on Flight vs best alternative 0.94).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Country-network walkthrough: the paper's full evaluation pipeline on
+// one synthetic country trade network.
+//
+//   1. generate a dense, noisy trade network observed in two years;
+//   2. score it with all backboning methods;
+//   3. compare them on the paper's three criteria — Coverage (topology),
+//      Quality (R² ratio of a gravity regression), Stability (Spearman
+//      across years) — at a matched edge budget.
+//
+// Run: ./build/examples/country_networks [num_countries]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/registry.h"
+#include "eval/coverage.h"
+#include "eval/edge_budget.h"
+#include "eval/quality.h"
+#include "eval/stability.h"
+#include "gen/countries.h"
+
+namespace nb = netbone;
+
+int main(int argc, char** argv) {
+  const int32_t num_countries =
+      argc > 1 ? std::atoi(argv[1]) : 120;
+
+  auto suite = nb::GenerateCountrySuite(/*seed=*/7, /*num_years=*/2,
+                                        num_countries);
+  if (!suite.ok()) {
+    std::fprintf(stderr, "%s\n", suite.status().ToString().c_str());
+    return 1;
+  }
+  const nb::TemporalNetwork& trade =
+      suite->network(nb::CountryNetworkKind::kTrade);
+  const nb::Graph& year0 = trade.snapshot(0);
+  std::printf("Trade network: %d countries, %lld weighted pairs, two "
+              "yearly observations\n",
+              year0.num_nodes(), static_cast<long long>(year0.num_edges()));
+
+  // Gravity-model predictors (log distance, log populations, business
+  // travel) for the Quality regression.
+  auto predictors =
+      nb::CountryPredictors(*suite, nb::CountryNetworkKind::kTrade, year0);
+  if (!predictors.ok()) return 1;
+  std::printf("predictors:");
+  for (const auto& name : predictors->names) std::printf(" %s", name.c_str());
+  std::printf("\n\n");
+
+  // Budget: HSS backbone size at a low salience threshold, as in the
+  // paper's Table II protocol.
+  const auto budget = nb::HssEdgeBudget(year0);
+  if (!budget.ok()) return 1;
+  std::printf("matched edge budget: %lld edges\n\n",
+              static_cast<long long>(*budget));
+
+  std::printf("%-26s%10s%10s%10s\n", "method", "coverage", "quality",
+              "stability");
+  for (const nb::Method method : nb::PaperMethods()) {
+    const int64_t edge_budget = nb::IsParameterFree(method) ? 0 : *budget;
+    const auto mask = nb::BudgetedBackbone(method, year0, edge_budget);
+    if (!mask.ok()) {
+      std::printf("%-26s%10s%10s%10s   (%s)\n",
+                  nb::MethodName(method).c_str(), "n/a", "n/a", "n/a",
+                  mask.status().message().c_str());
+      continue;
+    }
+    const auto coverage = nb::CoverageOfMask(year0, *mask);
+    const auto quality =
+        nb::QualityRatio(year0, predictors->columns, *mask);
+    const auto stability =
+        nb::Stability(trade.snapshot(0), trade.snapshot(1), *mask);
+    std::printf("%-26s%10.3f%10.3f%10.3f\n",
+                nb::MethodName(method).c_str(),
+                coverage.ok() ? *coverage : -1.0,
+                quality.ok() ? quality->ratio : -1.0,
+                stability.ok() ? *stability : -1.0);
+  }
+
+  std::printf(
+      "\nReading the table: quality > 1 means the backbone edges are more\n"
+      "predictable from gravity fundamentals than the full noisy network;\n"
+      "the Noise-Corrected backbone should lead that column.\n");
+  return 0;
+}

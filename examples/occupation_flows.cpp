@@ -1,0 +1,125 @@
+// Occupation-flow case study (paper Sec. VI): predict inter-occupational
+// job switches from a skill co-occurrence network, before and after
+// backboning.
+//
+//   1. generate O*NET-style occupation/skill scores and CPS-style labor
+//      flows;
+//   2. build the skill co-occurrence network (shared above-average
+//      skills);
+//   3. extract NC and DF backbones at the same edge budget;
+//   4. compare community structure (map-equation compression, modularity
+//      against the two-digit occupation classes) and the flow-prediction
+//      correlation of the model F_ij = b1 C_ij + b2 S_i. + b3 S_.j.
+//
+// Run: ./build/examples/occupation_flows
+
+#include <cstdio>
+#include <vector>
+
+#include "community/map_equation.h"
+#include "community/modularity.h"
+#include "community/nmi.h"
+#include "core/filter.h"
+#include "core/registry.h"
+#include "gen/occupations.h"
+
+namespace nb = netbone;
+
+namespace {
+
+// Flow-edge mask induced by a co-occurrence backbone mask.
+std::vector<bool> FlowMaskFromBackbone(const nb::OccupationWorld& world,
+                                       const nb::BackboneMask& co_mask) {
+  std::vector<bool> mask(
+      static_cast<size_t>(world.flows.num_edges()), false);
+  for (nb::EdgeId id = 0; id < world.flows.num_edges(); ++id) {
+    const nb::Edge& e = world.flows.edge(id);
+    const nb::EdgeId co_id = world.co_occurrence.FindEdge(e.src, e.dst);
+    if (co_id >= 0 && co_mask.keep[static_cast<size_t>(co_id)]) {
+      mask[static_cast<size_t>(id)] = true;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+int main() {
+  nb::OccupationWorldOptions options;
+  options.num_occupations = 300;
+  options.num_skills = 150;
+  options.seed = 2026;
+  const auto world = nb::GenerateOccupationWorld(options);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "occupations: %d in %d major classes; co-occurrence pairs: %lld; "
+      "flow pairs: %lld\n\n",
+      options.num_occupations, options.num_classes,
+      static_cast<long long>(world->co_occurrence.num_edges()),
+      static_cast<long long>(world->flows.num_edges()));
+
+  const nb::Partition classes(world->minor_group);
+  const int64_t budget = options.num_occupations * 8;
+
+  const auto all_pairs =
+      nb::FlowPredictionCorrelation(*world, std::vector<bool>());
+  std::printf("flow prediction correlation, all pairs: %.3f\n\n",
+              all_pairs.ok() ? *all_pairs : -1.0);
+
+  for (const nb::Method method :
+       {nb::Method::kDisparityFilter, nb::Method::kNoiseCorrected}) {
+    const auto scored = nb::RunMethod(method, world->co_occurrence);
+    if (!scored.ok()) continue;
+    const nb::BackboneMask mask = nb::TopK(*scored, budget);
+    const auto backbone = nb::ApplyMask(world->co_occurrence, mask);
+    if (!backbone.ok()) continue;
+
+    const auto one_level = nb::OneLevelCodelength(*backbone);
+    const auto communities = nb::GreedyInfomap(*backbone, {.seed = 5});
+    const auto two_level =
+        communities.ok()
+            ? nb::MapEquationCodelength(*backbone, *communities)
+            : nb::Result<double>(communities.status());
+    const auto modularity = nb::Modularity(*backbone, classes);
+    const auto nmi = communities.ok()
+                         ? nb::NormalizedMutualInformation(*communities,
+                                                           classes)
+                         : nb::Result<double>(communities.status());
+    const auto flow_corr = nb::FlowPredictionCorrelation(
+        *world, FlowMaskFromBackbone(*world, mask));
+
+    std::printf("== %s backbone (%lld edges) ==\n",
+                nb::MethodName(method).c_str(),
+                static_cast<long long>(mask.kept));
+    std::printf("  occupations still connected: %d of %d\n",
+                static_cast<int>(backbone->num_nodes() -
+                                 backbone->CountIsolates()),
+                backbone->num_nodes());
+    if (one_level.ok() && two_level.ok()) {
+      std::printf("  map equation: %.2f bits -> %.2f bits (%.1f%% gain)\n",
+                  *one_level, *two_level,
+                  100.0 * (1.0 - *two_level / *one_level));
+    }
+    if (modularity.ok()) {
+      std::printf("  modularity of the 2-digit classification: %.3f\n",
+                  *modularity);
+    }
+    if (nmi.ok()) {
+      std::printf("  NMI(communities, 2-digit classes): %.3f\n", *nmi);
+    }
+    if (flow_corr.ok()) {
+      std::printf("  flow prediction correlation on kept pairs: %.3f\n",
+                  *flow_corr);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected (paper Sec. VI): the NC backbone compresses better, aligns\n"
+      "better with the expert classification, and its pairs are the ones\n"
+      "whose labor flows the skill model predicts best.\n");
+  return 0;
+}

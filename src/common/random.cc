@@ -1,0 +1,159 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace netbone {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // xoshiro state must not be all-zero; SplitMix64 guarantees good mixing
+  // even for seed == 0.
+  uint64_t sm = seed;
+  for (auto& lane : state_) lane = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBounded(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of n representable in 64 bits.
+  const uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::LogNormal(double mu_log, double sigma_log) {
+  return std::exp(Gaussian(mu_log, sigma_log));
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+int64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    double product = 1.0;
+    int64_t count = -1;
+    do {
+      ++count;
+      product *= NextDouble();
+    } while (product > limit);
+    return count;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double draw = Gaussian(mean, std::sqrt(mean));
+  return draw < 0.5 ? 0 : static_cast<int64_t>(draw + 0.5);
+}
+
+int64_t Rng::Binomial(int64_t n, double p) {
+  assert(n >= 0);
+  assert(p >= 0.0 && p <= 1.0);
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  if (p > 0.5) return n - Binomial(n, 1.0 - p);
+  const double np = static_cast<double>(n) * p;
+  if (np < 32.0 && n < 10000) {
+    // Direct simulation via geometric skips (BG algorithm): O(np) expected.
+    const double log_q = std::log(1.0 - p);
+    int64_t successes = 0;
+    int64_t trials = 0;
+    for (;;) {
+      trials += static_cast<int64_t>(std::log(1.0 - NextDouble()) / log_q) + 1;
+      if (trials > n) break;
+      ++successes;
+    }
+    return successes;
+  }
+  // Normal approximation, clamped to [0, n].
+  const double draw = Gaussian(np, std::sqrt(np * (1.0 - p)));
+  if (draw < 0.0) return 0;
+  if (draw > static_cast<double>(n)) return n;
+  return static_cast<int64_t>(draw + 0.5);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + static_cast<size_t>(NextBounded(n - i));
+    std::swap(indices[i], indices[j]);
+    out.push_back(indices[i]);
+  }
+  return out;
+}
+
+}  // namespace netbone

@@ -1,0 +1,85 @@
+// Copyright 2026 The netbone Authors.
+//
+// Result<T>: value-or-Status, in the spirit of absl::StatusOr / arrow::Result.
+// Used by factory functions instead of throwing constructors.
+
+#ifndef NETBONE_COMMON_RESULT_H_
+#define NETBONE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace netbone {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+///
+/// Accessing the value of a failed Result is a programming error and traps
+/// via assert in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when the Result failed.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression (RocksDB idiom).
+#define NETBONE_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::netbone::Status _netbone_status = (expr);        \
+    if (!_netbone_status.ok()) return _netbone_status; \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on failure returns its Status, on
+/// success assigns the value to `lhs`.
+#define NETBONE_ASSIGN_OR_RETURN(lhs, expr)               \
+  auto _netbone_result_##__LINE__ = (expr);               \
+  if (!_netbone_result_##__LINE__.ok())                   \
+    return _netbone_result_##__LINE__.status();           \
+  lhs = std::move(_netbone_result_##__LINE__).value()
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_RESULT_H_

@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+namespace netbone {
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "Invalid argument";
+    case Status::Code::kNotFound:
+      return "Not found";
+    case Status::Code::kOutOfRange:
+      return "Out of range";
+    case Status::Code::kFailedPrecondition:
+      return "Failed precondition";
+    case Status::Code::kUnimplemented:
+      return "Unimplemented";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kNotSupported:
+      return "Not supported";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kIOError:
+      return "IO error";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace netbone

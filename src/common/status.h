@@ -1,0 +1,107 @@
+// Copyright 2026 The netbone Authors.
+//
+// RocksDB-style status object used for all recoverable errors. The library
+// does not use C++ exceptions (Google C++ style); every operation that can
+// fail returns a Status, or a Result<T> when it also produces a value.
+
+#ifndef NETBONE_COMMON_STATUS_H_
+#define NETBONE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace netbone {
+
+/// Outcome of an operation that can fail.
+///
+/// A Status is cheap to copy (a code plus an optional message) and must be
+/// checked by the caller; helper macros NETBONE_RETURN_IF_ERROR and
+/// NETBONE_ASSIGN_OR_RETURN in `status_macros.h` make propagation terse.
+class Status {
+ public:
+  /// Machine-readable error category.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kOutOfRange = 3,
+    kFailedPrecondition = 4,
+    kUnimplemented = 5,
+    kInternal = 6,
+    kNotSupported = 7,
+    kCorruption = 8,
+    kIOError = 9,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// The error category.
+  Code code() const { return code_; }
+
+  /// Human-readable error message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// Category predicates mirroring the factories.
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The netbone Authors.
+//
+// Small string helpers used by the CSV graph reader/writer and the
+// table-printing benchmark harnesses.
+
+#ifndef NETBONE_COMMON_STRINGS_H_
+#define NETBONE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace netbone {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Parses a double; fails on trailing garbage or empty input.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a signed 64-bit integer; fails on trailing garbage or empty input.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_STRINGS_H_

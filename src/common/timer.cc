@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Header-only; this translation unit exists so the build registers the
+// module and future non-inline additions have a home.

@@ -1,0 +1,36 @@
+// Copyright 2026 The netbone Authors.
+//
+// Wall-clock timing for the scalability experiments (paper Fig. 9).
+
+#ifndef NETBONE_COMMON_TIMER_H_
+#define NETBONE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace netbone {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Timer() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_TIMER_H_

@@ -1,0 +1,60 @@
+#include "community/label_propagation.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/adjacency.h"
+
+namespace netbone {
+
+Result<Partition> LabelPropagation(const Graph& graph,
+                                   const LabelPropagationOptions& options) {
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return Status::FailedPrecondition("empty graph");
+  const Adjacency adjacency(graph);
+  Rng rng(options.seed);
+
+  std::vector<int32_t> label(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) label[static_cast<size_t>(v)] = v;
+
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+
+  std::unordered_map<int32_t, double> votes;
+  for (int64_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (const NodeId v : order) {
+      votes.clear();
+      // For directed graphs, both arc directions count as ties.
+      for (const Arc& arc : adjacency.out_arcs(v)) {
+        votes[label[static_cast<size_t>(arc.neighbor)]] += arc.weight;
+      }
+      if (graph.directed()) {
+        for (const Arc& arc : adjacency.in_arcs(v)) {
+          votes[label[static_cast<size_t>(arc.neighbor)]] += arc.weight;
+        }
+      }
+      if (votes.empty()) continue;
+      int32_t best_label = label[static_cast<size_t>(v)];
+      double best_weight = -1.0;
+      for (const auto& [candidate, weight] : votes) {
+        // Deterministic tie-break on the smaller label id.
+        if (weight > best_weight ||
+            (weight == best_weight && candidate < best_label)) {
+          best_label = candidate;
+          best_weight = weight;
+        }
+      }
+      if (best_label != label[static_cast<size_t>(v)]) {
+        label[static_cast<size_t>(v)] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return Partition(std::move(label));
+}
+
+}  // namespace netbone

@@ -1,0 +1,32 @@
+// Copyright 2026 The netbone Authors.
+//
+// Weighted asynchronous label propagation (Raghavan et al. 2007): a fast
+// community baseline used by tests and examples. Each node repeatedly
+// adopts the label with the largest incident weight until no label
+// changes.
+
+#ifndef NETBONE_COMMUNITY_LABEL_PROPAGATION_H_
+#define NETBONE_COMMUNITY_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for LabelPropagation.
+struct LabelPropagationOptions {
+  uint64_t seed = 1;        ///< node-order shuffling
+  int64_t max_sweeps = 100; ///< safety stop
+};
+
+/// Runs label propagation on the undirected view of `graph`.
+Result<Partition> LabelPropagation(const Graph& graph,
+                                   const LabelPropagationOptions& options =
+                                       {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMUNITY_LABEL_PROPAGATION_H_

@@ -1,0 +1,188 @@
+#include "community/louvain.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/transform.h"
+
+namespace netbone {
+namespace {
+
+/// Flat weighted undirected multigraph used between Louvain levels.
+struct LevelGraph {
+  int32_t n = 0;
+  // Adjacency as neighbor/weight lists; self-weights kept separately.
+  std::vector<std::vector<std::pair<int32_t, double>>> neighbors;
+  std::vector<double> self_weight;
+  std::vector<double> strength;  // incident weight incl. 2*self
+  double total = 0.0;            // sum of edge weights (undirected count)
+};
+
+LevelGraph FromGraph(const Graph& graph) {
+  LevelGraph lg;
+  lg.n = graph.num_nodes();
+  lg.neighbors.assign(static_cast<size_t>(lg.n), {});
+  lg.self_weight.assign(static_cast<size_t>(lg.n), 0.0);
+  lg.strength.assign(static_cast<size_t>(lg.n), 0.0);
+  for (const Edge& e : graph.edges()) {
+    if (e.src == e.dst) {
+      lg.self_weight[static_cast<size_t>(e.src)] += e.weight;
+    } else {
+      lg.neighbors[static_cast<size_t>(e.src)].emplace_back(e.dst, e.weight);
+      lg.neighbors[static_cast<size_t>(e.dst)].emplace_back(e.src, e.weight);
+    }
+    lg.total += e.weight;
+  }
+  for (int32_t v = 0; v < lg.n; ++v) {
+    double s = 2.0 * lg.self_weight[static_cast<size_t>(v)];
+    for (const auto& [u, w] : lg.neighbors[static_cast<size_t>(v)]) s += w;
+    lg.strength[static_cast<size_t>(v)] = s;
+  }
+  return lg;
+}
+
+/// One local-move phase; returns the node->community map and whether any
+/// move happened.
+bool LocalMoves(const LevelGraph& lg, double resolution, Rng* rng,
+                std::vector<int32_t>* community) {
+  const double two_w = 2.0 * lg.total;
+  std::vector<double> community_strength(static_cast<size_t>(lg.n), 0.0);
+  for (int32_t v = 0; v < lg.n; ++v) {
+    community_strength[static_cast<size_t>((*community)[
+        static_cast<size_t>(v)])] += lg.strength[static_cast<size_t>(v)];
+  }
+
+  std::vector<int32_t> order(static_cast<size_t>(lg.n));
+  for (int32_t v = 0; v < lg.n; ++v) order[static_cast<size_t>(v)] = v;
+  rng->Shuffle(&order);
+
+  bool any_move = false;
+  bool improved = true;
+  std::unordered_map<int32_t, double> weight_to;
+  while (improved) {
+    improved = false;
+    for (const int32_t v : order) {
+      const int32_t old_c = (*community)[static_cast<size_t>(v)];
+      weight_to.clear();
+      weight_to[old_c] += 0.0;  // allow staying
+      for (const auto& [u, w] : lg.neighbors[static_cast<size_t>(v)]) {
+        weight_to[(*community)[static_cast<size_t>(u)]] += w;
+      }
+      community_strength[static_cast<size_t>(old_c)] -=
+          lg.strength[static_cast<size_t>(v)];
+
+      int32_t best_c = old_c;
+      double best_gain = weight_to[old_c] -
+                         resolution *
+                             community_strength[static_cast<size_t>(old_c)] *
+                             lg.strength[static_cast<size_t>(v)] / two_w;
+      for (const auto& [c, w] : weight_to) {
+        const double gain =
+            w - resolution * community_strength[static_cast<size_t>(c)] *
+                    lg.strength[static_cast<size_t>(v)] / two_w;
+        if (gain > best_gain + 1e-12 ||
+            (gain > best_gain - 1e-12 && c < best_c)) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      community_strength[static_cast<size_t>(best_c)] +=
+          lg.strength[static_cast<size_t>(v)];
+      if (best_c != old_c) {
+        (*community)[static_cast<size_t>(v)] = best_c;
+        improved = true;
+        any_move = true;
+      }
+    }
+  }
+  return any_move;
+}
+
+/// Aggregates communities into the next-level graph.
+LevelGraph Aggregate(const LevelGraph& lg,
+                     const std::vector<int32_t>& community,
+                     int32_t num_communities) {
+  LevelGraph next;
+  next.n = num_communities;
+  next.neighbors.assign(static_cast<size_t>(next.n), {});
+  next.self_weight.assign(static_cast<size_t>(next.n), 0.0);
+  next.strength.assign(static_cast<size_t>(next.n), 0.0);
+  next.total = lg.total;
+
+  std::vector<std::unordered_map<int32_t, double>> accumulated(
+      static_cast<size_t>(next.n));
+  for (int32_t v = 0; v < lg.n; ++v) {
+    const int32_t cv = community[static_cast<size_t>(v)];
+    next.self_weight[static_cast<size_t>(cv)] +=
+        lg.self_weight[static_cast<size_t>(v)];
+    for (const auto& [u, w] : lg.neighbors[static_cast<size_t>(v)]) {
+      const int32_t cu = community[static_cast<size_t>(u)];
+      if (cu == cv) {
+        // Each undirected edge appears twice in neighbor lists.
+        next.self_weight[static_cast<size_t>(cv)] += w / 2.0;
+      } else if (cv < cu) {
+        accumulated[static_cast<size_t>(cv)][cu] += w;
+      }
+    }
+  }
+  for (int32_t c = 0; c < next.n; ++c) {
+    for (const auto& [other, w] : accumulated[static_cast<size_t>(c)]) {
+      next.neighbors[static_cast<size_t>(c)].emplace_back(other, w);
+      next.neighbors[static_cast<size_t>(other)].emplace_back(c, w);
+    }
+  }
+  for (int32_t v = 0; v < next.n; ++v) {
+    double s = 2.0 * next.self_weight[static_cast<size_t>(v)];
+    for (const auto& [u, w] : next.neighbors[static_cast<size_t>(v)]) s += w;
+    next.strength[static_cast<size_t>(v)] = s;
+  }
+  return next;
+}
+
+}  // namespace
+
+Result<Partition> Louvain(const Graph& graph, const LouvainOptions& options) {
+  if (graph.num_nodes() == 0) {
+    return Status::FailedPrecondition("empty graph");
+  }
+  Graph undirected_storage;
+  const Graph* work = &graph;
+  if (graph.directed()) {
+    NETBONE_ASSIGN_OR_RETURN(undirected_storage, Symmetrize(graph));
+    work = &undirected_storage;
+  }
+  if (!(work->total_weight() > 0.0)) {
+    return Partition::Singletons(graph.num_nodes());
+  }
+
+  Rng rng(options.seed);
+  LevelGraph lg = FromGraph(*work);
+
+  // node -> community mapping composed across levels.
+  std::vector<int32_t> node_to_community(
+      static_cast<size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    node_to_community[static_cast<size_t>(v)] = v;
+  }
+
+  for (int64_t pass = 0; pass < options.max_passes; ++pass) {
+    std::vector<int32_t> community(static_cast<size_t>(lg.n));
+    for (int32_t v = 0; v < lg.n; ++v) {
+      community[static_cast<size_t>(v)] = v;
+    }
+    const bool moved = LocalMoves(lg, options.resolution, &rng, &community);
+    if (!moved) break;
+
+    // Compact community ids.
+    Partition compact(community);
+    for (auto& c : node_to_community) {
+      c = compact.of(c);
+    }
+    if (compact.num_communities() == lg.n) break;
+    lg = Aggregate(lg, compact.assignment(), compact.num_communities());
+  }
+  return Partition(std::move(node_to_community));
+}
+
+}  // namespace netbone

@@ -1,0 +1,35 @@
+// Copyright 2026 The netbone Authors.
+//
+// Louvain modularity maximization (Blondel et al. 2008): the standard
+// community-discovery workhorse, used by the Fig. 1 demonstration ("the
+// backbone reveals the ground-truth communities") and as the seed
+// partition of the map-equation optimizer.
+
+#ifndef NETBONE_COMMUNITY_LOUVAIN_H_
+#define NETBONE_COMMUNITY_LOUVAIN_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for Louvain.
+struct LouvainOptions {
+  uint64_t seed = 1;
+  /// Resolution parameter gamma (1 = classic modularity); larger values
+  /// produce more, smaller communities.
+  double resolution = 1.0;
+  int64_t max_passes = 32;
+};
+
+/// Runs the full multi-level Louvain on the undirected view of `graph`.
+/// Directed graphs are treated by summing the two directions.
+Result<Partition> Louvain(const Graph& graph,
+                          const LouvainOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMUNITY_LOUVAIN_H_

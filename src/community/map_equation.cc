@@ -1,0 +1,218 @@
+#include "community/map_equation.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/adjacency.h"
+#include "graph/transform.h"
+
+namespace netbone {
+namespace {
+
+double PLogP(double p) { return p > 0.0 ? p * std::log2(p) : 0.0; }
+
+/// Shared flow quantities for the undirected map equation.
+struct Flow {
+  std::vector<double> node_visit;  // p_alpha = s_alpha / 2W
+  double two_w = 0.0;
+};
+
+Result<Flow> ComputeFlow(const Graph& graph) {
+  if (graph.num_nodes() == 0) {
+    return Status::FailedPrecondition("empty graph");
+  }
+  if (!(graph.total_weight() > 0.0)) {
+    return Status::FailedPrecondition("graph total weight is zero");
+  }
+  Flow flow;
+  flow.two_w = 2.0 * graph.total_weight();
+  flow.node_visit.resize(static_cast<size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    flow.node_visit[static_cast<size_t>(v)] =
+        graph.out_strength(v) / flow.two_w;
+  }
+  return flow;
+}
+
+}  // namespace
+
+Result<double> OneLevelCodelength(const Graph& graph) {
+  Graph undirected_storage;
+  const Graph* work = &graph;
+  if (graph.directed()) {
+    NETBONE_ASSIGN_OR_RETURN(undirected_storage, Symmetrize(graph));
+    work = &undirected_storage;
+  }
+  NETBONE_ASSIGN_OR_RETURN(const Flow flow, ComputeFlow(*work));
+  double h = 0.0;
+  for (const double p : flow.node_visit) h -= PLogP(p);
+  return h;
+}
+
+Result<double> MapEquationCodelength(const Graph& graph,
+                                     const Partition& partition) {
+  Graph undirected_storage;
+  const Graph* work = &graph;
+  if (graph.directed()) {
+    NETBONE_ASSIGN_OR_RETURN(undirected_storage, Symmetrize(graph));
+    work = &undirected_storage;
+  }
+  if (partition.num_nodes() != work->num_nodes()) {
+    return Status::InvalidArgument("partition / graph node count mismatch");
+  }
+  NETBONE_ASSIGN_OR_RETURN(const Flow flow, ComputeFlow(*work));
+
+  const size_t k = static_cast<size_t>(partition.num_communities());
+  std::vector<double> module_p(k, 0.0);
+  std::vector<double> module_exit(k, 0.0);  // q_m
+  for (NodeId v = 0; v < work->num_nodes(); ++v) {
+    module_p[static_cast<size_t>(partition.of(v))] +=
+        flow.node_visit[static_cast<size_t>(v)];
+  }
+  for (const Edge& e : work->edges()) {
+    if (e.src == e.dst) continue;
+    const int32_t cs = partition.of(e.src);
+    const int32_t cd = partition.of(e.dst);
+    if (cs != cd) {
+      module_exit[static_cast<size_t>(cs)] += e.weight / flow.two_w;
+      module_exit[static_cast<size_t>(cd)] += e.weight / flow.two_w;
+    }
+  }
+
+  // L = plogp(q) - 2 sum_m plogp(q_m) + sum_m plogp(q_m + p_m)
+  //     - sum_alpha plogp(p_alpha)
+  double q = 0.0;
+  double sum_plogp_exit = 0.0;
+  double sum_plogp_total = 0.0;
+  for (size_t m = 0; m < k; ++m) {
+    q += module_exit[m];
+    sum_plogp_exit += PLogP(module_exit[m]);
+    sum_plogp_total += PLogP(module_exit[m] + module_p[m]);
+  }
+  double sum_plogp_nodes = 0.0;
+  for (const double p : flow.node_visit) sum_plogp_nodes += PLogP(p);
+
+  return PLogP(q) - 2.0 * sum_plogp_exit + sum_plogp_total -
+         sum_plogp_nodes;
+}
+
+Result<Partition> GreedyInfomap(const Graph& graph,
+                                const GreedyInfomapOptions& options) {
+  Graph undirected_storage;
+  const Graph* work = &graph;
+  if (graph.directed()) {
+    NETBONE_ASSIGN_OR_RETURN(undirected_storage, Symmetrize(graph));
+    work = &undirected_storage;
+  }
+  NETBONE_ASSIGN_OR_RETURN(const Flow flow, ComputeFlow(*work));
+  const Adjacency adjacency(*work);
+  const NodeId n = work->num_nodes();
+  Rng rng(options.seed);
+
+  // Start from singleton modules.
+  std::vector<int32_t> module(static_cast<size_t>(n));
+  std::vector<double> module_p(static_cast<size_t>(n), 0.0);
+  std::vector<double> module_exit(static_cast<size_t>(n), 0.0);
+  double q = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    module[static_cast<size_t>(v)] = v;
+    module_p[static_cast<size_t>(v)] =
+        flow.node_visit[static_cast<size_t>(v)];
+    double exit = 0.0;
+    for (const Arc& arc : adjacency.out_arcs(v)) {
+      if (arc.neighbor != v) exit += arc.weight / flow.two_w;
+    }
+    module_exit[static_cast<size_t>(v)] = exit;
+    q += exit;
+  }
+
+  // Terms of L that change with moves; node term is constant.
+  const auto module_term = [&](int32_t m) {
+    return -2.0 * PLogP(module_exit[static_cast<size_t>(m)]) +
+           PLogP(module_exit[static_cast<size_t>(m)] +
+                 module_p[static_cast<size_t>(m)]);
+  };
+
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+
+  std::unordered_map<int32_t, double> weight_to;  // module -> w(alpha, m)
+  for (int64_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    rng.Shuffle(&order);
+    bool moved = false;
+    for (const NodeId v : order) {
+      const int32_t old_m = module[static_cast<size_t>(v)];
+      const double p_v = flow.node_visit[static_cast<size_t>(v)];
+      weight_to.clear();
+      double strength_v = 0.0;  // total incident weight (flow units)
+      for (const Arc& arc : adjacency.out_arcs(v)) {
+        if (arc.neighbor == v) continue;
+        const double w = arc.weight / flow.two_w;
+        strength_v += w;
+        weight_to[module[static_cast<size_t>(arc.neighbor)]] += w;
+      }
+      const double to_old = weight_to.contains(old_m) ? weight_to[old_m]
+                                                      : 0.0;
+
+      // Baseline contribution with v in old_m.
+      const double base_terms = PLogP(q) + module_term(old_m);
+
+      int32_t best_m = old_m;
+      double best_delta = 0.0;
+      for (const auto& [candidate, to_candidate] : weight_to) {
+        if (candidate == old_m) continue;
+        // Removing v from old_m: exits gain the edges v->old members and
+        // lose v's other incident edges.
+        const double exit_old_new =
+            module_exit[static_cast<size_t>(old_m)] -
+            (strength_v - to_old) + to_old;
+        const double exit_cand_new =
+            module_exit[static_cast<size_t>(candidate)] +
+            (strength_v - to_candidate) - to_candidate;
+        const double q_new =
+            q + (exit_old_new - module_exit[static_cast<size_t>(old_m)]) +
+            (exit_cand_new - module_exit[static_cast<size_t>(candidate)]);
+
+        const double old_terms =
+            base_terms + module_term(candidate);
+        const double new_terms =
+            PLogP(q_new) +
+            (-2.0 * PLogP(exit_old_new) +
+             PLogP(exit_old_new +
+                   module_p[static_cast<size_t>(old_m)] - p_v)) +
+            (-2.0 * PLogP(exit_cand_new) +
+             PLogP(exit_cand_new +
+                   module_p[static_cast<size_t>(candidate)] + p_v));
+        const double delta = new_terms - old_terms;
+        if (delta < best_delta - 1e-12) {
+          best_delta = delta;
+          best_m = candidate;
+        }
+      }
+
+      if (best_m != old_m) {
+        const double to_best = weight_to[best_m];
+        const double exit_old_new =
+            module_exit[static_cast<size_t>(old_m)] -
+            (strength_v - to_old) + to_old;
+        const double exit_best_new =
+            module_exit[static_cast<size_t>(best_m)] +
+            (strength_v - to_best) - to_best;
+        q += (exit_old_new - module_exit[static_cast<size_t>(old_m)]) +
+             (exit_best_new - module_exit[static_cast<size_t>(best_m)]);
+        module_exit[static_cast<size_t>(old_m)] = exit_old_new;
+        module_exit[static_cast<size_t>(best_m)] = exit_best_new;
+        module_p[static_cast<size_t>(old_m)] -= p_v;
+        module_p[static_cast<size_t>(best_m)] += p_v;
+        module[static_cast<size_t>(v)] = best_m;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return Partition(std::move(module));
+}
+
+}  // namespace netbone

@@ -1,0 +1,45 @@
+// Copyright 2026 The netbone Authors.
+//
+// The map equation (Rosvall & Bergstrom 2008, cited as [31]): the expected
+// per-step description length of a random walk under a two-level coding
+// scheme. The Sec. VI case study reports Infomap codelength compression
+// gains for the NC vs DF occupation backbones (15.0% vs 9.3%); this module
+// provides the exact codelength of any partition plus a greedy
+// local-search minimizer standing in for the Infomap binary.
+
+#ifndef NETBONE_COMMUNITY_MAP_EQUATION_H_
+#define NETBONE_COMMUNITY_MAP_EQUATION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// One-level codelength: the entropy (bits) of the random walker's node
+/// visit rates — the "without communities" baseline of Sec. VI
+/// (paper values: 7.97 bits on the NC backbone, 7.69 on DF).
+Result<double> OneLevelCodelength(const Graph& graph);
+
+/// Two-level map-equation codelength of `partition` on `graph` (bits).
+/// Undirected flow approximation: visit rate = strength / 2W.
+Result<double> MapEquationCodelength(const Graph& graph,
+                                     const Partition& partition);
+
+/// Options for GreedyInfomap.
+struct GreedyInfomapOptions {
+  uint64_t seed = 1;
+  int64_t max_sweeps = 64;
+};
+
+/// Greedy codelength minimization: start from singletons, repeatedly move
+/// nodes to the neighboring module that lowers the map equation most,
+/// then compact. A faithful stand-in for two-level Infomap search.
+Result<Partition> GreedyInfomap(const Graph& graph,
+                                const GreedyInfomapOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMUNITY_MAP_EQUATION_H_

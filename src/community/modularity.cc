@@ -1,0 +1,60 @@
+#include "community/modularity.h"
+
+#include <vector>
+
+namespace netbone {
+
+Result<double> Modularity(const Graph& graph, const Partition& partition) {
+  if (partition.num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument("partition / graph node count mismatch");
+  }
+  const double total = graph.total_weight();
+  if (!(total > 0.0)) {
+    return Status::FailedPrecondition("graph total weight is zero");
+  }
+  const size_t k = static_cast<size_t>(partition.num_communities());
+
+  if (!graph.directed()) {
+    // Accumulate internal weights and community strengths.
+    std::vector<double> internal(k, 0.0);
+    std::vector<double> strength(k, 0.0);
+    for (const Edge& e : graph.edges()) {
+      const int32_t cs = partition.of(e.src);
+      const int32_t cd = partition.of(e.dst);
+      if (cs == cd) internal[static_cast<size_t>(cs)] += e.weight;
+    }
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      strength[static_cast<size_t>(partition.of(v))] +=
+          graph.out_strength(v);
+    }
+    double q = 0.0;
+    const double two_w = 2.0 * total;
+    for (size_t c = 0; c < k; ++c) {
+      q += internal[c] / total - (strength[c] / two_w) * (strength[c] / two_w);
+    }
+    return q;
+  }
+
+  // Directed (Leicht-Newman): Q = sum_in_c w/W - sum_c sout_c * sin_c / W^2.
+  std::vector<double> internal(k, 0.0);
+  std::vector<double> out_strength(k, 0.0);
+  std::vector<double> in_strength(k, 0.0);
+  for (const Edge& e : graph.edges()) {
+    const int32_t cs = partition.of(e.src);
+    const int32_t cd = partition.of(e.dst);
+    if (cs == cd) internal[static_cast<size_t>(cs)] += e.weight;
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out_strength[static_cast<size_t>(partition.of(v))] +=
+        graph.out_strength(v);
+    in_strength[static_cast<size_t>(partition.of(v))] += graph.in_strength(v);
+  }
+  double q = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    q += internal[c] / total -
+         out_strength[c] * in_strength[c] / (total * total);
+  }
+  return q;
+}
+
+}  // namespace netbone

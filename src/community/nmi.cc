@@ -1,0 +1,66 @@
+#include "community/nmi.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace netbone {
+namespace {
+
+double Log2Safe(double x) { return x > 0.0 ? std::log2(x) : 0.0; }
+
+}  // namespace
+
+double PartitionEntropy(const Partition& partition) {
+  const double n = static_cast<double>(partition.num_nodes());
+  if (n == 0.0) return 0.0;
+  double h = 0.0;
+  for (const int64_t size : partition.CommunitySizes()) {
+    const double p = static_cast<double>(size) / n;
+    h -= p * Log2Safe(p);
+  }
+  return h;
+}
+
+Result<double> MutualInformation(const Partition& a, const Partition& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    return Status::InvalidArgument("partition size mismatch");
+  }
+  const double n = static_cast<double>(a.num_nodes());
+  if (n == 0.0) return 0.0;
+
+  std::unordered_map<int64_t, int64_t> joint;
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const int64_t key =
+        (static_cast<int64_t>(a.of(v)) << 32) | static_cast<int64_t>(b.of(v));
+    joint[key]++;
+  }
+  const std::vector<int64_t> sizes_a = a.CommunitySizes();
+  const std::vector<int64_t> sizes_b = b.CommunitySizes();
+
+  double information = 0.0;
+  for (const auto& [key, count] : joint) {
+    const int32_t ca = static_cast<int32_t>(key >> 32);
+    const int32_t cb = static_cast<int32_t>(key & 0xFFFFFFFF);
+    const double p_joint = static_cast<double>(count) / n;
+    const double p_a = static_cast<double>(sizes_a[static_cast<size_t>(ca)]) / n;
+    const double p_b = static_cast<double>(sizes_b[static_cast<size_t>(cb)]) / n;
+    information += p_joint * Log2Safe(p_joint / (p_a * p_b));
+  }
+  return information;
+}
+
+Result<double> NormalizedMutualInformation(const Partition& a,
+                                           const Partition& b) {
+  NETBONE_ASSIGN_OR_RETURN(const double information, MutualInformation(a, b));
+  const double ha = PartitionEntropy(a);
+  const double hb = PartitionEntropy(b);
+  if (ha == 0.0 && hb == 0.0) {
+    // Both trivial: identical by convention.
+    return 1.0;
+  }
+  if (ha + hb == 0.0) return 0.0;
+  return 2.0 * information / (ha + hb);
+}
+
+}  // namespace netbone

@@ -1,0 +1,29 @@
+// Copyright 2026 The netbone Authors.
+//
+// Normalized Mutual Information between two partitions, the agreement
+// statistic of the Sec. VI case study (NMI of backbone communities vs the
+// two-digit occupation classification: NC 0.423 vs DF 0.401).
+
+#ifndef NETBONE_COMMUNITY_NMI_H_
+#define NETBONE_COMMUNITY_NMI_H_
+
+#include "common/result.h"
+#include "community/partition.h"
+
+namespace netbone {
+
+/// NMI with the 2I/(H_a + H_b) normalization. Returns 1 for identical
+/// partitions, 0 for independent ones. By convention, two trivial
+/// (single-community) partitions compare as 1.
+Result<double> NormalizedMutualInformation(const Partition& a,
+                                           const Partition& b);
+
+/// Raw mutual information I(a; b) in bits.
+Result<double> MutualInformation(const Partition& a, const Partition& b);
+
+/// Shannon entropy of a partition's community sizes, in bits.
+double PartitionEntropy(const Partition& partition);
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMUNITY_NMI_H_

@@ -1,0 +1,36 @@
+#include "community/partition.h"
+
+#include <unordered_map>
+
+namespace netbone {
+
+Partition::Partition(std::vector<int32_t> assignment)
+    : assignment_(std::move(assignment)) {
+  std::unordered_map<int32_t, int32_t> remap;
+  for (int32_t& community : assignment_) {
+    const auto [it, inserted] =
+        remap.try_emplace(community, static_cast<int32_t>(remap.size()));
+    community = it->second;
+  }
+  num_communities_ = static_cast<int32_t>(remap.size());
+}
+
+Partition Partition::Trivial(NodeId num_nodes) {
+  return Partition(std::vector<int32_t>(static_cast<size_t>(num_nodes), 0));
+}
+
+Partition Partition::Singletons(NodeId num_nodes) {
+  std::vector<int32_t> assignment(static_cast<size_t>(num_nodes));
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    assignment[static_cast<size_t>(v)] = v;
+  }
+  return Partition(std::move(assignment));
+}
+
+std::vector<int64_t> Partition::CommunitySizes() const {
+  std::vector<int64_t> sizes(static_cast<size_t>(num_communities_), 0);
+  for (const int32_t c : assignment_) sizes[static_cast<size_t>(c)]++;
+  return sizes;
+}
+
+}  // namespace netbone

@@ -1,0 +1,56 @@
+// Copyright 2026 The netbone Authors.
+//
+// Node partition container shared by the community-detection algorithms,
+// the modularity / NMI metrics, and the map equation (Sec. VI case study).
+
+#ifndef NETBONE_COMMUNITY_PARTITION_H_
+#define NETBONE_COMMUNITY_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// An assignment of every node to a community id in [0, num_communities).
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Wraps raw assignments; ids are compacted to 0..k-1 preserving order
+  /// of first appearance.
+  explicit Partition(std::vector<int32_t> assignment);
+
+  /// All nodes in one community.
+  static Partition Trivial(NodeId num_nodes);
+
+  /// Every node its own community.
+  static Partition Singletons(NodeId num_nodes);
+
+  /// Community of node v.
+  int32_t of(NodeId v) const { return assignment_[static_cast<size_t>(v)]; }
+
+  /// Number of nodes covered.
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(assignment_.size());
+  }
+
+  /// Number of distinct communities.
+  int32_t num_communities() const { return num_communities_; }
+
+  /// Node counts per community.
+  std::vector<int64_t> CommunitySizes() const;
+
+  /// Raw assignment vector.
+  const std::vector<int32_t>& assignment() const { return assignment_; }
+
+ private:
+  std::vector<int32_t> assignment_;
+  int32_t num_communities_ = 0;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMUNITY_PARTITION_H_

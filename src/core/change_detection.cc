@@ -1,0 +1,116 @@
+#include "core/change_detection.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace netbone {
+
+double LiftChangeZ(const NoiseCorrectedDetail& before,
+                   const NoiseCorrectedDetail& after) {
+  const double pooled_variance =
+      before.variance_lift + after.variance_lift;
+  if (pooled_variance <= 0.0) {
+    // Two exact measurements: any difference is "infinitely" significant,
+    // equality is z = 0.
+    return after.transformed_lift == before.transformed_lift
+               ? 0.0
+               : std::numeric_limits<double>::infinity() *
+                     (after.transformed_lift > before.transformed_lift
+                          ? 1.0
+                          : -1.0);
+  }
+  return (after.transformed_lift - before.transformed_lift) /
+         std::sqrt(pooled_variance);
+}
+
+Result<ChangeReport> DetectChanges(const Graph& before, const Graph& after,
+                                   const ChangeDetectionOptions& options) {
+  if (before.num_nodes() != after.num_nodes()) {
+    return Status::InvalidArgument("snapshot node universes differ");
+  }
+  if (before.directed() != after.directed()) {
+    return Status::InvalidArgument("snapshot directedness differs");
+  }
+  if (options.nc_options.use_binomial_pvalue) {
+    return Status::InvalidArgument(
+        "change detection needs the transform variant (footnote-2 "
+        "p-values carry no sdev)");
+  }
+
+  const double total_before = before.matrix_total();
+  const double total_after = after.matrix_total();
+  if (!(total_before > 0.0) || !(total_after > 0.0)) {
+    return Status::FailedPrecondition("a snapshot has zero total weight");
+  }
+
+  // Evaluate the union of both snapshots' pairs.
+  struct PairState {
+    NodeId src;
+    NodeId dst;
+    double weight_before = 0.0;
+    double weight_after = 0.0;
+    bool in_before = false;
+    bool in_after = false;
+  };
+  std::unordered_map<uint64_t, PairState> pairs;
+  const auto key_of = [](const Edge& e) {
+    return (static_cast<uint64_t>(e.src) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(e.dst));
+  };
+  for (const Edge& e : before.edges()) {
+    PairState& p = pairs[key_of(e)];
+    p.src = e.src;
+    p.dst = e.dst;
+    p.weight_before = e.weight;
+    p.in_before = true;
+  }
+  for (const Edge& e : after.edges()) {
+    PairState& p = pairs[key_of(e)];
+    p.src = e.src;
+    p.dst = e.dst;
+    p.weight_after = e.weight;
+    p.in_after = true;
+  }
+
+  ChangeReport report;
+  report.changes.reserve(pairs.size());
+  for (const auto& [key, pair] : pairs) {
+    if (!options.include_missing_pairs &&
+        (!pair.in_before || !pair.in_after)) {
+      continue;
+    }
+    // Marginals must be positive in both snapshots; a node absent from
+    // one year cannot be compared there.
+    const double ni_before = before.out_strength(pair.src);
+    const double nj_before = before.in_strength(pair.dst);
+    const double ni_after = after.out_strength(pair.src);
+    const double nj_after = after.in_strength(pair.dst);
+    if (ni_before <= 0.0 || nj_before <= 0.0 || ni_after <= 0.0 ||
+        nj_after <= 0.0) {
+      continue;
+    }
+    const auto detail_before =
+        NoiseCorrectedEdge(pair.weight_before, ni_before, nj_before,
+                           total_before, options.nc_options);
+    const auto detail_after =
+        NoiseCorrectedEdge(pair.weight_after, ni_after, nj_after,
+                           total_after, options.nc_options);
+    if (!detail_before.ok() || !detail_after.ok()) continue;
+
+    EdgeChange change;
+    change.src = pair.src;
+    change.dst = pair.dst;
+    change.weight_before = pair.weight_before;
+    change.weight_after = pair.weight_after;
+    change.lift_before = detail_before->transformed_lift;
+    change.lift_after = detail_after->transformed_lift;
+    change.z = LiftChangeZ(*detail_before, *detail_after);
+    change.significant = std::fabs(change.z) > options.delta;
+    if (change.significant) ++report.significant_count;
+    ++report.evaluated_pairs;
+    report.changes.push_back(change);
+  }
+  return report;
+}
+
+}  // namespace netbone

@@ -1,0 +1,55 @@
+#include "core/disparity_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netbone {
+
+double DisparityPValue(double share, int64_t degree) {
+  if (degree <= 1) return 1.0;  // a single edge is never significant alone
+  share = std::clamp(share, 0.0, 1.0);
+  return std::pow(1.0 - share, static_cast<double>(degree - 1));
+}
+
+Result<ScoredEdges> DisparityFilter(const Graph& graph,
+                                    const DisparityFilterOptions& options) {
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+
+  std::vector<EdgeScore> scores;
+  scores.reserve(static_cast<size_t>(graph.num_edges()));
+
+  for (const Edge& e : graph.edges()) {
+    // Test 1: from the source's perspective, the edge's share of outgoing
+    // strength. Test 2: from the target's perspective, the share of
+    // incoming strength. For undirected graphs both use the symmetric
+    // strength/degree, i.e. the two incident endpoints.
+    const double out_total = graph.out_strength(e.src);
+    const double in_total = graph.in_strength(e.dst);
+    const double src_share = out_total > 0.0 ? e.weight / out_total : 0.0;
+    const double dst_share = in_total > 0.0 ? e.weight / in_total : 0.0;
+    const double src_score =
+        1.0 - DisparityPValue(src_share, graph.out_degree(e.src));
+    const double dst_score =
+        1.0 - DisparityPValue(dst_share, graph.in_degree(e.dst));
+
+    double score = 0.0;
+    switch (options.endpoint_rule) {
+      case DisparityEndpointRule::kEither:
+        score = std::max(src_score, dst_score);
+        break;
+      case DisparityEndpointRule::kBoth:
+        score = std::min(src_score, dst_score);
+        break;
+      case DisparityEndpointRule::kSource:
+        score = src_score;
+        break;
+    }
+    scores.push_back(EdgeScore{score, 0.0});
+  }
+  return ScoredEdges(&graph, "disparity_filter", std::move(scores),
+                     /*has_sdev=*/false);
+}
+
+}  // namespace netbone

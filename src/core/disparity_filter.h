@@ -1,0 +1,49 @@
+// Copyright 2026 The netbone Authors.
+//
+// The Disparity Filter (Serrano, Boguñá & Vespignani, PNAS 2009; [34] in
+// the paper) — the state-of-the-art statistical baseline the NC backbone is
+// compared against.
+//
+// For a node of degree k, the null model splits the node's total strength
+// uniformly at random into k pieces (equivalently, normalized edge shares
+// follow the order statistics of k-1 uniform draws). The p-value of an edge
+// of share x at that node is alpha = (1 - x)^(k - 1). The score reported
+// here is 1 - alpha so that, like every other method, larger means more
+// significant. Per the paper, an edge is "tested twice" — at its source as
+// an emitter and at its target as a receiver — and kept if either test
+// passes (we keep the maximum score by default).
+
+#ifndef NETBONE_CORE_DISPARITY_FILTER_H_
+#define NETBONE_CORE_DISPARITY_FILTER_H_
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Which endpoint test(s) decide an edge's disparity score.
+enum class DisparityEndpointRule {
+  kEither,  ///< max of the two endpoint scores (paper default)
+  kBoth,    ///< min of the two endpoint scores (conservative variant)
+  kSource,  ///< emitter-only null model (the pre-2009 formulation)
+};
+
+/// Options for DisparityFilter.
+struct DisparityFilterOptions {
+  DisparityEndpointRule endpoint_rule = DisparityEndpointRule::kEither;
+};
+
+/// Scores every edge with 1 - alpha_ij. Degree-1 endpoints yield score 0
+/// from their side (a pendant edge can only be rescued by its other end).
+Result<ScoredEdges> DisparityFilter(const Graph& graph,
+                                    const DisparityFilterOptions& options =
+                                        {});
+
+/// The raw one-sided disparity p-value alpha = (1 - x)^(k - 1) for an edge
+/// carrying share `share` at a node of degree `degree`. Exposed for tests.
+double DisparityPValue(double share, int64_t degree);
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_DISPARITY_FILTER_H_

@@ -1,0 +1,105 @@
+#include "core/doubly_stochastic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace netbone {
+
+Result<ScoredEdges> DoublyStochastic(const Graph& graph,
+                                     const DoublyStochasticOptions& options) {
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+
+  // The algorithm requires a square matrix with no all-zero row or column
+  // among the active nodes. Nodes with no incident edge at all are excluded
+  // from balancing (their matrix row/column is empty by construction);
+  // nodes with edges in only one direction make balancing impossible.
+  const size_t n = static_cast<size_t>(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const bool has_out = graph.out_degree(v) > 0;
+    const bool has_in = graph.in_degree(v) > 0;
+    if (has_out != has_in) {
+      return Status::FailedPrecondition(
+          StrFormat("node %d has edges in only one direction; the matrix "
+                    "has no doubly stochastic scaling",
+                    v));
+    }
+  }
+
+  // Sparse Sinkhorn-Knopp: maintain row scalings r and column scalings c;
+  // balanced entry = r[i] * w_ij * c[j]. For undirected graphs the stored
+  // edge (i, j) represents both matrix entries (i, j) and (j, i).
+  std::vector<double> r(n, 1.0);
+  std::vector<double> c(n, 1.0);
+  std::vector<double> row_sum(n), col_sum(n);
+  const bool undirected = !graph.directed();
+
+  const auto accumulate_sums = [&]() {
+    std::fill(row_sum.begin(), row_sum.end(), 0.0);
+    std::fill(col_sum.begin(), col_sum.end(), 0.0);
+    for (const Edge& e : graph.edges()) {
+      const size_t i = static_cast<size_t>(e.src);
+      const size_t j = static_cast<size_t>(e.dst);
+      const double balanced = r[i] * e.weight * c[j];
+      row_sum[i] += balanced;
+      col_sum[j] += balanced;
+      if (undirected && e.src != e.dst) {
+        const double mirrored = r[j] * e.weight * c[i];
+        row_sum[j] += mirrored;
+        col_sum[i] += mirrored;
+      }
+    }
+  };
+
+  bool converged = false;
+  for (int64_t iter = 0; iter < options.max_iterations && !converged;
+       ++iter) {
+    // Row sweep.
+    accumulate_sums();
+    for (size_t i = 0; i < n; ++i) {
+      if (row_sum[i] > 0.0) r[i] /= row_sum[i];
+    }
+    // Column sweep.
+    accumulate_sums();
+    for (size_t j = 0; j < n; ++j) {
+      if (col_sum[j] > 0.0) c[j] /= col_sum[j];
+    }
+    // Convergence check on fresh sums.
+    accumulate_sums();
+    double max_dev = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      if (graph.out_degree(static_cast<NodeId>(v)) > 0) {
+        max_dev = std::max(max_dev, std::fabs(row_sum[v] - 1.0));
+      }
+      if (graph.in_degree(static_cast<NodeId>(v)) > 0) {
+        max_dev = std::max(max_dev, std::fabs(col_sum[v] - 1.0));
+      }
+    }
+    converged = max_dev <= options.tolerance;
+  }
+
+  if (!converged) {
+    return Status::FailedPrecondition(
+        "Sinkhorn-Knopp did not converge: the matrix has no doubly "
+        "stochastic form (paper: 'n/a')");
+  }
+
+  std::vector<EdgeScore> scores;
+  scores.reserve(static_cast<size_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    const size_t i = static_cast<size_t>(e.src);
+    const size_t j = static_cast<size_t>(e.dst);
+    double balanced = r[i] * e.weight * c[j];
+    if (undirected && e.src != e.dst) {
+      balanced = std::max(balanced, r[j] * e.weight * c[i]);
+    }
+    scores.push_back(EdgeScore{balanced, 0.0});
+  }
+  return ScoredEdges(&graph, "doubly_stochastic", std::move(scores),
+                     /*has_sdev=*/false);
+}
+
+}  // namespace netbone

@@ -1,0 +1,43 @@
+// Copyright 2026 The netbone Authors.
+//
+// Doubly Stochastic backbone (Slater, PNAS 2009; [37] in the paper).
+// Stage 1 rescales the adjacency matrix to doubly stochastic form by
+// alternately normalizing rows and columns (Sinkhorn-Knopp). Stage 2 adds
+// edges in descending normalized weight until the backbone covers all
+// original nodes in a single connected component (GrowUntilConnected in
+// core/filter.h).
+//
+// Sinkhorn-Knopp converges only for matrices with total support; the paper
+// reports the transformation as impossible ("n/a") for three of its six
+// networks. We reproduce that behaviour by returning FailedPrecondition
+// when the iteration does not converge.
+
+#ifndef NETBONE_CORE_DOUBLY_STOCHASTIC_H_
+#define NETBONE_CORE_DOUBLY_STOCHASTIC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for DoublyStochastic.
+struct DoublyStochasticOptions {
+  /// Maximum Sinkhorn sweeps before declaring non-convergence.
+  int64_t max_iterations = 1000;
+  /// Convergence: every row and column sum within `tolerance` of 1.
+  double tolerance = 1e-8;
+};
+
+/// Scores every edge with its doubly-stochastic normalized weight.
+/// Fails with FailedPrecondition when the matrix cannot be balanced
+/// (isolated-in-one-direction nodes, no total support) — the paper's "n/a".
+Result<ScoredEdges> DoublyStochastic(const Graph& graph,
+                                     const DoublyStochasticOptions& options =
+                                         {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_DOUBLY_STOCHASTIC_H_

@@ -1,0 +1,65 @@
+// Copyright 2026 The netbone Authors.
+//
+// Thresholding: turning a ScoredEdges table into a backbone, the second
+// stage of the two-stage design shared with the author's Python module.
+// Supports the paper's delta rule (NC), plain score thresholds, exact
+// edge budgets (how the experiments equalize methods), share-of-edge
+// sweeps (Figs. 7-8 x-axis), and the Doubly Stochastic
+// "grow until connected" rule.
+
+#ifndef NETBONE_CORE_FILTER_H_
+#define NETBONE_CORE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Boolean keep-mask over a graph's edge table plus bookkeeping.
+struct BackboneMask {
+  std::vector<bool> keep;
+  int64_t kept = 0;
+
+  /// Share of edges retained.
+  double Share() const {
+    return keep.empty() ? 0.0
+                        : static_cast<double>(kept) /
+                              static_cast<double>(keep.size());
+  }
+};
+
+/// Keeps edges with score strictly greater than `threshold`.
+BackboneMask FilterByScore(const ScoredEdges& scored, double threshold);
+
+/// The paper's NC rule: keep iff score - delta * sdev > 0, i.e. the
+/// observed transformed lift exceeds the null expectation by at least
+/// `delta` posterior standard deviations. Common deltas: 1.28, 1.64, 2.32
+/// (~ one-tailed p of 0.1, 0.05, 0.01).
+BackboneMask FilterByDelta(const ScoredEdges& scored, double delta);
+
+/// Keeps exactly min(k, |E|) edges with the highest scores. Ties are broken
+/// by weight (descending) then edge id so the selection is deterministic —
+/// required for the experiments that compare methods at identical budgets.
+BackboneMask TopK(const ScoredEdges& scored, int64_t k);
+
+/// TopK with k = round(share * |E|), share in [0, 1].
+BackboneMask TopShare(const ScoredEdges& scored, double share);
+
+/// The Doubly Stochastic stopping rule: walk edges in descending score and
+/// keep adding until every non-isolated node of the original graph is
+/// covered by a single connected component (or edges run out).
+BackboneMask GrowUntilConnected(const ScoredEdges& scored);
+
+/// Materializes the backbone as a Graph over the same node set.
+Result<Graph> ApplyMask(const Graph& graph, const BackboneMask& mask);
+
+/// Edge ids retained by the mask, ascending.
+std::vector<EdgeId> MaskToEdgeIds(const BackboneMask& mask);
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_FILTER_H_

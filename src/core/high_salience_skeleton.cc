@@ -1,0 +1,80 @@
+#include "core/high_salience_skeleton.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "graph/adjacency.h"
+#include "graph/paths.h"
+
+namespace netbone {
+
+Result<ScoredEdges> HighSalienceSkeleton(
+    const Graph& graph, const HighSalienceSkeletonOptions& options) {
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+  if (options.max_cost > 0) {
+    const int64_t cost =
+        static_cast<int64_t>(graph.num_nodes()) * graph.num_edges();
+    if (cost > options.max_cost) {
+      return Status::FailedPrecondition(
+          StrFormat("HSS cost |V|*|E| = %lld exceeds budget %lld",
+                    static_cast<long long>(cost),
+                    static_cast<long long>(options.max_cost)));
+    }
+  }
+
+  const Adjacency adjacency(graph);
+  const size_t num_edges = static_cast<size_t>(graph.num_edges());
+  const NodeId n = graph.num_nodes();
+
+  int num_threads = options.num_threads;
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads = std::min<int>(num_threads, std::max<NodeId>(n, 1));
+
+  // Each worker accumulates tree-membership counts into its own vector;
+  // summing at the end keeps the result independent of scheduling.
+  std::vector<std::vector<int64_t>> partial(
+      static_cast<size_t>(num_threads),
+      std::vector<int64_t>(num_edges, 0));
+  std::atomic<NodeId> next_source{0};
+
+  auto worker = [&](int thread_index) {
+    std::vector<int64_t>& counts = partial[static_cast<size_t>(thread_index)];
+    for (;;) {
+      const NodeId source = next_source.fetch_add(1);
+      if (source >= n) break;
+      const ShortestPathTree tree = Dijkstra(adjacency, source);
+      for (NodeId v = 0; v < n; ++v) {
+        const EdgeId parent = tree.parent_edge[static_cast<size_t>(v)];
+        if (parent >= 0) counts[static_cast<size_t>(parent)]++;
+      }
+    }
+  };
+
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::vector<EdgeScore> scores(num_edges);
+  const double denom = static_cast<double>(n);
+  for (size_t e = 0; e < num_edges; ++e) {
+    int64_t total = 0;
+    for (const auto& counts : partial) total += counts[e];
+    scores[e] = EdgeScore{static_cast<double>(total) / denom, 0.0};
+  }
+  return ScoredEdges(&graph, "high_salience_skeleton", std::move(scores),
+                     /*has_sdev=*/false);
+}
+
+}  // namespace netbone

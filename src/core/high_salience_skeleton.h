@@ -1,0 +1,39 @@
+// Copyright 2026 The netbone Authors.
+//
+// High Salience Skeleton (Grady, Thiemann & Brockmann, Nat. Comms 2012;
+// [14] in the paper). The salience of an edge is the fraction of nodes
+// whose shortest-path tree (with edge length 1/weight) contains the edge:
+// HSS = (1/|V|) sum_v SPT(v). Salience is empirically bimodal, so a
+// threshold of ~0.5 splits skeleton from noise; here salience is simply the
+// edge score, and any filter from core/filter.h applies.
+
+#ifndef NETBONE_CORE_HIGH_SALIENCE_SKELETON_H_
+#define NETBONE_CORE_HIGH_SALIENCE_SKELETON_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for HighSalienceSkeleton.
+struct HighSalienceSkeletonOptions {
+  /// Worker threads for the per-source Dijkstra runs. 0 = use hardware
+  /// concurrency. The result is deterministic regardless of thread count.
+  int num_threads = 0;
+
+  /// Abort with FailedPrecondition when |V| * |E| exceeds this budget, to
+  /// mirror the paper's observation that HSS "could not run ... on networks
+  /// larger than a few thousand edges". 0 disables the guard.
+  int64_t max_cost = 0;
+};
+
+/// Scores every edge with its salience in [0, 1].
+Result<ScoredEdges> HighSalienceSkeleton(
+    const Graph& graph, const HighSalienceSkeletonOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_HIGH_SALIENCE_SKELETON_H_

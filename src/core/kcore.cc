@@ -1,0 +1,102 @@
+#include "core/kcore.h"
+
+#include <algorithm>
+
+#include "graph/adjacency.h"
+#include "graph/transform.h"
+
+namespace netbone {
+
+std::vector<int32_t> CoreNumbers(const Graph& graph) {
+  // Work on the undirected neighbor structure; parallel directions and
+  // self-loops do not add to the simple degree.
+  const size_t n = static_cast<size_t>(graph.num_nodes());
+  std::vector<std::vector<NodeId>> neighbors(n);
+  for (const Edge& e : graph.edges()) {
+    if (e.src == e.dst) continue;
+    neighbors[static_cast<size_t>(e.src)].push_back(e.dst);
+    neighbors[static_cast<size_t>(e.dst)].push_back(e.src);
+  }
+  // Deduplicate (i->j and j->i in a directed graph are one undirected tie).
+  std::vector<int32_t> degree(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    auto& nb = neighbors[v];
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    degree[v] = static_cast<int32_t>(nb.size());
+  }
+
+  // Batagelj-Zaversnik bucket sort peeling.
+  const int32_t max_degree =
+      n == 0 ? 0 : *std::max_element(degree.begin(), degree.end());
+  std::vector<int32_t> bucket_start(static_cast<size_t>(max_degree) + 2, 0);
+  for (size_t v = 0; v < n; ++v) {
+    bucket_start[static_cast<size_t>(degree[v]) + 1]++;
+  }
+  for (size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);
+  std::vector<int32_t> position(n);
+  {
+    std::vector<int32_t> cursor(bucket_start.begin(),
+                                bucket_start.end() - 1);
+    for (size_t v = 0; v < n; ++v) {
+      position[v] = cursor[static_cast<size_t>(degree[v])]++;
+      order[static_cast<size_t>(position[v])] = static_cast<NodeId>(v);
+    }
+  }
+
+  std::vector<int32_t> core(degree);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    for (const NodeId u : neighbors[static_cast<size_t>(v)]) {
+      if (core[static_cast<size_t>(u)] > core[static_cast<size_t>(v)]) {
+        // Move u one bucket down: swap it with the first node of its
+        // current bucket, then shrink the bucket boundary.
+        const int32_t du = core[static_cast<size_t>(u)];
+        const int32_t pu = position[static_cast<size_t>(u)];
+        const int32_t pw = bucket_start[static_cast<size_t>(du)];
+        const NodeId w = order[static_cast<size_t>(pw)];
+        if (u != w) {
+          std::swap(order[static_cast<size_t>(pu)],
+                    order[static_cast<size_t>(pw)]);
+          position[static_cast<size_t>(u)] = pw;
+          position[static_cast<size_t>(w)] = pu;
+        }
+        bucket_start[static_cast<size_t>(du)]++;
+        core[static_cast<size_t>(u)]--;
+      }
+    }
+  }
+  return core;
+}
+
+Result<ScoredEdges> KCoreScores(const Graph& graph) {
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+  const std::vector<int32_t> core = CoreNumbers(graph);
+  std::vector<EdgeScore> scores;
+  scores.reserve(static_cast<size_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    const int32_t c = std::min(core[static_cast<size_t>(e.src)],
+                               core[static_cast<size_t>(e.dst)]);
+    scores.push_back(EdgeScore{static_cast<double>(c), 0.0});
+  }
+  return ScoredEdges(&graph, "kcore", std::move(scores), /*has_sdev=*/false);
+}
+
+Result<Graph> KCoreSubgraph(const Graph& graph, int32_t k) {
+  const std::vector<int32_t> core = CoreNumbers(graph);
+  std::vector<bool> keep(static_cast<size_t>(graph.num_edges()), false);
+  for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+    const Edge& e = graph.edge(id);
+    keep[static_cast<size_t>(id)] =
+        core[static_cast<size_t>(e.src)] >= k &&
+        core[static_cast<size_t>(e.dst)] >= k;
+  }
+  return EdgeSubgraphMask(graph, keep);
+}
+
+}  // namespace netbone

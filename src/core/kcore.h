@@ -1,0 +1,33 @@
+// Copyright 2026 The netbone Authors.
+//
+// k-core decomposition (Seidman 1983; cited in the paper's Related Work as
+// one of the classic backboning approaches): recursively remove nodes of
+// degree < k. The core number of an edge is the smaller core number of its
+// endpoints, which doubles as a backbone score.
+
+#ifndef NETBONE_CORE_KCORE_H_
+#define NETBONE_CORE_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Core number of every node (undirected degree view for directed graphs).
+/// Linear-time bucket algorithm (Batagelj-Zaversnik).
+std::vector<int32_t> CoreNumbers(const Graph& graph);
+
+/// Scores each edge with min(core(src), core(dst)), so FilterByScore with
+/// threshold k-1 yields the k-core edge set.
+Result<ScoredEdges> KCoreScores(const Graph& graph);
+
+/// Convenience: the subgraph induced by nodes of core number >= k.
+Result<Graph> KCoreSubgraph(const Graph& graph, int32_t k);
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_KCORE_H_

@@ -1,0 +1,71 @@
+#include "core/maximum_spanning_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "graph/union_find.h"
+
+namespace netbone {
+
+Result<ScoredEdges> MaximumSpanningTree(const Graph& graph) {
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+
+  // Project directed edges onto node pairs: Kruskal runs on the pair level
+  // so that (i->j) and (j->i) are admitted or rejected together.
+  struct PairEntry {
+    NodeId a;
+    NodeId b;
+    double weight = 0.0;            // combined (summed) pair weight
+    std::vector<EdgeId> edge_ids;   // original edges mapping to the pair
+  };
+  std::map<std::pair<NodeId, NodeId>, PairEntry> pairs;
+  for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+    const Edge& e = graph.edge(id);
+    if (e.src == e.dst) continue;  // self-loops never join a tree
+    const NodeId a = std::min(e.src, e.dst);
+    const NodeId b = std::max(e.src, e.dst);
+    PairEntry& entry = pairs[{a, b}];
+    entry.a = a;
+    entry.b = b;
+    entry.weight += e.weight;
+    entry.edge_ids.push_back(id);
+  }
+
+  std::vector<const PairEntry*> order;
+  order.reserve(pairs.size());
+  for (const auto& [key, entry] : pairs) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const PairEntry* x, const PairEntry* y) {
+              if (x->weight != y->weight) return x->weight > y->weight;
+              if (x->a != y->a) return x->a < y->a;
+              return x->b < y->b;
+            });
+
+  std::vector<EdgeScore> scores(static_cast<size_t>(graph.num_edges()),
+                                EdgeScore{0.0, 0.0});
+  UnionFind uf(graph.num_nodes());
+  for (const PairEntry* entry : order) {
+    if (uf.Union(entry->a, entry->b)) {
+      for (const EdgeId id : entry->edge_ids) {
+        scores[static_cast<size_t>(id)].score = 1.0;
+      }
+    }
+  }
+  return ScoredEdges(&graph, "maximum_spanning_tree", std::move(scores),
+                     /*has_sdev=*/false);
+}
+
+double SpanningTreeWeight(const Graph& graph, const ScoredEdges& scored) {
+  double total = 0.0;
+  for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+    if (scored.at(id).score > 0.0) total += graph.edge(id).weight;
+  }
+  return total;
+}
+
+}  // namespace netbone

@@ -1,0 +1,28 @@
+// Copyright 2026 The netbone Authors.
+//
+// Maximum Spanning Tree backbone (paper Sec. III-B): the spanning tree (or
+// forest, for disconnected graphs) of maximum total weight, extracted with
+// Kruskal's algorithm over descending weights. Parameter-free; satisfies
+// the Coverage criterion by construction but forces a tree topology.
+
+#ifndef NETBONE_CORE_MAXIMUM_SPANNING_TREE_H_
+#define NETBONE_CORE_MAXIMUM_SPANNING_TREE_H_
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Scores tree edges 1 and non-tree edges 0. Directed graphs are treated
+/// as their undirected weight projection (each directed edge inherits the
+/// decision made for its node pair). Ties are broken deterministically by
+/// (weight desc, src, dst).
+Result<ScoredEdges> MaximumSpanningTree(const Graph& graph);
+
+/// Sum of the weights of the tree edges (for optimality tests).
+double SpanningTreeWeight(const Graph& graph, const ScoredEdges& scored);
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_MAXIMUM_SPANNING_TREE_H_

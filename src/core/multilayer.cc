@@ -1,0 +1,95 @@
+#include "core/multilayer.h"
+
+#include "common/strings.h"
+#include "core/noise_corrected.h"
+
+namespace netbone {
+
+Result<MultilayerNetwork> MultilayerNetwork::Create(
+    std::vector<Graph> layers, std::vector<std::string> names) {
+  if (layers.empty()) {
+    return Status::InvalidArgument("need at least one layer");
+  }
+  const NodeId nodes = layers.front().num_nodes();
+  const Directedness dir = layers.front().directedness();
+  for (size_t i = 1; i < layers.size(); ++i) {
+    if (layers[i].num_nodes() != nodes) {
+      return Status::InvalidArgument(
+          StrFormat("layer %zu has %d nodes, expected %d", i,
+                    layers[i].num_nodes(), nodes));
+    }
+    if (layers[i].directedness() != dir) {
+      return Status::InvalidArgument(
+          StrFormat("layer %zu directedness mismatch", i));
+    }
+  }
+  if (names.empty()) {
+    for (size_t i = 0; i < layers.size(); ++i) {
+      names.push_back(StrFormat("layer%zu", i));
+    }
+  }
+  if (names.size() != layers.size()) {
+    return Status::InvalidArgument("names / layers size mismatch");
+  }
+  return MultilayerNetwork(std::move(layers), std::move(names));
+}
+
+Result<std::vector<ScoredEdges>> MultilayerNoiseCorrected(
+    const MultilayerNetwork& network, const MultilayerNcOptions& options) {
+  if (options.coupling < 0.0 || options.coupling > 1.0) {
+    return Status::InvalidArgument("coupling must lie in [0, 1]");
+  }
+  const size_t n = static_cast<size_t>(network.num_nodes());
+  const int64_t num_layers = network.num_layers();
+
+  // Pooled marginals across layers.
+  std::vector<double> pooled_out(n, 0.0);
+  std::vector<double> pooled_in(n, 0.0);
+  double pooled_total = 0.0;
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const Graph& g = network.layer(l);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      pooled_out[static_cast<size_t>(v)] += g.out_strength(v);
+      pooled_in[static_cast<size_t>(v)] += g.in_strength(v);
+    }
+    pooled_total += g.matrix_total();
+  }
+  if (!(pooled_total > 0.0)) {
+    return Status::FailedPrecondition("all layers are empty");
+  }
+
+  std::vector<ScoredEdges> results;
+  results.reserve(static_cast<size_t>(num_layers));
+  const double gamma = options.coupling;
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const Graph& g = network.layer(l);
+    if (g.num_edges() == 0) {
+      return Status::FailedPrecondition(
+          StrFormat("layer %lld has no edges", static_cast<long long>(l)));
+    }
+    const double layer_total = g.matrix_total();
+    // Rescales a pooled marginal to this layer's weight scale.
+    const double layer_share = layer_total / pooled_total;
+
+    std::vector<EdgeScore> scores;
+    scores.reserve(static_cast<size_t>(g.num_edges()));
+    for (const Edge& e : g.edges()) {
+      const double ni =
+          (1.0 - gamma) * g.out_strength(e.src) +
+          gamma * pooled_out[static_cast<size_t>(e.src)] * layer_share;
+      const double nj =
+          (1.0 - gamma) * g.in_strength(e.dst) +
+          gamma * pooled_in[static_cast<size_t>(e.dst)] * layer_share;
+      const auto detail =
+          NoiseCorrectedEdge(e.weight, ni, nj, layer_total);
+      if (!detail.ok()) return detail.status();
+      scores.push_back(EdgeScore{detail->transformed_lift, detail->sdev});
+    }
+    results.emplace_back(&g,
+                         "multilayer_nc:" + network.layer_name(l),
+                         std::move(scores), /*has_sdev=*/true);
+  }
+  return results;
+}
+
+}  // namespace netbone

@@ -1,0 +1,79 @@
+// Copyright 2026 The netbone Authors.
+//
+// Multilayer Noise-Corrected backbone — the second extension proposed in
+// the paper's conclusion: "We can extend the NC methodology to consider
+// multilayer networks, where nodes in different layers are coupled
+// together and where these couplings influence the backbone structure."
+//
+// Model: L layers over one node universe (e.g. trade, flights and
+// migration between the same countries). A node's propensity to send or
+// receive has a shared component across layers (rich hubs attract
+// everything) and a layer-specific component. The coupled null model
+// interpolates between the two with a coupling parameter gamma:
+//
+//   marginal_used = (1 - gamma) * layer_marginal
+//                 + gamma * pooled_marginal * layer_share
+//
+// where pooled_marginal sums the node's marginal over all layers and
+// layer_share rescales it to the layer's total weight. gamma = 0
+// recovers independent per-layer NC; gamma = 1 judges every layer
+// against the node's cross-layer propensities, so an edge that is
+// unremarkable for the pair *overall* is pruned even if it looks salient
+// within its thin layer.
+
+#ifndef NETBONE_CORE_MULTILAYER_H_
+#define NETBONE_CORE_MULTILAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// A set of layers over one shared node universe. All layers must agree
+/// on node count and directedness.
+class MultilayerNetwork {
+ public:
+  /// Validates and wraps the layers (at least one required).
+  static Result<MultilayerNetwork> Create(std::vector<Graph> layers,
+                                          std::vector<std::string> names =
+                                              {});
+
+  int64_t num_layers() const {
+    return static_cast<int64_t>(layers_.size());
+  }
+  const Graph& layer(int64_t index) const {
+    return layers_[static_cast<size_t>(index)];
+  }
+  const std::string& layer_name(int64_t index) const {
+    return names_[static_cast<size_t>(index)];
+  }
+  NodeId num_nodes() const { return layers_.front().num_nodes(); }
+
+ private:
+  MultilayerNetwork(std::vector<Graph> layers,
+                    std::vector<std::string> names)
+      : layers_(std::move(layers)), names_(std::move(names)) {}
+
+  std::vector<Graph> layers_;
+  std::vector<std::string> names_;
+};
+
+/// Options for MultilayerNoiseCorrected.
+struct MultilayerNcOptions {
+  /// Inter-layer coupling in [0, 1]; 0 = independent layers.
+  double coupling = 0.5;
+};
+
+/// Runs the coupled NC null model on every layer; result i scores
+/// network.layer(i)'s edges (aligned with that layer's edge table).
+Result<std::vector<ScoredEdges>> MultilayerNoiseCorrected(
+    const MultilayerNetwork& network,
+    const MultilayerNcOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_MULTILAYER_H_

@@ -1,0 +1,18 @@
+#include "core/naive.h"
+
+namespace netbone {
+
+Result<ScoredEdges> NaiveThreshold(const Graph& graph) {
+  if (graph.num_edges() == 0) {
+    return Status::FailedPrecondition("graph has no edges");
+  }
+  std::vector<EdgeScore> scores;
+  scores.reserve(static_cast<size_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    scores.push_back(EdgeScore{e.weight, 0.0});
+  }
+  return ScoredEdges(&graph, "naive_threshold", std::move(scores),
+                     /*has_sdev=*/false);
+}
+
+}  // namespace netbone

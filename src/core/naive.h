@@ -1,0 +1,22 @@
+// Copyright 2026 The netbone Authors.
+//
+// Naive thresholding (paper Sec. III-B): the edge weight itself is the
+// score, so FilterByScore(scored, delta) drops every edge with weight <=
+// delta. The weakest baseline — no null model, blind to the broad and
+// locally correlated weight distributions that motivate the paper.
+
+#ifndef NETBONE_CORE_NAIVE_H_
+#define NETBONE_CORE_NAIVE_H_
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Scores every edge with its raw weight.
+Result<ScoredEdges> NaiveThreshold(const Graph& graph);
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_NAIVE_H_

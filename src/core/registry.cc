@@ -1,0 +1,101 @@
+#include "core/registry.h"
+
+#include "core/disparity_filter.h"
+#include "core/doubly_stochastic.h"
+#include "core/high_salience_skeleton.h"
+#include "core/kcore.h"
+#include "core/maximum_spanning_tree.h"
+#include "core/naive.h"
+#include "core/noise_corrected.h"
+
+namespace netbone {
+
+const std::vector<Method>& AllMethods() {
+  static const std::vector<Method> kMethods = {
+      Method::kNaiveThreshold,      Method::kMaximumSpanningTree,
+      Method::kDoublyStochastic,    Method::kHighSalienceSkeleton,
+      Method::kDisparityFilter,     Method::kNoiseCorrected,
+      Method::kKCore,
+  };
+  return kMethods;
+}
+
+const std::vector<Method>& PaperMethods() {
+  static const std::vector<Method> kMethods = {
+      Method::kNaiveThreshold,      Method::kMaximumSpanningTree,
+      Method::kDoublyStochastic,    Method::kHighSalienceSkeleton,
+      Method::kDisparityFilter,     Method::kNoiseCorrected,
+  };
+  return kMethods;
+}
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kNoiseCorrected:
+      return "noise_corrected";
+    case Method::kDisparityFilter:
+      return "disparity_filter";
+    case Method::kHighSalienceSkeleton:
+      return "high_salience_skeleton";
+    case Method::kDoublyStochastic:
+      return "doubly_stochastic";
+    case Method::kMaximumSpanningTree:
+      return "maximum_spanning_tree";
+    case Method::kNaiveThreshold:
+      return "naive_threshold";
+    case Method::kKCore:
+      return "kcore";
+  }
+  return "unknown";
+}
+
+std::string MethodTag(Method method) {
+  switch (method) {
+    case Method::kNoiseCorrected:
+      return "NC";
+    case Method::kDisparityFilter:
+      return "DF";
+    case Method::kHighSalienceSkeleton:
+      return "HSS";
+    case Method::kDoublyStochastic:
+      return "DS";
+    case Method::kMaximumSpanningTree:
+      return "MST";
+    case Method::kNaiveThreshold:
+      return "NT";
+    case Method::kKCore:
+      return "KC";
+  }
+  return "??";
+}
+
+bool IsParameterFree(Method method) {
+  return method == Method::kMaximumSpanningTree ||
+         method == Method::kDoublyStochastic;
+}
+
+Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
+                              const RunMethodOptions& options) {
+  switch (method) {
+    case Method::kNoiseCorrected:
+      return NoiseCorrected(graph);
+    case Method::kDisparityFilter:
+      return DisparityFilter(graph);
+    case Method::kHighSalienceSkeleton: {
+      HighSalienceSkeletonOptions hss;
+      hss.max_cost = options.hss_max_cost;
+      return HighSalienceSkeleton(graph, hss);
+    }
+    case Method::kDoublyStochastic:
+      return DoublyStochastic(graph);
+    case Method::kMaximumSpanningTree:
+      return MaximumSpanningTree(graph);
+    case Method::kNaiveThreshold:
+      return NaiveThreshold(graph);
+    case Method::kKCore:
+      return KCoreScores(graph);
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+}  // namespace netbone

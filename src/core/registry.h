@@ -1,0 +1,57 @@
+// Copyright 2026 The netbone Authors.
+//
+// Uniform dispatch over the backboning methods, used by the experiment
+// harnesses that sweep "all methods" (Figs. 4, 7, 8, 9; Table II).
+
+#ifndef NETBONE_CORE_REGISTRY_H_
+#define NETBONE_CORE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// The extraction methods shipped with the library.
+enum class Method {
+  kNoiseCorrected,
+  kDisparityFilter,
+  kHighSalienceSkeleton,
+  kDoublyStochastic,
+  kMaximumSpanningTree,
+  kNaiveThreshold,
+  kKCore,
+};
+
+/// All methods, in the paper's presentation order.
+const std::vector<Method>& AllMethods();
+
+/// The paper's six compared methods (everything except k-core).
+const std::vector<Method>& PaperMethods();
+
+/// Canonical snake_case name ("noise_corrected", ...).
+std::string MethodName(Method method);
+
+/// Short display tag matching the paper's figure legends
+/// ("NC", "DF", "HSS", "DS", "MST", "NT", "KC").
+std::string MethodTag(Method method);
+
+/// True for methods without a tunable edge budget (MST, DS): the paper
+/// plots them as single points instead of threshold sweeps.
+bool IsParameterFree(Method method);
+
+/// Runs `method` with default options. HSS accepts an optional cost guard;
+/// see RunMethodOptions.
+struct RunMethodOptions {
+  /// Forwarded to HighSalienceSkeletonOptions::max_cost (0 = unguarded).
+  int64_t hss_max_cost = 0;
+};
+Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
+                              const RunMethodOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_REGISTRY_H_

@@ -1,0 +1,19 @@
+#include "core/scored_edges.h"
+
+namespace netbone {
+
+std::vector<double> ScoredEdges::ScoreValues() const {
+  std::vector<double> out;
+  out.reserve(scores_.size());
+  for (const EdgeScore& s : scores_) out.push_back(s.score);
+  return out;
+}
+
+std::vector<double> ScoredEdges::ShiftedScores(double delta) const {
+  std::vector<double> out;
+  out.reserve(scores_.size());
+  for (const EdgeScore& s : scores_) out.push_back(s.score - delta * s.sdev);
+  return out;
+}
+
+}  // namespace netbone

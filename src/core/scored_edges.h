@@ -1,0 +1,79 @@
+// Copyright 2026 The netbone Authors.
+//
+// Common output representation of every backboning method, mirroring the
+// author's Python module where each measure returns a table
+// (src, trg, nij, score[, sdev_cij]) that a separate thresholding step
+// turns into a backbone.
+
+#ifndef NETBONE_CORE_SCORED_EDGES_H_
+#define NETBONE_CORE_SCORED_EDGES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Per-edge significance record, aligned with the Graph's canonical edge
+/// table: entry k scores graph.edge(k).
+struct EdgeScore {
+  /// Method-specific significance; larger means more salient.
+  double score = 0.0;
+  /// Standard deviation of the score. Only the Noise-Corrected method
+  /// produces one (the paper's posterior sdev of the transformed lift);
+  /// zero elsewhere.
+  double sdev = 0.0;
+};
+
+/// Scores for every edge of a graph, produced by one backboning method.
+class ScoredEdges {
+ public:
+  ScoredEdges() = default;
+
+  /// Wraps scores aligned with `graph`'s edge table.
+  ScoredEdges(const Graph* graph, std::string method,
+              std::vector<EdgeScore> scores, bool has_sdev)
+      : graph_(graph),
+        method_(std::move(method)),
+        scores_(std::move(scores)),
+        has_sdev_(has_sdev) {}
+
+  /// The scored graph (not owned; must outlive this object).
+  const Graph& graph() const { return *graph_; }
+
+  /// Human-readable method name ("noise_corrected", "disparity_filter"...).
+  const std::string& method() const { return method_; }
+
+  /// Number of scored edges (== graph().num_edges()).
+  int64_t size() const { return static_cast<int64_t>(scores_.size()); }
+
+  /// Score record of edge `id`.
+  const EdgeScore& at(EdgeId id) const {
+    return scores_[static_cast<size_t>(id)];
+  }
+
+  /// Raw score vector, aligned with the edge table.
+  const std::vector<EdgeScore>& scores() const { return scores_; }
+
+  /// True when the method produces meaningful sdev values (NC only).
+  bool has_sdev() const { return has_sdev_; }
+
+  /// All scores as a flat vector (for histograms / distribution plots).
+  std::vector<double> ScoreValues() const;
+
+  /// score - delta * sdev for every edge; the quantity whose distribution
+  /// the paper plots in Fig. 2.
+  std::vector<double> ShiftedScores(double delta) const;
+
+ private:
+  const Graph* graph_ = nullptr;
+  std::string method_;
+  std::vector<EdgeScore> scores_;
+  bool has_sdev_ = false;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_SCORED_EDGES_H_

@@ -1,0 +1,46 @@
+#include "eval/coverage.h"
+
+#include <vector>
+
+namespace netbone {
+
+Result<double> Coverage(const Graph& original, const Graph& backbone) {
+  if (original.num_nodes() != backbone.num_nodes()) {
+    return Status::InvalidArgument("node universe mismatch");
+  }
+  const int64_t original_connected =
+      original.num_nodes() - original.CountIsolates();
+  if (original_connected == 0) {
+    return Status::FailedPrecondition("original graph is all isolates");
+  }
+  const int64_t backbone_connected =
+      backbone.num_nodes() - backbone.CountIsolates();
+  return static_cast<double>(backbone_connected) /
+         static_cast<double>(original_connected);
+}
+
+Result<double> CoverageOfMask(const Graph& original,
+                              const BackboneMask& mask) {
+  if (static_cast<int64_t>(mask.keep.size()) != original.num_edges()) {
+    return Status::InvalidArgument("mask size != edge count");
+  }
+  const int64_t original_connected =
+      original.num_nodes() - original.CountIsolates();
+  if (original_connected == 0) {
+    return Status::FailedPrecondition("original graph is all isolates");
+  }
+  std::vector<bool> touched(static_cast<size_t>(original.num_nodes()),
+                            false);
+  for (EdgeId id = 0; id < original.num_edges(); ++id) {
+    if (!mask.keep[static_cast<size_t>(id)]) continue;
+    const Edge& e = original.edge(id);
+    touched[static_cast<size_t>(e.src)] = true;
+    touched[static_cast<size_t>(e.dst)] = true;
+  }
+  int64_t covered = 0;
+  for (const bool t : touched) covered += t ? 1 : 0;
+  return static_cast<double>(covered) /
+         static_cast<double>(original_connected);
+}
+
+}  // namespace netbone

@@ -1,0 +1,27 @@
+// Copyright 2026 The netbone Authors.
+//
+// The paper's Topology criterion (Sec. V-D):
+//   Coverage = (|V| - |I_G*|) / (|V| - |I_G|),
+// the share of originally non-isolated nodes that the backbone keeps
+// connected. 1 = no node lost.
+
+#ifndef NETBONE_EVAL_COVERAGE_H_
+#define NETBONE_EVAL_COVERAGE_H_
+
+#include "common/result.h"
+#include "core/filter.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Coverage of `backbone` with respect to `original`. Both graphs must
+/// share the node universe. Fails when the original has no connected node.
+Result<double> Coverage(const Graph& original, const Graph& backbone);
+
+/// Coverage of the masked edge subset without materializing the subgraph.
+Result<double> CoverageOfMask(const Graph& original,
+                              const BackboneMask& mask);
+
+}  // namespace netbone
+
+#endif  // NETBONE_EVAL_COVERAGE_H_

@@ -1,0 +1,43 @@
+// Copyright 2026 The netbone Authors.
+//
+// Edge-budget matching. The paper's comparisons hold the number of
+// retained edges fixed across methods ("we fix the number of edges we
+// include in the backbone. We usually choose the number of edges obtained
+// with low threshold values for the High Salience Skeleton, because it is
+// the most strict backbone methodology"). These helpers compute that
+// budget and apply it uniformly.
+
+#ifndef NETBONE_EVAL_EDGE_BUDGET_H_
+#define NETBONE_EVAL_EDGE_BUDGET_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/filter.h"
+#include "core/registry.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Number of edges with score > threshold (e.g. positive HSS salience).
+int64_t CountAboveScore(const ScoredEdges& scored, double threshold);
+
+/// The paper's default budget: the size of the HSS backbone at a low
+/// salience threshold (default 0 — every edge used by at least one
+/// shortest-path tree), matching "the number of edges obtained with low
+/// threshold values for the High Salience Skeleton".
+Result<int64_t> HssEdgeBudget(const Graph& graph, double salience = 0.0,
+                              int64_t hss_max_cost = 0);
+
+/// Applies `method` to `graph` and returns the top-`budget` mask, so every
+/// method returns the same number of edges. MST ignores the budget (it is
+/// parameter-free and returns its tree); DS grows until connected when
+/// `budget` <= 0, else takes top-`budget`.
+Result<BackboneMask> BudgetedBackbone(Method method, const Graph& graph,
+                                      int64_t budget,
+                                      const RunMethodOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_EVAL_EDGE_BUDGET_H_

@@ -1,0 +1,65 @@
+#include "eval/quality.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "stats/ols.h"
+
+namespace netbone {
+
+Result<QualityResult> QualityRatio(
+    const Graph& graph, const std::vector<std::vector<double>>& predictors,
+    const BackboneMask& mask) {
+  const size_t num_edges = static_cast<size_t>(graph.num_edges());
+  if (mask.keep.size() != num_edges) {
+    return Status::InvalidArgument("mask size != edge count");
+  }
+  for (const auto& column : predictors) {
+    if (column.size() != num_edges) {
+      return Status::InvalidArgument("predictor column size != edge count");
+    }
+  }
+
+  std::vector<double> response;
+  response.reserve(num_edges);
+  for (const Edge& e : graph.edges()) {
+    response.push_back(std::log1p(e.weight));
+  }
+
+  QualityResult out;
+  {
+    OlsFitter fitter;
+    for (size_t c = 0; c < predictors.size(); ++c) {
+      fitter.AddColumn(StrFormat("x%zu", c), predictors[c]);
+    }
+    NETBONE_ASSIGN_OR_RETURN(OlsFit fit, fitter.Fit(response));
+    out.r2_full = fit.r_squared;
+    out.n_full = fit.n;
+  }
+  {
+    OlsFitter fitter;
+    std::vector<double> restricted_response;
+    restricted_response.reserve(static_cast<size_t>(mask.kept));
+    for (size_t c = 0; c < predictors.size(); ++c) {
+      std::vector<double> column;
+      column.reserve(static_cast<size_t>(mask.kept));
+      for (size_t i = 0; i < num_edges; ++i) {
+        if (mask.keep[i]) column.push_back(predictors[c][i]);
+      }
+      fitter.AddColumn(StrFormat("x%zu", c), std::move(column));
+    }
+    for (size_t i = 0; i < num_edges; ++i) {
+      if (mask.keep[i]) restricted_response.push_back(response[i]);
+    }
+    NETBONE_ASSIGN_OR_RETURN(OlsFit fit, fitter.Fit(restricted_response));
+    out.r2_backbone = fit.r_squared;
+    out.n_backbone = fit.n;
+  }
+  if (out.r2_full <= 0.0) {
+    return Status::FailedPrecondition("full model has zero R^2");
+  }
+  out.ratio = out.r2_backbone / out.r2_full;
+  return out;
+}
+
+}  // namespace netbone

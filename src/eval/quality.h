@@ -1,0 +1,41 @@
+// Copyright 2026 The netbone Authors.
+//
+// The paper's Quality criterion (Sec. V-E): fit the fixed-form model
+//   log(N_ij + 1) = beta X_ij + eps
+// once on every edge of the network (M_full) and once restricted to the
+// backbone edges (M_bb); Quality = R^2_bb / R^2_full. Values above 1 mean
+// the backbone edges are *more* predictable from fundamentals than the
+// full noisy network — the backbone removed noise, not signal.
+
+#ifndef NETBONE_EVAL_QUALITY_H_
+#define NETBONE_EVAL_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/filter.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Result of a quality evaluation.
+struct QualityResult {
+  double r2_full = 0.0;
+  double r2_backbone = 0.0;
+  /// r2_backbone / r2_full (the number reported in Table II).
+  double ratio = 0.0;
+  int64_t n_full = 0;
+  int64_t n_backbone = 0;
+};
+
+/// Evaluates the quality ratio. `predictors` holds one column per
+/// regressor, each aligned with `graph`'s edge table; `mask` selects the
+/// backbone edges. The response is log1p of the edge weight.
+Result<QualityResult> QualityRatio(
+    const Graph& graph, const std::vector<std::vector<double>>& predictors,
+    const BackboneMask& mask);
+
+}  // namespace netbone
+
+#endif  // NETBONE_EVAL_QUALITY_H_

@@ -1,0 +1,59 @@
+#include "eval/recovery.h"
+
+#include <unordered_set>
+
+namespace netbone {
+
+Result<double> JaccardRecovery(const std::vector<bool>& backbone,
+                               const std::vector<bool>& ground_truth) {
+  if (backbone.size() != ground_truth.size()) {
+    return Status::InvalidArgument("mask size mismatch");
+  }
+  int64_t intersection = 0;
+  int64_t set_union = 0;
+  for (size_t i = 0; i < backbone.size(); ++i) {
+    const bool a = backbone[i];
+    const bool b = ground_truth[i];
+    if (a && b) ++intersection;
+    if (a || b) ++set_union;
+  }
+  if (set_union == 0) return 1.0;  // both empty: identical
+  return static_cast<double>(intersection) /
+         static_cast<double>(set_union);
+}
+
+namespace {
+
+uint64_t PairKey(const Edge& e, bool directed) {
+  NodeId a = e.src;
+  NodeId b = e.dst;
+  if (!directed && a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+}  // namespace
+
+Result<double> JaccardEdgeSets(const Graph& a, const Graph& b) {
+  if (a.directed() != b.directed()) {
+    return Status::InvalidArgument("directedness mismatch");
+  }
+  std::unordered_set<uint64_t> set_a;
+  set_a.reserve(static_cast<size_t>(a.num_edges()) * 2);
+  for (const Edge& e : a.edges()) set_a.insert(PairKey(e, a.directed()));
+  int64_t intersection = 0;
+  std::unordered_set<uint64_t> seen_b;
+  seen_b.reserve(static_cast<size_t>(b.num_edges()) * 2);
+  for (const Edge& e : b.edges()) {
+    const uint64_t key = PairKey(e, b.directed());
+    if (seen_b.insert(key).second && set_a.contains(key)) ++intersection;
+  }
+  const int64_t set_union = static_cast<int64_t>(set_a.size()) +
+                            static_cast<int64_t>(seen_b.size()) -
+                            intersection;
+  if (set_union == 0) return 1.0;
+  return static_cast<double>(intersection) /
+         static_cast<double>(set_union);
+}
+
+}  // namespace netbone

@@ -1,0 +1,29 @@
+// Copyright 2026 The netbone Authors.
+//
+// The synthetic-recovery metric of Sec. V-A: the Jaccard coefficient
+// between the backbone's edge set and the ground-truth edge set
+// (1 = identical, 0 = disjoint). Drives Fig. 4.
+
+#ifndef NETBONE_EVAL_RECOVERY_H_
+#define NETBONE_EVAL_RECOVERY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/filter.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Jaccard similarity of two keep-masks over the same edge table.
+Result<double> JaccardRecovery(const std::vector<bool>& backbone,
+                               const std::vector<bool>& ground_truth);
+
+/// Jaccard similarity of the edge sets (as canonical node pairs) of two
+/// graphs over the same node universe — used when the backbone and the
+/// truth live in different Graph objects.
+Result<double> JaccardEdgeSets(const Graph& a, const Graph& b);
+
+}  // namespace netbone
+
+#endif  // NETBONE_EVAL_RECOVERY_H_

@@ -1,0 +1,32 @@
+#include "eval/stability.h"
+
+#include <vector>
+
+#include "stats/correlation.h"
+
+namespace netbone {
+
+Result<double> Stability(const Graph& year_t, const Graph& year_t1,
+                         const BackboneMask& mask) {
+  if (static_cast<int64_t>(mask.keep.size()) != year_t.num_edges()) {
+    return Status::InvalidArgument("mask size != edge count");
+  }
+  if (year_t.num_nodes() != year_t1.num_nodes()) {
+    return Status::InvalidArgument("node universe mismatch");
+  }
+  std::vector<double> w_t, w_t1;
+  w_t.reserve(static_cast<size_t>(mask.kept));
+  w_t1.reserve(static_cast<size_t>(mask.kept));
+  for (EdgeId id = 0; id < year_t.num_edges(); ++id) {
+    if (!mask.keep[static_cast<size_t>(id)]) continue;
+    const Edge& e = year_t.edge(id);
+    w_t.push_back(e.weight);
+    w_t1.push_back(year_t1.WeightOf(e.src, e.dst));
+  }
+  if (w_t.size() < 3) {
+    return Status::FailedPrecondition("need at least 3 retained edges");
+  }
+  return SpearmanCorrelation(w_t, w_t1);
+}
+
+}  // namespace netbone

@@ -1,0 +1,50 @@
+// Copyright 2026 The netbone Authors.
+//
+// The paper's Stability criterion (Sec. V-F):
+//   Stability = Spearman(N_ij^t, N_ij^{t+1})
+// computed over the edges retained in the backbone extracted at time t.
+// A stable backbone selects edges whose weights do not fluctuate wildly
+// across consecutive observations.
+
+#ifndef NETBONE_EVAL_STABILITY_H_
+#define NETBONE_EVAL_STABILITY_H_
+
+#include "common/result.h"
+#include "core/filter.h"
+#include "graph/graph.h"
+#include "graph/temporal.h"
+
+namespace netbone {
+
+/// Spearman correlation of the weights of the masked edges of `year_t`
+/// against the same node pairs' weights in `year_t1` (absent pairs weigh
+/// 0). Fails when fewer than 3 edges are retained.
+Result<double> Stability(const Graph& year_t, const Graph& year_t1,
+                         const BackboneMask& mask);
+
+/// Average Stability over all consecutive snapshot pairs of `network`,
+/// re-extracting the mask on each year with `make_mask`. Convenience for
+/// the Fig. 8 sweep.
+template <typename MaskFn>
+Result<double> MeanStability(const TemporalNetwork& network,
+                             MaskFn&& make_mask) {
+  if (network.num_snapshots() < 2) {
+    return Status::FailedPrecondition("need at least two snapshots");
+  }
+  double total = 0.0;
+  int64_t count = 0;
+  for (int64_t t = 0; t + 1 < network.num_snapshots(); ++t) {
+    Result<BackboneMask> mask = make_mask(network.snapshot(t));
+    if (!mask.ok()) return mask.status();
+    Result<double> s =
+        Stability(network.snapshot(t), network.snapshot(t + 1), *mask);
+    if (!s.ok()) return s.status();
+    total += *s;
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace netbone
+
+#endif  // NETBONE_EVAL_STABILITY_H_

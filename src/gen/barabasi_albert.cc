@@ -1,0 +1,57 @@
+#include "gen/barabasi_albert.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace netbone {
+
+Result<Graph> GenerateBarabasiAlbert(const BarabasiAlbertOptions& options) {
+  const NodeId n = options.num_nodes;
+  if (n < 3) return Status::InvalidArgument("need at least 3 nodes");
+  const double m_target = options.average_degree / 2.0;
+  if (m_target <= 0.0 || m_target >= static_cast<double>(n) / 2.0) {
+    return Status::InvalidArgument("invalid average degree");
+  }
+
+  Rng rng(options.seed);
+  // Urn of edge endpoints: drawing uniformly from it is proportional to
+  // degree (the preferential attachment kernel).
+  std::vector<NodeId> urn;
+  GraphBuilder builder(Directedness::kUndirected,
+                       DuplicateEdgePolicy::kError, SelfLoopPolicy::kError);
+  builder.ReserveNodes(n);
+
+  // Seed triangle so early draws have a non-degenerate urn.
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(0, 2, 1.0);
+  urn.insert(urn.end(), {0, 1, 0, 2, 1, 2});
+
+  const int base_m = static_cast<int>(std::floor(m_target));
+  const double extra_prob = m_target - std::floor(m_target);
+
+  for (NodeId v = 3; v < n; ++v) {
+    int edges_to_add = base_m + (rng.Bernoulli(extra_prob) ? 1 : 0);
+    edges_to_add = std::max(edges_to_add, 1);
+    std::unordered_set<NodeId> chosen;
+    int guard = 0;
+    while (static_cast<int>(chosen.size()) < edges_to_add &&
+           guard++ < 1000) {
+      const NodeId target =
+          urn[static_cast<size_t>(rng.NextBounded(urn.size()))];
+      if (target == v) continue;
+      chosen.insert(target);
+    }
+    for (const NodeId target : chosen) {
+      builder.AddEdge(v, target, 1.0);
+      urn.push_back(v);
+      urn.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace netbone

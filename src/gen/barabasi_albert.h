@@ -1,0 +1,34 @@
+// Copyright 2026 The netbone Authors.
+//
+// Barabási–Albert preferential attachment — the ground-truth topology of
+// the paper's synthetic recovery experiment (Sec. V-A: "several
+// Barabasi-Albert random networks with average degree 3 and 200 nodes").
+
+#ifndef NETBONE_GEN_BARABASI_ALBERT_H_
+#define NETBONE_GEN_BARABASI_ALBERT_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for GenerateBarabasiAlbert.
+struct BarabasiAlbertOptions {
+  NodeId num_nodes = 200;
+  /// Target average degree. BA with integer attachment m yields average
+  /// degree ~2m; fractional targets are met by attaching floor(m) edges
+  /// plus one extra with the fractional probability (m = avg_degree / 2).
+  double average_degree = 3.0;
+  uint64_t seed = 1;
+};
+
+/// Unweighted (weight 1) undirected BA graph grown by preferential
+/// attachment over a repeated-endpoints urn.
+Result<Graph> GenerateBarabasiAlbert(const BarabasiAlbertOptions& options);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GEN_BARABASI_ALBERT_H_

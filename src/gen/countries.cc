@@ -1,0 +1,591 @@
+#include "gen/countries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "graph/builder.h"
+
+namespace netbone {
+namespace {
+
+// Calibrated expected total interaction counts per network. The spread of
+// these targets, combined with log-normal country sizes and pair-level
+// heterogeneity, reproduces the qualitative weight ranges of paper Fig. 5
+// (Trade spanning many decades, Ownership extremely skewed with median ~1).
+struct KindProfile {
+  double target_total = 0.0;   // sum of latent intensities
+  double pair_sigma = 0.0;     // lognormal pair-level heterogeneity
+  double noise_total = 0.0;    // total spurious counts spread over pairs
+  // Share of the spurious counts that is flat clerical noise (hits any
+  // pair equally); the rest is attention noise scaling with country
+  // sizes. Small-count stock registries (Ownership) are dominated by
+  // size-proportional misattribution, so their flat share is small.
+  double flat_noise_share = 0.5;
+};
+
+KindProfile ProfileFor(CountryNetworkKind kind) {
+  switch (kind) {
+    case CountryNetworkKind::kBusiness:
+      return {1.0e6, 0.7, 6.0e4, 0.5};
+    case CountryNetworkKind::kCountrySpace:
+      return {0.0, 0.0, 0.0, 0.0};  // generated from the export matrix
+    case CountryNetworkKind::kFlight:
+      return {5.0e6, 0.8, 2.0e5, 0.5};
+    case CountryNetworkKind::kMigration:
+      return {2.0e6, 1.0, 1.0e5, 0.5};
+    case CountryNetworkKind::kOwnership:
+      return {2.0e5, 2.0, 2.0e4, 0.1};
+    case CountryNetworkKind::kTrade:
+      // Customs records: spurious counts come mostly from re-export
+      // misattribution, which scales with the economies involved.
+      return {2.0e7, 1.2, 8.0e5, 0.2};
+  }
+  return {};
+}
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double CountryWorld::Distance(NodeId i, NodeId j) const {
+  const double dx = x[static_cast<size_t>(i)] - x[static_cast<size_t>(j)];
+  const double dy = y[static_cast<size_t>(i)] - y[static_cast<size_t>(j)];
+  // 0.02 floor ~ average within-country distance; keeps gravity finite.
+  return std::sqrt(dx * dx + dy * dy) + 0.02;
+}
+
+Result<CountryWorld> GenerateCountryWorld(
+    const CountryWorldOptions& options) {
+  if (options.num_countries < 10) {
+    return Status::InvalidArgument("need at least 10 countries");
+  }
+  if (options.num_products < 10) {
+    return Status::InvalidArgument("need at least 10 products");
+  }
+  Rng rng(options.seed);
+  CountryWorld world;
+  world.options = options;
+  const size_t n = static_cast<size_t>(options.num_countries);
+
+  // Region centers spread over the unit square; countries scatter around
+  // their region's center so that region co-membership and geographic
+  // proximity correlate, as they do on the real globe.
+  std::vector<double> region_x(static_cast<size_t>(options.num_regions));
+  std::vector<double> region_y(static_cast<size_t>(options.num_regions));
+  for (int32_t r = 0; r < options.num_regions; ++r) {
+    region_x[static_cast<size_t>(r)] = rng.Uniform(0.15, 0.85);
+    region_y[static_cast<size_t>(r)] = rng.Uniform(0.15, 0.85);
+  }
+
+  world.names.reserve(n);
+  world.population.reserve(n);
+  world.gdp_per_capita.reserve(n);
+  world.complexity.reserve(n);
+  world.language.reserve(n);
+  world.region.reserve(n);
+  world.x.reserve(n);
+  world.y.reserve(n);
+  for (int32_t c = 0; c < options.num_countries; ++c) {
+    world.names.push_back(StrFormat("C%03d", c));
+    // Median ~8M people, heavy right tail (dispersion sigma 1.6).
+    world.population.push_back(rng.LogNormal(std::log(8.0e6), 1.6));
+    const double eci = rng.Gaussian(0.0, 1.0);
+    world.complexity.push_back(eci);
+    // GDP per capita rises with complexity (the Atlas of Economic
+    // Complexity relationship the paper's Country Space model leans on).
+    world.gdp_per_capita.push_back(
+        std::exp(std::log(8.0e3) + 0.9 * eci + 0.5 * rng.NextGaussian()));
+    const int32_t region = static_cast<int32_t>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_regions)));
+    world.region.push_back(region);
+    // Languages cluster within regions: half the languages are "regional".
+    const bool regional_language = rng.Bernoulli(0.7);
+    const int32_t language =
+        regional_language
+            ? region % options.num_languages
+            : static_cast<int32_t>(rng.NextBounded(
+                  static_cast<uint64_t>(options.num_languages)));
+    world.language.push_back(language);
+    world.x.push_back(region_x[static_cast<size_t>(region)] +
+                      rng.Gaussian(0.0, 0.08));
+    world.y.push_back(region_y[static_cast<size_t>(region)] +
+                      rng.Gaussian(0.0, 0.08));
+  }
+
+  // Latent export baskets: country capability vs product difficulty, plus
+  // a regional specialization term. Low-difficulty products are exported
+  // by nearly everyone and act as the generic "noise" co-occurrences;
+  // high-difficulty products are exported only by complex economies; the
+  // regional affinity gives node *pairs* genuine above-marginal structure
+  // (same-region countries co-export their home products), which is the
+  // latent signal backboning should recover in the Country Space.
+  const size_t num_products = static_cast<size_t>(options.num_products);
+  world.product_difficulty.reserve(num_products);
+  std::vector<int32_t> product_home_region(num_products);
+  for (size_t p = 0; p < num_products; ++p) {
+    world.product_difficulty.push_back(rng.Gaussian(0.0, 1.3));
+    product_home_region[p] = static_cast<int32_t>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_regions)));
+  }
+  constexpr double kRegionalAffinity = 2.0;
+  world.exports.assign(n * num_products, false);
+  for (size_t c = 0; c < n; ++c) {
+    const double capability = 1.2 * world.complexity[c];
+    for (size_t p = 0; p < num_products; ++p) {
+      const double affinity =
+          product_home_region[p] == world.region[c] ? kRegionalAffinity
+                                                    : 0.0;
+      const double logit = capability - world.product_difficulty[p] +
+                           affinity + rng.Gaussian(0.0, 0.8);
+      world.exports[c * num_products + p] = Sigmoid(logit) > 0.5;
+    }
+  }
+  return world;
+}
+
+const std::vector<CountryNetworkKind>& AllCountryNetworkKinds() {
+  static const std::vector<CountryNetworkKind> kKinds = {
+      CountryNetworkKind::kBusiness,  CountryNetworkKind::kCountrySpace,
+      CountryNetworkKind::kFlight,    CountryNetworkKind::kMigration,
+      CountryNetworkKind::kOwnership, CountryNetworkKind::kTrade,
+  };
+  return kKinds;
+}
+
+std::string CountryNetworkName(CountryNetworkKind kind) {
+  switch (kind) {
+    case CountryNetworkKind::kBusiness:
+      return "Business";
+    case CountryNetworkKind::kCountrySpace:
+      return "Country Space";
+    case CountryNetworkKind::kFlight:
+      return "Flight";
+    case CountryNetworkKind::kMigration:
+      return "Migration";
+    case CountryNetworkKind::kOwnership:
+      return "Ownership";
+    case CountryNetworkKind::kTrade:
+      return "Trade";
+  }
+  return "Unknown";
+}
+
+bool CountryNetworkDirected(CountryNetworkKind kind) {
+  return kind != CountryNetworkKind::kCountrySpace;
+}
+
+namespace {
+
+/// Latent pair intensity for the gravity-style networks. `pair_noise` is a
+/// year-invariant lognormal drawn once per ordered pair.
+double LatentIntensity(const CountryWorld& world, CountryNetworkKind kind,
+                       NodeId i, NodeId j, double pair_noise,
+                       const std::vector<double>* trade_latent) {
+  const double dist = world.Distance(i, j);
+  const double pop_i = world.population[static_cast<size_t>(i)];
+  const double pop_j = world.population[static_cast<size_t>(j)];
+  const double gdp_i = world.Gdp(i);
+  const double gdp_j = world.Gdp(j);
+  const size_t n = world.population.size();
+  switch (kind) {
+    case CountryNetworkKind::kTrade:
+      return std::pow(gdp_i, 1.0) * std::pow(gdp_j, 0.8) /
+             std::pow(dist, 1.2) * pair_noise;
+    case CountryNetworkKind::kBusiness: {
+      // Business travel tracks trade relationships (the paper's Table II
+      // uses trade as the Business predictor).
+      const double trade =
+          (*trade_latent)[static_cast<size_t>(i) * n +
+                          static_cast<size_t>(j)];
+      return std::pow(trade, 0.85) * pair_noise;
+    }
+    case CountryNetworkKind::kFlight:
+      return std::pow(pop_i, 0.9) * std::pow(pop_j, 0.9) /
+             std::pow(dist, 1.8) * pair_noise;
+    case CountryNetworkKind::kMigration: {
+      const bool same_lang = world.language[static_cast<size_t>(i)] ==
+                             world.language[static_cast<size_t>(j)];
+      const bool same_region = world.region[static_cast<size_t>(i)] ==
+                               world.region[static_cast<size_t>(j)];
+      return std::pow(pop_i, 0.8) * std::pow(pop_j, 0.6) /
+             std::pow(dist, 0.9) *
+             std::exp((same_lang ? 1.2 : 0.0) + (same_region ? 0.8 : 0.0)) *
+             pair_noise;
+    }
+    case CountryNetworkKind::kOwnership:
+      return std::pow(gdp_i, 1.3) * std::pow(gdp_j, 0.7) /
+             std::pow(dist, 0.5) * pair_noise;
+    case CountryNetworkKind::kCountrySpace:
+      return 0.0;  // handled separately
+  }
+  return 0.0;
+}
+
+Result<TemporalNetwork> GenerateCountrySpace(
+    const CountryWorld& world, const CountryNetworkOptions& options) {
+  Rng rng(options.seed ^ 0xC0FFEEULL);
+  const int32_t n = world.options.num_countries;
+  const size_t num_products =
+      static_cast<size_t>(world.options.num_products);
+
+  std::vector<Graph> years;
+  for (int32_t year = 0; year < options.num_years; ++year) {
+    // Yearly observation: the latent basket with measurement error. True
+    // exports are missed with prob 0.06; false positives appear with a
+    // probability that grows as products get more generic, seeding the
+    // spurious co-occurrences backboning must remove.
+    std::vector<bool> observed(static_cast<size_t>(n) * num_products);
+    for (size_t c = 0; c < static_cast<size_t>(n); ++c) {
+      for (size_t p = 0; p < num_products; ++p) {
+        const bool latent = world.exports[c * num_products + p];
+        const double generic =
+            Sigmoid(-world.product_difficulty[p]);  // 1 = generic
+        const double flip_on = options.noise_scale * 0.05 * generic;
+        const double flip_off = 0.06;
+        observed[c * num_products + p] =
+            latent ? !rng.Bernoulli(flip_off) : rng.Bernoulli(flip_on);
+      }
+    }
+    GraphBuilder builder(Directedness::kUndirected,
+                         DuplicateEdgePolicy::kError, SelfLoopPolicy::kDrop);
+    builder.ReserveNodes(n);
+    for (NodeId i = 0; i < n; ++i) builder.InternLabel(world.names[i]);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        int64_t shared = 0;
+        const size_t base_i = static_cast<size_t>(i) * num_products;
+        const size_t base_j = static_cast<size_t>(j) * num_products;
+        for (size_t p = 0; p < num_products; ++p) {
+          if (observed[base_i + p] && observed[base_j + p]) ++shared;
+        }
+        if (shared > 0) {
+          builder.AddEdge(i, j, static_cast<double>(shared));
+        }
+      }
+    }
+    NETBONE_ASSIGN_OR_RETURN(Graph g, builder.Build());
+    years.push_back(std::move(g));
+  }
+  return TemporalNetwork::Create(std::move(years), "Country Space");
+}
+
+}  // namespace
+
+Result<TemporalNetwork> GenerateCountryNetwork(
+    const CountryWorld& world, CountryNetworkKind kind,
+    const CountryNetworkOptions& options,
+    std::vector<double>* latent_out) {
+  if (options.num_years < 1) {
+    return Status::InvalidArgument("need at least one year");
+  }
+  if (kind == CountryNetworkKind::kCountrySpace) {
+    if (latent_out != nullptr) latent_out->clear();
+    return GenerateCountrySpace(world, options);
+  }
+
+  const int32_t n = world.options.num_countries;
+  const size_t n_sz = static_cast<size_t>(n);
+  const KindProfile profile = ProfileFor(kind);
+  Rng rng(options.seed ^ (static_cast<uint64_t>(kind) * 0x9E37ULL + 1));
+
+  // Asymmetric panel coverage, as in the paper's proprietary sources: the
+  // Mastercard (Business), OAG (Flight) and D&B (Ownership) panels do not
+  // observe every country as an *origin* (issuer / reporting carrier /
+  // headquarters registry). The smallest economies emit nothing in these
+  // networks while still appearing as destinations — which is exactly why
+  // the paper could not compute the Doubly Stochastic transformation for
+  // these three networks ("n/a" in Table II).
+  std::vector<bool> origin_covered(n_sz, true);
+  if (kind == CountryNetworkKind::kBusiness ||
+      kind == CountryNetworkKind::kFlight ||
+      kind == CountryNetworkKind::kOwnership) {
+    std::vector<int32_t> by_population(n);
+    for (int32_t c = 0; c < n; ++c) by_population[static_cast<size_t>(c)] = c;
+    std::sort(by_population.begin(), by_population.end(),
+              [&](int32_t a, int32_t b) {
+                return world.population[static_cast<size_t>(a)] <
+                       world.population[static_cast<size_t>(b)];
+              });
+    const int32_t uncovered = std::max<int32_t>(1, n / 12);
+    for (int32_t i = 0; i < uncovered; ++i) {
+      origin_covered[static_cast<size_t>(
+          by_population[static_cast<size_t>(i)])] = false;
+    }
+  }
+
+  // Year-invariant pair heterogeneity; for Business the Trade latent field
+  // is materialized first (with its own deterministic sub-stream).
+  std::vector<double> trade_latent;
+  if (kind == CountryNetworkKind::kBusiness) {
+    Rng trade_rng(options.seed ^
+                  (static_cast<uint64_t>(CountryNetworkKind::kTrade) *
+                       0x9E37ULL +
+                   1));
+    const KindProfile trade_profile = ProfileFor(CountryNetworkKind::kTrade);
+    trade_latent.assign(n_sz * n_sz, 0.0);
+    double total = 0.0;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double noise =
+            trade_rng.LogNormal(0.0, trade_profile.pair_sigma);
+        const double value = LatentIntensity(
+            world, CountryNetworkKind::kTrade, i, j, noise, nullptr);
+        trade_latent[static_cast<size_t>(i) * n_sz +
+                     static_cast<size_t>(j)] = value;
+        total += value;
+      }
+    }
+    const double scale = trade_profile.target_total / total;
+    for (double& v : trade_latent) v *= scale;
+  }
+
+  // Latent intensities, normalized to the calibrated total.
+  std::vector<double> latent(n_sz * n_sz, 0.0);
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double noise = rng.LogNormal(0.0, profile.pair_sigma);
+      const double value = LatentIntensity(world, kind, i, j, noise,
+                                           &trade_latent);
+      latent[static_cast<size_t>(i) * n_sz + static_cast<size_t>(j)] = value;
+      total += value;
+    }
+  }
+  const double scale = profile.target_total / total;
+  for (double& v : latent) v *= scale;
+  if (latent_out != nullptr) *latent_out = latent;
+
+  // Spurious noise floor, a mixture of two realistic error processes:
+  // attention bias (misrecorded interactions scale with country sizes)
+  // and flat clerical noise (code misassignments hit any pair equally).
+  // The flat component is what separates noise-aware backbones from pure
+  // normalization: bilateral rescaling (DS) inflates small-count noise
+  // between small countries, while the NC posterior variance discounts it.
+  std::vector<double> noise_floor(n_sz * n_sz, 0.0);
+  if (options.noise_scale > 0.0) {
+    double attention_mass = 0.0;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double mass =
+            std::sqrt(world.population[static_cast<size_t>(i)]) *
+            std::sqrt(world.population[static_cast<size_t>(j)]);
+        noise_floor[static_cast<size_t>(i) * n_sz +
+                    static_cast<size_t>(j)] = mass;
+        attention_mass += mass;
+      }
+    }
+    const double attention_total = (1.0 - profile.flat_noise_share) *
+                                   options.noise_scale *
+                                   profile.noise_total;
+    const double flat_total = profile.flat_noise_share *
+                              options.noise_scale * profile.noise_total;
+    const double pairs = static_cast<double>(n) * (n - 1.0);
+    const double attention_scale = attention_total / attention_mass;
+    // Clerical noise is *persistent*: a pair mismeasured this year tends
+    // to be mismeasured the same way next year (fixed reporting quirks),
+    // so each pair gets its own year-invariant rate. exp(N(0,1)) has mean
+    // exp(0.5); divide it out to keep the calibrated total.
+    const double flat_rate = flat_total / (pairs * std::exp(0.5));
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double& v =
+            noise_floor[static_cast<size_t>(i) * n_sz +
+                        static_cast<size_t>(j)];
+        v = v * attention_scale + flat_rate * rng.LogNormal(0.0, 1.0);
+      }
+    }
+  }
+
+  // Stocks (migrant populations, establishment registries) persist from
+  // year to year with birth/death churn; flows are re-realized each year.
+  const bool is_stock = kind == CountryNetworkKind::kMigration ||
+                        kind == CountryNetworkKind::kOwnership;
+  constexpr double kStockChurn = 0.08;
+
+  std::vector<int64_t> stock(is_stock ? n_sz * n_sz : 0, 0);
+  std::vector<Graph> years;
+  for (int32_t year = 0; year < options.num_years; ++year) {
+    // Smooth country-level drift: economies grow or shrink a few percent
+    // per year, moving whole rows/columns together.
+    std::vector<double> drift(n_sz);
+    for (size_t c = 0; c < n_sz; ++c) {
+      drift[c] = std::exp(rng.Gaussian(0.0, 0.08));
+    }
+    GraphBuilder builder(Directedness::kDirected,
+                         DuplicateEdgePolicy::kError, SelfLoopPolicy::kDrop);
+    builder.ReserveNodes(n);
+    for (NodeId i = 0; i < n; ++i) builder.InternLabel(world.names[i]);
+    for (NodeId i = 0; i < n; ++i) {
+      if (!origin_covered[static_cast<size_t>(i)]) continue;
+      for (NodeId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const size_t idx =
+            static_cast<size_t>(i) * n_sz + static_cast<size_t>(j);
+        const double mean = latent[idx] * drift[static_cast<size_t>(i)] *
+                                drift[static_cast<size_t>(j)] +
+                            noise_floor[idx];
+        int64_t count;
+        if (is_stock) {
+          if (year == 0) {
+            stock[idx] = rng.Poisson(mean);
+          } else {
+            // Births arrive at churn * rate; each existing unit dies with
+            // probability churn. The stationary level stays at `mean`
+            // while consecutive years remain strongly autocorrelated.
+            stock[idx] += rng.Poisson(kStockChurn * mean) -
+                          rng.Binomial(stock[idx], kStockChurn);
+            if (stock[idx] < 0) stock[idx] = 0;
+          }
+          count = stock[idx];
+        } else {
+          count = rng.Poisson(mean);
+        }
+        if (count > 0) {
+          builder.AddEdge(i, j, static_cast<double>(count));
+        }
+      }
+    }
+    NETBONE_ASSIGN_OR_RETURN(Graph g, builder.Build());
+    years.push_back(std::move(g));
+  }
+  return TemporalNetwork::Create(std::move(years),
+                                 CountryNetworkName(kind));
+}
+
+Result<CountrySuite> GenerateCountrySuite(uint64_t seed, int32_t num_years,
+                                          int32_t num_countries) {
+  CountryWorldOptions world_options;
+  world_options.num_countries = num_countries;
+  world_options.seed = seed;
+  CountrySuite suite;
+  NETBONE_ASSIGN_OR_RETURN(suite.world,
+                           GenerateCountryWorld(world_options));
+
+  std::vector<double> ownership_latent;
+  for (const CountryNetworkKind kind : AllCountryNetworkKinds()) {
+    CountryNetworkOptions options;
+    options.num_years = num_years;
+    options.seed = seed + 17;
+    NETBONE_ASSIGN_OR_RETURN(
+        TemporalNetwork network,
+        GenerateCountryNetwork(suite.world, kind, options,
+                               kind == CountryNetworkKind::kOwnership
+                                   ? &ownership_latent
+                                   : nullptr));
+    suite.networks.push_back(std::move(network));
+  }
+
+  // FDI: an *independent* measurement of the latent investment intensity
+  // behind the Ownership network (fDi Markets vs Dun & Bradstreet in the
+  // paper) — its own multiplicative measurement error, not a copy of the
+  // observed establishment counts.
+  const size_t n = static_cast<size_t>(num_countries);
+  Rng fdi_rng(seed ^ 0xFD1ULL);
+  suite.fdi.assign(n * n, 0.0);
+  for (size_t idx = 0; idx < ownership_latent.size(); ++idx) {
+    if (ownership_latent[idx] > 0.0) {
+      suite.fdi[idx] = ownership_latent[idx] *
+                       fdi_rng.LogNormal(std::log(50.0), 0.5);
+    }
+  }
+  return suite;
+}
+
+Result<PredictorTable> CountryPredictors(const CountrySuite& suite,
+                                         CountryNetworkKind kind,
+                                         const Graph& snapshot) {
+  const CountryWorld& world = suite.world;
+  PredictorTable table;
+  const size_t num_edges = static_cast<size_t>(snapshot.num_edges());
+  const size_t n = world.population.size();
+
+  // Each column is materialized locally and then moved into the table;
+  // holding references into table.columns across push_backs would dangle.
+  const auto add_column = [&](std::string name,
+                              std::vector<double> values) {
+    table.names.push_back(std::move(name));
+    table.columns.push_back(std::move(values));
+  };
+  const auto per_edge = [&](auto&& fn) {
+    std::vector<double> column;
+    column.reserve(num_edges);
+    for (const Edge& e : snapshot.edges()) column.push_back(fn(e));
+    return column;
+  };
+
+  add_column("log_distance", per_edge([&](const Edge& e) {
+               return std::log(world.Distance(e.src, e.dst));
+             }));
+
+  const bool use_population = kind != CountryNetworkKind::kCountrySpace &&
+                              kind != CountryNetworkKind::kOwnership;
+  if (use_population) {
+    add_column("log_pop_origin", per_edge([&](const Edge& e) {
+                 return std::log(
+                     world.population[static_cast<size_t>(e.src)]);
+               }));
+    add_column("log_pop_destination", per_edge([&](const Edge& e) {
+                 return std::log(
+                     world.population[static_cast<size_t>(e.dst)]);
+               }));
+  }
+
+  switch (kind) {
+    case CountryNetworkKind::kBusiness: {
+      const Graph& trade =
+          suite.network(CountryNetworkKind::kTrade).front();
+      add_column("log_trade", per_edge([&](const Edge& e) {
+                   return std::log1p(trade.WeightOf(e.src, e.dst));
+                 }));
+      break;
+    }
+    case CountryNetworkKind::kCountrySpace:
+      add_column("eci_i", per_edge([&](const Edge& e) {
+                   return world.complexity[static_cast<size_t>(e.src)];
+                 }));
+      add_column("eci_j", per_edge([&](const Edge& e) {
+                   return world.complexity[static_cast<size_t>(e.dst)];
+                 }));
+      break;
+    case CountryNetworkKind::kFlight:
+      break;  // gravity controls suffice (paper: "no additional variable")
+    case CountryNetworkKind::kMigration:
+      add_column("same_language", per_edge([&](const Edge& e) {
+                   return world.language[static_cast<size_t>(e.src)] ==
+                                  world.language[static_cast<size_t>(e.dst)]
+                              ? 1.0
+                              : 0.0;
+                 }));
+      add_column("same_region", per_edge([&](const Edge& e) {
+                   return world.region[static_cast<size_t>(e.src)] ==
+                                  world.region[static_cast<size_t>(e.dst)]
+                              ? 1.0
+                              : 0.0;
+                 }));
+      break;
+    case CountryNetworkKind::kOwnership:
+      add_column("log_fdi", per_edge([&](const Edge& e) {
+                   return std::log1p(
+                       suite.fdi[static_cast<size_t>(e.src) * n +
+                                 static_cast<size_t>(e.dst)]);
+                 }));
+      break;
+    case CountryNetworkKind::kTrade: {
+      const Graph& business =
+          suite.network(CountryNetworkKind::kBusiness).front();
+      add_column("log_business", per_edge([&](const Edge& e) {
+                   return std::log1p(business.WeightOf(e.src, e.dst));
+                 }));
+      break;
+    }
+  }
+  return table;
+}
+
+}  // namespace netbone

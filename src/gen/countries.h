@@ -1,0 +1,156 @@
+// Copyright 2026 The netbone Authors.
+//
+// Synthetic country-network suite, the stand-in for the paper's six
+// proprietary/licensed country-country datasets (Sec. V-B). A latent world
+// of countries (populations, GDP, positions, languages, regions, export
+// baskets) generates six networks of the same types the paper studies:
+//
+//   Business       directed flow   (corporate travel, coupled to Trade)
+//   Country Space  undirected co-occurrence (shared significant exports)
+//   Flight         directed flow   (passenger capacity, pure gravity)
+//   Migration      directed stock  (migrant stocks, cultural affinity)
+//   Ownership      directed stock  (establishments, FDI-driven, extreme skew)
+//   Trade          directed flow   (export values, widest weight range)
+//
+// Each network is observed in several "years": counts are drawn around the
+// latent intensity (Poisson), with per-country yearly drift and a dense
+// spurious noise floor that makes the raw networks hairballs — precisely
+// the regime backboning targets. The latent variables double as the
+// ground-truth predictors of the paper's Quality experiment (Table II).
+// DESIGN.md §4 documents why this substitution preserves the evaluated
+// behaviour.
+
+#ifndef NETBONE_GEN_COUNTRIES_H_
+#define NETBONE_GEN_COUNTRIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "graph/temporal.h"
+
+namespace netbone {
+
+/// Options for GenerateCountryWorld.
+struct CountryWorldOptions {
+  int32_t num_countries = 190;
+  int32_t num_products = 400;
+  int32_t num_languages = 12;
+  int32_t num_regions = 6;
+  uint64_t seed = 42;
+};
+
+/// The latent world state shared by all six networks.
+struct CountryWorld {
+  CountryWorldOptions options;
+  std::vector<std::string> names;        ///< "C000"... country labels.
+  std::vector<double> population;        ///< persons, log-normal.
+  std::vector<double> gdp_per_capita;    ///< $, log-normal, tied to ECI.
+  std::vector<double> complexity;        ///< ECI-like score ~ N(0,1).
+  std::vector<int32_t> language;         ///< language group id.
+  std::vector<int32_t> region;           ///< region id (shared history).
+  std::vector<double> x, y;              ///< positions in [0,1]^2.
+  /// exports[c * num_products + p]: latent RCA-significant export flag.
+  std::vector<bool> exports;
+  /// product_difficulty[p]: low = generic product exported by everyone
+  /// (the source of spurious co-occurrence in Country Space).
+  std::vector<double> product_difficulty;
+
+  /// Geodesic stand-in: Euclidean distance between latent positions plus a
+  /// floor that plays the role of within-country distance.
+  double Distance(NodeId i, NodeId j) const;
+  /// GDP = population * GDP per capita.
+  double Gdp(NodeId i) const {
+    return population[static_cast<size_t>(i)] *
+           gdp_per_capita[static_cast<size_t>(i)];
+  }
+  bool ExportsProduct(NodeId c, int32_t p) const {
+    return exports[static_cast<size_t>(c) *
+                       static_cast<size_t>(options.num_products) +
+                   static_cast<size_t>(p)];
+  }
+};
+
+/// Builds the latent world.
+Result<CountryWorld> GenerateCountryWorld(const CountryWorldOptions& options);
+
+/// The six network types of the paper, alphabetical as in Sec. V-B.
+enum class CountryNetworkKind {
+  kBusiness,
+  kCountrySpace,
+  kFlight,
+  kMigration,
+  kOwnership,
+  kTrade,
+};
+
+/// All six kinds in the paper's discussion order.
+const std::vector<CountryNetworkKind>& AllCountryNetworkKinds();
+
+/// Display name ("Business", "Country Space", ...).
+std::string CountryNetworkName(CountryNetworkKind kind);
+
+/// Country Space is undirected; all others are directed.
+bool CountryNetworkDirected(CountryNetworkKind kind);
+
+/// Options for GenerateCountryNetwork.
+struct CountryNetworkOptions {
+  int32_t num_years = 3;
+  uint64_t seed = 1;
+  /// Multiplier on the spurious noise floor (1 = calibrated default;
+  /// 0 = noiseless latent counts). Exposed for noise-sensitivity studies.
+  double noise_scale = 1.0;
+};
+
+/// Samples `num_years` observations of one network type from the world.
+/// When `latent_out` is non-null it receives the year-invariant latent
+/// intensity matrix (row-major n x n; zero for Country Space, whose
+/// latent state is the export matrix) — used to build independent
+/// measurements of the same construct, e.g. the FDI predictor.
+Result<TemporalNetwork> GenerateCountryNetwork(
+    const CountryWorld& world, CountryNetworkKind kind,
+    const CountryNetworkOptions& options,
+    std::vector<double>* latent_out = nullptr);
+
+/// The full suite: the world, one TemporalNetwork per kind (indexed by the
+/// enum order), and the latent FDI matrix used as the Ownership predictor.
+struct CountrySuite {
+  CountryWorld world;
+  std::vector<TemporalNetwork> networks;
+  /// fdi[i * n + j]: latent greenfield-investment intensity, the
+  /// network-specific regressor of the Ownership quality model.
+  std::vector<double> fdi;
+
+  const TemporalNetwork& network(CountryNetworkKind kind) const {
+    return networks[static_cast<size_t>(kind)];
+  }
+};
+
+/// Convenience: builds the world and all six temporal networks.
+Result<CountrySuite> GenerateCountrySuite(uint64_t seed = 42,
+                                          int32_t num_years = 3,
+                                          int32_t num_countries = 190);
+
+/// The network-specific predictor columns of the paper's Quality models
+/// (Sec. V-E), evaluated for every edge of `snapshot`:
+///   all kinds         log(distance)
+///   flows & stocks    log(pop_origin), log(pop_destination)
+///   Business          log(1 + trade flow)
+///   Country Space     ECI of both endpoints
+///   Migration         same-language and same-region indicators
+///   Ownership         log(1 + FDI)
+///   Trade             log(1 + business travel)
+/// Columns are returned in a fixed order with matching `names`.
+struct PredictorTable {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> columns;
+};
+Result<PredictorTable> CountryPredictors(const CountrySuite& suite,
+                                         CountryNetworkKind kind,
+                                         const Graph& snapshot);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GEN_COUNTRIES_H_

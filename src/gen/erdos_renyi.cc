@@ -1,0 +1,53 @@
+#include "gen/erdos_renyi.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace netbone {
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  const int64_t n = options.num_nodes;
+  if (n < 2) return Status::InvalidArgument("need at least 2 nodes");
+  if (options.average_degree <= 0.0) {
+    return Status::InvalidArgument("average degree must be positive");
+  }
+  const bool directed = options.directedness == Directedness::kDirected;
+  const double raw_edges = directed
+                               ? options.average_degree * static_cast<double>(n)
+                               : options.average_degree *
+                                     static_cast<double>(n) / 2.0;
+  const int64_t target_edges = static_cast<int64_t>(std::llround(raw_edges));
+  const double max_pairs = directed
+                               ? static_cast<double>(n) *
+                                     static_cast<double>(n - 1)
+                               : static_cast<double>(n) *
+                                     static_cast<double>(n - 1) / 2.0;
+  if (static_cast<double>(target_edges) > max_pairs) {
+    return Status::InvalidArgument("average degree exceeds graph capacity");
+  }
+
+  Rng rng(options.seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(target_edges) * 2);
+  GraphBuilder builder(options.directedness, DuplicateEdgePolicy::kError,
+                       SelfLoopPolicy::kError);
+  builder.ReserveNodes(options.num_nodes);
+
+  int64_t accepted = 0;
+  while (accepted < target_edges) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    if (a == b) continue;
+    if (!directed && a > b) std::swap(a, b);
+    const uint64_t key = (static_cast<uint64_t>(a) << 32) |
+                         static_cast<uint64_t>(static_cast<uint32_t>(b));
+    if (!seen.insert(key).second) continue;
+    builder.AddEdge(a, b, rng.Uniform(options.weight_lo, options.weight_hi));
+    ++accepted;
+  }
+  return builder.Build();
+}
+
+}  // namespace netbone

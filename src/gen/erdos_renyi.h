@@ -1,0 +1,37 @@
+// Copyright 2026 The netbone Authors.
+//
+// Erdős–Rényi G(n, M) generator with uniform random weights — the workload
+// of the paper's scalability experiment (Fig. 9: "Erdős–Rényi graphs, with
+// uniform random weights. We set the average degree of a node to three").
+
+#ifndef NETBONE_GEN_ERDOS_RENYI_H_
+#define NETBONE_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for GenerateErdosRenyi.
+struct ErdosRenyiOptions {
+  NodeId num_nodes = 1000;
+  /// Expected average degree; edge count M = n * avg_degree / 2 for
+  /// undirected graphs, n * avg_degree for directed.
+  double average_degree = 3.0;
+  Directedness directedness = Directedness::kUndirected;
+  /// Edge weights are Uniform(weight_lo, weight_hi).
+  double weight_lo = 1.0;
+  double weight_hi = 100.0;
+  uint64_t seed = 1;
+};
+
+/// Samples M distinct node pairs uniformly at random (self-loops excluded)
+/// and assigns uniform weights. O(M) expected time.
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GEN_ERDOS_RENYI_H_

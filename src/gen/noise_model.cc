@@ -1,0 +1,67 @@
+#include "gen/noise_model.h"
+
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace netbone {
+
+Result<NoisyNetwork> ApplySectionVANoise(const Graph& truth, double eta,
+                                         uint64_t seed) {
+  if (truth.directed()) {
+    return Status::InvalidArgument(
+        "the Sec. V-A model is defined for undirected graphs");
+  }
+  if (eta < 0.0 || eta > 1.0) {
+    return Status::InvalidArgument("eta must lie in [0, 1]");
+  }
+
+  Rng rng(seed);
+  const NodeId n = truth.num_nodes();
+
+  std::unordered_set<uint64_t> true_pairs;
+  true_pairs.reserve(static_cast<size_t>(truth.num_edges()) * 2);
+  for (const Edge& e : truth.edges()) {
+    true_pairs.insert((static_cast<uint64_t>(e.src) << 32) |
+                      static_cast<uint64_t>(static_cast<uint32_t>(e.dst)));
+  }
+
+  const auto degree = [&](NodeId v) {
+    return static_cast<double>(truth.out_degree(v));
+  };
+
+  GraphBuilder builder(Directedness::kUndirected,
+                       DuplicateEdgePolicy::kError, SelfLoopPolicy::kError);
+  builder.ReserveNodes(n);
+  // Weight every pair; iteration order (i < j) is the canonical edge order
+  // of the resulting graph, which lets us align the ground-truth mask by
+  // recomputing pair membership after the build.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const uint64_t key = (static_cast<uint64_t>(i) << 32) |
+                           static_cast<uint64_t>(static_cast<uint32_t>(j));
+      const double degree_sum = degree(i) + degree(j);
+      const bool is_true = true_pairs.contains(key);
+      const double weight = is_true
+                                ? degree_sum * rng.Uniform(eta, 1.0)
+                                : degree_sum * rng.Uniform(0.0, eta);
+      if (weight > 0.0) builder.AddEdge(i, j, weight);
+    }
+  }
+
+  NoisyNetwork out;
+  NETBONE_ASSIGN_OR_RETURN(out.noisy, builder.Build());
+  out.ground_truth.assign(static_cast<size_t>(out.noisy.num_edges()), false);
+  for (EdgeId id = 0; id < out.noisy.num_edges(); ++id) {
+    const Edge& e = out.noisy.edge(id);
+    const uint64_t key = (static_cast<uint64_t>(e.src) << 32) |
+                         static_cast<uint64_t>(static_cast<uint32_t>(e.dst));
+    if (true_pairs.contains(key)) {
+      out.ground_truth[static_cast<size_t>(id)] = true;
+      ++out.num_true_edges;
+    }
+  }
+  return out;
+}
+
+}  // namespace netbone

@@ -1,0 +1,46 @@
+// Copyright 2026 The netbone Authors.
+//
+// The paper's Sec. V-A noise model for synthetic recovery experiments.
+// Starting from a ground-truth topology, every true edge gets weight
+//
+//   N_ij = (k_i + k_j) * U(eta, 1)
+//
+// (a fraction of at least eta of the endpoint degree sum — broad weights,
+// locally correlated with topology), and every non-edge of the complement
+// is filled with spurious weight
+//
+//   N_ij = (k_i + k_j) * U(0, eta)
+//
+// so that a noisy edge carries at most a fraction eta of the degrees. The
+// recovery task: given the dense noisy graph, find the true edge set.
+
+#ifndef NETBONE_GEN_NOISE_MODEL_H_
+#define NETBONE_GEN_NOISE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Output of ApplySectionVANoise.
+struct NoisyNetwork {
+  /// The dense graph: true edges + complement noise.
+  Graph noisy;
+  /// keep[id] == true iff noisy.edge(id) is a ground-truth edge.
+  std::vector<bool> ground_truth;
+  /// Number of ground-truth edges.
+  int64_t num_true_edges = 0;
+};
+
+/// Applies the Sec. V-A weighting to `truth` (undirected, unweighted
+/// topology) with noise level `eta` in [0, 1].
+Result<NoisyNetwork> ApplySectionVANoise(const Graph& truth, double eta,
+                                         uint64_t seed);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GEN_NOISE_MODEL_H_

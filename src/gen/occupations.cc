@@ -1,0 +1,213 @@
+#include "gen/occupations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "graph/builder.h"
+#include "stats/correlation.h"
+#include "stats/ols.h"
+
+namespace netbone {
+
+Result<OccupationWorld> GenerateOccupationWorld(
+    const OccupationWorldOptions& options) {
+  if (options.num_occupations < options.num_classes) {
+    return Status::InvalidArgument("more classes than occupations");
+  }
+  if (options.num_generic_skills >= options.num_skills) {
+    return Status::InvalidArgument("generic skills must be a subset");
+  }
+  Rng rng(options.seed);
+  OccupationWorld world;
+  world.options = options;
+  const size_t n = static_cast<size_t>(options.num_occupations);
+  const size_t s = static_cast<size_t>(options.num_skills);
+  const int32_t num_minor =
+      options.num_classes * options.minor_groups_per_class;
+
+  // Assign each non-generic skill to a home minor group; minor groups of
+  // the same class share a class-level pool, giving two nested scales of
+  // similarity (class > minor group > unrelated).
+  const int32_t specialist_skills =
+      options.num_skills - options.num_generic_skills;
+  std::vector<int32_t> skill_home(s, -1);  // -1 = generic
+  for (int32_t k = 0; k < specialist_skills; ++k) {
+    skill_home[static_cast<size_t>(k)] = k % num_minor;
+  }
+  // The last num_generic_skills entries stay generic (home -1).
+
+  world.names.reserve(n);
+  world.major_class.reserve(n);
+  world.minor_group.reserve(n);
+  world.employment.reserve(n);
+  for (int32_t o = 0; o < options.num_occupations; ++o) {
+    const int32_t minor = o % num_minor;
+    const int32_t major = minor / options.minor_groups_per_class;
+    world.minor_group.push_back(minor);
+    world.major_class.push_back(major);
+    world.names.push_back(
+        StrFormat("%d%d-%04d", major + 1, minor % 10, o));
+    world.employment.push_back(rng.LogNormal(std::log(50.0e3), 1.0));
+  }
+
+  // O*NET-like scores on a 0..5 scale. An occupation scores high on its
+  // minor group's skills, moderately on its class's skills, high on
+  // generic skills regardless of class, low elsewhere.
+  world.importance.assign(n * s, 0.0);
+  world.level.assign(n * s, 0.0);
+  for (size_t o = 0; o < n; ++o) {
+    const int32_t minor = world.minor_group[o];
+    const int32_t major = world.major_class[o];
+    for (size_t sk = 0; sk < s; ++sk) {
+      const int32_t home = skill_home[sk];
+      double base;
+      if (home < 0) {
+        base = 3.6;  // generic: everybody needs it
+      } else if (home == minor) {
+        base = 4.0;
+      } else if (home / options.minor_groups_per_class == major) {
+        base = 2.6;  // same class, different minor group
+      } else {
+        base = 1.0;
+      }
+      const double importance =
+          std::clamp(base + rng.Gaussian(0.0, 0.7), 0.0, 5.0);
+      const double level =
+          std::clamp(base + rng.Gaussian(0.0, 0.9), 0.0, 5.0);
+      world.importance[o * s + sk] = importance;
+      world.level[o * s + sk] = level;
+    }
+  }
+
+  // Paper filter: retain (o, sk) iff both scores exceed the skill's
+  // across-occupation averages.
+  std::vector<double> mean_importance(s, 0.0);
+  std::vector<double> mean_level(s, 0.0);
+  for (size_t o = 0; o < n; ++o) {
+    for (size_t sk = 0; sk < s; ++sk) {
+      mean_importance[sk] += world.importance[o * s + sk];
+      mean_level[sk] += world.level[o * s + sk];
+    }
+  }
+  for (size_t sk = 0; sk < s; ++sk) {
+    mean_importance[sk] /= static_cast<double>(n);
+    mean_level[sk] /= static_cast<double>(n);
+  }
+  world.retained.assign(n * s, false);
+  for (size_t o = 0; o < n; ++o) {
+    for (size_t sk = 0; sk < s; ++sk) {
+      world.retained[o * s + sk] =
+          world.importance[o * s + sk] > mean_importance[sk] &&
+          world.level[o * s + sk] > mean_level[sk];
+    }
+  }
+
+  // Co-occurrence network: shared retained skills.
+  {
+    GraphBuilder builder(Directedness::kUndirected,
+                         DuplicateEdgePolicy::kError, SelfLoopPolicy::kDrop);
+    builder.ReserveNodes(options.num_occupations);
+    for (size_t o = 0; o < n; ++o) builder.InternLabel(world.names[o]);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        int64_t shared = 0;
+        for (size_t sk = 0; sk < s; ++sk) {
+          if (world.retained[i * s + sk] && world.retained[j * s + sk]) {
+            ++shared;
+          }
+        }
+        if (shared > 0) {
+          builder.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                          static_cast<double>(shared));
+        }
+      }
+    }
+    NETBONE_ASSIGN_OR_RETURN(world.co_occurrence, builder.Build());
+  }
+
+  // Labor flows: gravity with true (latent) skill similarity. Similarity
+  // uses the continuous importance profiles restricted to *specialist*
+  // skills — workers switch between occupations sharing actual expertise,
+  // not because both need generic skills ("using computers"). The
+  // co-occurrence counts the backbone sees are contaminated by generic
+  // skills; recovering this specialist coupling from them is the
+  // experiment's point.
+  {
+    std::vector<double> norms(n, 0.0);
+    for (size_t o = 0; o < n; ++o) {
+      double acc = 0.0;
+      for (size_t sk = 0; sk < static_cast<size_t>(specialist_skills);
+           ++sk) {
+        acc += world.importance[o * s + sk] * world.importance[o * s + sk];
+      }
+      norms[o] = std::sqrt(acc);
+    }
+    GraphBuilder builder(Directedness::kDirected,
+                         DuplicateEdgePolicy::kError, SelfLoopPolicy::kDrop);
+    builder.ReserveNodes(options.num_occupations);
+    for (size_t o = 0; o < n; ++o) builder.InternLabel(world.names[o]);
+    // Small counts plus idiosyncratic pair-level variation: job switches
+    // depend on many unmodeled factors (geography, licensing, vacancies),
+    // so skill relatedness explains flows only partially — the paper's
+    // all-pairs correlation is 0.390, far from deterministic.
+    const double flow_scale = 1.5e-8;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double dot = 0.0;
+        for (size_t sk = 0; sk < static_cast<size_t>(specialist_skills);
+             ++sk) {
+          dot += world.importance[i * s + sk] * world.importance[j * s + sk];
+        }
+        const double cosine = dot / (norms[i] * norms[j]);
+        const double pair_noise = rng.LogNormal(0.0, 1.0);
+        const double mean = flow_scale * world.employment[i] *
+                            world.employment[j] *
+                            std::exp(2.5 * cosine) * pair_noise;
+        const int64_t count = rng.Poisson(mean);
+        if (count > 0) {
+          builder.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                          static_cast<double>(count));
+        }
+      }
+    }
+    NETBONE_ASSIGN_OR_RETURN(world.flows, builder.Build());
+  }
+
+  world.outflow.assign(n, 0.0);
+  world.inflow.assign(n, 0.0);
+  for (const Edge& e : world.flows.edges()) {
+    world.outflow[static_cast<size_t>(e.src)] += e.weight;
+    world.inflow[static_cast<size_t>(e.dst)] += e.weight;
+  }
+  return world;
+}
+
+Result<double> FlowPredictionCorrelation(const OccupationWorld& world,
+                                         const std::vector<bool>& pair_mask) {
+  const Graph& flows = world.flows;
+  if (!pair_mask.empty() &&
+      static_cast<int64_t>(pair_mask.size()) != flows.num_edges()) {
+    return Status::InvalidArgument("mask size != flow edge count");
+  }
+
+  std::vector<double> f, c, s_out, s_in;
+  for (EdgeId id = 0; id < flows.num_edges(); ++id) {
+    if (!pair_mask.empty() && !pair_mask[static_cast<size_t>(id)]) continue;
+    const Edge& e = flows.edge(id);
+    f.push_back(e.weight);
+    c.push_back(world.co_occurrence.WeightOf(e.src, e.dst));
+    s_out.push_back(world.outflow[static_cast<size_t>(e.src)]);
+    s_in.push_back(world.inflow[static_cast<size_t>(e.dst)]);
+  }
+  OlsFitter fitter;
+  fitter.AddColumn("C_ij", std::move(c));
+  fitter.AddColumn("S_i.", std::move(s_out));
+  fitter.AddColumn("S_.j", std::move(s_in));
+  NETBONE_ASSIGN_OR_RETURN(OlsFit fit, fitter.Fit(f));
+  return PearsonCorrelation(fit.fitted, f);
+}
+
+}  // namespace netbone

@@ -1,0 +1,89 @@
+// Copyright 2026 The netbone Authors.
+//
+// Synthetic O*NET-style occupation suite, the stand-in for the paper's
+// Sec. VI case study data (O*NET skill-occupation scores + CPS labor
+// flows). Occupations belong to major classes (the "first digit") split
+// into minor groups (the "first two digits"); each group has a
+// characteristic latent skill profile, while a set of *generic* skills is
+// important to nearly every occupation — those generics create the dense
+// spurious co-occurrences the backbone must prune.
+//
+// The paper's pipeline is reproduced exactly:
+//  1. O*NET-like scores: every (occupation, skill) pair gets an importance
+//     and a level score;
+//  2. association filter: keep the pair iff both scores exceed that
+//     skill's across-occupation average;
+//  3. co-occurrence network: occupations are linked by the number of
+//     retained skills they share (undirected counts);
+//  4. labor flows: directed switch counts sampled around a
+//     size x size x exp(similarity) gravity model.
+
+#ifndef NETBONE_GEN_OCCUPATIONS_H_
+#define NETBONE_GEN_OCCUPATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for GenerateOccupationWorld.
+struct OccupationWorldOptions {
+  int32_t num_occupations = 430;
+  int32_t num_skills = 180;
+  int32_t num_classes = 10;       ///< major groups (first digit)
+  int32_t minor_groups_per_class = 3;
+  /// Skills important to nearly every occupation. Their shared retention
+  /// is what contaminates the co-occurrence counts with cross-class noise
+  /// ("certain skills are so generic that they show up in most
+  /// occupations, leading to spurious connections").
+  int32_t num_generic_skills = 40;
+  uint64_t seed = 99;
+};
+
+/// The generated suite.
+struct OccupationWorld {
+  OccupationWorldOptions options;
+  std::vector<std::string> names;      ///< "41-3021"-style codes.
+  std::vector<int32_t> major_class;    ///< first digit, for node colors.
+  std::vector<int32_t> minor_group;    ///< first two digits, for NMI.
+  std::vector<double> employment;      ///< occupation size.
+  /// Row-major (occupation x skill) O*NET-like scores.
+  std::vector<double> importance;
+  std::vector<double> level;
+  /// retained[o * num_skills + s]: the above-average association filter.
+  std::vector<bool> retained;
+  /// Undirected skill co-occurrence network (weight = shared skills).
+  Graph co_occurrence;
+  /// Directed labor flows F_ij (switchers from occupation i to j).
+  Graph flows;
+  /// Total switches out of each occupation (S_i.) and into it (S_.j) —
+  /// the size controls of the paper's flow model.
+  std::vector<double> outflow;
+  std::vector<double> inflow;
+
+  bool Retained(int32_t occupation, int32_t skill) const {
+    return retained[static_cast<size_t>(occupation) *
+                        static_cast<size_t>(options.num_skills) +
+                    static_cast<size_t>(skill)];
+  }
+};
+
+/// Generates scores, applies the filter, and builds both networks.
+Result<OccupationWorld> GenerateOccupationWorld(
+    const OccupationWorldOptions& options);
+
+/// Fits the paper's flow model F_ij = b1 C_ij + b2 S_i. + b3 S_.j + e on
+/// the (i, j) pairs selected by `pair_mask` (aligned with
+/// world.flows.edges(); empty = all pairs) and returns the correlation
+/// between fitted and observed flows (the statistic reported in Sec. VI:
+/// 0.390 all pairs, 0.431 DF, 0.454 NC).
+Result<double> FlowPredictionCorrelation(const OccupationWorld& world,
+                                         const std::vector<bool>& pair_mask);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GEN_OCCUPATIONS_H_

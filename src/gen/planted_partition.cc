@@ -1,0 +1,42 @@
+#include "gen/planted_partition.h"
+
+#include "common/random.h"
+#include "graph/builder.h"
+
+namespace netbone {
+
+Result<PlantedPartition> GeneratePlantedPartition(
+    const PlantedPartitionOptions& options) {
+  if (options.num_blocks <= 0 || options.num_nodes < options.num_blocks) {
+    return Status::InvalidArgument("need num_nodes >= num_blocks >= 1");
+  }
+  Rng rng(options.seed);
+  PlantedPartition out;
+  out.block.resize(static_cast<size_t>(options.num_nodes));
+  for (NodeId v = 0; v < options.num_nodes; ++v) {
+    out.block[static_cast<size_t>(v)] = v % options.num_blocks;
+  }
+
+  GraphBuilder builder(Directedness::kUndirected,
+                       DuplicateEdgePolicy::kError, SelfLoopPolicy::kError);
+  builder.ReserveNodes(options.num_nodes);
+  for (NodeId i = 0; i < options.num_nodes; ++i) {
+    for (NodeId j = i + 1; j < options.num_nodes; ++j) {
+      const bool same =
+          out.block[static_cast<size_t>(i)] ==
+          out.block[static_cast<size_t>(j)];
+      const double p = same ? options.p_in : options.p_out;
+      const double mean_weight =
+          same ? options.mean_weight_in : options.mean_weight_out;
+      if (!rng.Bernoulli(p)) continue;
+      // 1 + Poisson keeps realized edges strictly positive.
+      const double weight =
+          1.0 + static_cast<double>(rng.Poisson(mean_weight));
+      builder.AddEdge(i, j, weight);
+    }
+  }
+  NETBONE_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+}  // namespace netbone

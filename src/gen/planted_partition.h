@@ -1,0 +1,45 @@
+// Copyright 2026 The netbone Authors.
+//
+// Planted-partition generator: k equal blocks, dense heavy edges inside
+// blocks, sparse light edges across. Ground truth for the community
+// substrate's tests and the Fig. 1-style "backbone reveals communities"
+// demonstration.
+
+#ifndef NETBONE_GEN_PLANTED_PARTITION_H_
+#define NETBONE_GEN_PLANTED_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for GeneratePlantedPartition.
+struct PlantedPartitionOptions {
+  NodeId num_nodes = 150;
+  int32_t num_blocks = 5;
+  /// Probability of an intra-block edge and its mean (Poisson) weight.
+  double p_in = 0.6;
+  double mean_weight_in = 20.0;
+  /// Probability of an inter-block edge and its mean (Poisson) weight.
+  double p_out = 0.9;
+  double mean_weight_out = 4.0;
+  uint64_t seed = 7;
+};
+
+/// Output: the weighted graph plus the planted block of each node.
+struct PlantedPartition {
+  Graph graph;
+  std::vector<int32_t> block;
+};
+
+/// Generates the graph. Defaults mimic Fig. 1: nearly every pair connected,
+/// but intra-block edges are systematically heavier.
+Result<PlantedPartition> GeneratePlantedPartition(
+    const PlantedPartitionOptions& options);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GEN_PLANTED_PARTITION_H_

@@ -1,0 +1,54 @@
+#include "graph/adjacency.h"
+
+namespace netbone {
+
+Adjacency::Adjacency(const Graph& graph) : directed_(graph.directed()) {
+  const size_t n = static_cast<size_t>(graph.num_nodes());
+  std::vector<size_t> out_counts(n, 0);
+  std::vector<size_t> in_counts(directed_ ? n : 0, 0);
+
+  for (const Edge& e : graph.edges()) {
+    out_counts[static_cast<size_t>(e.src)]++;
+    if (directed_) {
+      in_counts[static_cast<size_t>(e.dst)]++;
+    } else if (e.src != e.dst) {
+      out_counts[static_cast<size_t>(e.dst)]++;
+    }
+  }
+
+  out_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    out_offsets_[i + 1] = out_offsets_[i] + out_counts[i];
+  }
+  out_arcs_.resize(out_offsets_[n]);
+  std::vector<size_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+
+  if (directed_) {
+    in_offsets_.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+      in_offsets_[i + 1] = in_offsets_[i] + in_counts[i];
+    }
+    in_arcs_.resize(in_offsets_[n]);
+  }
+  std::vector<size_t> in_cursor(
+      directed_ ? std::vector<size_t>(in_offsets_.begin(),
+                                      in_offsets_.end() - 1)
+                : std::vector<size_t>());
+
+  const auto& edges = graph.edges();
+  for (size_t idx = 0; idx < edges.size(); ++idx) {
+    const Edge& e = edges[idx];
+    const EdgeId id = static_cast<EdgeId>(idx);
+    out_arcs_[cursor[static_cast<size_t>(e.src)]++] =
+        Arc{e.dst, e.weight, id};
+    if (directed_) {
+      in_arcs_[in_cursor[static_cast<size_t>(e.dst)]++] =
+          Arc{e.src, e.weight, id};
+    } else if (e.src != e.dst) {
+      out_arcs_[cursor[static_cast<size_t>(e.dst)]++] =
+          Arc{e.src, e.weight, id};
+    }
+  }
+}
+
+}  // namespace netbone

@@ -1,0 +1,67 @@
+// Copyright 2026 The netbone Authors.
+//
+// Compressed sparse row (CSR) adjacency index over an immutable Graph.
+// Built once, O(V + E); gives O(degree) neighbor iteration for the
+// traversal-heavy methods (High Salience Skeleton, connected components,
+// community detection).
+
+#ifndef NETBONE_GRAPH_ADJACENCY_H_
+#define NETBONE_GRAPH_ADJACENCY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// One CSR arc: the neighbor, the weight, and the id of the underlying
+/// Graph edge (so traversals can vote on canonical edges).
+struct Arc {
+  NodeId neighbor = 0;
+  double weight = 0.0;
+  EdgeId edge = 0;
+};
+
+/// CSR adjacency view.
+///
+/// For undirected graphs each edge appears in both endpoints' out-arc
+/// lists (and `in_arcs` aliases `out_arcs`). For directed graphs separate
+/// out- and in-indexes are built.
+class Adjacency {
+ public:
+  /// Builds the index; `graph` must outlive the Adjacency.
+  explicit Adjacency(const Graph& graph);
+
+  /// Outgoing arcs of `v` (incident arcs for undirected graphs).
+  std::span<const Arc> out_arcs(NodeId v) const {
+    const size_t i = static_cast<size_t>(v);
+    return {out_arcs_.data() + out_offsets_[i],
+            out_offsets_[i + 1] - out_offsets_[i]};
+  }
+
+  /// Incoming arcs of `v` (same as out_arcs for undirected graphs).
+  std::span<const Arc> in_arcs(NodeId v) const {
+    if (!directed_) return out_arcs(v);
+    const size_t i = static_cast<size_t>(v);
+    return {in_arcs_.data() + in_offsets_[i],
+            in_offsets_[i + 1] - in_offsets_[i]};
+  }
+
+  /// Number of nodes in the indexed graph.
+  NodeId num_nodes() const {
+    return static_cast<NodeId>(out_offsets_.size() - 1);
+  }
+
+ private:
+  bool directed_;
+  std::vector<size_t> out_offsets_;
+  std::vector<Arc> out_arcs_;
+  std::vector<size_t> in_offsets_;
+  std::vector<Arc> in_arcs_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_ADJACENCY_H_

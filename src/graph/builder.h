@@ -1,0 +1,86 @@
+// Copyright 2026 The netbone Authors.
+//
+// Mutable accumulator that validates and canonicalizes edges, then produces
+// an immutable Graph. Factory-style construction keeps Graph free of
+// partially-initialized states (no throwing constructors; Google style).
+
+#ifndef NETBONE_GRAPH_BUILDER_H_
+#define NETBONE_GRAPH_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Policy for repeated (src, dst) pairs fed to the builder.
+enum class DuplicateEdgePolicy {
+  kSum,    ///< Accumulate weights (count-data default).
+  kMax,    ///< Keep the maximum weight.
+  kError,  ///< Fail the build.
+};
+
+/// Policy for self-loops (i, i).
+enum class SelfLoopPolicy {
+  kKeep,  ///< Store them; they join the diagonal of the weight matrix.
+  kDrop,  ///< Silently discard (the backboning default: the paper's methods
+          ///< ignore self-interactions).
+  kError,
+};
+
+/// Builder for Graph.
+///
+/// Usage:
+///   GraphBuilder b(Directedness::kUndirected);
+///   b.AddEdge(0, 1, 3.0);
+///   NETBONE_ASSIGN_OR_RETURN(Graph g, b.Build());
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Directedness directedness,
+                        DuplicateEdgePolicy duplicate_policy =
+                            DuplicateEdgePolicy::kSum,
+                        SelfLoopPolicy self_loop_policy =
+                            SelfLoopPolicy::kDrop);
+
+  /// Declares that ids [0, n) exist even if unreferenced by edges (allows
+  /// isolates). Build() also grows the node set to cover the largest
+  /// referenced id.
+  void ReserveNodes(NodeId n);
+
+  /// Adds an edge by dense ids. Negative ids or negative / non-finite
+  /// weights are recorded as an error surfaced by Build().
+  void AddEdge(NodeId src, NodeId dst, double weight);
+
+  /// Adds an edge by string labels, interning new labels as new node ids.
+  void AddLabeledEdge(const std::string& src, const std::string& dst,
+                      double weight);
+
+  /// Interns `label` (idempotent) and returns its dense id.
+  NodeId InternLabel(const std::string& label);
+
+  /// Number of edges fed so far (before dedup).
+  int64_t pending_edges() const {
+    return static_cast<int64_t>(pending_.size());
+  }
+
+  /// Validates, canonicalizes (sort + dedup per policy) and produces the
+  /// immutable Graph. The builder is left in a moved-from state.
+  Result<Graph> Build();
+
+ private:
+  Directedness directedness_;
+  DuplicateEdgePolicy duplicate_policy_;
+  SelfLoopPolicy self_loop_policy_;
+  NodeId max_node_ = -1;
+  std::vector<Edge> pending_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, NodeId> label_to_id_;
+  Status deferred_error_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_BUILDER_H_

@@ -1,0 +1,36 @@
+// Copyright 2026 The netbone Authors.
+//
+// Connected components (weak components for directed graphs). Used by the
+// Doubly Stochastic stopping rule ("until the backbone contains all nodes
+// in a single connected component") and by topology diagnostics.
+
+#ifndef NETBONE_GRAPH_COMPONENTS_H_
+#define NETBONE_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Result of a component decomposition.
+struct Components {
+  /// component[v] in [0, count): the component of node v. Components are
+  /// numbered by order of discovery (lowest node id first).
+  std::vector<int32_t> component;
+  /// Number of components (isolates count as singleton components).
+  int32_t count = 0;
+  /// Number of nodes in the largest component.
+  int64_t giant_size = 0;
+};
+
+/// Computes weakly connected components of `graph` via union-find.
+Components ConnectedComponents(const Graph& graph);
+
+/// True when all nodes of `graph` belong to one weak component.
+bool IsConnected(const Graph& graph);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_COMPONENTS_H_

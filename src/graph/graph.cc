@@ -1,0 +1,55 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace netbone {
+
+double Graph::matrix_total() const {
+  if (directed()) return total_weight_;
+  // Symmetric matrix: every off-diagonal edge appears twice; a self-loop
+  // N_ii appears once on the diagonal.
+  return 2.0 * (total_weight_ - self_loop_weight_) + self_loop_weight_;
+}
+
+int64_t Graph::CountIsolates() const {
+  int64_t isolates = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (out_degree_[static_cast<size_t>(v)] == 0 &&
+        in_degree_[static_cast<size_t>(v)] == 0) {
+      ++isolates;
+    }
+  }
+  return isolates;
+}
+
+EdgeId Graph::FindEdge(NodeId src, NodeId dst) const {
+  if (!directed() && src > dst) std::swap(src, dst);
+  Edge probe{src, dst, 0.0};
+  const auto less = [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  };
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), probe, less);
+  if (it == edges_.end() || it->src != src || it->dst != dst) return -1;
+  return static_cast<EdgeId>(it - edges_.begin());
+}
+
+double Graph::WeightOf(NodeId src, NodeId dst) const {
+  const EdgeId id = FindEdge(src, dst);
+  return id < 0 ? 0.0 : edges_[static_cast<size_t>(id)].weight;
+}
+
+std::string Graph::LabelOf(NodeId v) const {
+  if (has_labels() && v >= 0 && static_cast<size_t>(v) < labels_.size()) {
+    return labels_[static_cast<size_t>(v)];
+  }
+  return std::to_string(v);
+}
+
+Result<NodeId> Graph::FindLabel(const std::string& label) const {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<NodeId>(i);
+  }
+  return Status::NotFound("no node labeled '" + label + "'");
+}
+
+}  // namespace netbone

@@ -1,0 +1,143 @@
+// Copyright 2026 The netbone Authors.
+//
+// Weighted graph container used throughout the library.
+//
+// The paper's data structure (Sec. III-A) is a weighted graph
+// G = (V, E, N) with non-negative real edge weights N_ij, directed or
+// undirected. `Graph` stores the edge table in a canonical sorted order,
+// keeps per-node weighted strengths and degrees (the marginals N_i., N_.j
+// and N_.. that every backboning null model consumes), and optionally maps
+// dense node ids back to external string labels.
+
+#ifndef NETBONE_GRAPH_GRAPH_H_
+#define NETBONE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace netbone {
+
+/// Dense node identifier in [0, num_nodes).
+using NodeId = int32_t;
+
+/// Index into a Graph's edge table.
+using EdgeId = int64_t;
+
+/// One weighted edge. For undirected graphs the canonical form has
+/// src <= dst and the edge is stored exactly once.
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+  }
+};
+
+/// Edge directedness of a Graph.
+enum class Directedness {
+  kDirected,
+  kUndirected,
+};
+
+/// Immutable weighted graph.
+///
+/// Construct via GraphBuilder (graph/builder.h), which canonicalizes,
+/// deduplicates and validates edges. All query methods are O(1) except
+/// where noted.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes (including isolates).
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of stored edges (undirected edges count once).
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Directed or undirected.
+  Directedness directedness() const { return directedness_; }
+  bool directed() const { return directedness_ == Directedness::kDirected; }
+
+  /// The canonical edge table, sorted by (src, dst).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The edge at `id`. Precondition: 0 <= id < num_edges().
+  const Edge& edge(EdgeId id) const { return edges_[static_cast<size_t>(id)]; }
+
+  /// Sum of all edge weights as stored (undirected edges counted once).
+  double total_weight() const { return total_weight_; }
+
+  /// Matrix total N_.. — the null-model denominator. For directed graphs
+  /// this equals total_weight(); for undirected graphs it is
+  /// 2 * total_weight() minus self-loop weight, i.e. the sum over the full
+  /// symmetric adjacency matrix.
+  double matrix_total() const;
+
+  /// Out-strength N_i. (sum of outgoing weights). For undirected graphs,
+  /// the symmetric row sum: every incident edge counts.
+  double out_strength(NodeId v) const {
+    return out_strength_[static_cast<size_t>(v)];
+  }
+
+  /// In-strength N_.j (sum of incoming weights). Equals out_strength for
+  /// undirected graphs.
+  double in_strength(NodeId v) const {
+    return in_strength_[static_cast<size_t>(v)];
+  }
+
+  /// Out-degree (number of outgoing edges; incident edges if undirected).
+  int64_t out_degree(NodeId v) const {
+    return out_degree_[static_cast<size_t>(v)];
+  }
+
+  /// In-degree (number of incoming edges; incident edges if undirected).
+  int64_t in_degree(NodeId v) const {
+    return in_degree_[static_cast<size_t>(v)];
+  }
+
+  /// Number of nodes with no incident edge at all (the isolates I_G of the
+  /// paper's Coverage criterion).
+  int64_t CountIsolates() const;
+
+  /// Looks up the stored weight of (src, dst); 0.0 when the edge is absent.
+  /// For undirected graphs the pair is canonicalized first.
+  /// O(log degree) via binary search on the sorted edge table.
+  double WeightOf(NodeId src, NodeId dst) const;
+
+  /// Finds the edge id of (src, dst), or -1 when absent. Canonicalizes for
+  /// undirected graphs. O(log |E|).
+  EdgeId FindEdge(NodeId src, NodeId dst) const;
+
+  /// True when node labels were attached at build time.
+  bool has_labels() const { return !labels_.empty(); }
+
+  /// Label of `v`; falls back to the decimal id when labels are absent.
+  std::string LabelOf(NodeId v) const;
+
+  /// Resolves a label to a node id; NotFound when unknown. O(n) scan —
+  /// intended for tests and examples, not hot paths.
+  Result<NodeId> FindLabel(const std::string& label) const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  Directedness directedness_ = Directedness::kDirected;
+  std::vector<Edge> edges_;  // sorted by (src, dst)
+  std::vector<double> out_strength_;
+  std::vector<double> in_strength_;
+  std::vector<int64_t> out_degree_;
+  std::vector<int64_t> in_degree_;
+  double total_weight_ = 0.0;
+  double self_loop_weight_ = 0.0;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_GRAPH_H_

@@ -1,0 +1,84 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "graph/builder.h"
+
+namespace netbone {
+namespace {
+
+Result<Graph> ParseLines(std::istream& in, const EdgeListReadOptions& opts) {
+  GraphBuilder builder(opts.directedness, opts.duplicate_policy,
+                       opts.keep_self_loops ? SelfLoopPolicy::kKeep
+                                            : SelfLoopPolicy::kDrop);
+  std::string line;
+  int64_t line_number = 0;
+  bool header_pending = opts.has_header;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    const std::vector<std::string> fields = Split(stripped, opts.separator);
+    if (fields.size() < 3) {
+      return Status::Corruption(
+          StrFormat("line %lld: expected 3 fields, got %zu",
+                    static_cast<long long>(line_number), fields.size()));
+    }
+    const Result<double> weight = ParseDouble(fields[2]);
+    if (!weight.ok()) {
+      return Status::Corruption(
+          StrFormat("line %lld: %s", static_cast<long long>(line_number),
+                    weight.status().message().c_str()));
+    }
+    builder.AddLabeledEdge(
+        std::string(StripAsciiWhitespace(fields[0])),
+        std::string(StripAsciiWhitespace(fields[1])), *weight);
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Graph> ReadEdgeListCsv(const std::string& path,
+                              const EdgeListReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ParseLines(in, options);
+}
+
+Result<Graph> ReadEdgeListCsvFromString(const std::string& content,
+                                        const EdgeListReadOptions& options) {
+  std::istringstream in(content);
+  return ParseLines(in, options);
+}
+
+std::string EdgeListToString(const Graph& graph,
+                             const EdgeListWriteOptions& options) {
+  std::ostringstream out;
+  if (options.write_header) {
+    out << "src" << options.separator << "trg" << options.separator
+        << "nij\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    out << graph.LabelOf(e.src) << options.separator << graph.LabelOf(e.dst)
+        << options.separator << e.weight << '\n';
+  }
+  return out.str();
+}
+
+Status WriteEdgeListCsv(const Graph& graph, const std::string& path,
+                        const EdgeListWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << EdgeListToString(graph, options);
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace netbone

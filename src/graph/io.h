@@ -1,0 +1,54 @@
+// Copyright 2026 The netbone Authors.
+//
+// Edge-list CSV input/output compatible with the author's Python
+// `backboning` module (columns src, trg, nij; separator configurable).
+
+#ifndef NETBONE_GRAPH_IO_H_
+#define NETBONE_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Options for ReadEdgeListCsv / ReadEdgeListCsvFromString.
+struct EdgeListReadOptions {
+  char separator = '\t';
+  bool has_header = true;
+  Directedness directedness = Directedness::kDirected;
+  /// Self-loops are dropped by default, matching the Python module's
+  /// `return_self_loops = False`.
+  bool keep_self_loops = false;
+  DuplicateEdgePolicy duplicate_policy = DuplicateEdgePolicy::kSum;
+};
+
+/// Parses "src<sep>trg<sep>weight" rows from a file on disk.
+Result<Graph> ReadEdgeListCsv(const std::string& path,
+                              const EdgeListReadOptions& options = {});
+
+/// Parses rows from an in-memory string (testing convenience).
+Result<Graph> ReadEdgeListCsvFromString(const std::string& content,
+                                        const EdgeListReadOptions& options =
+                                            {});
+
+/// Options for WriteEdgeListCsv.
+struct EdgeListWriteOptions {
+  char separator = '\t';
+  bool write_header = true;
+};
+
+/// Writes the canonical edge table as "src<sep>trg<sep>nij" rows using node
+/// labels when present.
+Status WriteEdgeListCsv(const Graph& graph, const std::string& path,
+                        const EdgeListWriteOptions& options = {});
+
+/// Serializes the edge table to a string (testing convenience).
+std::string EdgeListToString(const Graph& graph,
+                             const EdgeListWriteOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_IO_H_

@@ -1,0 +1,75 @@
+#include "graph/paths.h"
+
+#include <queue>
+
+namespace netbone {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double ArcLength(const Arc& arc, DijkstraOptions::LengthRule rule) {
+  switch (rule) {
+    case DijkstraOptions::LengthRule::kReciprocalWeight:
+      return arc.weight > 0.0 ? 1.0 / arc.weight : kInf;
+    case DijkstraOptions::LengthRule::kWeight:
+      return arc.weight;
+  }
+  return kInf;
+}
+
+}  // namespace
+
+ShortestPathTree Dijkstra(const Adjacency& adjacency, NodeId source,
+                          const DijkstraOptions& options) {
+  const size_t n = static_cast<size_t>(adjacency.num_nodes());
+  ShortestPathTree tree;
+  tree.parent_edge.assign(n, -1);
+  tree.parent.assign(n, -1);
+  tree.distance.assign(n, kInf);
+  tree.distance[static_cast<size_t>(source)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<size_t>(u)]) continue;  // stale
+    for (const Arc& arc : adjacency.out_arcs(u)) {
+      const double length = ArcLength(arc, options.length_rule);
+      if (length == kInf) continue;
+      const double candidate = dist + length;
+      double& best = tree.distance[static_cast<size_t>(arc.neighbor)];
+      if (candidate < best) {
+        best = candidate;
+        tree.parent[static_cast<size_t>(arc.neighbor)] = u;
+        tree.parent_edge[static_cast<size_t>(arc.neighbor)] = arc.edge;
+        heap.emplace(candidate, arc.neighbor);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<int64_t> BfsDistances(const Adjacency& adjacency, NodeId source) {
+  const size_t n = static_cast<size_t>(adjacency.num_nodes());
+  std::vector<int64_t> dist(n, -1);
+  std::queue<NodeId> queue;
+  dist[static_cast<size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const Arc& arc : adjacency.out_arcs(u)) {
+      if (dist[static_cast<size_t>(arc.neighbor)] < 0) {
+        dist[static_cast<size_t>(arc.neighbor)] =
+            dist[static_cast<size_t>(u)] + 1;
+        queue.push(arc.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace netbone

@@ -1,0 +1,51 @@
+// Copyright 2026 The netbone Authors.
+//
+// Shortest-path machinery. The High Salience Skeleton (Grady et al., cited
+// as [14] in the paper) superimposes one shortest-path tree per node, with
+// edge length defined as the reciprocal of the weight so that strong edges
+// are short.
+
+#ifndef NETBONE_GRAPH_PATHS_H_
+#define NETBONE_GRAPH_PATHS_H_
+
+#include <limits>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Result of a single-source shortest path run.
+struct ShortestPathTree {
+  /// parent_edge[v]: id of the Graph edge through which v is reached, or -1
+  /// for the source and unreachable nodes.
+  std::vector<EdgeId> parent_edge;
+  /// parent[v]: predecessor node, or -1.
+  std::vector<NodeId> parent;
+  /// distance[v]: shortest distance from the source; +inf when unreachable.
+  std::vector<double> distance;
+};
+
+/// Options for Dijkstra traversals.
+struct DijkstraOptions {
+  /// Maps an edge weight to a traversal length. The HSS uses 1/weight;
+  /// zero-weight edges get +inf (never traversed).
+  enum class LengthRule {
+    kReciprocalWeight,  ///< length = 1 / weight  (HSS convention)
+    kWeight,            ///< length = weight      (classic shortest paths)
+  };
+  LengthRule length_rule = LengthRule::kReciprocalWeight;
+};
+
+/// Dijkstra from `source` over the adjacency's out-arcs.
+/// Requires non-negative lengths; O(E log V).
+ShortestPathTree Dijkstra(const Adjacency& adjacency, NodeId source,
+                          const DijkstraOptions& options = {});
+
+/// Breadth-first distances (unit lengths) from `source`; -1 = unreachable.
+std::vector<int64_t> BfsDistances(const Adjacency& adjacency, NodeId source);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_PATHS_H_

@@ -1,0 +1,28 @@
+#include "graph/temporal.h"
+
+#include "common/strings.h"
+
+namespace netbone {
+
+Result<TemporalNetwork> TemporalNetwork::Create(std::vector<Graph> snapshots,
+                                                std::string name) {
+  if (snapshots.empty()) {
+    return Status::InvalidArgument("TemporalNetwork needs >= 1 snapshot");
+  }
+  const NodeId nodes = snapshots.front().num_nodes();
+  const Directedness dir = snapshots.front().directedness();
+  for (size_t t = 1; t < snapshots.size(); ++t) {
+    if (snapshots[t].num_nodes() != nodes) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot %zu has %d nodes, expected %d", t,
+                    snapshots[t].num_nodes(), nodes));
+    }
+    if (snapshots[t].directedness() != dir) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot %zu directedness mismatch", t));
+    }
+  }
+  return TemporalNetwork(std::move(snapshots), std::move(name));
+}
+
+}  // namespace netbone

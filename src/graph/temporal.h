@@ -1,0 +1,59 @@
+// Copyright 2026 The netbone Authors.
+//
+// Multi-snapshot ("multi-year") network container. The paper observes each
+// country network in several years; Table I validates the NC variance
+// prediction against the across-year variance of the transformed weights,
+// and Fig. 8 measures backbone stability between consecutive years.
+
+#ifndef NETBONE_GRAPH_TEMPORAL_H_
+#define NETBONE_GRAPH_TEMPORAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// A sequence of graph snapshots over a shared node universe.
+///
+/// All snapshots must agree on directedness and node count; edge sets may
+/// differ (a pair may be present in one year and absent in another).
+class TemporalNetwork {
+ public:
+  /// Validates and wraps the snapshots (at least one required).
+  static Result<TemporalNetwork> Create(std::vector<Graph> snapshots,
+                                        std::string name = "");
+
+  /// Number of snapshots.
+  int64_t num_snapshots() const {
+    return static_cast<int64_t>(snapshots_.size());
+  }
+
+  /// Snapshot at index t (0-based, chronological).
+  const Graph& snapshot(int64_t t) const {
+    return snapshots_[static_cast<size_t>(t)];
+  }
+
+  /// Convenience: the first snapshot, used as "the" network when a single
+  /// year suffices.
+  const Graph& front() const { return snapshots_.front(); }
+
+  /// Shared node count.
+  NodeId num_nodes() const { return snapshots_.front().num_nodes(); }
+
+  /// Dataset name for report printing (e.g. "Trade").
+  const std::string& name() const { return name_; }
+
+ private:
+  TemporalNetwork(std::vector<Graph> snapshots, std::string name)
+      : snapshots_(std::move(snapshots)), name_(std::move(name)) {}
+
+  std::vector<Graph> snapshots_;
+  std::string name_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_TEMPORAL_H_

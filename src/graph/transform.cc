@@ -1,0 +1,79 @@
+#include "graph/transform.h"
+
+#include "graph/builder.h"
+
+namespace netbone {
+namespace {
+
+/// Re-interns the source graph's node labels so transforms keep them.
+void CarryLabels(const Graph& graph, GraphBuilder* builder) {
+  builder->ReserveNodes(graph.num_nodes());
+  if (!graph.has_labels()) return;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    builder->InternLabel(graph.LabelOf(v));
+  }
+}
+
+}  // namespace
+
+Result<Graph> Symmetrize(const Graph& graph, SymmetrizeRule rule) {
+  GraphBuilder builder(Directedness::kUndirected,
+                       rule == SymmetrizeRule::kMax
+                           ? DuplicateEdgePolicy::kMax
+                           : DuplicateEdgePolicy::kSum,
+                       SelfLoopPolicy::kKeep);
+  CarryLabels(graph, &builder);
+  for (const Edge& e : graph.edges()) builder.AddEdge(e.src, e.dst, e.weight);
+  NETBONE_ASSIGN_OR_RETURN(Graph out, builder.Build());
+  if (rule == SymmetrizeRule::kAvg) {
+    // Halve accumulated sums. Rebuild with scaled weights.
+    GraphBuilder half(Directedness::kUndirected, DuplicateEdgePolicy::kError,
+                      SelfLoopPolicy::kKeep);
+    CarryLabels(out, &half);
+    for (const Edge& e : out.edges()) {
+      half.AddEdge(e.src, e.dst, e.weight / 2.0);
+    }
+    return half.Build();
+  }
+  return out;
+}
+
+Result<Graph> Reverse(const Graph& graph) {
+  if (!graph.directed()) {
+    return Status::InvalidArgument("Reverse requires a directed graph");
+  }
+  GraphBuilder builder(Directedness::kDirected, DuplicateEdgePolicy::kError,
+                       SelfLoopPolicy::kKeep);
+  CarryLabels(graph, &builder);
+  for (const Edge& e : graph.edges()) builder.AddEdge(e.dst, e.src, e.weight);
+  return builder.Build();
+}
+
+Result<Graph> EdgeSubgraph(const Graph& graph,
+                           const std::vector<EdgeId>& edge_ids) {
+  GraphBuilder builder(graph.directedness(), DuplicateEdgePolicy::kError,
+                       SelfLoopPolicy::kKeep);
+  CarryLabels(graph, &builder);
+  for (const EdgeId id : edge_ids) {
+    if (id < 0 || id >= graph.num_edges()) {
+      return Status::OutOfRange("edge id out of range");
+    }
+    const Edge& e = graph.edge(id);
+    builder.AddEdge(e.src, e.dst, e.weight);
+  }
+  return builder.Build();
+}
+
+Result<Graph> EdgeSubgraphMask(const Graph& graph,
+                               const std::vector<bool>& keep_edge) {
+  if (static_cast<int64_t>(keep_edge.size()) != graph.num_edges()) {
+    return Status::InvalidArgument("mask size != edge count");
+  }
+  std::vector<EdgeId> ids;
+  for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+    if (keep_edge[static_cast<size_t>(id)]) ids.push_back(id);
+  }
+  return EdgeSubgraph(graph, ids);
+}
+
+}  // namespace netbone

@@ -1,0 +1,42 @@
+// Copyright 2026 The netbone Authors.
+//
+// Structural transforms: symmetrization, reversal, and subgraph extraction
+// by edge subset (how a filtered backbone becomes a Graph again).
+
+#ifndef NETBONE_GRAPH_TRANSFORM_H_
+#define NETBONE_GRAPH_TRANSFORM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// How to combine the two directions when symmetrizing a directed graph.
+enum class SymmetrizeRule {
+  kSum,  ///< w(i,j) + w(j,i)
+  kMax,  ///< max(w(i,j), w(j,i))
+  kAvg,  ///< (w(i,j) + w(j,i)) / 2
+};
+
+/// Produces the undirected version of `graph`. No-op copy when already
+/// undirected.
+Result<Graph> Symmetrize(const Graph& graph,
+                         SymmetrizeRule rule = SymmetrizeRule::kSum);
+
+/// Reverses every edge of a directed graph. Fails on undirected input.
+Result<Graph> Reverse(const Graph& graph);
+
+/// Builds the subgraph over the same node set containing exactly the edges
+/// whose ids appear in `edge_ids`. Node labels are preserved.
+Result<Graph> EdgeSubgraph(const Graph& graph,
+                           const std::vector<EdgeId>& edge_ids);
+
+/// Builds the subgraph containing edges where keep_edge[id] is true.
+Result<Graph> EdgeSubgraphMask(const Graph& graph,
+                               const std::vector<bool>& keep_edge);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_TRANSFORM_H_

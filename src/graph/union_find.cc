@@ -1,0 +1,3 @@
+#include "graph/union_find.h"
+
+// Header-only; see union_find.h.

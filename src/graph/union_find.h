@@ -1,0 +1,69 @@
+// Copyright 2026 The netbone Authors.
+//
+// Disjoint-set union with path halving and union by size. Used by the
+// Kruskal maximum spanning tree (paper Sec. III-B) and the Doubly
+// Stochastic "grow until connected" criterion.
+
+#ifndef NETBONE_GRAPH_UNION_FIND_H_
+#define NETBONE_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace netbone {
+
+/// Disjoint-set forest over dense ids [0, n).
+class UnionFind {
+ public:
+  /// Creates n singleton sets.
+  explicit UnionFind(int64_t n)
+      : parent_(static_cast<size_t>(n)), size_(static_cast<size_t>(n), 1),
+        num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), int64_t{0});
+  }
+
+  /// Representative of x's set (path halving).
+  int64_t Find(int64_t x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false when already merged.
+  bool Union(int64_t a, int64_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[static_cast<size_t>(a)] < size_[static_cast<size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<size_t>(b)] = a;
+    size_[static_cast<size_t>(a)] += size_[static_cast<size_t>(b)];
+    --num_sets_;
+    return true;
+  }
+
+  /// True when a and b share a set.
+  bool Connected(int64_t a, int64_t b) { return Find(a) == Find(b); }
+
+  /// Size of x's set.
+  int64_t SetSize(int64_t x) { return size_[static_cast<size_t>(Find(x))]; }
+
+  /// Current number of disjoint sets.
+  int64_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<int64_t> size_;
+  int64_t num_sets_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_UNION_FIND_H_

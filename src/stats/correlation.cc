@@ -1,0 +1,61 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/ranking.h"
+
+namespace netbone {
+
+Result<double> PearsonCorrelation(std::span<const double> x,
+                                  std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("series length mismatch");
+  }
+  const size_t n = x.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 observations");
+  const double mean_x = Mean(x);
+  const double mean_y = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return Status::FailedPrecondition("constant series has no correlation");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> LogLogPearsonCorrelation(std::span<const double> x,
+                                        std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("series length mismatch");
+  }
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log10(x[i]));
+      ly.push_back(std::log10(y[i]));
+    }
+  }
+  return PearsonCorrelation(lx, ly);
+}
+
+Result<double> SpearmanCorrelation(std::span<const double> x,
+                                   std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("series length mismatch");
+  }
+  const std::vector<double> rx = MidRanks(x);
+  const std::vector<double> ry = MidRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+}  // namespace netbone

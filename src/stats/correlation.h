@@ -1,0 +1,34 @@
+// Copyright 2026 The netbone Authors.
+//
+// Correlation measures used across the evaluation:
+//  * Pearson      — Table I (variance validation), Sec. VI flow prediction;
+//  * log-log      — Fig. 6 local weight correlations;
+//  * Spearman     — Fig. 8 stability criterion.
+
+#ifndef NETBONE_STATS_CORRELATION_H_
+#define NETBONE_STATS_CORRELATION_H_
+
+#include <span>
+
+#include "common/result.h"
+
+namespace netbone {
+
+/// Pearson product-moment correlation. Fails when sizes differ, n < 2, or
+/// either series is constant.
+Result<double> PearsonCorrelation(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Pearson correlation of log10(x) vs log10(y); non-positive entries are
+/// dropped pairwise (the paper's log-log correlation of Fig. 6).
+Result<double> LogLogPearsonCorrelation(std::span<const double> x,
+                                        std::span<const double> y);
+
+/// Spearman rank correlation with midrank ties (paper Sec. V-F: "we prefer
+/// the nonparametric nature of the Spearman correlation").
+Result<double> SpearmanCorrelation(std::span<const double> x,
+                                   std::span<const double> y);
+
+}  // namespace netbone
+
+#endif  // NETBONE_STATS_CORRELATION_H_

@@ -1,0 +1,73 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace netbone {
+
+double Sum(std::span<const double> values) {
+  // Kahan summation: edge-weight totals span many orders of magnitude
+  // (the Trade network covers ten decades), so naive accumulation loses
+  // precision exactly where the null model needs it.
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (const double v : values) {
+    const double y = v - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return Sum(values) / static_cast<double>(values.size());
+}
+
+double PopulationVariance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size());
+}
+
+double SampleVariance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double SampleStdDev(std::span<const double> values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double Median(std::span<const double> values) { return Quantile(values, 0.5); }
+
+double Quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Min(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace netbone

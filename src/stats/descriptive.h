@@ -1,0 +1,41 @@
+// Copyright 2026 The netbone Authors.
+//
+// Descriptive statistics over double vectors.
+
+#ifndef NETBONE_STATS_DESCRIPTIVE_H_
+#define NETBONE_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <span>
+
+namespace netbone {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> values);
+
+/// Population variance (divides by n); 0 for n < 1.
+double PopulationVariance(std::span<const double> values);
+
+/// Sample variance (divides by n-1); 0 for n < 2.
+double SampleVariance(std::span<const double> values);
+
+/// Sample standard deviation.
+double SampleStdDev(std::span<const double> values);
+
+/// Median (average of middle pair for even n); 0 for empty input.
+/// O(n log n); copies the input.
+double Median(std::span<const double> values);
+
+/// q-quantile via linear interpolation, q in [0, 1]. O(n log n).
+double Quantile(std::span<const double> values, double q);
+
+/// Minimum / maximum; 0 for empty input.
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+/// Sum of values.
+double Sum(std::span<const double> values);
+
+}  // namespace netbone
+
+#endif  // NETBONE_STATS_DESCRIPTIVE_H_

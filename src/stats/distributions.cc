@@ -1,0 +1,65 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+namespace netbone {
+
+double BetaMean(const BetaParams& params) {
+  return params.alpha / (params.alpha + params.beta);
+}
+
+double BetaVariance(const BetaParams& params) {
+  const double s = params.alpha + params.beta;
+  return params.alpha * params.beta / (s * s * (s + 1.0));
+}
+
+Result<BetaParams> FitBetaByMoments(double mean, double variance) {
+  if (!(mean > 0.0 && mean < 1.0)) {
+    return Status::InvalidArgument("Beta fit needs mean in (0, 1)");
+  }
+  if (!(variance > 0.0)) {
+    return Status::InvalidArgument("Beta fit needs positive variance");
+  }
+  if (variance >= mean * (1.0 - mean)) {
+    return Status::OutOfRange(
+        "variance exceeds the Beta bound mean*(1-mean)");
+  }
+  BetaParams params;
+  // Paper Eq. 7: alpha = mu^2 (1 - mu) / sigma^2 - mu.
+  params.alpha = (mean * mean / variance) * (1.0 - mean) - mean;
+  // Paper Eq. 8: beta = mu ((1 - mu)^2 / sigma^2 + 1) - 1, algebraically
+  // equal to (1 - mu)(mu(1-mu)/sigma^2 - 1).
+  params.beta =
+      mean * ((1.0 - mean) * (1.0 - mean) / variance + 1.0) - 1.0;
+  return params;
+}
+
+Result<BetaParams> FitBetaByMomentsPythonErratum(double mean,
+                                                 double variance) {
+  if (!(mean > 0.0 && mean < 1.0) || !(variance > 0.0)) {
+    return Status::InvalidArgument("invalid moments");
+  }
+  BetaParams params;
+  params.alpha = (mean * mean / variance) * (1.0 - mean) - mean;
+  // backboning.py: beta = (mu / var) * (1 - mu^2) - (1 - mu).
+  params.beta = (mean / variance) * (1.0 - mean * mean) - (1.0 - mean);
+  return params;
+}
+
+double BinomialVariance(double n, double p) { return n * p * (1.0 - p); }
+
+PriorMoments HypergeometricPriorMoments(double ni_out, double nj_in,
+                                        double n_total) {
+  PriorMoments prior;
+  const double n2 = n_total * n_total;
+  prior.mean = ni_out * nj_in / n2;
+  if (n_total > 1.0) {
+    prior.variance = ni_out * nj_in * (n_total - ni_out) *
+                     (n_total - nj_in) / (n2 * n2 * (n_total - 1.0));
+  } else {
+    prior.variance = 0.0;
+  }
+  return prior;
+}
+
+}  // namespace netbone

@@ -1,0 +1,55 @@
+// Copyright 2026 The netbone Authors.
+//
+// Distribution moments and fitting used by the Noise-Corrected null model:
+//  * Binomial variance (paper Eq. 2);
+//  * Beta mean/variance (paper Eqs. 5-6);
+//  * method-of-moments Beta fitting (paper Eqs. 7-8), with the
+//    reference-implementation erratum variant for the ablation bench;
+//  * hypergeometric prior moments for P_ij (paper Sec. IV).
+
+#ifndef NETBONE_STATS_DISTRIBUTIONS_H_
+#define NETBONE_STATS_DISTRIBUTIONS_H_
+
+#include "common/result.h"
+
+namespace netbone {
+
+/// Parameters of a Beta(alpha, beta) distribution.
+struct BetaParams {
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+
+/// Mean of Beta(alpha, beta) (paper Eq. 5).
+double BetaMean(const BetaParams& params);
+
+/// Variance of Beta(alpha, beta) (paper Eq. 6).
+double BetaVariance(const BetaParams& params);
+
+/// Solves Eqs. 7-8: the Beta(alpha, beta) whose mean is `mean` and variance
+/// is `variance`. Requires 0 < mean < 1 and 0 < variance < mean(1-mean).
+Result<BetaParams> FitBetaByMoments(double mean, double variance);
+
+/// The beta-prior form actually shipped in the author's Python module,
+/// which uses (1 - mu^2) where paper Eq. 8 has (1 - mu)^2. Provided so the
+/// ablation bench can quantify the (negligible) difference.
+Result<BetaParams> FitBetaByMomentsPythonErratum(double mean,
+                                                 double variance);
+
+/// Variance of Binomial(n, p): n p (1 - p) (paper Eq. 2).
+double BinomialVariance(double n, double p);
+
+/// Prior moments of P_ij under the hypergeometric edge-generation story
+/// (paper Sec. IV):
+///   E[P_ij] = ni. n.j / n..^2
+///   V[P_ij] = ni. n.j (n.. - ni.)(n.. - n.j) / (n..^4 (n.. - 1)).
+struct PriorMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+PriorMoments HypergeometricPriorMoments(double ni_out, double nj_in,
+                                        double n_total);
+
+}  // namespace netbone
+
+#endif  // NETBONE_STATS_DISTRIBUTIONS_H_

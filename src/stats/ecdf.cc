@@ -1,0 +1,82 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netbone {
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::Cdf(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Survival(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(sorted_.end() - it) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Ecdf::LogSurvivalSeries(
+    int points) const {
+  std::vector<std::pair<double, double>> series;
+  // Positive support only (log axis).
+  double lo = 0.0, hi = 0.0;
+  for (const double v : sorted_) {
+    if (v > 0.0) {
+      lo = v;
+      break;
+    }
+  }
+  if (lo == 0.0 || points < 2) return series;
+  hi = sorted_.back();
+  if (hi <= lo) {
+    series.emplace_back(lo, Survival(lo));
+    return series;
+  }
+  const double log_lo = std::log10(lo);
+  const double log_hi = std::log10(hi);
+  series.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    // Pin the endpoints exactly: pow/log round-tripping can overshoot the
+    // sample maximum and spuriously report zero survival there.
+    double x;
+    if (i == 0) {
+      x = lo;
+    } else if (i == points - 1) {
+      x = hi;
+    } else {
+      x = std::pow(10.0, log_lo + t * (log_hi - log_lo));
+    }
+    series.emplace_back(x, Survival(x));
+  }
+  return series;
+}
+
+Histogram MakeHistogram(std::span<const double> sample, double lo, double hi,
+                        int bins) {
+  Histogram hist;
+  hist.lo = lo;
+  hist.hi = hi;
+  hist.counts.assign(static_cast<size_t>(std::max(bins, 1)), 0);
+  if (hi <= lo) return hist;
+  const double width = (hi - lo) / static_cast<double>(hist.counts.size());
+  for (const double v : sample) {
+    int64_t bin = static_cast<int64_t>((v - lo) / width);
+    bin = std::clamp<int64_t>(bin, 0,
+                              static_cast<int64_t>(hist.counts.size()) - 1);
+    hist.counts[static_cast<size_t>(bin)]++;
+    hist.total++;
+  }
+  return hist;
+}
+
+}  // namespace netbone

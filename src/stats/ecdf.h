@@ -1,0 +1,68 @@
+// Copyright 2026 The netbone Authors.
+//
+// Empirical CDFs and fixed-width histograms for the distribution figures
+// (Fig. 2 threshold setting, Fig. 5 cumulative edge-weight distributions).
+
+#ifndef NETBONE_STATS_ECDF_H_
+#define NETBONE_STATS_ECDF_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace netbone {
+
+/// Empirical complementary/cumulative distribution over a sample.
+class Ecdf {
+ public:
+  /// Copies and sorts the sample. O(n log n).
+  explicit Ecdf(std::span<const double> sample);
+
+  /// P[X <= x].
+  double Cdf(double x) const;
+
+  /// P[X >= x] (the convention of the paper's Fig. 5 axis, which plots the
+  /// share of edges at least as heavy as x).
+  double Survival(double x) const;
+
+  /// Sample size.
+  int64_t size() const { return static_cast<int64_t>(sorted_.size()); }
+
+  /// Evaluation grid of `points` log-spaced x values spanning the positive
+  /// sample range, paired with Survival(x). Mirrors the log-log axes of
+  /// Fig. 5.
+  std::vector<std::pair<double, double>> LogSurvivalSeries(int points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width histogram.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<int64_t> counts;
+  int64_t total = 0;
+
+  /// Share of the sample in bin i.
+  double Share(size_t i) const {
+    return total > 0 ? static_cast<double>(counts[i]) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+  /// Center x of bin i.
+  double BinCenter(size_t i) const {
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * width;
+  }
+};
+
+/// Builds a histogram of `sample` with `bins` equal-width bins over
+/// [lo, hi]; out-of-range values clamp to the edge bins.
+Histogram MakeHistogram(std::span<const double> sample, double lo, double hi,
+                        int bins);
+
+}  // namespace netbone
+
+#endif  // NETBONE_STATS_ECDF_H_

@@ -1,0 +1,139 @@
+#include "stats/ols.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "stats/descriptive.h"
+
+namespace netbone {
+namespace {
+
+/// Cholesky solve of the symmetric positive-definite system A x = b.
+/// A is given in row-major dense form and is overwritten with its factor.
+Status CholeskySolve(std::vector<double>* a, std::vector<double>* b,
+                     size_t k) {
+  std::vector<double>& A = *a;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = A[i * k + j];
+      for (size_t m = 0; m < j; ++m) sum -= A[i * k + m] * A[j * k + m];
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "design matrix is not positive definite (collinear columns?)");
+        }
+        A[i * k + j] = std::sqrt(sum);
+      } else {
+        A[i * k + j] = sum / A[j * k + j];
+      }
+    }
+  }
+  // Forward substitution: L z = b.
+  std::vector<double>& x = *b;
+  for (size_t i = 0; i < k; ++i) {
+    double sum = x[i];
+    for (size_t m = 0; m < i; ++m) sum -= A[i * k + m] * x[m];
+    x[i] = sum / A[i * k + i];
+  }
+  // Back substitution: L^T beta = z.
+  for (size_t i = k; i-- > 0;) {
+    double sum = x[i];
+    for (size_t m = i + 1; m < k; ++m) sum -= A[m * k + i] * x[m];
+    x[i] = sum / A[i * k + i];
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void OlsFitter::AddColumn(std::string name, std::vector<double> values) {
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(values));
+}
+
+std::vector<std::string> OlsFitter::ColumnNames() const {
+  std::vector<std::string> names;
+  if (options_.add_intercept) names.push_back("(intercept)");
+  for (const auto& n : names_) names.push_back(n);
+  return names;
+}
+
+Result<OlsFit> OlsFitter::Fit(std::span<const double> response) const {
+  const size_t n = response.size();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].size() != n) {
+      return Status::InvalidArgument(
+          StrFormat("column '%s' has %zu rows, response has %zu",
+                    names_[c].c_str(), columns_[c].size(), n));
+    }
+  }
+  const size_t k = columns_.size() + (options_.add_intercept ? 1 : 0);
+  if (k == 0) return Status::InvalidArgument("no regressors");
+  if (n <= k) {
+    return Status::FailedPrecondition(
+        StrFormat("need more observations (%zu) than regressors (%zu)", n,
+                  k));
+  }
+
+  // Accessor treating the intercept as a virtual all-ones column 0.
+  const auto x_at = [&](size_t row, size_t col) -> double {
+    if (options_.add_intercept) {
+      if (col == 0) return 1.0;
+      return columns_[col - 1][row];
+    }
+    return columns_[col][row];
+  };
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<double> xtx(k * k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t i = 0; i < k; ++i) {
+      const double xi = x_at(row, i);
+      xty[i] += xi * response[row];
+      for (size_t j = 0; j <= i; ++j) xtx[i * k + j] += xi * x_at(row, j);
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) xtx[i * k + j] = xtx[j * k + i];
+    xtx[i * k + i] += options_.ridge;
+  }
+
+  NETBONE_RETURN_IF_ERROR(CholeskySolve(&xtx, &xty, k));
+
+  OlsFit fit;
+  fit.coefficients = xty;
+  fit.n = static_cast<int64_t>(n);
+  fit.fitted.resize(n);
+  const double mean_y = Mean(response);
+  double rss = 0.0, tss = 0.0;
+  for (size_t row = 0; row < n; ++row) {
+    double pred = 0.0;
+    for (size_t i = 0; i < k; ++i) pred += fit.coefficients[i] * x_at(row, i);
+    fit.fitted[row] = pred;
+    rss += (response[row] - pred) * (response[row] - pred);
+    tss += (response[row] - mean_y) * (response[row] - mean_y);
+  }
+  fit.rss = rss;
+  fit.tss = tss;
+  fit.r_squared = tss > 0.0 ? 1.0 - rss / tss : 0.0;
+  const double dof = static_cast<double>(n) - static_cast<double>(k);
+  fit.adjusted_r_squared =
+      tss > 0.0 && dof > 0.0
+          ? 1.0 - (rss / dof) / (tss / (static_cast<double>(n) - 1.0))
+          : 0.0;
+  return fit;
+}
+
+Result<double> OlsRSquared(const std::vector<std::vector<double>>& columns,
+                           std::span<const double> response,
+                           const OlsOptions& options) {
+  OlsFitter fitter(options);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    fitter.AddColumn(StrFormat("x%zu", i), columns[i]);
+  }
+  NETBONE_ASSIGN_OR_RETURN(OlsFit fit, fitter.Fit(response));
+  return fit.r_squared;
+}
+
+}  // namespace netbone

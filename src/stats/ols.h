@@ -1,0 +1,81 @@
+// Copyright 2026 The netbone Authors.
+//
+// Multi-variable ordinary least squares with R², the engine behind the
+// paper's Quality criterion (Sec. V-E): log(N_ij + 1) = beta X_ij + eps,
+// fitted on all edges and on backbone edges, compared by R² ratio.
+
+#ifndef NETBONE_STATS_OLS_H_
+#define NETBONE_STATS_OLS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace netbone {
+
+/// Fitted OLS model.
+struct OlsFit {
+  /// Coefficients, one per regressor column (intercept first when
+  /// OlsOptions::add_intercept is set).
+  std::vector<double> coefficients;
+  /// Coefficient of determination.
+  double r_squared = 0.0;
+  /// R² adjusted for the number of regressors.
+  double adjusted_r_squared = 0.0;
+  /// Residual sum of squares.
+  double rss = 0.0;
+  /// Total sum of squares.
+  double tss = 0.0;
+  /// Observation count.
+  int64_t n = 0;
+  /// Fitted values for each observation.
+  std::vector<double> fitted;
+};
+
+/// Options for OlsFitter.
+struct OlsOptions {
+  bool add_intercept = true;
+  /// Ridge term added to the normal-equation diagonal; keeps the Cholesky
+  /// factorization stable for near-collinear designs without materially
+  /// changing the fit.
+  double ridge = 1e-10;
+};
+
+/// Column-oriented design matrix accumulator.
+///
+/// Usage:
+///   OlsFitter fitter;
+///   fitter.AddColumn("distance", distances);
+///   fitter.AddColumn("pop_origin", pops);
+///   Result<OlsFit> fit = fitter.Fit(response);
+class OlsFitter {
+ public:
+  explicit OlsFitter(OlsOptions options = {}) : options_(options) {}
+
+  /// Appends a named regressor; all columns must share one length.
+  void AddColumn(std::string name, std::vector<double> values);
+
+  /// Names of the regressors, including "(intercept)" when added.
+  std::vector<std::string> ColumnNames() const;
+
+  /// Solves min ||y - X b||² via normal equations + Cholesky. Fails on
+  /// length mismatch or n <= #regressors.
+  Result<OlsFit> Fit(std::span<const double> response) const;
+
+ private:
+  OlsOptions options_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+/// Convenience wrapper: fit `response` on `columns` and return R².
+Result<double> OlsRSquared(
+    const std::vector<std::vector<double>>& columns,
+    std::span<const double> response, const OlsOptions& options = {});
+
+}  // namespace netbone
+
+#endif  // NETBONE_STATS_OLS_H_

@@ -1,0 +1,29 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace netbone {
+
+std::vector<double> MidRanks(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the midrank of 1-based ranks i+1..j+1.
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace netbone

@@ -1,0 +1,20 @@
+// Copyright 2026 The netbone Authors.
+//
+// Rank assignment with midrank tie handling, as required by the Spearman
+// correlation used in the paper's Stability criterion (Sec. V-F).
+
+#ifndef NETBONE_STATS_RANKING_H_
+#define NETBONE_STATS_RANKING_H_
+
+#include <span>
+#include <vector>
+
+namespace netbone {
+
+/// Returns 1-based fractional ranks; tied values receive the average of the
+/// ranks they straddle (midranks). O(n log n).
+std::vector<double> MidRanks(std::span<const double> values);
+
+}  // namespace netbone
+
+#endif  // NETBONE_STATS_RANKING_H_

@@ -1,0 +1,138 @@
+#include "stats/special_functions.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace netbone {
+namespace {
+
+// Lanczos coefficients (g = 7, n = 9).
+constexpr double kLanczos[9] = {
+    0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+    771.32342877765313,   -176.61502916214059, 12.507343278686905,
+    -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+
+// Continued fraction for the incomplete beta (Numerical Recipes betacf),
+// evaluated with modified Lentz.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3.0e-15;
+  constexpr double kTiny = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  assert(x > 0.0);
+  if (x < 0.5) {
+    // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double acc = kLanczos[0];
+  for (int i = 1; i < 9; ++i) acc += kLanczos[i] / (x + i);
+  const double t = x + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(acc);
+}
+
+double LogBinomialCoefficient(double n, double k) {
+  if (k < 0.0 || k > n) return -std::numeric_limits<double>::infinity();
+  return LogGamma(n + 1.0) - LogGamma(k + 1.0) - LogGamma(n - k + 1.0);
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                           a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(log_front);
+  // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to keep the continued
+  // fraction in its rapidly-convergent region.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double BinomialCdf(double k, double n, double p) {
+  if (p <= 0.0) return 1.0;           // all mass at 0 <= k
+  if (p >= 1.0) return k >= n ? 1.0 : 0.0;
+  const double kk = std::floor(k);
+  if (kk < 0.0) return 0.0;
+  if (kk >= n) return 1.0;
+  // P[X <= k] = I_{1-p}(n - k, k + 1).
+  return RegularizedIncompleteBeta(n - kk, kk + 1.0, 1.0 - p);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  double q, r;
+  if (p < kLow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - kLow) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace netbone

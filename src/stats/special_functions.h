@@ -1,0 +1,37 @@
+// Copyright 2026 The netbone Authors.
+//
+// Special functions needed by the statistical substrate: log-gamma,
+// regularized incomplete beta (exact Binomial CDF for the paper's
+// footnote-2 p-value variant), and the standard normal CDF / quantile
+// (mapping the paper's delta thresholds 1.28/1.64/2.32 to p-values
+// 0.1/0.05/0.01).
+
+#ifndef NETBONE_STATS_SPECIAL_FUNCTIONS_H_
+#define NETBONE_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace netbone {
+
+/// ln Γ(x) for x > 0 (Lanczos approximation, ~15 significant digits).
+double LogGamma(double x);
+
+/// ln C(n, k) via log-gamma.
+double LogBinomialCoefficient(double n, double k);
+
+/// Regularized incomplete beta I_x(a, b), a,b > 0, x in [0, 1].
+/// Continued-fraction evaluation (Lentz), accurate to ~1e-14.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// P[X <= k] for X ~ Binomial(n, p). Exact via the incomplete beta
+/// identity; valid for non-integral k (uses floor(k)).
+double BinomialCdf(double k, double n, double p);
+
+/// Standard normal CDF Φ(z).
+double NormalCdf(double z);
+
+/// Standard normal quantile Φ⁻¹(p), p in (0, 1) (Acklam's algorithm,
+/// |relative error| < 1.15e-9).
+double NormalQuantile(double p);
+
+}  // namespace netbone
+
+#endif  // NETBONE_STATS_SPECIAL_FUNCTIONS_H_

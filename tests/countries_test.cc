@@ -1,0 +1,254 @@
+// Tests for the synthetic country-network suite (the stand-in for the
+// paper's six proprietary datasets; DESIGN.md §4). These tests pin the
+// statistical properties the substitution must preserve: broad weights,
+// local weight correlation, density, multi-year consistency, and
+// well-posed predictor tables.
+
+#include "gen/countries.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace netbone {
+namespace {
+
+class CountrySuiteTest : public ::testing::Test {
+ protected:
+  // One modest suite shared by every test in this binary (generation is
+  // the expensive part).
+  static void SetUpTestSuite() {
+    static Result<CountrySuite> holder =
+        GenerateCountrySuite(/*seed=*/42, /*num_years=*/3,
+                             /*num_countries=*/80);
+    ASSERT_TRUE(holder.ok()) << holder.status().ToString();
+    suite_ = &*holder;
+  }
+  static const CountrySuite* suite_;
+};
+
+const CountrySuite* CountrySuiteTest::suite_ = nullptr;
+
+TEST_F(CountrySuiteTest, WorldHasConsistentShapes) {
+  const CountryWorld& world = suite_->world;
+  EXPECT_EQ(world.names.size(), 80u);
+  EXPECT_EQ(world.population.size(), 80u);
+  EXPECT_EQ(world.language.size(), 80u);
+  EXPECT_EQ(world.exports.size(),
+            80u * static_cast<size_t>(world.options.num_products));
+  for (const double p : world.population) EXPECT_GT(p, 0.0);
+  for (const double g : world.gdp_per_capita) EXPECT_GT(g, 0.0);
+}
+
+TEST_F(CountrySuiteTest, AllSixNetworksPresent) {
+  EXPECT_EQ(suite_->networks.size(), 6u);
+  for (const CountryNetworkKind kind : AllCountryNetworkKinds()) {
+    const TemporalNetwork& net = suite_->network(kind);
+    EXPECT_EQ(net.num_snapshots(), 3) << CountryNetworkName(kind);
+    EXPECT_EQ(net.num_nodes(), 80) << CountryNetworkName(kind);
+    EXPECT_EQ(net.front().directed(), CountryNetworkDirected(kind));
+    EXPECT_GT(net.front().num_edges(), 0);
+  }
+}
+
+TEST_F(CountrySuiteTest, DistanceIsAMetricStandIn) {
+  const CountryWorld& world = suite_->world;
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = 0; j < 10; ++j) {
+      EXPECT_GT(world.Distance(i, j), 0.0);
+      EXPECT_DOUBLE_EQ(world.Distance(i, j), world.Distance(j, i));
+    }
+  }
+}
+
+TEST_F(CountrySuiteTest, NetworksAreDenseHairballs) {
+  // The raw networks must be dense enough that backboning is needed: at
+  // least a third of all ordered pairs carry weight in the flow networks.
+  const Graph& trade = suite_->network(CountryNetworkKind::kTrade).front();
+  const double pairs = 80.0 * 79.0;
+  EXPECT_GT(static_cast<double>(trade.num_edges()) / pairs, 0.33);
+}
+
+TEST_F(CountrySuiteTest, WeightsAreBroad) {
+  // Fig. 5's qualitative property: weights span several orders of
+  // magnitude (Trade is the widest in the paper).
+  const Graph& trade = suite_->network(CountryNetworkKind::kTrade).front();
+  std::vector<double> weights;
+  for (const Edge& e : trade.edges()) weights.push_back(e.weight);
+  const double q01 = Quantile(weights, 0.01);
+  const double q99 = Quantile(weights, 0.99);
+  // Several orders of magnitude between the 1st and 99th percentile even
+  // in this reduced 80-country test configuration.
+  EXPECT_GT(q99 / std::max(q01, 1.0), 500.0);
+}
+
+TEST_F(CountrySuiteTest, OwnershipIsExtremelySkewed) {
+  // Paper: Ownership's median non-zero weight is ~1.5 while the top 1%
+  // exceeds 50k — a heavy tail. We pin the shape: median small relative
+  // to the 99th percentile by orders of magnitude.
+  const Graph& own =
+      suite_->network(CountryNetworkKind::kOwnership).front();
+  std::vector<double> weights;
+  for (const Edge& e : own.edges()) weights.push_back(e.weight);
+  const double median = Median(weights);
+  const double q99 = Quantile(weights, 0.99);
+  EXPECT_LT(median, 20.0);
+  EXPECT_GT(q99 / std::max(median, 1.0), 50.0);
+}
+
+TEST_F(CountrySuiteTest, EdgeWeightsAreLocallyCorrelated) {
+  // Fig. 6's property: an edge's weight correlates (log-log) with the
+  // average weight of the edges incident to its endpoints.
+  const Graph& flight =
+      suite_->network(CountryNetworkKind::kFlight).front();
+  std::vector<double> node_strength_share(
+      static_cast<size_t>(flight.num_nodes()));
+  for (NodeId v = 0; v < flight.num_nodes(); ++v) {
+    const int64_t degree = flight.out_degree(v) + flight.in_degree(v);
+    node_strength_share[static_cast<size_t>(v)] =
+        degree > 0
+            ? (flight.out_strength(v) + flight.in_strength(v)) /
+                  static_cast<double>(degree)
+            : 0.0;
+  }
+  std::vector<double> weights, neighbor_avgs;
+  for (const Edge& e : flight.edges()) {
+    weights.push_back(e.weight);
+    neighbor_avgs.push_back(
+        (node_strength_share[static_cast<size_t>(e.src)] +
+         node_strength_share[static_cast<size_t>(e.dst)]) /
+        2.0);
+  }
+  const auto corr = LogLogPearsonCorrelation(weights, neighbor_avgs);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_GT(*corr, 0.3);  // paper range: .42 to .75
+}
+
+TEST_F(CountrySuiteTest, YearsShareStructure) {
+  // Consecutive years are noisy re-observations of one latent structure:
+  // their common edges' weights must correlate strongly.
+  const TemporalNetwork& migration =
+      suite_->network(CountryNetworkKind::kMigration);
+  std::vector<double> w0, w1;
+  for (const Edge& e : migration.snapshot(0).edges()) {
+    const double other = migration.snapshot(1).WeightOf(e.src, e.dst);
+    if (other > 0.0) {
+      w0.push_back(e.weight);
+      w1.push_back(other);
+    }
+  }
+  ASSERT_GT(w0.size(), 100u);
+  const auto corr = SpearmanCorrelation(w0, w1);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_GT(*corr, 0.8);
+}
+
+TEST_F(CountrySuiteTest, CountrySpaceIsUndirectedCoOccurrence) {
+  const Graph& cs =
+      suite_->network(CountryNetworkKind::kCountrySpace).front();
+  EXPECT_FALSE(cs.directed());
+  // Co-occurrence counts are integers bounded by the product count.
+  for (const Edge& e : cs.edges()) {
+    EXPECT_DOUBLE_EQ(e.weight, std::round(e.weight));
+    EXPECT_LE(e.weight,
+              static_cast<double>(suite_->world.options.num_products));
+  }
+}
+
+TEST_F(CountrySuiteTest, PredictorTablesMatchEdgeCounts) {
+  for (const CountryNetworkKind kind : AllCountryNetworkKinds()) {
+    const Graph& snapshot = suite_->network(kind).front();
+    const auto table = CountryPredictors(*suite_, kind, snapshot);
+    ASSERT_TRUE(table.ok()) << CountryNetworkName(kind);
+    ASSERT_EQ(table->names.size(), table->columns.size());
+    EXPECT_GE(table->columns.size(), 1u);
+    for (const auto& column : table->columns) {
+      EXPECT_EQ(static_cast<int64_t>(column.size()), snapshot.num_edges())
+          << CountryNetworkName(kind);
+    }
+  }
+}
+
+TEST_F(CountrySuiteTest, PredictorSetsFollowThePaper) {
+  const Graph& migration =
+      suite_->network(CountryNetworkKind::kMigration).front();
+  const auto migration_table =
+      CountryPredictors(*suite_, CountryNetworkKind::kMigration, migration);
+  ASSERT_TRUE(migration_table.ok());
+  // Migration: distance, populations, language, region — five columns.
+  EXPECT_EQ(migration_table->names.size(), 5u);
+
+  const Graph& flight =
+      suite_->network(CountryNetworkKind::kFlight).front();
+  const auto flight_table =
+      CountryPredictors(*suite_, CountryNetworkKind::kFlight, flight);
+  ASSERT_TRUE(flight_table.ok());
+  // Flight: gravity controls only (paper: "no additional variable").
+  EXPECT_EQ(flight_table->names.size(), 3u);
+
+  const Graph& cs =
+      suite_->network(CountryNetworkKind::kCountrySpace).front();
+  const auto cs_table =
+      CountryPredictors(*suite_, CountryNetworkKind::kCountrySpace, cs);
+  ASSERT_TRUE(cs_table.ok());
+  // Country Space: distance + two ECI columns, no populations.
+  EXPECT_EQ(cs_table->names.size(), 3u);
+}
+
+TEST_F(CountrySuiteTest, GenerationIsDeterministic) {
+  const auto again = GenerateCountrySuite(42, 3, 80);
+  ASSERT_TRUE(again.ok());
+  const Graph& a = suite_->network(CountryNetworkKind::kTrade).front();
+  const Graph& b = again->network(CountryNetworkKind::kTrade).front();
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId id = 0; id < a.num_edges(); ++id) {
+    EXPECT_EQ(a.edge(id), b.edge(id));
+  }
+}
+
+TEST_F(CountrySuiteTest, NoiseScaleZeroShrinksEdgeCount) {
+  CountryNetworkOptions noiseless;
+  noiseless.num_years = 1;
+  noiseless.seed = 59;
+  noiseless.noise_scale = 0.0;
+  CountryNetworkOptions noisy = noiseless;
+  noisy.noise_scale = 1.0;
+  const auto clean = GenerateCountryNetwork(
+      suite_->world, CountryNetworkKind::kFlight, noiseless);
+  const auto dirty = GenerateCountryNetwork(
+      suite_->world, CountryNetworkKind::kFlight, noisy);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_LT(clean->front().num_edges(), dirty->front().num_edges());
+}
+
+TEST(CountryWorldTest, RejectsTinyWorlds) {
+  CountryWorldOptions options;
+  options.num_countries = 3;
+  EXPECT_FALSE(GenerateCountryWorld(options).ok());
+}
+
+TEST(CountryNetworkTest, RejectsZeroYears) {
+  const auto world = GenerateCountryWorld({.num_countries = 20});
+  ASSERT_TRUE(world.ok());
+  CountryNetworkOptions options;
+  options.num_years = 0;
+  EXPECT_FALSE(GenerateCountryNetwork(*world,
+                                      CountryNetworkKind::kTrade, options)
+                   .ok());
+}
+
+TEST(CountryNetworkTest, NamesAreStable) {
+  EXPECT_EQ(CountryNetworkName(CountryNetworkKind::kBusiness), "Business");
+  EXPECT_EQ(CountryNetworkName(CountryNetworkKind::kCountrySpace),
+            "Country Space");
+  EXPECT_EQ(CountryNetworkName(CountryNetworkKind::kTrade), "Trade");
+  EXPECT_FALSE(CountryNetworkDirected(CountryNetworkKind::kCountrySpace));
+  EXPECT_TRUE(CountryNetworkDirected(CountryNetworkKind::kOwnership));
+}
+
+}  // namespace
+}  // namespace netbone

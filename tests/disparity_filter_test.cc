@@ -1,0 +1,182 @@
+// Tests for the Disparity Filter baseline (Serrano et al.; paper Sec.
+// III-B): the closed-form p-value, endpoint rules, and null-model
+// behaviour on uniform and skewed stars.
+
+#include "core/disparity_filter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/filter.h"
+#include "graph/builder.h"
+
+namespace netbone {
+namespace {
+
+TEST(DisparityPValueTest, ClosedForm) {
+  // alpha = (1 - x)^(k-1).
+  EXPECT_DOUBLE_EQ(DisparityPValue(0.5, 3), 0.25);
+  EXPECT_DOUBLE_EQ(DisparityPValue(0.2, 5), std::pow(0.8, 4));
+  EXPECT_DOUBLE_EQ(DisparityPValue(0.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(DisparityPValue(1.0, 2), 0.0);
+}
+
+TEST(DisparityPValueTest, DegreeOneIsNeverSignificant) {
+  // k = 1: the node has a single edge carrying its whole strength; the
+  // null model cannot reject (p-value 1).
+  EXPECT_DOUBLE_EQ(DisparityPValue(1.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(DisparityPValue(0.3, 1), 1.0);
+  EXPECT_DOUBLE_EQ(DisparityPValue(0.0, 0), 1.0);
+}
+
+TEST(DisparityPValueTest, SharesAreClamped) {
+  EXPECT_DOUBLE_EQ(DisparityPValue(1.5, 3), 0.0);
+  EXPECT_DOUBLE_EQ(DisparityPValue(-0.5, 3), 1.0);
+}
+
+TEST(DisparityPValueTest, MonotoneInShareAndDegree) {
+  // Higher share => lower p-value; higher degree at the same share =>
+  // lower p-value (more competitors make a big share more surprising).
+  EXPECT_LT(DisparityPValue(0.6, 4), DisparityPValue(0.3, 4));
+  EXPECT_LT(DisparityPValue(0.3, 8), DisparityPValue(0.3, 4));
+}
+
+TEST(DisparityFilterTest, UniformStarSharesAreInsignificant) {
+  // A hub distributing its strength uniformly over k edges: every edge
+  // has exactly the expected share, alpha = (1 - 1/k)^(k-1), score well
+  // below 1.
+  GraphBuilder builder(Directedness::kUndirected);
+  for (NodeId leaf = 1; leaf <= 6; ++leaf) builder.AddEdge(0, leaf, 5.0);
+  const Graph g = *builder.Build();
+  const auto df = DisparityFilter(g);
+  ASSERT_TRUE(df.ok());
+  const double expected_score = 1.0 - std::pow(1.0 - 1.0 / 6.0, 5);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_NEAR(df->at(id).score, expected_score, 1e-12);
+  }
+}
+
+TEST(DisparityFilterTest, DominantEdgeIsSignificant) {
+  // One edge carries 95% of the hub's strength.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 95.0);
+  for (NodeId leaf = 2; leaf <= 6; ++leaf) builder.AddEdge(0, leaf, 1.0);
+  const Graph g = *builder.Build();
+  const auto df = DisparityFilter(g);
+  ASSERT_TRUE(df.ok());
+  const EdgeId dominant = g.FindEdge(0, 1);
+  EXPECT_GT(df->at(dominant).score, 0.99);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    if (id == dominant) continue;
+    EXPECT_LT(df->at(id).score, df->at(dominant).score);
+  }
+}
+
+TEST(DisparityFilterTest, EitherRuleTakesMaxOfEndpoints) {
+  // Directed edge where the source spreads thin but the target
+  // concentrates: the edge must be rescued by the receiving side.
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 9, 10.0);  // the edge under test
+  // Source 0 has many equally strong out-edges -> insignificant as emitter.
+  for (NodeId t = 1; t <= 8; ++t) builder.AddEdge(0, t, 10.0);
+  // Target 9 receives almost everything through 0 -> significant as
+  // receiver (add a couple of weak competitors).
+  builder.AddEdge(1, 9, 0.5);
+  builder.AddEdge(2, 9, 0.5);
+  const Graph g = *builder.Build();
+
+  DisparityFilterOptions source_only;
+  source_only.endpoint_rule = DisparityEndpointRule::kSource;
+  DisparityFilterOptions either;
+  either.endpoint_rule = DisparityEndpointRule::kEither;
+  DisparityFilterOptions both;
+  both.endpoint_rule = DisparityEndpointRule::kBoth;
+
+  const EdgeId id = g.FindEdge(0, 9);
+  const auto s = DisparityFilter(g, source_only);
+  const auto e = DisparityFilter(g, either);
+  const auto b = DisparityFilter(g, both);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(e->at(id).score, s->at(id).score);
+  EXPECT_GE(e->at(id).score, b->at(id).score);
+  // kBoth == min, kEither == max; source-only sits between or equal.
+  EXPECT_DOUBLE_EQ(b->at(id).score,
+                   std::min(s->at(id).score, e->at(id).score));
+}
+
+TEST(DisparityFilterTest, PendantEdgeRescuedByOtherEndpoint) {
+  // A pendant node (degree 1) cannot certify its only edge, but the hub
+  // side can when the edge dominates the hub's strength.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 100.0);  // pendant node 1; dominant for hub 0
+  builder.AddEdge(0, 2, 1.0);
+  builder.AddEdge(0, 3, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  const Graph g = *builder.Build();
+  const auto df = DisparityFilter(g);
+  ASSERT_TRUE(df.ok());
+  EXPECT_GT(df->at(g.FindEdge(0, 1)).score, 0.9);
+}
+
+TEST(DisparityFilterTest, ScoresAreInUnitInterval) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(1, 2, 0.25);
+  builder.AddEdge(2, 0, 17.0);
+  builder.AddEdge(0, 2, 1.0);
+  const Graph g = *builder.Build();
+  const auto df = DisparityFilter(g);
+  ASSERT_TRUE(df.ok());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_GE(df->at(id).score, 0.0);
+    EXPECT_LE(df->at(id).score, 1.0);
+  }
+}
+
+TEST(DisparityFilterTest, FailsOnEmptyGraph) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.ReserveNodes(3);
+  EXPECT_FALSE(DisparityFilter(*builder.Build()).ok());
+}
+
+TEST(DisparityFilterTest, HasNoSdev) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 2.0);
+  const auto df = DisparityFilter(*builder.Build());
+  ASSERT_TRUE(df.ok());
+  EXPECT_FALSE(df->has_sdev());
+}
+
+// Property sweep: for a two-edge node, score must match the closed form
+// 1 - (1 - share) regardless of the weights.
+class DisparityShareSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DisparityShareSweep, TwoEdgeNodeClosedForm) {
+  const double w = GetParam();
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, w);        // edge under test at node 0
+  builder.AddEdge(0, 2, 10.0);     // competitor
+  // Bulk up nodes 1 and 2 so node 0's perspective is the binding one.
+  for (NodeId other = 3; other <= 12; ++other) {
+    builder.AddEdge(1, other, 50.0);
+    builder.AddEdge(2, other, 50.0);
+  }
+  const Graph g = *builder.Build();
+  const auto df = DisparityFilter(g);
+  ASSERT_TRUE(df.ok());
+  const double share = w / (w + 10.0);
+  const double from_zero = 1.0 - DisparityPValue(share, 2);
+  // The edge's score is at least the node-0 test (kEither takes the max).
+  EXPECT_GE(df->at(g.FindEdge(0, 1)).score, from_zero - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightSweep, DisparityShareSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
+                                           20.0, 100.0));
+
+}  // namespace
+}  // namespace netbone

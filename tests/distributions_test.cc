@@ -1,0 +1,137 @@
+// Tests for the Beta/Binomial machinery of the NC null model: moments,
+// method-of-moments fitting (paper Eqs. 5-8), and the hypergeometric prior.
+
+#include "stats/distributions.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace netbone {
+namespace {
+
+TEST(BetaMomentsTest, KnownDistribution) {
+  // Beta(2, 3): mean 0.4, variance 0.04.
+  const BetaParams params{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(BetaMean(params), 0.4);
+  EXPECT_DOUBLE_EQ(BetaVariance(params), 2.0 * 3.0 / (25.0 * 6.0));
+}
+
+TEST(FitBetaTest, RecoversKnownParameters) {
+  const BetaParams truth{2.0, 3.0};
+  const auto fitted = FitBetaByMoments(BetaMean(truth), BetaVariance(truth));
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->alpha, 2.0, 1e-10);
+  EXPECT_NEAR(fitted->beta, 3.0, 1e-10);
+}
+
+TEST(FitBetaTest, RejectsInvalidMoments) {
+  EXPECT_FALSE(FitBetaByMoments(0.0, 0.01).ok());
+  EXPECT_FALSE(FitBetaByMoments(1.0, 0.01).ok());
+  EXPECT_FALSE(FitBetaByMoments(0.5, 0.0).ok());
+  // Variance above the Beta bound mu(1-mu).
+  EXPECT_FALSE(FitBetaByMoments(0.5, 0.3).ok());
+}
+
+TEST(FitBetaTest, PaperEq8EqualsStandardForm) {
+  // Eq. 8: beta = mu((1-mu)^2/sigma^2 + 1) - 1 must equal the standard
+  // method-of-moments (1-mu)(mu(1-mu)/sigma^2 - 1).
+  const double mu = 0.037, var = 2.9e-4;
+  const auto fitted = FitBetaByMoments(mu, var);
+  ASSERT_TRUE(fitted.ok());
+  const double standard = (1.0 - mu) * (mu * (1.0 - mu) / var - 1.0);
+  EXPECT_NEAR(fitted->beta, standard, 1e-10);
+}
+
+TEST(FitBetaTest, ErratumVariantDiffersByMuSquaredTerm) {
+  // The Python module uses (1 - mu^2); for tiny mu the difference is
+  // O(mu^2 / sigma^2 * mu) — measurable but small.
+  const double mu = 0.01, var = 1e-5;
+  const auto paper = FitBetaByMoments(mu, var);
+  const auto erratum = FitBetaByMomentsPythonErratum(mu, var);
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(erratum.ok());
+  EXPECT_DOUBLE_EQ(paper->alpha, erratum->alpha);
+  EXPECT_NE(paper->beta, erratum->beta);
+  EXPECT_NEAR(paper->beta, erratum->beta, 0.05 * paper->beta);
+}
+
+TEST(BinomialVarianceTest, Formula) {
+  EXPECT_DOUBLE_EQ(BinomialVariance(100.0, 0.3), 21.0);
+  EXPECT_DOUBLE_EQ(BinomialVariance(100.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialVariance(100.0, 1.0), 0.0);
+}
+
+TEST(PriorMomentsTest, MatchesPaperFormulas) {
+  const double ni = 50.0, nj = 14.0, total = 108.0;
+  const PriorMoments prior = HypergeometricPriorMoments(ni, nj, total);
+  EXPECT_DOUBLE_EQ(prior.mean, ni * nj / (total * total));
+  EXPECT_DOUBLE_EQ(prior.variance,
+                   ni * nj * (total - ni) * (total - nj) /
+                       (total * total * total * total * (total - 1.0)));
+}
+
+TEST(PriorMomentsTest, DegenerateWhenMarginalIsTotal) {
+  // A node holding the entire network weight leaves no room for variance.
+  const PriorMoments prior = HypergeometricPriorMoments(100.0, 30.0, 100.0);
+  EXPECT_DOUBLE_EQ(prior.variance, 0.0);
+}
+
+TEST(PriorMomentsTest, TinyNetworkGuard) {
+  const PriorMoments prior = HypergeometricPriorMoments(1.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(prior.variance, 0.0);  // n.. - 1 == 0 guard
+}
+
+// Property sweep: fit-then-evaluate must round-trip moments across a grid
+// of valid (mean, variance) pairs.
+using MomentPair = std::tuple<double, double>;
+class BetaRoundTripTest : public ::testing::TestWithParam<MomentPair> {};
+
+TEST_P(BetaRoundTripTest, MomentsRoundTrip) {
+  const auto [mean, variance_share] = GetParam();
+  // variance expressed as a share of the Beta bound mu(1-mu).
+  const double variance = variance_share * mean * (1.0 - mean);
+  const auto fitted = FitBetaByMoments(mean, variance);
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  EXPECT_GT(fitted->alpha, 0.0);
+  EXPECT_GT(fitted->beta, 0.0);
+  EXPECT_NEAR(BetaMean(*fitted), mean, 1e-9);
+  EXPECT_NEAR(BetaVariance(*fitted), variance, 1e-9 * variance + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MomentGrid, BetaRoundTripTest,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.1, 0.3, 0.5, 0.7,
+                                         0.9, 0.99),
+                       ::testing::Values(0.05, 0.2, 0.5, 0.9)));
+
+// Property sweep: the hypergeometric prior is always a valid Beta target
+// for interior marginals.
+using MarginalConfig = std::tuple<double, double, double>;
+class PriorValidityTest : public ::testing::TestWithParam<MarginalConfig> {};
+
+TEST_P(PriorValidityTest, PriorIsFittable) {
+  const auto [ni, nj, total] = GetParam();
+  const PriorMoments prior = HypergeometricPriorMoments(ni, nj, total);
+  ASSERT_GT(prior.mean, 0.0);
+  ASSERT_LT(prior.mean, 1.0);
+  ASSERT_GT(prior.variance, 0.0);
+  const auto fitted = FitBetaByMoments(prior.mean, prior.variance);
+  ASSERT_TRUE(fitted.ok()) << "ni=" << ni << " nj=" << nj
+                           << " total=" << total << ": "
+                           << fitted.status().ToString();
+  EXPECT_GT(fitted->alpha, 0.0);
+  EXPECT_GT(fitted->beta, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MarginalGrid, PriorValidityTest,
+    ::testing::Values(MarginalConfig{10.0, 10.0, 100.0},
+                      MarginalConfig{1.0, 1.0, 10.0},
+                      MarginalConfig{50.0, 3.0, 200.0},
+                      MarginalConfig{900.0, 900.0, 2000.0},
+                      MarginalConfig{5.0, 1000.0, 50000.0},
+                      MarginalConfig{2.0, 2.0, 1000000.0}));
+
+}  // namespace
+}  // namespace netbone

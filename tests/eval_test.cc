@@ -1,0 +1,295 @@
+// Tests for the evaluation substrate: Coverage (Sec. V-D), Recovery
+// (Sec. V-A), Stability (Sec. V-F), Quality (Sec. V-E), and edge budgets.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/naive.h"
+#include "eval/coverage.h"
+#include "eval/edge_budget.h"
+#include "eval/quality.h"
+#include "eval/recovery.h"
+#include "eval/stability.h"
+#include "graph/builder.h"
+#include "graph/temporal.h"
+#include "graph/transform.h"
+
+namespace netbone {
+namespace {
+
+Graph MakeStar() {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 4.0);
+  builder.AddEdge(0, 2, 3.0);
+  builder.AddEdge(0, 3, 2.0);
+  builder.AddEdge(0, 4, 1.0);
+  return *builder.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Coverage.
+// ---------------------------------------------------------------------------
+
+TEST(CoverageTest, FullBackboneHasCoverageOne) {
+  const Graph g = MakeStar();
+  const auto c = Coverage(g, g);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 1.0);
+}
+
+TEST(CoverageTest, DroppingALeafEdgeIsolatesIt) {
+  const Graph g = MakeStar();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const BackboneMask top3 = TopK(*nt, 3);  // drops edge 0-4
+  const auto c = CoverageOfMask(g, top3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 4.0 / 5.0);
+  // Materialized version agrees.
+  const auto backbone = ApplyMask(g, top3);
+  ASSERT_TRUE(backbone.ok());
+  const auto c2 = Coverage(g, *backbone);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_DOUBLE_EQ(*c2, *c);
+}
+
+TEST(CoverageTest, OriginalIsolatesAreExcludedFromDenominator) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.ReserveNodes(10);  // 8 isolates
+  const Graph g = *builder.Build();
+  const auto c = Coverage(g, g);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 1.0);  // 2/2, not 2/10
+}
+
+TEST(CoverageTest, ErrorCases) {
+  const Graph g = MakeStar();
+  GraphBuilder empty(Directedness::kUndirected);
+  empty.ReserveNodes(5);
+  const Graph no_edges = *empty.Build();
+  EXPECT_FALSE(Coverage(no_edges, no_edges).ok());  // all isolates
+  GraphBuilder other(Directedness::kUndirected);
+  other.AddEdge(0, 1, 1.0);
+  EXPECT_FALSE(Coverage(g, *other.Build()).ok());  // universe mismatch
+  BackboneMask bad;
+  bad.keep = {true};
+  EXPECT_FALSE(CoverageOfMask(g, bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, JaccardOfMasks) {
+  const std::vector<bool> truth = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(*JaccardRecovery({true, true, false, false}, truth),
+                   1.0);
+  EXPECT_DOUBLE_EQ(*JaccardRecovery({true, false, true, false}, truth),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(*JaccardRecovery({false, false, true, true}, truth),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      *JaccardRecovery({false, false, false, false},
+                       {false, false, false, false}),
+      1.0);
+  EXPECT_FALSE(JaccardRecovery({true}, truth).ok());
+}
+
+TEST(RecoveryTest, JaccardOfEdgeSets) {
+  GraphBuilder a(Directedness::kUndirected);
+  a.AddEdge(0, 1, 1.0);
+  a.AddEdge(1, 2, 1.0);
+  GraphBuilder b(Directedness::kUndirected);
+  b.AddEdge(1, 0, 5.0);  // same undirected pair as (0,1)
+  b.AddEdge(2, 3, 1.0);
+  const auto j = JaccardEdgeSets(*a.Build(), *b.Build());
+  ASSERT_TRUE(j.ok());
+  EXPECT_DOUBLE_EQ(*j, 1.0 / 3.0);  // intersection {0-1}; union 3 pairs
+}
+
+TEST(RecoveryTest, JaccardEdgeSetsDirednessMismatch) {
+  GraphBuilder a(Directedness::kUndirected);
+  a.AddEdge(0, 1, 1.0);
+  GraphBuilder b(Directedness::kDirected);
+  b.AddEdge(0, 1, 1.0);
+  EXPECT_FALSE(JaccardEdgeSets(*a.Build(), *b.Build()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Stability.
+// ---------------------------------------------------------------------------
+
+TEST(StabilityTest, IdenticalYearsArePerfectlyStable) {
+  const Graph g = MakeStar();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const auto s = Stability(g, g, TopK(*nt, 4));
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(*s, 1.0, 1e-12);
+}
+
+TEST(StabilityTest, ScrambledYearIsUnstable) {
+  // Year t+1 reverses the weight ranking.
+  GraphBuilder builder_t1(Directedness::kUndirected);
+  builder_t1.AddEdge(0, 1, 1.0);
+  builder_t1.AddEdge(0, 2, 2.0);
+  builder_t1.AddEdge(0, 3, 3.0);
+  builder_t1.AddEdge(0, 4, 4.0);
+  const Graph year_t = MakeStar();
+  const Graph year_t1 = *builder_t1.Build();
+  const auto nt = NaiveThreshold(year_t);
+  ASSERT_TRUE(nt.ok());
+  const auto s = Stability(year_t, year_t1, TopK(*nt, 4));
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(*s, -1.0, 1e-12);
+}
+
+TEST(StabilityTest, MissingPairsCountAsZero) {
+  GraphBuilder builder_t1(Directedness::kUndirected);
+  builder_t1.AddEdge(0, 1, 4.0);
+  builder_t1.AddEdge(0, 2, 3.0);
+  builder_t1.ReserveNodes(5);  // edges 0-3, 0-4 vanish in year t+1
+  const Graph year_t = MakeStar();
+  const Graph year_t1 = *builder_t1.Build();
+  const auto nt = NaiveThreshold(year_t);
+  ASSERT_TRUE(nt.ok());
+  const auto s = Stability(year_t, year_t1, TopK(*nt, 4));
+  ASSERT_TRUE(s.ok());
+  // Vanished pairs weigh 0 and tie at the bottom ranks; the correlation
+  // stays positive but below 1.
+  EXPECT_GT(*s, 0.5);
+  EXPECT_LT(*s, 1.0);
+}
+
+TEST(StabilityTest, NeedsAtLeastThreeEdges) {
+  const Graph g = MakeStar();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  EXPECT_FALSE(Stability(g, g, TopK(*nt, 2)).ok());
+}
+
+TEST(StabilityTest, MeanStabilityAveragesConsecutivePairs) {
+  const Graph g = MakeStar();
+  const auto network =
+      TemporalNetwork::Create({g, g, g}, "test");
+  ASSERT_TRUE(network.ok());
+  const auto mean = MeanStability(*network, [](const Graph& year) {
+    Result<ScoredEdges> nt = NaiveThreshold(year);
+    if (!nt.ok()) return Result<BackboneMask>(nt.status());
+    return Result<BackboneMask>(TopK(*nt, 4));
+  });
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(*mean, 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Quality.
+// ---------------------------------------------------------------------------
+
+TEST(QualityTest, NoiselessSubsetRaisesRSquared) {
+  // Construct a network where log(w+1) = 2x exactly on "signal" edges and
+  // is pure noise on the rest; restricting to signal edges must raise R².
+  Rng rng(5);
+  GraphBuilder builder(Directedness::kDirected);
+  std::vector<double> predictor;
+  std::vector<bool> is_signal;
+  NodeId next = 0;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = next++;
+    const NodeId b = next++;
+    const double x = rng.Uniform(0.0, 3.0);
+    const bool signal = i % 2 == 0;
+    const double log_w = signal ? 2.0 * x : rng.Uniform(0.0, 6.0);
+    builder.AddEdge(a, b, std::exp(log_w) - 1.0);
+  }
+  const Graph g = *builder.Build();
+  // Predictor columns aligned with the *sorted* edge table: recompute from
+  // the edge weights (invert the construction for signal edges; noise
+  // edges get an independent draw).
+  // Simpler: use a fresh deterministic predictor equal to log1p(w)/2 on
+  // signal edges (perfect fit there) and random elsewhere.
+  Rng rng2(9);
+  predictor.reserve(static_cast<size_t>(g.num_edges()));
+  is_signal.reserve(static_cast<size_t>(g.num_edges()));
+  BackboneMask mask;
+  mask.keep.assign(static_cast<size_t>(g.num_edges()), false);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    const bool signal = (std::min(e.src, e.dst) / 1) % 4 < 2;  // pairs 2i,2i+1 -> i%2
+    // signal iff the pair index is even: pair index = src/2.
+    const bool truly_signal = (e.src / 2) % 2 == 0;
+    (void)signal;
+    is_signal.push_back(truly_signal);
+    if (truly_signal) {
+      predictor.push_back(std::log1p(e.weight) / 2.0);
+      mask.keep[static_cast<size_t>(id)] = true;
+      ++mask.kept;
+    } else {
+      predictor.push_back(rng2.Uniform(0.0, 3.0));
+    }
+  }
+  const auto q = QualityRatio(g, {predictor}, mask);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_GT(q->r2_backbone, 0.99);
+  EXPECT_LT(q->r2_full, 0.9);
+  EXPECT_GT(q->ratio, 1.0);
+  EXPECT_EQ(q->n_full, g.num_edges());
+  EXPECT_EQ(q->n_backbone, mask.kept);
+}
+
+TEST(QualityTest, ValidatesShapes) {
+  const Graph g = MakeStar();
+  BackboneMask mask;
+  mask.keep.assign(4, true);
+  mask.kept = 4;
+  EXPECT_FALSE(QualityRatio(g, {{1.0, 2.0}}, mask).ok());  // bad column
+  BackboneMask bad_mask;
+  bad_mask.keep.assign(2, true);
+  EXPECT_FALSE(
+      QualityRatio(g, {{1.0, 2.0, 3.0, 4.0}}, bad_mask).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Edge budgets.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeBudgetTest, CountAboveScore) {
+  const Graph g = MakeStar();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  EXPECT_EQ(CountAboveScore(*nt, 0.0), 4);
+  EXPECT_EQ(CountAboveScore(*nt, 2.0), 2);
+  EXPECT_EQ(CountAboveScore(*nt, 10.0), 0);
+}
+
+TEST(EdgeBudgetTest, HssBudgetOnStarIsAllEdges) {
+  // Every star edge lies on every shortest path tree: salience 1 > 0.5.
+  const Graph g = MakeStar();
+  const auto budget = HssEdgeBudget(g);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 4);
+}
+
+TEST(EdgeBudgetTest, BudgetedBackboneRespectsBudget) {
+  const Graph g = MakeStar();
+  for (const Method m : {Method::kNaiveThreshold, Method::kNoiseCorrected,
+                         Method::kDisparityFilter,
+                         Method::kHighSalienceSkeleton}) {
+    const auto mask = BudgetedBackbone(m, g, 2);
+    ASSERT_TRUE(mask.ok()) << MethodName(m);
+    EXPECT_EQ(mask->kept, 2) << MethodName(m);
+  }
+}
+
+TEST(EdgeBudgetTest, MstIgnoresBudget) {
+  const Graph g = MakeStar();
+  const auto mask = BudgetedBackbone(Method::kMaximumSpanningTree, g, 1);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->kept, 4);  // the star's spanning tree is all 4 edges
+}
+
+}  // namespace
+}  // namespace netbone

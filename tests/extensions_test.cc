@@ -1,0 +1,314 @@
+// Tests for the paper's future-work extensions implemented in this repo:
+// noise-corrected change detection and the multilayer NC backbone
+// (conclusion, Sec. VII).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/change_detection.h"
+#include "core/multilayer.h"
+#include "core/filter.h"
+#include "gen/countries.h"
+#include "graph/builder.h"
+
+namespace netbone {
+namespace {
+
+Graph MakeSnapshot(double special_weight) {
+  // Dense-ish 6-node network; one designated pair carries the varying
+  // weight, everything else is fixed background.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, special_weight);
+  builder.AddEdge(0, 2, 100.0);
+  builder.AddEdge(0, 3, 120.0);
+  builder.AddEdge(1, 2, 90.0);
+  builder.AddEdge(1, 3, 110.0);
+  builder.AddEdge(2, 3, 100.0);
+  builder.AddEdge(2, 4, 80.0);
+  builder.AddEdge(3, 5, 90.0);
+  builder.AddEdge(4, 5, 100.0);
+  return *builder.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Change detection.
+// ---------------------------------------------------------------------------
+
+TEST(ChangeDetectionTest, IdenticalSnapshotsShowNoChange) {
+  const Graph g = MakeSnapshot(100.0);
+  const auto report = DetectChanges(g, g);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->significant_count, 0);
+  EXPECT_EQ(report->evaluated_pairs, g.num_edges());
+  for (const EdgeChange& change : report->changes) {
+    EXPECT_NEAR(change.z, 0.0, 1e-12);
+    EXPECT_FALSE(change.significant);
+  }
+}
+
+TEST(ChangeDetectionTest, LargeSingleEdgeChangeIsFlagged) {
+  const Graph before = MakeSnapshot(100.0);
+  const Graph after = MakeSnapshot(600.0);
+  const auto report = DetectChanges(before, after);
+  ASSERT_TRUE(report.ok());
+  // The 0-1 pair must be flagged with a positive z. Note that other pairs
+  // can legitimately flag too: when one pair grabs a much larger share of
+  // the network total, every other pair's *relative* salience genuinely
+  // drops — the lift is defined against the snapshot's marginals.
+  const EdgeChange* special = nullptr;
+  for (const EdgeChange& change : report->changes) {
+    if (change.src == 0 && change.dst == 1) special = &change;
+  }
+  ASSERT_NE(special, nullptr);
+  EXPECT_TRUE(special->significant);
+  EXPECT_GT(special->z, 1.64);
+  EXPECT_GT(special->lift_after, special->lift_before);
+}
+
+TEST(ChangeDetectionTest, GlobalScalingIsNotAChange) {
+  // Doubling every weight changes no lift: the NC transform is expressed
+  // relative to each snapshot's marginals.
+  const Graph before = MakeSnapshot(100.0);
+  GraphBuilder doubled_builder(Directedness::kUndirected);
+  for (const Edge& e : before.edges()) {
+    doubled_builder.AddEdge(e.src, e.dst, 2.0 * e.weight);
+  }
+  const Graph after = *doubled_builder.Build();
+  const auto report = DetectChanges(before, after);
+  ASSERT_TRUE(report.ok());
+  for (const EdgeChange& change : report->changes) {
+    EXPECT_NEAR(change.lift_after, change.lift_before, 1e-12);
+  }
+  EXPECT_EQ(report->significant_count, 0);
+}
+
+TEST(ChangeDetectionTest, VanishedEdgeCountsAsChange) {
+  const Graph before = MakeSnapshot(400.0);
+  // Remove the 0-1 edge entirely in the second snapshot.
+  GraphBuilder builder(Directedness::kUndirected);
+  for (const Edge& e : before.edges()) {
+    if (!(e.src == 0 && e.dst == 1)) {
+      builder.AddEdge(e.src, e.dst, e.weight);
+    }
+  }
+  const Graph after = *builder.Build();
+  ChangeDetectionOptions options;
+  options.delta = 1.0;
+  const auto report = DetectChanges(before, after, options);
+  ASSERT_TRUE(report.ok());
+  bool found = false;
+  for (const EdgeChange& change : report->changes) {
+    if (change.src == 0 && change.dst == 1) {
+      found = true;
+      EXPECT_DOUBLE_EQ(change.weight_after, 0.0);
+      EXPECT_DOUBLE_EQ(change.lift_after, -1.0);
+      EXPECT_LT(change.z, -1.0);
+      EXPECT_TRUE(change.significant);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChangeDetectionTest, MissingPairsCanBeSkipped) {
+  const Graph before = MakeSnapshot(400.0);
+  GraphBuilder builder(Directedness::kUndirected);
+  for (const Edge& e : before.edges()) {
+    if (!(e.src == 0 && e.dst == 1)) {
+      builder.AddEdge(e.src, e.dst, e.weight);
+    }
+  }
+  const Graph after = *builder.Build();
+  ChangeDetectionOptions options;
+  options.include_missing_pairs = false;
+  const auto report = DetectChanges(before, after, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->evaluated_pairs, before.num_edges() - 1);
+}
+
+TEST(ChangeDetectionTest, HigherDeltaFlagsFewerChanges) {
+  const auto suite = GenerateCountrySuite(/*seed=*/5, /*num_years=*/2,
+                                          /*num_countries=*/40);
+  ASSERT_TRUE(suite.ok());
+  const TemporalNetwork& trade =
+      suite->network(CountryNetworkKind::kTrade);
+  int64_t previous = std::numeric_limits<int64_t>::max();
+  for (const double delta : {1.0, 1.64, 2.32, 5.0}) {
+    ChangeDetectionOptions options;
+    options.delta = delta;
+    const auto report =
+        DetectChanges(trade.snapshot(0), trade.snapshot(1), options);
+    ASSERT_TRUE(report.ok());
+    EXPECT_LE(report->significant_count, previous);
+    previous = report->significant_count;
+  }
+}
+
+TEST(ChangeDetectionTest, RejectsMismatchedSnapshots) {
+  const Graph g = MakeSnapshot(100.0);
+  GraphBuilder other(Directedness::kUndirected);
+  other.AddEdge(0, 1, 1.0);
+  EXPECT_FALSE(DetectChanges(g, *other.Build()).ok());
+
+  GraphBuilder directed(Directedness::kDirected);
+  directed.ReserveNodes(g.num_nodes());
+  directed.AddEdge(0, 1, 1.0);
+  EXPECT_FALSE(DetectChanges(g, *directed.Build()).ok());
+
+  ChangeDetectionOptions pvalue;
+  pvalue.nc_options.use_binomial_pvalue = true;
+  EXPECT_FALSE(DetectChanges(g, g, pvalue).ok());
+}
+
+TEST(ChangeDetectionTest, LiftChangeZMatchesDefinition) {
+  const auto a = NoiseCorrectedEdge(5.0, 20.0, 20.0, 100.0);
+  const auto b = NoiseCorrectedEdge(9.0, 20.0, 20.0, 100.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const double expected =
+      (b->transformed_lift - a->transformed_lift) /
+      std::sqrt(a->variance_lift + b->variance_lift);
+  EXPECT_DOUBLE_EQ(LiftChangeZ(*a, *b), expected);
+  EXPECT_DOUBLE_EQ(LiftChangeZ(*a, *a), 0.0);
+  EXPECT_DOUBLE_EQ(LiftChangeZ(*b, *a), -expected);
+}
+
+// ---------------------------------------------------------------------------
+// Multilayer NC.
+// ---------------------------------------------------------------------------
+
+MultilayerNetwork MakeTwoLayers() {
+  // Layer A: hub 0 dominates. Layer B: the same nodes, but pair 1-2 is
+  // strong while the hub is quiet.
+  GraphBuilder a(Directedness::kUndirected);
+  a.AddEdge(0, 1, 20.0);
+  a.AddEdge(0, 2, 20.0);
+  a.AddEdge(0, 3, 20.0);
+  a.AddEdge(1, 2, 2.0);
+  a.AddEdge(2, 3, 2.0);
+  GraphBuilder b(Directedness::kUndirected);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(0, 2, 2.0);
+  b.AddEdge(0, 3, 2.0);
+  b.AddEdge(1, 2, 15.0);
+  b.AddEdge(2, 3, 2.0);
+  auto network = MultilayerNetwork::Create({*a.Build(), *b.Build()},
+                                           {"hubby", "peery"});
+  return *std::move(network);
+}
+
+TEST(MultilayerTest, CreateValidatesLayers) {
+  GraphBuilder a(Directedness::kUndirected);
+  a.AddEdge(0, 1, 1.0);
+  GraphBuilder b(Directedness::kUndirected);
+  b.AddEdge(0, 3, 1.0);  // 4 nodes vs 2
+  EXPECT_FALSE(MultilayerNetwork::Create({*a.Build(), *b.Build()}).ok());
+  EXPECT_FALSE(MultilayerNetwork::Create({}).ok());
+  GraphBuilder c(Directedness::kDirected);
+  c.ReserveNodes(2);
+  c.AddEdge(0, 1, 1.0);
+  GraphBuilder a2(Directedness::kUndirected);
+  a2.AddEdge(0, 1, 1.0);
+  EXPECT_FALSE(MultilayerNetwork::Create({*a2.Build(), *c.Build()}).ok());
+}
+
+TEST(MultilayerTest, ZeroCouplingEqualsIndependentNc) {
+  const MultilayerNetwork network = MakeTwoLayers();
+  MultilayerNcOptions options;
+  options.coupling = 0.0;
+  const auto coupled = MultilayerNoiseCorrected(network, options);
+  ASSERT_TRUE(coupled.ok()) << coupled.status().ToString();
+  ASSERT_EQ(coupled->size(), 2u);
+  for (int64_t l = 0; l < network.num_layers(); ++l) {
+    const auto independent = NoiseCorrected(network.layer(l));
+    ASSERT_TRUE(independent.ok());
+    for (EdgeId id = 0; id < independent->size(); ++id) {
+      EXPECT_NEAR((*coupled)[static_cast<size_t>(l)].at(id).score,
+                  independent->at(id).score, 1e-12);
+      EXPECT_NEAR((*coupled)[static_cast<size_t>(l)].at(id).sdev,
+                  independent->at(id).sdev, 1e-12);
+    }
+  }
+}
+
+TEST(MultilayerTest, CouplingJudgesLayersByCrossLayerPropensity) {
+  // Node 0 is a hub in layer A. Under full coupling, its layer-B edges
+  // are judged against its cross-layer propensity to connect — the hub's
+  // quiet layer-B links become LESS surprising (score drops), while the
+  // 1-2 pair (under-active across the multiplex relative to within layer
+  // B) becomes MORE surprising.
+  const MultilayerNetwork network = MakeTwoLayers();
+  MultilayerNcOptions independent;
+  independent.coupling = 0.0;
+  MultilayerNcOptions coupled;
+  coupled.coupling = 1.0;
+  const auto without = MultilayerNoiseCorrected(network, independent);
+  const auto with = MultilayerNoiseCorrected(network, coupled);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  const Graph& layer_b = network.layer(1);
+  const EdgeId hub_edge = layer_b.FindEdge(0, 3);
+  const EdgeId peer_edge = layer_b.FindEdge(1, 2);
+  ASSERT_GE(hub_edge, 0);
+  ASSERT_GE(peer_edge, 0);
+  EXPECT_LT((*with)[1].at(hub_edge).score,
+            (*without)[1].at(hub_edge).score);
+  EXPECT_GT((*with)[1].at(peer_edge).score,
+            (*without)[1].at(peer_edge).score);
+  // Either way, the peripheral pair outranks the hub edge more clearly
+  // under coupling.
+  EXPECT_GT((*with)[1].at(peer_edge).score - (*with)[1].at(hub_edge).score,
+            (*without)[1].at(peer_edge).score -
+                (*without)[1].at(hub_edge).score);
+}
+
+TEST(MultilayerTest, ScoresStayInRangeAcrossCouplings) {
+  const MultilayerNetwork network = MakeTwoLayers();
+  for (const double gamma : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    MultilayerNcOptions options;
+    options.coupling = gamma;
+    const auto scored = MultilayerNoiseCorrected(network, options);
+    ASSERT_TRUE(scored.ok()) << "gamma=" << gamma;
+    for (const ScoredEdges& layer : *scored) {
+      for (EdgeId id = 0; id < layer.size(); ++id) {
+        EXPECT_GE(layer.at(id).score, -1.0);
+        EXPECT_LT(layer.at(id).score, 1.0);
+        EXPECT_GE(layer.at(id).sdev, 0.0);
+      }
+    }
+  }
+}
+
+TEST(MultilayerTest, RejectsBadCoupling) {
+  const MultilayerNetwork network = MakeTwoLayers();
+  MultilayerNcOptions options;
+  options.coupling = 1.5;
+  EXPECT_FALSE(MultilayerNoiseCorrected(network, options).ok());
+  options.coupling = -0.1;
+  EXPECT_FALSE(MultilayerNoiseCorrected(network, options).ok());
+}
+
+TEST(MultilayerTest, WorksOnCountrySuiteLayers) {
+  // Trade + Business + Flight as three layers of one country multiplex.
+  const auto suite = GenerateCountrySuite(/*seed=*/9, /*num_years=*/1,
+                                          /*num_countries=*/40);
+  ASSERT_TRUE(suite.ok());
+  auto network = MultilayerNetwork::Create(
+      {suite->network(CountryNetworkKind::kTrade).front(),
+       suite->network(CountryNetworkKind::kBusiness).front(),
+       suite->network(CountryNetworkKind::kFlight).front()},
+      {"trade", "business", "flight"});
+  ASSERT_TRUE(network.ok()) << network.status().ToString();
+  const auto scored = MultilayerNoiseCorrected(*network, {.coupling = 0.5});
+  ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+  ASSERT_EQ(scored->size(), 3u);
+  for (size_t l = 0; l < 3; ++l) {
+    EXPECT_EQ((*scored)[l].size(), network->layer(l).num_edges());
+    const BackboneMask mask = FilterByDelta((*scored)[l], 1.64);
+    EXPECT_GT(mask.kept, 0);
+    EXPECT_LT(mask.kept, network->layer(l).num_edges());
+  }
+}
+
+}  // namespace
+}  // namespace netbone

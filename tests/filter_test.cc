@@ -1,0 +1,189 @@
+// Tests for the thresholding stage: score filters, the NC delta rule,
+// exact edge budgets (TopK), share sweeps, grow-until-connected, and mask
+// materialization.
+
+#include "core/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/noise_corrected.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+
+namespace netbone {
+namespace {
+
+Graph MakeWeightedPath() {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 2.0);
+  builder.AddEdge(2, 3, 3.0);
+  builder.AddEdge(3, 4, 4.0);
+  builder.AddEdge(4, 5, 5.0);
+  return *builder.Build();
+}
+
+TEST(FilterTest, FilterByScoreIsStrict) {
+  const Graph g = MakeWeightedPath();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  EXPECT_EQ(FilterByScore(*nt, 0.0).kept, 5);
+  EXPECT_EQ(FilterByScore(*nt, 3.0).kept, 2);  // strictly greater
+  EXPECT_EQ(FilterByScore(*nt, 5.0).kept, 0);
+}
+
+TEST(FilterTest, TopKExactCount) {
+  const Graph g = MakeWeightedPath();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  for (int64_t k = 0; k <= 7; ++k) {
+    const BackboneMask mask = TopK(*nt, k);
+    EXPECT_EQ(mask.kept, std::min<int64_t>(k, 5)) << "k=" << k;
+  }
+}
+
+TEST(FilterTest, TopKKeepsHighestScores) {
+  const Graph g = MakeWeightedPath();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const BackboneMask mask = TopK(*nt, 2);
+  EXPECT_TRUE(mask.keep[static_cast<size_t>(g.FindEdge(4, 5))]);
+  EXPECT_TRUE(mask.keep[static_cast<size_t>(g.FindEdge(3, 4))]);
+  EXPECT_FALSE(mask.keep[static_cast<size_t>(g.FindEdge(0, 1))]);
+}
+
+TEST(FilterTest, TopKTieBreakIsDeterministic) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(1, 2, 2.0);
+  builder.AddEdge(2, 3, 2.0);
+  const Graph g = *builder.Build();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const BackboneMask a = TopK(*nt, 2);
+  const BackboneMask b = TopK(*nt, 2);
+  EXPECT_EQ(a.keep, b.keep);
+  EXPECT_EQ(a.kept, 2);
+  // Ties break toward the lower edge id.
+  EXPECT_TRUE(a.keep[0]);
+  EXPECT_TRUE(a.keep[1]);
+  EXPECT_FALSE(a.keep[2]);
+}
+
+TEST(FilterTest, TopShareRounds) {
+  const Graph g = MakeWeightedPath();  // 5 edges
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  EXPECT_EQ(TopShare(*nt, 1.0).kept, 5);
+  EXPECT_EQ(TopShare(*nt, 0.4).kept, 2);
+  EXPECT_EQ(TopShare(*nt, 0.5).kept, 3);  // llround(2.5) = 3
+  EXPECT_EQ(TopShare(*nt, 0.0).kept, 0);
+  EXPECT_DOUBLE_EQ(TopShare(*nt, 0.4).Share(), 0.4);
+}
+
+TEST(FilterTest, GrowUntilConnectedStopsAtSpanningSet) {
+  // Weights descend along a path, so growth must add every edge before the
+  // graph connects.
+  const Graph g = MakeWeightedPath();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const BackboneMask mask = GrowUntilConnected(*nt);
+  EXPECT_EQ(mask.kept, 5);
+}
+
+TEST(FilterTest, GrowUntilConnectedSkipsRedundantTail) {
+  // Clique where a spanning set arrives early: growth stops before adding
+  // every edge.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 10.0);
+  builder.AddEdge(0, 2, 9.0);
+  builder.AddEdge(0, 3, 8.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(1, 3, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  const Graph g = *builder.Build();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const BackboneMask mask = GrowUntilConnected(*nt);
+  EXPECT_EQ(mask.kept, 3);
+  const auto backbone = ApplyMask(g, mask);
+  ASSERT_TRUE(backbone.ok());
+  EXPECT_TRUE(IsConnected(*backbone));
+}
+
+TEST(FilterTest, GrowUntilConnectedIgnoresPreexistingIsolates) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.ReserveNodes(5);  // nodes 3 and 4 are isolates in the original
+  const Graph g = *builder.Build();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const BackboneMask mask = GrowUntilConnected(*nt);
+  EXPECT_EQ(mask.kept, 2);  // covers nodes 0, 1, 2 — isolates exempt
+}
+
+TEST(FilterTest, ApplyMaskPreservesNodeUniverse) {
+  const Graph g = MakeWeightedPath();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const auto backbone = ApplyMask(g, TopK(*nt, 2));
+  ASSERT_TRUE(backbone.ok());
+  EXPECT_EQ(backbone->num_nodes(), g.num_nodes());
+  EXPECT_EQ(backbone->num_edges(), 2);
+  // Kept edges are 3-4 and 4-5, so nodes 0, 1 and 2 all drop out.
+  EXPECT_EQ(backbone->CountIsolates(), 3);
+}
+
+TEST(FilterTest, MaskToEdgeIdsRoundTrip) {
+  const Graph g = MakeWeightedPath();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const BackboneMask mask = TopK(*nt, 3);
+  const auto ids = MaskToEdgeIds(mask);
+  EXPECT_EQ(static_cast<int64_t>(ids.size()), mask.kept);
+  for (const EdgeId id : ids) {
+    EXPECT_TRUE(mask.keep[static_cast<size_t>(id)]);
+  }
+}
+
+TEST(FilterTest, DeltaRuleUsesSdev) {
+  // Two synthetic edges with equal scores but different sdev: the noisy
+  // one is dropped first as delta grows.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 10.0);
+  builder.AddEdge(0, 2, 10.0);
+  builder.AddEdge(1, 2, 4.0);
+  builder.AddEdge(2, 3, 1.0);
+  const Graph g = *builder.Build();
+  const auto nc = NoiseCorrected(g);
+  ASSERT_TRUE(nc.ok());
+  // Sweep delta until everything is gone; kept count must be monotone and
+  // each surviving edge must satisfy the rule exactly.
+  int64_t prev = g.num_edges() + 1;
+  for (double delta = 0.0; delta < 50.0; delta += 0.5) {
+    const BackboneMask mask = FilterByDelta(*nc, delta);
+    EXPECT_LE(mask.kept, prev);
+    prev = mask.kept;
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+      const bool expected =
+          nc->at(id).score - delta * nc->at(id).sdev > 0.0;
+      EXPECT_EQ(mask.keep[static_cast<size_t>(id)], expected);
+    }
+  }
+}
+
+TEST(FilterTest, ScoreValuesExtraction) {
+  const Graph g = MakeWeightedPath();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  const auto values = nt->ScoreValues();
+  ASSERT_EQ(values.size(), 5u);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_DOUBLE_EQ(values[static_cast<size_t>(id)], g.edge(id).weight);
+  }
+}
+
+}  // namespace
+}  // namespace netbone

@@ -1,0 +1,256 @@
+// Tests for the synthetic generators: Erdős–Rényi, Barabási–Albert, the
+// planted partition, and the Sec. V-A noise model.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/noise_model.h"
+#include "gen/planted_partition.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+
+namespace netbone {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Erdős–Rényi.
+// ---------------------------------------------------------------------------
+
+TEST(ErdosRenyiTest, UndirectedEdgeCountMatchesAverageDegree) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 1000, .average_degree = 3.0, .seed = 1});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1500);  // n * k / 2
+  EXPECT_EQ(g->num_nodes(), 1000);
+  EXPECT_FALSE(g->directed());
+}
+
+TEST(ErdosRenyiTest, DirectedEdgeCount) {
+  ErdosRenyiOptions options;
+  options.num_nodes = 500;
+  options.average_degree = 2.0;
+  options.directedness = Directedness::kDirected;
+  options.seed = 2;
+  const auto g = GenerateErdosRenyi(options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1000);
+  EXPECT_TRUE(g->directed());
+}
+
+TEST(ErdosRenyiTest, WeightsWithinConfiguredRange) {
+  ErdosRenyiOptions options;
+  options.num_nodes = 200;
+  options.weight_lo = 5.0;
+  options.weight_hi = 7.0;
+  options.seed = 3;
+  const auto g = GenerateErdosRenyi(options);
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->edges()) {
+    EXPECT_GE(e.weight, 5.0);
+    EXPECT_LT(e.weight, 7.0);
+  }
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsOrDuplicates) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 100, .average_degree = 8.0, .seed = 4});
+  ASSERT_TRUE(g.ok());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    const Edge& e = g->edge(id);
+    EXPECT_NE(e.src, e.dst);
+    if (id > 0) {
+      const Edge& prev = g->edge(id - 1);
+      EXPECT_FALSE(prev.src == e.src && prev.dst == e.dst);
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  const auto a = GenerateErdosRenyi(
+      {.num_nodes = 100, .average_degree = 4.0, .seed = 77});
+  const auto b = GenerateErdosRenyi(
+      {.num_nodes = 100, .average_degree = 4.0, .seed = 77});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  for (EdgeId id = 0; id < a->num_edges(); ++id) {
+    EXPECT_EQ(a->edge(id), b->edge(id));
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleDensity) {
+  EXPECT_FALSE(GenerateErdosRenyi(
+                   {.num_nodes = 10, .average_degree = 20.0, .seed = 1})
+                   .ok());
+  EXPECT_FALSE(GenerateErdosRenyi(
+                   {.num_nodes = 1, .average_degree = 1.0, .seed = 1})
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Barabási–Albert.
+// ---------------------------------------------------------------------------
+
+TEST(BarabasiAlbertTest, AverageDegreeNearTarget) {
+  const auto g = GenerateBarabasiAlbert(
+      {.num_nodes = 2000, .average_degree = 3.0, .seed = 5});
+  ASSERT_TRUE(g.ok());
+  const double avg_degree =
+      2.0 * static_cast<double>(g->num_edges()) / g->num_nodes();
+  EXPECT_NEAR(avg_degree, 3.0, 0.3);
+}
+
+TEST(BarabasiAlbertTest, ProducesHubs) {
+  // Preferential attachment must produce a max degree far above the mean
+  // (scale-free-ish tail), unlike an ER graph of equal density.
+  const auto g = GenerateBarabasiAlbert(
+      {.num_nodes = 2000, .average_degree = 3.0, .seed = 6});
+  ASSERT_TRUE(g.ok());
+  int64_t max_degree = 0;
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g->out_degree(v));
+  }
+  EXPECT_GT(max_degree, 30);
+}
+
+TEST(BarabasiAlbertTest, ConnectedByConstruction) {
+  const auto g = GenerateBarabasiAlbert(
+      {.num_nodes = 300, .average_degree = 3.0, .seed = 7});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsConnected(*g));
+}
+
+TEST(BarabasiAlbertTest, UnitWeights) {
+  const auto g = GenerateBarabasiAlbert(
+      {.num_nodes = 100, .average_degree = 4.0, .seed = 8});
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->edges()) EXPECT_DOUBLE_EQ(e.weight, 1.0);
+}
+
+TEST(BarabasiAlbertTest, RejectsDegenerateParameters) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(
+                   {.num_nodes = 2, .average_degree = 3.0, .seed = 1})
+                   .ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(
+                   {.num_nodes = 100, .average_degree = 0.0, .seed = 1})
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Planted partition.
+// ---------------------------------------------------------------------------
+
+TEST(PlantedPartitionTest, IntraBlockEdgesAreHeavier) {
+  const auto pp = GeneratePlantedPartition({});
+  ASSERT_TRUE(pp.ok());
+  double intra_sum = 0.0, inter_sum = 0.0;
+  int64_t intra_n = 0, inter_n = 0;
+  for (const Edge& e : pp->graph.edges()) {
+    const bool same = pp->block[static_cast<size_t>(e.src)] ==
+                      pp->block[static_cast<size_t>(e.dst)];
+    (same ? intra_sum : inter_sum) += e.weight;
+    (same ? intra_n : inter_n) += 1;
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_GT(intra_sum / intra_n, 2.0 * inter_sum / inter_n);
+}
+
+TEST(PlantedPartitionTest, BlocksAreBalanced) {
+  PlantedPartitionOptions options;
+  options.num_nodes = 100;
+  options.num_blocks = 4;
+  const auto pp = GeneratePlantedPartition(options);
+  ASSERT_TRUE(pp.ok());
+  std::vector<int> counts(4, 0);
+  for (const int32_t b : pp->block) counts[static_cast<size_t>(b)]++;
+  for (const int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(PlantedPartitionTest, RejectsBadBlockCount) {
+  PlantedPartitionOptions options;
+  options.num_nodes = 3;
+  options.num_blocks = 5;
+  EXPECT_FALSE(GeneratePlantedPartition(options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sec. V-A noise model.
+// ---------------------------------------------------------------------------
+
+TEST(NoiseModelTest, WeightsRespectTheEtaBands) {
+  const auto truth = GenerateBarabasiAlbert(
+      {.num_nodes = 60, .average_degree = 3.0, .seed = 9});
+  ASSERT_TRUE(truth.ok());
+  const double eta = 0.2;
+  const auto noisy = ApplySectionVANoise(*truth, eta, 10);
+  ASSERT_TRUE(noisy.ok());
+  for (EdgeId id = 0; id < noisy->noisy.num_edges(); ++id) {
+    const Edge& e = noisy->noisy.edge(id);
+    const double degree_sum =
+        static_cast<double>(truth->out_degree(e.src)) +
+        static_cast<double>(truth->out_degree(e.dst));
+    const double fraction = e.weight / degree_sum;
+    if (noisy->ground_truth[static_cast<size_t>(id)]) {
+      // True edges: U(eta, 1) of the degree sum.
+      EXPECT_GE(fraction, eta);
+      EXPECT_LE(fraction, 1.0);
+    } else {
+      // Noise edges: U(0, eta).
+      EXPECT_LE(fraction, eta);
+    }
+  }
+}
+
+TEST(NoiseModelTest, GroundTruthMaskMatchesOriginalEdges) {
+  const auto truth = GenerateBarabasiAlbert(
+      {.num_nodes = 50, .average_degree = 3.0, .seed = 11});
+  ASSERT_TRUE(truth.ok());
+  const auto noisy = ApplySectionVANoise(*truth, 0.15, 12);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->num_true_edges, truth->num_edges());
+  for (EdgeId id = 0; id < noisy->noisy.num_edges(); ++id) {
+    const Edge& e = noisy->noisy.edge(id);
+    EXPECT_EQ(noisy->ground_truth[static_cast<size_t>(id)],
+              truth->FindEdge(e.src, e.dst) >= 0);
+  }
+}
+
+TEST(NoiseModelTest, NetworkBecomesDense) {
+  const auto truth = GenerateBarabasiAlbert(
+      {.num_nodes = 50, .average_degree = 3.0, .seed = 13});
+  ASSERT_TRUE(truth.ok());
+  const auto noisy = ApplySectionVANoise(*truth, 0.25, 14);
+  ASSERT_TRUE(noisy.ok());
+  // Nearly all of the 50*49/2 = 1225 pairs carry weight.
+  EXPECT_GT(noisy->noisy.num_edges(), 1100);
+}
+
+TEST(NoiseModelTest, ZeroEtaLeavesOnlyTrueEdges) {
+  const auto truth = GenerateBarabasiAlbert(
+      {.num_nodes = 40, .average_degree = 3.0, .seed = 15});
+  ASSERT_TRUE(truth.ok());
+  const auto noisy = ApplySectionVANoise(*truth, 0.0, 16);
+  ASSERT_TRUE(noisy.ok());
+  // U(0, 0) noise is identically zero: complement edges get no weight.
+  EXPECT_EQ(noisy->noisy.num_edges(), truth->num_edges());
+}
+
+TEST(NoiseModelTest, RejectsDirectedOrBadEta) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 1.0);
+  const Graph directed = *builder.Build();
+  EXPECT_FALSE(ApplySectionVANoise(directed, 0.1, 1).ok());
+  const auto truth = GenerateBarabasiAlbert(
+      {.num_nodes = 20, .average_degree = 3.0, .seed = 1});
+  ASSERT_TRUE(truth.ok());
+  EXPECT_FALSE(ApplySectionVANoise(*truth, -0.1, 1).ok());
+  EXPECT_FALSE(ApplySectionVANoise(*truth, 1.5, 1).ok());
+}
+
+}  // namespace
+}  // namespace netbone

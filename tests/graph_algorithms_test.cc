@@ -1,0 +1,222 @@
+// Tests for adjacency indexing, union-find, connected components,
+// shortest paths, and structural transforms.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/adjacency.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/paths.h"
+#include "graph/transform.h"
+#include "graph/union_find.h"
+
+namespace netbone {
+namespace {
+
+TEST(AdjacencyTest, UndirectedArcsAppearBothWays) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(1, 2, 3.0);
+  const Graph g = *builder.Build();
+  const Adjacency adj(g);
+  EXPECT_EQ(adj.out_arcs(0).size(), 1u);
+  EXPECT_EQ(adj.out_arcs(1).size(), 2u);
+  EXPECT_EQ(adj.out_arcs(2).size(), 1u);
+  EXPECT_EQ(adj.out_arcs(0)[0].neighbor, 1);
+  EXPECT_DOUBLE_EQ(adj.out_arcs(0)[0].weight, 2.0);
+}
+
+TEST(AdjacencyTest, DirectedSeparatesInAndOut) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 1, 1.0);
+  const Graph g = *builder.Build();
+  const Adjacency adj(g);
+  EXPECT_EQ(adj.out_arcs(1).size(), 0u);
+  EXPECT_EQ(adj.in_arcs(1).size(), 2u);
+  EXPECT_EQ(adj.out_arcs(0).size(), 1u);
+}
+
+TEST(AdjacencyTest, ArcEdgeIdsPointIntoEdgeTable) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(0, 2, 5.0);
+  const Graph g = *builder.Build();
+  const Adjacency adj(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Arc& arc : adj.out_arcs(v)) {
+      const Edge& e = g.edge(arc.edge);
+      EXPECT_TRUE((e.src == v && e.dst == arc.neighbor) ||
+                  (e.dst == v && e.src == arc.neighbor));
+      EXPECT_DOUBLE_EQ(e.weight, arc.weight);
+    }
+  }
+}
+
+TEST(UnionFindTest, BasicMergeSemantics) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(0, 3));
+  EXPECT_EQ(uf.num_sets(), 2);
+  EXPECT_TRUE(uf.Connected(1, 2));
+  EXPECT_FALSE(uf.Connected(1, 4));
+  EXPECT_EQ(uf.SetSize(3), 4);
+  EXPECT_EQ(uf.SetSize(4), 1);
+}
+
+TEST(ComponentsTest, CountsAndGiantSize) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(3, 4, 1.0);
+  builder.ReserveNodes(6);  // node 5 is an isolate
+  const Graph g = *builder.Build();
+  const Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.giant_size, 3);
+  EXPECT_EQ(c.component[0], c.component[2]);
+  EXPECT_NE(c.component[0], c.component[3]);
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ComponentsTest, DirectedUsesWeakConnectivity) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 1, 1.0);  // 0->1<-2 weakly connected
+  const Graph g = *builder.Build();
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DijkstraTest, ReciprocalWeightPrefersStrongEdges) {
+  // 0-1-2 strong detour vs weak direct 0-2 (HSS length convention).
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 10.0);
+  builder.AddEdge(1, 2, 10.0);
+  builder.AddEdge(0, 2, 1.0);
+  const Graph g = *builder.Build();
+  const Adjacency adj(g);
+  const ShortestPathTree tree = Dijkstra(adj, 0);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 0.2);  // via node 1
+  EXPECT_EQ(tree.parent[2], 1);
+}
+
+TEST(DijkstraTest, WeightLengthRuleUsesRawWeights) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 10.0);
+  builder.AddEdge(1, 2, 10.0);
+  builder.AddEdge(0, 2, 1.0);
+  const Graph g = *builder.Build();
+  const Adjacency adj(g);
+  DijkstraOptions options;
+  options.length_rule = DijkstraOptions::LengthRule::kWeight;
+  const ShortestPathTree tree = Dijkstra(adj, 0, options);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 1.0);  // direct edge now shortest
+  EXPECT_EQ(tree.parent[2], 0);
+}
+
+TEST(DijkstraTest, UnreachableNodesHaveInfiniteDistance) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(2, 0, 1.0);  // 2 unreachable FROM 0
+  const Graph g = *builder.Build();
+  const Adjacency adj(g);
+  const ShortestPathTree tree = Dijkstra(adj, 0);
+  EXPECT_TRUE(std::isinf(tree.distance[2]));
+  EXPECT_EQ(tree.parent_edge[2], -1);
+}
+
+TEST(BfsTest, UnitDistances) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 5.0);
+  builder.AddEdge(1, 2, 0.1);
+  builder.ReserveNodes(4);
+  const Graph g = *builder.Build();
+  const Adjacency adj(g);
+  const auto dist = BfsDistances(adj, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(TransformTest, SymmetrizeSumsDirections) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(1, 0, 4.0);
+  builder.AddEdge(1, 2, 5.0);
+  const Graph g = *builder.Build();
+  const auto sym = Symmetrize(g, SymmetrizeRule::kSum);
+  ASSERT_TRUE(sym.ok());
+  EXPECT_FALSE(sym->directed());
+  EXPECT_DOUBLE_EQ(sym->WeightOf(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(sym->WeightOf(1, 2), 5.0);
+}
+
+TEST(TransformTest, SymmetrizeMaxAndAvg) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(1, 0, 4.0);
+  const Graph g = *builder.Build();
+  const auto mx = Symmetrize(g, SymmetrizeRule::kMax);
+  const auto avg = Symmetrize(g, SymmetrizeRule::kAvg);
+  ASSERT_TRUE(mx.ok());
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(mx->WeightOf(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(avg->WeightOf(0, 1), 3.5);
+}
+
+TEST(TransformTest, ReverseFlipsDirections) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 3.0);
+  const Graph g = *builder.Build();
+  const auto rev = Reverse(g);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_DOUBLE_EQ(rev->WeightOf(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(rev->WeightOf(0, 1), 0.0);
+}
+
+TEST(TransformTest, ReverseRejectsUndirected) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  EXPECT_FALSE(Reverse(*builder.Build()).ok());
+}
+
+TEST(TransformTest, EdgeSubgraphKeepsNodeUniverseAndLabels) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddLabeledEdge("A", "B", 1.0);
+  builder.AddLabeledEdge("B", "C", 2.0);
+  builder.AddLabeledEdge("C", "A", 3.0);
+  const Graph g = *builder.Build();
+  const auto sub = EdgeSubgraph(g, {0});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 3);
+  EXPECT_EQ(sub->num_edges(), 1);
+  EXPECT_EQ(sub->LabelOf(2), "C");
+  EXPECT_EQ(sub->CountIsolates(), 1);
+}
+
+TEST(TransformTest, EdgeSubgraphMaskValidatesSize) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  const Graph g = *builder.Build();
+  EXPECT_FALSE(EdgeSubgraphMask(g, {true, false}).ok());
+  const auto ok = EdgeSubgraphMask(g, {true});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_edges(), 1);
+}
+
+TEST(TransformTest, EdgeSubgraphRejectsBadIds) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  const Graph g = *builder.Build();
+  EXPECT_FALSE(EdgeSubgraph(g, {5}).ok());
+  EXPECT_FALSE(EdgeSubgraph(g, {-1}).ok());
+}
+
+}  // namespace
+}  // namespace netbone

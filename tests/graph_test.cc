@@ -1,0 +1,227 @@
+// Tests for the graph substrate: builder policies, marginals (the N_i.,
+// N_.j, N_.. every null model consumes), lookups, labels, isolates.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace netbone {
+namespace {
+
+TEST(GraphBuilderTest, BuildsDirectedGraphWithMarginals) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(0, 2, 2.0);
+  builder.AddEdge(2, 1, 4.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g->total_weight(), 9.0);
+  EXPECT_DOUBLE_EQ(g->matrix_total(), 9.0);
+  EXPECT_DOUBLE_EQ(g->out_strength(0), 5.0);
+  EXPECT_DOUBLE_EQ(g->in_strength(1), 7.0);
+  EXPECT_DOUBLE_EQ(g->in_strength(0), 0.0);
+  EXPECT_EQ(g->out_degree(0), 2);
+  EXPECT_EQ(g->in_degree(1), 2);
+}
+
+TEST(GraphBuilderTest, UndirectedMarginalsAreSymmetric) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(1, 2, 4.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  // Symmetric matrix view: N_.. counts each undirected edge twice.
+  EXPECT_DOUBLE_EQ(g->total_weight(), 7.0);
+  EXPECT_DOUBLE_EQ(g->matrix_total(), 14.0);
+  EXPECT_DOUBLE_EQ(g->out_strength(1), 7.0);
+  EXPECT_DOUBLE_EQ(g->in_strength(1), 7.0);
+  EXPECT_EQ(g->out_degree(1), 2);
+}
+
+TEST(GraphBuilderTest, UndirectedEdgesAreCanonicalized) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(5, 2, 1.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->edge(0).src, 2);
+  EXPECT_EQ(g->edge(0).dst, 5);
+  EXPECT_DOUBLE_EQ(g->WeightOf(5, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g->WeightOf(2, 5), 1.0);
+}
+
+TEST(GraphBuilderTest, DuplicateSumPolicyAccumulates) {
+  GraphBuilder builder(Directedness::kDirected, DuplicateEdgePolicy::kSum);
+  builder.AddEdge(0, 1, 1.5);
+  builder.AddEdge(0, 1, 2.5);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->edge(0).weight, 4.0);
+}
+
+TEST(GraphBuilderTest, DuplicateMaxPolicyKeepsHeaviest) {
+  GraphBuilder builder(Directedness::kDirected, DuplicateEdgePolicy::kMax);
+  builder.AddEdge(0, 1, 1.5);
+  builder.AddEdge(0, 1, 2.5);
+  builder.AddEdge(0, 1, 0.5);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->edge(0).weight, 2.5);
+}
+
+TEST(GraphBuilderTest, DuplicateErrorPolicyFails) {
+  GraphBuilder builder(Directedness::kDirected,
+                       DuplicateEdgePolicy::kError);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(0, 1, 2.0);
+  const auto g = builder.Build();
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, UndirectedReversedDuplicatesMerge) {
+  GraphBuilder builder(Directedness::kUndirected,
+                       DuplicateEdgePolicy::kSum);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 0, 2.0);  // same undirected pair
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->edge(0).weight, 3.0);
+}
+
+TEST(GraphBuilderTest, SelfLoopDropPolicySilentlyDiscards) {
+  GraphBuilder builder(Directedness::kDirected, DuplicateEdgePolicy::kSum,
+                       SelfLoopPolicy::kDrop);
+  builder.AddEdge(2, 2, 5.0);
+  builder.AddEdge(0, 1, 1.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_EQ(g->num_nodes(), 3);  // node 2 still exists (as isolate)
+  EXPECT_EQ(g->CountIsolates(), 1);
+}
+
+TEST(GraphBuilderTest, SelfLoopKeepPolicyStoresDiagonal) {
+  GraphBuilder builder(Directedness::kUndirected, DuplicateEdgePolicy::kSum,
+                       SelfLoopPolicy::kKeep);
+  builder.AddEdge(0, 0, 5.0);
+  builder.AddEdge(0, 1, 1.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  // Diagonal counts once in the symmetric matrix total: 2*1 + 5.
+  EXPECT_DOUBLE_EQ(g->matrix_total(), 7.0);
+}
+
+TEST(GraphBuilderTest, SelfLoopErrorPolicyFails) {
+  GraphBuilder builder(Directedness::kDirected, DuplicateEdgePolicy::kSum,
+                       SelfLoopPolicy::kError);
+  builder.AddEdge(1, 1, 1.0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsNegativeWeight) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, -1.0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsNonFiniteWeight) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsNegativeNodeId) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(-1, 1, 1.0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, ReserveNodesCreatesIsolates) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.ReserveNodes(10);
+  builder.AddEdge(0, 1, 1.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 10);
+  EXPECT_EQ(g->CountIsolates(), 8);
+}
+
+TEST(GraphBuilderTest, LabeledEdgesInternAndResolve) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddLabeledEdge("USA", "DEU", 7.0);
+  builder.AddLabeledEdge("DEU", "JPN", 3.0);
+  builder.AddLabeledEdge("USA", "JPN", 2.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->has_labels());
+  EXPECT_EQ(g->LabelOf(0), "USA");
+  const auto deu = g->FindLabel("DEU");
+  ASSERT_TRUE(deu.ok());
+  EXPECT_DOUBLE_EQ(g->WeightOf(*g->FindLabel("USA"), *deu), 7.0);
+  EXPECT_FALSE(g->FindLabel("FRA").ok());
+}
+
+TEST(GraphTest, FindEdgeReturnsMinusOneWhenAbsent) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 1.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->FindEdge(1, 0), -1);
+  EXPECT_GE(g->FindEdge(0, 1), 0);
+  EXPECT_DOUBLE_EQ(g->WeightOf(1, 0), 0.0);
+}
+
+TEST(GraphTest, EdgesAreSortedBySrcThenDst) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(2, 0, 1.0);
+  builder.AddEdge(0, 2, 1.0);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  for (EdgeId id = 1; id < g->num_edges(); ++id) {
+    const Edge& prev = g->edge(id - 1);
+    const Edge& cur = g->edge(id);
+    EXPECT_TRUE(prev.src < cur.src ||
+                (prev.src == cur.src && prev.dst < cur.dst));
+  }
+}
+
+TEST(GraphTest, EmptyGraphBasics) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.ReserveNodes(4);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0);
+  EXPECT_EQ(g->CountIsolates(), 4);
+  EXPECT_DOUBLE_EQ(g->total_weight(), 0.0);
+}
+
+TEST(GraphTest, LabelOfFallsBackToDecimalId) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 1.0);
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->has_labels());
+  EXPECT_EQ(g->LabelOf(1), "1");
+}
+
+TEST(GraphTest, MixedLabeledAndPlainIdsGetPlaceholders) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddLabeledEdge("A", "B", 1.0);
+  builder.AddEdge(2, 3, 1.0);  // ids beyond the label table
+  const auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->LabelOf(0), "A");
+  EXPECT_EQ(g->LabelOf(3), "3");
+}
+
+}  // namespace
+}  // namespace netbone

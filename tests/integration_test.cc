@@ -1,0 +1,230 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments wired through the full pipeline (generate -> score ->
+// threshold -> evaluate). These pin the *qualitative* results the full
+// benches reproduce at scale.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/filter.h"
+#include "core/registry.h"
+#include "eval/coverage.h"
+#include "eval/edge_budget.h"
+#include "eval/quality.h"
+#include "eval/recovery.h"
+#include "eval/stability.h"
+#include "gen/barabasi_albert.h"
+#include "gen/countries.h"
+#include "gen/noise_model.h"
+#include "gen/occupations.h"
+#include "graph/io.h"
+
+namespace netbone {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mini Fig. 4: synthetic recovery under noise.
+// ---------------------------------------------------------------------------
+
+double RecoveryFor(Method method, const NoisyNetwork& noisy) {
+  const auto scored = RunMethod(method, noisy.noisy);
+  if (!scored.ok()) return -1.0;
+  const BackboneMask mask = TopK(*scored, noisy.num_true_edges);
+  const auto jaccard = JaccardRecovery(mask.keep, noisy.ground_truth);
+  return jaccard.ok() ? *jaccard : -1.0;
+}
+
+TEST(SyntheticRecoveryTest, NoiseCorrectedBeatsNaiveUnderHighNoise) {
+  // Paper Fig. 4: "as noise increases ... our Noise-Corrected backbone is
+  // more resilient". Averaged over seeds at eta = 0.25.
+  double nc_total = 0.0, nt_total = 0.0, df_total = 0.0;
+  const int seeds = 3;
+  for (int seed = 0; seed < seeds; ++seed) {
+    const auto truth = GenerateBarabasiAlbert(
+        {.num_nodes = 120, .average_degree = 3.0,
+         .seed = static_cast<uint64_t>(100 + seed)});
+    ASSERT_TRUE(truth.ok());
+    const auto noisy = ApplySectionVANoise(
+        *truth, 0.25, static_cast<uint64_t>(200 + seed));
+    ASSERT_TRUE(noisy.ok());
+    nc_total += RecoveryFor(Method::kNoiseCorrected, *noisy);
+    nt_total += RecoveryFor(Method::kNaiveThreshold, *noisy);
+    df_total += RecoveryFor(Method::kDisparityFilter, *noisy);
+  }
+  EXPECT_GT(nc_total / seeds, nt_total / seeds);
+  EXPECT_GT(nc_total / seeds, 0.5);
+  EXPECT_GE(df_total / seeds, 0.0);
+}
+
+TEST(SyntheticRecoveryTest, EveryMethodRecoversNoiselessNetwork) {
+  // At eta = 0 the noisy graph IS the truth; any sane method at the exact
+  // budget recovers it perfectly (score ties aside).
+  const auto truth = GenerateBarabasiAlbert(
+      {.num_nodes = 100, .average_degree = 3.0, .seed = 7});
+  ASSERT_TRUE(truth.ok());
+  const auto noisy = ApplySectionVANoise(*truth, 0.0, 8);
+  ASSERT_TRUE(noisy.ok());
+  for (const Method m :
+       {Method::kNoiseCorrected, Method::kNaiveThreshold}) {
+    EXPECT_DOUBLE_EQ(RecoveryFor(m, *noisy), 1.0) << MethodName(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mini Table II / Fig. 7 / Fig. 8: country-suite pipeline.
+// ---------------------------------------------------------------------------
+
+class CountryPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    static Result<CountrySuite> holder = GenerateCountrySuite(
+        /*seed=*/4242, /*num_years=*/2, /*num_countries=*/60);
+    ASSERT_TRUE(holder.ok()) << holder.status().ToString();
+    suite_ = &*holder;
+  }
+  static const CountrySuite* suite_;
+};
+
+const CountrySuite* CountryPipelineTest::suite_ = nullptr;
+
+TEST_F(CountryPipelineTest, NoiseCorrectedQualityAboveOne) {
+  // The headline Table II property: restricting the gravity regression to
+  // the NC backbone raises R² above the full-network baseline.
+  const Graph& flight =
+      suite_->network(CountryNetworkKind::kFlight).front();
+  const auto predictors =
+      CountryPredictors(*suite_, CountryNetworkKind::kFlight, flight);
+  ASSERT_TRUE(predictors.ok());
+  const auto nc = RunMethod(Method::kNoiseCorrected, flight);
+  ASSERT_TRUE(nc.ok());
+  const BackboneMask mask = TopShare(*nc, 0.15);
+  const auto q = QualityRatio(flight, predictors->columns, mask);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_GT(q->ratio, 1.0);
+}
+
+TEST_F(CountryPipelineTest, NoiseCorrectedQualityBeatsNaive) {
+  const Graph& trade =
+      suite_->network(CountryNetworkKind::kTrade).front();
+  const auto predictors =
+      CountryPredictors(*suite_, CountryNetworkKind::kTrade, trade);
+  ASSERT_TRUE(predictors.ok());
+  const int64_t budget = trade.num_edges() / 8;
+  std::map<Method, double> ratio;
+  for (const Method m :
+       {Method::kNoiseCorrected, Method::kNaiveThreshold}) {
+    const auto mask = BudgetedBackbone(m, trade, budget);
+    ASSERT_TRUE(mask.ok());
+    const auto q = QualityRatio(trade, predictors->columns, *mask);
+    ASSERT_TRUE(q.ok());
+    ratio[m] = q->ratio;
+  }
+  EXPECT_GT(ratio[Method::kNoiseCorrected],
+            ratio[Method::kNaiveThreshold]);
+}
+
+TEST_F(CountryPipelineTest, BackbonesAreStable) {
+  // Paper Fig. 8: all methods stay above ~0.84 on these data.
+  const TemporalNetwork& migration =
+      suite_->network(CountryNetworkKind::kMigration);
+  const auto mean = MeanStability(migration, [](const Graph& year) {
+    Result<ScoredEdges> nc = RunMethod(Method::kNoiseCorrected, year);
+    if (!nc.ok()) return Result<BackboneMask>(nc.status());
+    return Result<BackboneMask>(TopShare(*nc, 0.2));
+  });
+  ASSERT_TRUE(mean.ok()) << mean.status().ToString();
+  EXPECT_GT(*mean, 0.7);
+}
+
+TEST_F(CountryPipelineTest, CoverageDegradesGracefully) {
+  const Graph& business =
+      suite_->network(CountryNetworkKind::kBusiness).front();
+  const auto nc = RunMethod(Method::kNoiseCorrected, business);
+  ASSERT_TRUE(nc.ok());
+  double previous = 1.1;
+  for (const double share : {0.5, 0.2, 0.05}) {
+    const auto coverage = CoverageOfMask(business, TopShare(*nc, share));
+    ASSERT_TRUE(coverage.ok());
+    EXPECT_LE(*coverage, previous + 1e-12);
+    EXPECT_GT(*coverage, 0.0);
+    previous = *coverage;
+  }
+}
+
+TEST_F(CountryPipelineTest, RoundTripThroughCsvPreservesScores) {
+  // Full-circle: serialize a network, re-read it, and verify the NC scores
+  // are bit-identical (the library's persistence path is lossless for the
+  // score computation).
+  const Graph& cs =
+      suite_->network(CountryNetworkKind::kCountrySpace).front();
+  const std::string serialized = EdgeListToString(cs);
+  EdgeListReadOptions options;
+  options.directedness = Directedness::kUndirected;
+  const auto reloaded = ReadEdgeListCsvFromString(serialized, options);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->num_edges(), cs.num_edges());
+  const auto original_scores = RunMethod(Method::kNoiseCorrected, cs);
+  const auto reloaded_scores =
+      RunMethod(Method::kNoiseCorrected, *reloaded);
+  ASSERT_TRUE(original_scores.ok());
+  ASSERT_TRUE(reloaded_scores.ok());
+  // Edge order may differ (label interning order); compare via lookup.
+  for (EdgeId id = 0; id < cs.num_edges(); ++id) {
+    const Edge& e = cs.edge(id);
+    const NodeId src = *reloaded->FindLabel(cs.LabelOf(e.src));
+    const NodeId dst = *reloaded->FindLabel(cs.LabelOf(e.dst));
+    const EdgeId rid = reloaded->FindEdge(src, dst);
+    ASSERT_GE(rid, 0);
+    EXPECT_DOUBLE_EQ(reloaded_scores->at(rid).score,
+                     original_scores->at(id).score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mini Sec. VI: occupation case study direction.
+// ---------------------------------------------------------------------------
+
+TEST(OccupationPipelineTest, BackboneImprovesFlowPrediction) {
+  OccupationWorldOptions options;
+  options.num_occupations = 100;
+  options.num_skills = 60;
+  options.num_classes = 5;
+  options.minor_groups_per_class = 2;
+  options.num_generic_skills = 10;
+  options.seed = 33;
+  const auto world = GenerateOccupationWorld(options);
+  ASSERT_TRUE(world.ok());
+
+  // Score the co-occurrence network with NC, keep the top pairs, and
+  // restrict the flow regression to flows between those pairs.
+  const auto nc = RunMethod(Method::kNoiseCorrected, world->co_occurrence);
+  ASSERT_TRUE(nc.ok());
+  const BackboneMask co_mask = TopShare(*nc, 0.25);
+
+  // Translate the co-occurrence mask into a flow-edge mask.
+  std::vector<bool> flow_mask(
+      static_cast<size_t>(world->flows.num_edges()), false);
+  int64_t selected = 0;
+  for (EdgeId id = 0; id < world->flows.num_edges(); ++id) {
+    const Edge& e = world->flows.edge(id);
+    const EdgeId co_id = world->co_occurrence.FindEdge(e.src, e.dst);
+    if (co_id >= 0 && co_mask.keep[static_cast<size_t>(co_id)]) {
+      flow_mask[static_cast<size_t>(id)] = true;
+      ++selected;
+    }
+  }
+  ASSERT_GT(selected, 100);
+
+  const auto all_pairs =
+      FlowPredictionCorrelation(*world, std::vector<bool>());
+  const auto backbone_pairs = FlowPredictionCorrelation(*world, flow_mask);
+  ASSERT_TRUE(all_pairs.ok());
+  ASSERT_TRUE(backbone_pairs.ok());
+  // Sec. VI's direction: the flows between backbone pairs are easier to
+  // predict than flows between all pairs.
+  EXPECT_GT(*backbone_pairs, *all_pairs);
+}
+
+}  // namespace
+}  // namespace netbone

@@ -1,0 +1,134 @@
+// Tests for edge-list CSV input/output (compatible with the Python
+// backboning module's src/trg/nij format).
+
+#include "graph/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace netbone {
+namespace {
+
+TEST(IoTest, ParsesTabSeparatedWithHeader) {
+  const std::string csv =
+      "src\ttrg\tnij\n"
+      "USA\tDEU\t12.5\n"
+      "DEU\tJPN\t3\n";
+  const auto g = ReadEdgeListCsvFromString(csv);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 3);
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_TRUE(g->directed());
+  EXPECT_DOUBLE_EQ(
+      g->WeightOf(*g->FindLabel("USA"), *g->FindLabel("DEU")), 12.5);
+}
+
+TEST(IoTest, ParsesCommaSeparatedUndirected) {
+  EdgeListReadOptions options;
+  options.separator = ',';
+  options.directedness = Directedness::kUndirected;
+  const auto g = ReadEdgeListCsvFromString(
+      "src,trg,nij\nB,A,2\nC,A,3\n", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->directed());
+  EXPECT_DOUBLE_EQ(g->WeightOf(*g->FindLabel("A"), *g->FindLabel("B")),
+                   2.0);
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  const auto g = ReadEdgeListCsvFromString(
+      "src\ttrg\tnij\n# comment\n\nA\tB\t1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+}
+
+TEST(IoTest, NoHeaderOption) {
+  EdgeListReadOptions options;
+  options.has_header = false;
+  const auto g = ReadEdgeListCsvFromString("A\tB\t1\nB\tC\t2\n", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST(IoTest, SelfLoopsDroppedByDefault) {
+  const auto g = ReadEdgeListCsvFromString(
+      "src\ttrg\tnij\nA\tA\t5\nA\tB\t1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+}
+
+TEST(IoTest, SelfLoopsKeptOnRequest) {
+  EdgeListReadOptions options;
+  options.keep_self_loops = true;
+  const auto g = ReadEdgeListCsvFromString(
+      "src\ttrg\tnij\nA\tA\t5\nA\tB\t1\n", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST(IoTest, DuplicateRowsAccumulateByDefault) {
+  const auto g = ReadEdgeListCsvFromString(
+      "src\ttrg\tnij\nA\tB\t1\nA\tB\t2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g->edge(0).weight, 3.0);
+}
+
+TEST(IoTest, RejectsMalformedRows) {
+  EXPECT_FALSE(ReadEdgeListCsvFromString("src\ttrg\tnij\nA\tB\n").ok());
+  EXPECT_FALSE(
+      ReadEdgeListCsvFromString("src\ttrg\tnij\nA\tB\tnotanumber\n").ok());
+  EXPECT_FALSE(ReadEdgeListCsvFromString("src\ttrg\tnij\nA\tB\t-3\n").ok());
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  const auto g = ReadEdgeListCsv("/nonexistent/path/to/edges.csv");
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST(IoTest, RoundTripsThroughString) {
+  const std::string csv =
+      "src\ttrg\tnij\n"
+      "A\tB\t1.5\n"
+      "B\tC\t2\n"
+      "C\tA\t0.25\n";
+  const auto g = ReadEdgeListCsvFromString(csv);
+  ASSERT_TRUE(g.ok());
+  const std::string serialized = EdgeListToString(*g);
+  const auto reparsed = ReadEdgeListCsvFromString(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_edges(), g->num_edges());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_EQ(reparsed->edge(id).src, g->edge(id).src);
+    EXPECT_DOUBLE_EQ(reparsed->edge(id).weight, g->edge(id).weight);
+  }
+}
+
+TEST(IoTest, RoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/netbone_io_test.tsv";
+  const auto g = ReadEdgeListCsvFromString(
+      "src\ttrg\tnij\nX\tY\t7\nY\tZ\t8\n");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(WriteEdgeListCsv(*g, path).ok());
+  const auto reloaded = ReadEdgeListCsv(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_edges(), 2);
+  EXPECT_DOUBLE_EQ(
+      reloaded->WeightOf(*reloaded->FindLabel("X"),
+                         *reloaded->FindLabel("Y")),
+      7.0);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, WriteFailsOnBadPath) {
+  const auto g = ReadEdgeListCsvFromString("src\ttrg\tnij\nA\tB\t1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(
+      WriteEdgeListCsv(*g, "/nonexistent/dir/out.tsv").IsIOError());
+}
+
+}  // namespace
+}  // namespace netbone

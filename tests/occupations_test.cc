@@ -1,0 +1,190 @@
+// Tests for the synthetic O*NET occupation suite (Sec. VI case study
+// substitute): the above-average retention filter, the co-occurrence
+// network's class structure, generic-skill noise, and the flow model.
+
+#include "gen/occupations.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace netbone {
+namespace {
+
+class OccupationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    OccupationWorldOptions options;
+    options.num_occupations = 120;
+    options.num_skills = 60;
+    options.num_classes = 6;
+    options.minor_groups_per_class = 2;
+    options.num_generic_skills = 10;
+    options.seed = 99;
+    static Result<OccupationWorld> holder =
+        GenerateOccupationWorld(options);
+    ASSERT_TRUE(holder.ok()) << holder.status().ToString();
+    world_ = &*holder;
+  }
+  static const OccupationWorld* world_;
+};
+
+const OccupationWorld* OccupationTest::world_ = nullptr;
+
+TEST_F(OccupationTest, ShapesAreConsistent) {
+  EXPECT_EQ(world_->names.size(), 120u);
+  EXPECT_EQ(world_->major_class.size(), 120u);
+  EXPECT_EQ(world_->importance.size(), 120u * 60u);
+  EXPECT_EQ(world_->retained.size(), 120u * 60u);
+  EXPECT_EQ(world_->co_occurrence.num_nodes(), 120);
+  EXPECT_EQ(world_->flows.num_nodes(), 120);
+  EXPECT_FALSE(world_->co_occurrence.directed());
+  EXPECT_TRUE(world_->flows.directed());
+}
+
+TEST_F(OccupationTest, ClassesPartitionOccupations) {
+  for (const int32_t c : world_->major_class) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 6);
+  }
+  for (size_t o = 0; o < world_->minor_group.size(); ++o) {
+    EXPECT_EQ(world_->major_class[o], world_->minor_group[o] / 2);
+  }
+}
+
+TEST_F(OccupationTest, RetentionImplementsAboveAverageRule) {
+  // Recompute the filter directly from the score matrices.
+  const size_t n = 120, s = 60;
+  for (size_t sk = 0; sk < s; ++sk) {
+    double mean_importance = 0.0, mean_level = 0.0;
+    for (size_t o = 0; o < n; ++o) {
+      mean_importance += world_->importance[o * s + sk];
+      mean_level += world_->level[o * s + sk];
+    }
+    mean_importance /= static_cast<double>(n);
+    mean_level /= static_cast<double>(n);
+    for (size_t o = 0; o < n; ++o) {
+      const bool expected =
+          world_->importance[o * s + sk] > mean_importance &&
+          world_->level[o * s + sk] > mean_level;
+      ASSERT_EQ(world_->Retained(static_cast<int32_t>(o),
+                                 static_cast<int32_t>(sk)),
+                expected)
+          << "o=" << o << " sk=" << sk;
+    }
+  }
+}
+
+TEST_F(OccupationTest, CoOccurrenceWeightsCountSharedSkills) {
+  const Graph& co = world_->co_occurrence;
+  const size_t s = 60;
+  for (EdgeId id = 0; id < std::min<EdgeId>(co.num_edges(), 200); ++id) {
+    const Edge& e = co.edge(id);
+    int64_t shared = 0;
+    for (size_t sk = 0; sk < s; ++sk) {
+      if (world_->Retained(e.src, static_cast<int32_t>(sk)) &&
+          world_->Retained(e.dst, static_cast<int32_t>(sk))) {
+        ++shared;
+      }
+    }
+    EXPECT_DOUBLE_EQ(e.weight, static_cast<double>(shared));
+  }
+}
+
+TEST_F(OccupationTest, SameMinorGroupSharesMoreSkills) {
+  const Graph& co = world_->co_occurrence;
+  double same_sum = 0.0, cross_sum = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (const Edge& e : co.edges()) {
+    const bool same = world_->minor_group[static_cast<size_t>(e.src)] ==
+                      world_->minor_group[static_cast<size_t>(e.dst)];
+    (same ? same_sum : cross_sum) += e.weight;
+    (same ? same_n : cross_n) += 1;
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same_sum / same_n, 1.5 * cross_sum / cross_n);
+}
+
+TEST_F(OccupationTest, GenericSkillsCreateCrossClassEdges) {
+  // The dense-noise mechanism: a substantial share of co-occurrence edges
+  // crosses class boundaries (generic skills are retained everywhere).
+  const Graph& co = world_->co_occurrence;
+  int64_t cross = 0;
+  for (const Edge& e : co.edges()) {
+    if (world_->major_class[static_cast<size_t>(e.src)] !=
+        world_->major_class[static_cast<size_t>(e.dst)]) {
+      ++cross;
+    }
+  }
+  EXPECT_GT(static_cast<double>(cross) /
+                static_cast<double>(co.num_edges()),
+            0.5);
+}
+
+TEST_F(OccupationTest, FlowMarginalsMatchNetwork) {
+  for (NodeId v = 0; v < world_->flows.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(world_->outflow[static_cast<size_t>(v)],
+                     world_->flows.out_strength(v));
+    EXPECT_DOUBLE_EQ(world_->inflow[static_cast<size_t>(v)],
+                     world_->flows.in_strength(v));
+  }
+}
+
+TEST_F(OccupationTest, FlowsConcentrateWithinClasses) {
+  double same = 0.0, cross = 0.0;
+  int64_t same_n = 0, cross_n = 0;
+  for (const Edge& e : world_->flows.edges()) {
+    const bool same_class =
+        world_->major_class[static_cast<size_t>(e.src)] ==
+        world_->major_class[static_cast<size_t>(e.dst)];
+    (same_class ? same : cross) += e.weight;
+    (same_class ? same_n : cross_n) += 1;
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same / same_n, cross / cross_n);
+}
+
+TEST_F(OccupationTest, FlowPredictionCorrelationIsPositive) {
+  const auto all_pairs =
+      FlowPredictionCorrelation(*world_, std::vector<bool>());
+  ASSERT_TRUE(all_pairs.ok()) << all_pairs.status().ToString();
+  EXPECT_GT(*all_pairs, 0.2);
+  EXPECT_LT(*all_pairs, 1.0);
+}
+
+TEST_F(OccupationTest, FlowPredictionMaskValidatesSize) {
+  EXPECT_FALSE(
+      FlowPredictionCorrelation(*world_, std::vector<bool>(3, true)).ok());
+}
+
+TEST(OccupationOptionsTest, RejectsBadConfigurations) {
+  OccupationWorldOptions options;
+  options.num_occupations = 5;
+  options.num_classes = 10;
+  EXPECT_FALSE(GenerateOccupationWorld(options).ok());
+  options = {};
+  options.num_generic_skills = options.num_skills;
+  EXPECT_FALSE(GenerateOccupationWorld(options).ok());
+}
+
+TEST(OccupationOptionsTest, DeterministicForSeed) {
+  OccupationWorldOptions options;
+  options.num_occupations = 60;
+  options.num_skills = 40;
+  options.num_classes = 5;
+  options.num_generic_skills = 8;
+  options.seed = 7;
+  const auto a = GenerateOccupationWorld(options);
+  const auto b = GenerateOccupationWorld(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->co_occurrence.num_edges(), b->co_occurrence.num_edges());
+  for (EdgeId id = 0; id < a->co_occurrence.num_edges(); ++id) {
+    EXPECT_EQ(a->co_occurrence.edge(id), b->co_occurrence.edge(id));
+  }
+}
+
+}  // namespace
+}  // namespace netbone

@@ -1,0 +1,155 @@
+// Tests for the OLS engine behind the paper's Quality criterion.
+
+#include "stats/ols.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace netbone {
+namespace {
+
+TEST(OlsTest, ExactLineFit) {
+  // y = 3 + 2x fits exactly: R^2 = 1.
+  OlsFitter fitter;
+  fitter.AddColumn("x", {1.0, 2.0, 3.0, 4.0});
+  const auto fit = fitter.Fit(std::vector<double>{5.0, 7.0, 9.0, 11.0});
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->coefficients.size(), 2u);
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 1e-8);  // intercept
+  EXPECT_NEAR(fit->coefficients[1], 2.0, 1e-8);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(OlsTest, TwoRegressorRecovery) {
+  // y = 1 + 2a - 3b with noiseless data.
+  std::vector<double> a, b, y;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double av = rng.Uniform(-2.0, 2.0);
+    const double bv = rng.Uniform(-1.0, 3.0);
+    a.push_back(av);
+    b.push_back(bv);
+    y.push_back(1.0 + 2.0 * av - 3.0 * bv);
+  }
+  OlsFitter fitter;
+  fitter.AddColumn("a", a);
+  fitter.AddColumn("b", b);
+  const auto fit = fitter.Fit(y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 1.0, 1e-7);
+  EXPECT_NEAR(fit->coefficients[1], 2.0, 1e-7);
+  EXPECT_NEAR(fit->coefficients[2], -3.0, 1e-7);
+}
+
+TEST(OlsTest, RSquaredMatchesDefinition) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xv = rng.Uniform(0.0, 10.0);
+    x.push_back(xv);
+    y.push_back(2.0 * xv + rng.Gaussian(0.0, 3.0));
+  }
+  OlsFitter fitter;
+  fitter.AddColumn("x", x);
+  const auto fit = fitter.Fit(y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->r_squared, 1.0 - fit->rss / fit->tss, 1e-12);
+  EXPECT_GT(fit->r_squared, 0.5);
+  EXPECT_LT(fit->r_squared, 1.0);
+  EXPECT_LT(fit->adjusted_r_squared, fit->r_squared);
+}
+
+TEST(OlsTest, InterceptOnlyModelPredictsMean) {
+  OlsOptions options;
+  OlsFitter fitter(options);
+  // No regressor columns: intercept-only via add_intercept.
+  const std::vector<double> y = {1.0, 2.0, 3.0, 6.0};
+  const auto fit = fitter.Fit(y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 1e-10);
+  EXPECT_NEAR(fit->r_squared, 0.0, 1e-12);
+}
+
+TEST(OlsTest, NoInterceptOption) {
+  OlsOptions options;
+  options.add_intercept = false;
+  OlsFitter fitter(options);
+  fitter.AddColumn("x", {1.0, 2.0, 3.0});
+  const auto fit = fitter.Fit(std::vector<double>{2.0, 4.0, 6.0});
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->coefficients.size(), 1u);
+  EXPECT_NEAR(fit->coefficients[0], 2.0, 1e-10);
+}
+
+TEST(OlsTest, FailsOnLengthMismatch) {
+  OlsFitter fitter;
+  fitter.AddColumn("x", {1.0, 2.0});
+  EXPECT_FALSE(fitter.Fit(std::vector<double>{1.0, 2.0, 3.0}).ok());
+}
+
+TEST(OlsTest, FailsWithTooFewObservations) {
+  OlsFitter fitter;
+  fitter.AddColumn("x", {1.0, 2.0});
+  // n = 2 <= k = 2 (intercept + x).
+  EXPECT_FALSE(fitter.Fit(std::vector<double>{1.0, 2.0}).ok());
+}
+
+TEST(OlsTest, RidgeStabilizesCollinearColumns) {
+  // Perfectly collinear columns would break a plain Cholesky; the tiny
+  // ridge keeps the solve well-posed.
+  OlsFitter fitter;
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> x2 = {2.0, 4.0, 6.0, 8.0, 10.0};
+  fitter.AddColumn("x", x);
+  fitter.AddColumn("2x", x2);
+  const auto fit = fitter.Fit(std::vector<double>{3.0, 6.0, 9.0, 12.0,
+                                                  15.0});
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-6);
+}
+
+TEST(OlsTest, ColumnNamesIncludeIntercept) {
+  OlsFitter fitter;
+  fitter.AddColumn("distance", {});
+  const auto names = fitter.ColumnNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "(intercept)");
+  EXPECT_EQ(names[1], "distance");
+}
+
+TEST(OlsTest, FittedValuesAreConsistent) {
+  OlsFitter fitter;
+  fitter.AddColumn("x", {1.0, 2.0, 3.0, 4.0});
+  const std::vector<double> y = {1.1, 2.2, 2.8, 4.1};
+  const auto fit = fitter.Fit(y);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->fitted.size(), 4u);
+  double rss = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    rss += (y[i] - fit->fitted[i]) * (y[i] - fit->fitted[i]);
+  }
+  EXPECT_NEAR(rss, fit->rss, 1e-12);
+}
+
+TEST(OlsRSquaredTest, ConvenienceWrapperAgreesWithFitter) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 60; ++i) {
+    const double xv = rng.Uniform(0.0, 1.0);
+    x.push_back(xv);
+    y.push_back(5.0 * xv + rng.Gaussian(0.0, 0.5));
+  }
+  const auto wrapped = OlsRSquared({x}, y);
+  OlsFitter fitter;
+  fitter.AddColumn("x", x);
+  const auto fit = fitter.Fit(y);
+  ASSERT_TRUE(wrapped.ok());
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(*wrapped, fit->r_squared);
+}
+
+}  // namespace
+}  // namespace netbone

@@ -1,0 +1,400 @@
+// Tests for the remaining extraction methods: High Salience Skeleton,
+// Doubly Stochastic, Maximum Spanning Tree, Naive threshold, k-core, and
+// the method registry.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/doubly_stochastic.h"
+#include "core/filter.h"
+#include "core/high_salience_skeleton.h"
+#include "core/kcore.h"
+#include "core/maximum_spanning_tree.h"
+#include "core/naive.h"
+#include "core/registry.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+
+namespace netbone {
+namespace {
+
+// ---------------------------------------------------------------------------
+// High Salience Skeleton.
+// ---------------------------------------------------------------------------
+
+TEST(HssTest, PathGraphEdgesAreFullySalient) {
+  // On a path every shortest-path tree contains every edge: salience 1.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  const Graph g = *builder.Build();
+  const auto hss = HighSalienceSkeleton(g);
+  ASSERT_TRUE(hss.ok());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_DOUBLE_EQ(hss->at(id).score, 1.0);
+  }
+}
+
+TEST(HssTest, SalienceIsInUnitInterval) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 60, .average_degree = 6.0, .seed = 3});
+  ASSERT_TRUE(g.ok());
+  const auto hss = HighSalienceSkeleton(*g);
+  ASSERT_TRUE(hss.ok());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_GE(hss->at(id).score, 0.0);
+    EXPECT_LE(hss->at(id).score, 1.0);
+  }
+}
+
+TEST(HssTest, StrongDetourBeatsWeakDirectEdge) {
+  // Triangle where the direct 0-2 edge is weak (length 1/w large) and the
+  // detour through 1 is strong: the direct edge joins no SPT.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 10.0);
+  builder.AddEdge(1, 2, 10.0);
+  builder.AddEdge(0, 2, 1.0);  // length 1.0 vs detour 0.2
+  const Graph g = *builder.Build();
+  const auto hss = HighSalienceSkeleton(g);
+  ASSERT_TRUE(hss.ok());
+  EXPECT_DOUBLE_EQ(hss->at(g.FindEdge(0, 2)).score, 0.0);
+  EXPECT_DOUBLE_EQ(hss->at(g.FindEdge(0, 1)).score, 1.0);
+  EXPECT_DOUBLE_EQ(hss->at(g.FindEdge(1, 2)).score, 1.0);
+}
+
+TEST(HssTest, DeterministicAcrossThreadCounts) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 80, .average_degree = 5.0, .seed = 11});
+  ASSERT_TRUE(g.ok());
+  HighSalienceSkeletonOptions one_thread;
+  one_thread.num_threads = 1;
+  HighSalienceSkeletonOptions four_threads;
+  four_threads.num_threads = 4;
+  const auto a = HighSalienceSkeleton(*g, one_thread);
+  const auto b = HighSalienceSkeleton(*g, four_threads);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_DOUBLE_EQ(a->at(id).score, b->at(id).score);
+  }
+}
+
+TEST(HssTest, CostGuardRejectsLargeInputs) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 100, .average_degree = 4.0, .seed = 1});
+  ASSERT_TRUE(g.ok());
+  HighSalienceSkeletonOptions options;
+  options.max_cost = 10;  // absurdly small budget
+  const auto hss = HighSalienceSkeleton(*g, options);
+  ASSERT_FALSE(hss.ok());
+  EXPECT_TRUE(hss.status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Doubly Stochastic.
+// ---------------------------------------------------------------------------
+
+TEST(DoublyStochasticTest, BalancesACompleteDirectedGraph) {
+  GraphBuilder builder(Directedness::kDirected);
+  const NodeId n = 6;
+  double w = 1.0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      builder.AddEdge(i, j, w);
+      w += 0.7;
+    }
+  }
+  const Graph g = *builder.Build();
+  const auto ds = DoublyStochastic(g);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  // Row and column sums of the balanced matrix must be ~1.
+  std::vector<double> row(n, 0.0), col(n, 0.0);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    row[static_cast<size_t>(e.src)] += ds->at(id).score;
+    col[static_cast<size_t>(e.dst)] += ds->at(id).score;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(row[static_cast<size_t>(v)], 1.0, 1e-6);
+    EXPECT_NEAR(col[static_cast<size_t>(v)], 1.0, 1e-6);
+  }
+}
+
+TEST(DoublyStochasticTest, FailsWhenNodeHasOnlyOutEdges) {
+  // Paper: "it is not always possible to transform any arbitrary square
+  // matrix into a doubly-stochastic one" — reported as n/a.
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(2, 1, 1.0);  // node 0 never receives
+  const auto ds = DoublyStochastic(*builder.Build());
+  ASSERT_FALSE(ds.ok());
+  EXPECT_TRUE(ds.status().IsFailedPrecondition());
+}
+
+TEST(DoublyStochasticTest, UndirectedSymmetricMatrixBalances) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 4.0);
+  builder.AddEdge(1, 2, 2.0);
+  builder.AddEdge(2, 0, 1.0);
+  builder.AddEdge(0, 3, 3.0);
+  builder.AddEdge(1, 3, 1.0);
+  builder.AddEdge(2, 3, 5.0);
+  const Graph g = *builder.Build();
+  const auto ds = DoublyStochastic(g);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_GT(ds->at(id).score, 0.0);
+  }
+}
+
+TEST(DoublyStochasticTest, NormalizationReordersEdges) {
+  // The DS transform promotes edges that are large *relative to their row
+  // and column*: a hub's absolutely-large edge can fall below a weak
+  // node pair's mutually-exclusive link.
+  GraphBuilder builder(Directedness::kDirected);
+  // Hub 0 sends 10 to everyone; nodes 1 and 2 exchange tiny flows.
+  builder.AddEdge(0, 1, 10.0);
+  builder.AddEdge(0, 2, 10.0);
+  builder.AddEdge(0, 3, 10.0);
+  builder.AddEdge(1, 0, 10.0);
+  builder.AddEdge(2, 0, 10.0);
+  builder.AddEdge(3, 0, 10.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(2, 3, 1.0);
+  builder.AddEdge(3, 1, 1.0);
+  builder.AddEdge(2, 1, 1.0);
+  builder.AddEdge(3, 2, 1.0);
+  builder.AddEdge(1, 3, 1.0);
+  const Graph g = *builder.Build();
+  const auto ds = DoublyStochastic(g);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  // Normalized weight of 1->2 should approach the hub edges' share.
+  EXPECT_GT(ds->at(g.FindEdge(1, 2)).score, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Maximum Spanning Tree.
+// ---------------------------------------------------------------------------
+
+TEST(MstTest, SelectsMaximumTreeOnSmallGraph) {
+  // Square with one diagonal; the tree must keep the three heaviest edges
+  // that do not close a cycle.
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 10.0);
+  builder.AddEdge(1, 2, 9.0);
+  builder.AddEdge(2, 3, 8.0);
+  builder.AddEdge(3, 0, 1.0);
+  builder.AddEdge(0, 2, 2.0);
+  const Graph g = *builder.Build();
+  const auto mst = MaximumSpanningTree(g);
+  ASSERT_TRUE(mst.ok());
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(0, 1)).score, 1.0);
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(1, 2)).score, 1.0);
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(2, 3)).score, 1.0);
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(3, 0)).score, 0.0);
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(0, 2)).score, 0.0);
+  EXPECT_DOUBLE_EQ(SpanningTreeWeight(g, *mst), 27.0);
+}
+
+TEST(MstTest, TreeHasExactlyNMinusOneEdgesWhenConnected) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 50, .average_degree = 8.0, .seed = 5});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(IsConnected(*g));
+  const auto mst = MaximumSpanningTree(*g);
+  ASSERT_TRUE(mst.ok());
+  const BackboneMask mask = FilterByScore(*mst, 0.5);
+  EXPECT_EQ(mask.kept, g->num_nodes() - 1);
+  // The masked subgraph must itself be connected (a spanning tree).
+  const auto tree = ApplyMask(*g, mask);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(IsConnected(*tree));
+}
+
+TEST(MstTest, BeatsAnyOtherSpanningSelection) {
+  // Spot-check optimality: random spanning selections of the same size
+  // never exceed the MST weight.
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 12, .average_degree = 5.0, .seed = 9});
+  ASSERT_TRUE(g.ok());
+  const auto mst = MaximumSpanningTree(*g);
+  ASSERT_TRUE(mst.ok());
+  const double best = SpanningTreeWeight(*g, *mst);
+  // Greedy-min alternative (Kruskal ascending) is a spanning tree too and
+  // must be no heavier.
+  GraphBuilder inverted_builder(Directedness::kUndirected);
+  inverted_builder.ReserveNodes(g->num_nodes());
+  for (const Edge& e : g->edges()) {
+    inverted_builder.AddEdge(e.src, e.dst, 1e6 - e.weight);
+  }
+  const Graph inverted = *inverted_builder.Build();
+  const auto min_tree = MaximumSpanningTree(inverted);
+  ASSERT_TRUE(min_tree.ok());
+  double min_tree_weight_in_original = 0.0;
+  for (EdgeId id = 0; id < inverted.num_edges(); ++id) {
+    if (min_tree->at(id).score > 0.0) {
+      const Edge& e = inverted.edge(id);
+      min_tree_weight_in_original += g->WeightOf(e.src, e.dst);
+    }
+  }
+  EXPECT_GE(best, min_tree_weight_in_original);
+}
+
+TEST(MstTest, DisconnectedGraphYieldsSpanningForest) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(1, 2, 2.0);
+  builder.AddEdge(0, 2, 1.0);
+  builder.AddEdge(3, 4, 5.0);  // separate component
+  const Graph g = *builder.Build();
+  const auto mst = MaximumSpanningTree(g);
+  ASSERT_TRUE(mst.ok());
+  const BackboneMask mask = FilterByScore(*mst, 0.5);
+  EXPECT_EQ(mask.kept, 3);  // (3-1) + (2-1)
+}
+
+TEST(MstTest, DirectedPairsAreAdmittedTogether) {
+  GraphBuilder builder(Directedness::kDirected);
+  builder.AddEdge(0, 1, 5.0);
+  builder.AddEdge(1, 0, 4.0);
+  builder.AddEdge(1, 2, 3.0);
+  builder.AddEdge(2, 0, 1.0);
+  const Graph g = *builder.Build();
+  const auto mst = MaximumSpanningTree(g);
+  ASSERT_TRUE(mst.ok());
+  // Pair {0,1} (combined weight 9) and pair {1,2} span the graph.
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(0, 1)).score, 1.0);
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(1, 0)).score, 1.0);
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(1, 2)).score, 1.0);
+  EXPECT_DOUBLE_EQ(mst->at(g.FindEdge(2, 0)).score, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Naive threshold.
+// ---------------------------------------------------------------------------
+
+TEST(NaiveTest, ScoreEqualsWeight) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 3.5);
+  builder.AddEdge(1, 2, 0.25);
+  const Graph g = *builder.Build();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_DOUBLE_EQ(nt->at(id).score, g.edge(id).weight);
+  }
+}
+
+TEST(NaiveTest, ThresholdDropsLightEdges) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 2.0);
+  builder.AddEdge(2, 3, 3.0);
+  const Graph g = *builder.Build();
+  const auto nt = NaiveThreshold(g);
+  ASSERT_TRUE(nt.ok());
+  EXPECT_EQ(FilterByScore(*nt, 1.5).kept, 2);
+  EXPECT_EQ(FilterByScore(*nt, 2.5).kept, 1);
+  EXPECT_EQ(FilterByScore(*nt, 3.0).kept, 0);  // strict inequality
+}
+
+// ---------------------------------------------------------------------------
+// k-core.
+// ---------------------------------------------------------------------------
+
+TEST(KCoreTest, CliquePlusTailCoreNumbers) {
+  // 4-clique (core 3) with a pendant path (core 1).
+  GraphBuilder builder(Directedness::kUndirected);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) builder.AddEdge(i, j, 1.0);
+  }
+  builder.AddEdge(3, 4, 1.0);
+  builder.AddEdge(4, 5, 1.0);
+  const Graph g = *builder.Build();
+  const auto core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 3);
+  EXPECT_EQ(core[1], 3);
+  EXPECT_EQ(core[2], 3);
+  EXPECT_EQ(core[3], 3);
+  EXPECT_EQ(core[4], 1);
+  EXPECT_EQ(core[5], 1);
+}
+
+TEST(KCoreTest, SubgraphKeepsOnlyTheCore) {
+  GraphBuilder builder(Directedness::kUndirected);
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) builder.AddEdge(i, j, 1.0);
+  }
+  builder.AddEdge(4, 5, 1.0);
+  const Graph g = *builder.Build();
+  const auto core3 = KCoreSubgraph(g, 3);
+  ASSERT_TRUE(core3.ok());
+  EXPECT_EQ(core3->num_edges(), 10);  // the 5-clique
+  const auto core5 = KCoreSubgraph(g, 5);
+  ASSERT_TRUE(core5.ok());
+  EXPECT_EQ(core5->num_edges(), 0);
+}
+
+TEST(KCoreTest, EdgeScoreIsMinEndpointCore) {
+  GraphBuilder builder(Directedness::kUndirected);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) builder.AddEdge(i, j, 1.0);
+  }
+  builder.AddEdge(0, 4, 1.0);
+  const Graph g = *builder.Build();
+  const auto scores = KCoreScores(g);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores->at(g.FindEdge(0, 4)).score, 1.0);
+  EXPECT_DOUBLE_EQ(scores->at(g.FindEdge(0, 1)).score, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, NamesAndTagsAreStable) {
+  EXPECT_EQ(MethodName(Method::kNoiseCorrected), "noise_corrected");
+  EXPECT_EQ(MethodTag(Method::kNoiseCorrected), "NC");
+  EXPECT_EQ(MethodTag(Method::kDisparityFilter), "DF");
+  EXPECT_EQ(MethodTag(Method::kHighSalienceSkeleton), "HSS");
+  EXPECT_EQ(MethodTag(Method::kDoublyStochastic), "DS");
+  EXPECT_EQ(MethodTag(Method::kMaximumSpanningTree), "MST");
+  EXPECT_EQ(MethodTag(Method::kNaiveThreshold), "NT");
+}
+
+TEST(RegistryTest, PaperMethodsExcludeKCore) {
+  EXPECT_EQ(PaperMethods().size(), 6u);
+  EXPECT_EQ(AllMethods().size(), 7u);
+  for (const Method m : PaperMethods()) {
+    EXPECT_NE(m, Method::kKCore);
+  }
+}
+
+TEST(RegistryTest, RunMethodDispatchesEveryMethod) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 30, .average_degree = 6.0, .seed = 2});
+  ASSERT_TRUE(g.ok());
+  for (const Method m : AllMethods()) {
+    const auto scored = RunMethod(m, *g);
+    ASSERT_TRUE(scored.ok()) << MethodName(m) << ": "
+                             << scored.status().ToString();
+    EXPECT_EQ(scored->size(), g->num_edges()) << MethodName(m);
+    EXPECT_EQ(scored->method().empty(), false);
+  }
+}
+
+TEST(RegistryTest, ParameterFreeFlags) {
+  EXPECT_TRUE(IsParameterFree(Method::kMaximumSpanningTree));
+  EXPECT_TRUE(IsParameterFree(Method::kDoublyStochastic));
+  EXPECT_FALSE(IsParameterFree(Method::kNoiseCorrected));
+  EXPECT_FALSE(IsParameterFree(Method::kNaiveThreshold));
+}
+
+}  // namespace
+}  // namespace netbone

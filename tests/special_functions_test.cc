@@ -1,0 +1,155 @@
+// Tests for log-gamma, the regularized incomplete beta, the exact Binomial
+// CDF (paper footnote 2), and the normal CDF/quantile used to map delta
+// thresholds to p-values.
+
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace netbone {
+namespace {
+
+TEST(LogGammaTest, FactorialValues) {
+  // Gamma(n) = (n-1)!.
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi); Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogGammaTest, LargeArguments) {
+  // Stirling check at x = 1000.
+  const double x = 1000.0;
+  const double stirling = (x - 0.5) * std::log(x) - x +
+                          0.5 * std::log(2.0 * M_PI) + 1.0 / (12.0 * x);
+  EXPECT_NEAR(LogGamma(x), stirling, 1e-6);
+}
+
+TEST(LogBinomialCoefficientTest, SmallValues) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 0), 0.0, 1e-10);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 10), 0.0, 1e-10);
+  EXPECT_TRUE(std::isinf(LogBinomialCoefficient(5, 7)));
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormPolynomials) {
+  // I_x(1, b) = 1 - (1-x)^b; I_x(a, 1) = x^a.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 4.0, 0.3),
+              1.0 - std::pow(0.7, 4), 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.0, 1.0, 0.6), std::pow(0.6, 3),
+              1e-12);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  const double a = 3.7, b = 2.2, x = 0.42;
+  EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+              1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-12);
+}
+
+TEST(BinomialCdfTest, ExactSmallCases) {
+  // Binomial(3, 0.5): P[X<=0]=1/8, P[X<=1]=1/2, P[X<=2]=7/8, P[X<=3]=1.
+  EXPECT_NEAR(BinomialCdf(0, 3, 0.5), 0.125, 1e-12);
+  EXPECT_NEAR(BinomialCdf(1, 3, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(BinomialCdf(2, 3, 0.5), 0.875, 1e-12);
+  EXPECT_NEAR(BinomialCdf(3, 3, 0.5), 1.0, 1e-12);
+}
+
+TEST(BinomialCdfTest, SkewedProbability) {
+  // Binomial(4, 0.2): P[X<=1] = 0.8^4 + 4*0.2*0.8^3 = 0.8192.
+  EXPECT_NEAR(BinomialCdf(1, 4, 0.2), 0.8192, 1e-12);
+}
+
+TEST(BinomialCdfTest, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(BinomialCdf(2, 5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(2, 5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(-1, 5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(7, 5, 0.5), 1.0);
+}
+
+TEST(BinomialCdfTest, LargeNMatchesNormalApproximation) {
+  // n=10000, p=0.3: CDF at the mean ~ 0.5 (within the continuity band).
+  const double cdf = BinomialCdf(3000, 10000, 0.3);
+  EXPECT_GT(cdf, 0.45);
+  EXPECT_LT(cdf, 0.55);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-12);
+}
+
+TEST(NormalCdfTest, PaperDeltaValues) {
+  // Sec. IV: "common values of delta are 1.28, 1.64, and 2.32, which
+  // approximate p-values of 0.1, 0.05, and 0.01".
+  EXPECT_NEAR(1.0 - NormalCdf(1.28), 0.1, 0.005);
+  EXPECT_NEAR(1.0 - NormalCdf(1.64), 0.05, 0.002);
+  EXPECT_NEAR(1.0 - NormalCdf(2.32), 0.01, 0.001);
+}
+
+TEST(NormalQuantileTest, RoundTripsThroughCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99,
+                         0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, SymmetryAroundMedian) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.3), -NormalQuantile(0.7), 1e-9);
+}
+
+// Property sweep: Binomial CDF must be monotone in k and match the
+// summed probability mass function for small n.
+class BinomialCdfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BinomialCdfSweep, MatchesSummedPmf) {
+  const double p = GetParam();
+  const int n = 12;
+  double cumulative = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    cumulative += std::exp(LogBinomialCoefficient(n, k)) * std::pow(p, k) *
+                  std::pow(1.0 - p, n - k);
+    EXPECT_NEAR(BinomialCdf(k, n, p), cumulative, 1e-10)
+        << "k=" << k << " p=" << p;
+  }
+}
+
+TEST_P(BinomialCdfSweep, MonotoneInK) {
+  const double p = GetParam();
+  double previous = -1.0;
+  for (int k = 0; k <= 20; ++k) {
+    const double cdf = BinomialCdf(k, 20, p);
+    EXPECT_GE(cdf, previous);
+    previous = cdf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilityGrid, BinomialCdfSweep,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99));
+
+}  // namespace
+}  // namespace netbone

@@ -1,0 +1,183 @@
+// Tests for descriptive statistics, ranking, and the correlation measures
+// backing Table I (Pearson), Fig. 6 (log-log) and Fig. 8 (Spearman).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+#include "stats/ranking.h"
+
+namespace netbone {
+namespace {
+
+TEST(DescriptiveTest, MeanAndVariance) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance(v), 4.0);
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, EmptyAndSingleton) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(one), 0.0);
+  EXPECT_DOUBLE_EQ(Median(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Median(one), 42.0);
+}
+
+TEST(DescriptiveTest, MedianAndQuantiles) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(DescriptiveTest, KahanSumHandlesWideMagnitudes) {
+  // 1e16 + 1 + 1 + ... naive summation drops the ones.
+  std::vector<double> v = {1e16};
+  for (int i = 0; i < 1000; ++i) v.push_back(1.0);
+  EXPECT_DOUBLE_EQ(Sum(v), 1e16 + 1000.0);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+}
+
+TEST(RankingTest, DistinctValues) {
+  const std::vector<double> v = {10.0, 30.0, 20.0};
+  const auto r = MidRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(RankingTest, TiesGetMidranks) {
+  const std::vector<double> v = {5.0, 5.0, 1.0, 7.0, 5.0};
+  const auto r = MidRanks(v);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[3], 5.0);
+  // Three fives straddle ranks 2, 3, 4 -> midrank 3.
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+  EXPECT_DOUBLE_EQ(r[4], 3.0);
+}
+
+TEST(PearsonTest, PerfectAndAntiCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(*PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(*PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed on a small series.
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {2.0, 1.0, 4.0, 3.0, 5.0};
+  // cov = 2.0 (sum dx dy = 8, n=5 -> population cov 1.6); r = 0.8.
+  EXPECT_NEAR(*PearsonCorrelation(x, y), 0.8, 1e-12);
+}
+
+TEST(PearsonTest, ErrorCases) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y3 = {1.0, 2.0, 3.0};
+  const std::vector<double> constant = {5.0, 5.0};
+  EXPECT_FALSE(PearsonCorrelation(x, y3).ok());
+  EXPECT_FALSE(PearsonCorrelation(x, constant).ok());
+  EXPECT_FALSE(
+      PearsonCorrelation(std::vector<double>{1.0}, std::vector<double>{1.0})
+          .ok());
+}
+
+TEST(LogLogTest, PowerLawIsPerfectlyCorrelated) {
+  // y = x^2.5 is exactly linear in log-log space.
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 100.0; v *= 1.7) {
+    x.push_back(v);
+    y.push_back(std::pow(v, 2.5));
+  }
+  EXPECT_NEAR(*LogLogPearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(LogLogTest, NonPositivePairsAreDropped) {
+  const std::vector<double> x = {1.0, 0.0, 10.0, 100.0, -5.0};
+  const std::vector<double> y = {1.0, 50.0, 10.0, 100.0, 3.0};
+  // Only (1,1), (10,10), (100,100) survive -> perfect correlation.
+  EXPECT_NEAR(*LogLogPearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (const double v : x) y.push_back(std::exp(v));  // monotone
+  EXPECT_NEAR(*SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandComputedWithTies) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {10.0, 10.0, 20.0, 30.0};
+  // ranks x: 1,2,3,4; ranks y: 1.5,1.5,3,4. Pearson of ranks:
+  // dx = -1.5,-0.5,0.5,1.5; dy = -1,-1,0.5,1.5
+  // -> sxy = 4.5, sxx = 5, syy = 4.5 -> r = 4.5/sqrt(22.5).
+  EXPECT_NEAR(*SpearmanCorrelation(x, y), 4.5 / std::sqrt(22.5), 1e-12);
+}
+
+TEST(SpearmanTest, InvariantToMonotoneTransforms) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6};
+  const std::vector<double> y = {2.0, 7.0, 1.0, 8.0, 0.5, 3.0};
+  const double base = *SpearmanCorrelation(x, y);
+  std::vector<double> x_exp;
+  for (const double v : x) x_exp.push_back(std::exp(v));
+  EXPECT_NEAR(*SpearmanCorrelation(x_exp, y), base, 1e-12);
+}
+
+TEST(EcdfTest, CdfAndSurvival) {
+  const std::vector<double> sample = {1.0, 2.0, 2.0, 3.0};
+  const Ecdf ecdf(sample);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Survival(2.0), 0.75);  // P[X >= 2]
+  EXPECT_DOUBLE_EQ(ecdf.Survival(2.5), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.Survival(0.0), 1.0);
+}
+
+TEST(EcdfTest, LogSurvivalSeriesSpansPositiveRange) {
+  std::vector<double> sample;
+  for (double v = 1.0; v <= 1e6; v *= 3.0) sample.push_back(v);
+  const Ecdf ecdf(sample);
+  const auto series = ecdf.LogSurvivalSeries(10);
+  ASSERT_EQ(series.size(), 10u);
+  EXPECT_NEAR(series.front().first, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(series.front().second, 1.0);
+  EXPECT_GT(series.back().second, 0.0);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].first, series[i - 1].first);
+    EXPECT_LE(series[i].second, series[i - 1].second);
+  }
+}
+
+TEST(HistogramTest, BinningAndShares) {
+  const std::vector<double> sample = {0.1, 0.2, 0.5, 0.9, 1.5, -2.0};
+  const Histogram h = MakeHistogram(sample, 0.0, 1.0, 4);
+  EXPECT_EQ(h.total, 6);
+  // -2.0 clamps into bin 0; 1.5 clamps into bin 3.
+  EXPECT_EQ(h.counts[0], 3);  // 0.1, 0.2, -2.0
+  EXPECT_EQ(h.counts[1], 0);
+  EXPECT_EQ(h.counts[2], 1);  // 0.5
+  EXPECT_EQ(h.counts[3], 2);  // 0.9, 1.5
+  EXPECT_DOUBLE_EQ(h.Share(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.125);
+}
+
+}  // namespace
+}  // namespace netbone
