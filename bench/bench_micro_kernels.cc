@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <mutex>
+
 #include "core/disparity_filter.h"
 #include "core/doubly_stochastic.h"
 #include "core/filter.h"
@@ -13,6 +16,9 @@
 #include "core/maximum_spanning_tree.h"
 #include "core/noise_corrected.h"
 #include "gen/erdos_renyi.h"
+#include "graph/adjacency.h"
+#include "graph/paths.h"
+#include "stats/correlation.h"
 #include "stats/distributions.h"
 #include "stats/special_functions.h"
 
@@ -25,6 +31,24 @@ nb::Graph MakeGraph(int64_t nodes) {
                                    .average_degree = 6.0,
                                    .seed = 99});
   return *std::move(g);
+}
+
+/// The Fig. 9 scaling workload (average degree 3: 1.6M nodes = 2.4M
+/// edges), cached so the thread-sweep variants reuse one instance instead
+/// of regenerating a multi-million-edge graph per benchmark registration.
+const nb::Graph& SparseGraph(int64_t nodes) {
+  static std::mutex mu;
+  static std::map<int64_t, nb::Graph> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    auto g = nb::GenerateErdosRenyi(
+        {.num_nodes = static_cast<nb::NodeId>(nodes),
+         .average_degree = 3.0,
+         .seed = 77});
+    it = cache.emplace(nodes, *std::move(g)).first;
+  }
+  return it->second;
 }
 
 void BM_NoiseCorrected(benchmark::State& state) {
@@ -68,6 +92,44 @@ void BM_MaximumSpanningTree(benchmark::State& state) {
 }
 BENCHMARK(BM_MaximumSpanningTree)->Arg(1000)->Arg(10000);
 
+// Thread sweep of the parallel NC scoring sweep on the Fig. 9 headline
+// graph (1.6M nodes / 2.4M edges, average degree 3). Arg pair: (nodes,
+// threads); threads == 0 means hardware concurrency. Scores are
+// bit-identical across the sweep — only wall-clock moves.
+void BM_NoiseCorrectedThreads(benchmark::State& state) {
+  const nb::Graph& g = SparseGraph(state.range(0));
+  nb::NoiseCorrectedOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto scored = nb::NoiseCorrected(g, options);
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_NoiseCorrectedThreads)
+    ->Args({1600000, 1})
+    ->Args({1600000, 2})
+    ->Args({1600000, 4})
+    ->Args({1600000, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DisparityFilterThreads(benchmark::State& state) {
+  const nb::Graph& g = SparseGraph(state.range(0));
+  nb::DisparityFilterOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto scored = nb::DisparityFilter(g, options);
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_DisparityFilterThreads)
+    ->Args({1600000, 1})
+    ->Args({1600000, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_HighSalienceSkeleton(benchmark::State& state) {
   const nb::Graph g = MakeGraph(state.range(0));
   for (auto _ : state) {
@@ -76,6 +138,64 @@ void BM_HighSalienceSkeleton(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HighSalienceSkeleton)->Arg(200)->Arg(500);
+
+// Exact vs sampled HSS on the same graph. Arg pair: (nodes, sources);
+// sources == 0 runs exact (|V| Dijkstras). The first sampled iteration
+// also reports the Spearman agreement with the exact scores as a counter,
+// so the approximation error is measured where the speedup is.
+void BM_HighSalienceSkeletonSampled(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  nb::HighSalienceSkeletonOptions options;
+  options.source_sample_size = state.range(1);
+  for (auto _ : state) {
+    auto scored = nb::HighSalienceSkeleton(g, options);
+    benchmark::DoNotOptimize(scored);
+  }
+  // The reference run costs |V| Dijkstras, so only grade the small graph.
+  if (options.source_sample_size > 0 && state.range(0) <= 2000) {
+    const auto exact = nb::HighSalienceSkeleton(g);
+    const auto sampled = nb::HighSalienceSkeleton(g, options);
+    if (exact.ok() && sampled.ok()) {
+      const auto spearman = nb::SpearmanCorrelation(exact->ScoreValues(),
+                                                    sampled->ScoreValues());
+      if (spearman.ok()) state.counters["spearman_vs_exact"] = *spearman;
+    }
+  }
+}
+BENCHMARK(BM_HighSalienceSkeletonSampled)
+    ->Args({2000, 0})
+    ->Args({2000, 256})
+    ->Args({20000, 256});
+
+// Single-source Dijkstra with a warm reusable workspace — the HSS inner
+// loop. Contrast with BM_DijkstraAllocating, which pays the three O(|V|)
+// allocations the workspace re-arms away.
+void BM_DijkstraWorkspace(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  const nb::Adjacency adjacency(g);
+  nb::DijkstraWorkspace workspace;
+  nb::NodeId source = 0;
+  for (auto _ : state) {
+    nb::DijkstraInto(adjacency, source, {}, &workspace);
+    benchmark::DoNotOptimize(workspace.touched().size());
+    source = (source + 1) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_DijkstraWorkspace)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DijkstraAllocating(benchmark::State& state) {
+  const nb::Graph g = MakeGraph(state.range(0));
+  const nb::Adjacency adjacency(g);
+  nb::NodeId source = 0;
+  for (auto _ : state) {
+    const nb::ShortestPathTree tree = nb::Dijkstra(adjacency, source);
+    benchmark::DoNotOptimize(tree.distance.data());
+    source = (source + 1) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_DijkstraAllocating)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_DoublyStochastic(benchmark::State& state) {
   const nb::Graph g = MakeGraph(state.range(0));

@@ -1,0 +1,101 @@
+// Copyright 2026 The netbone Authors.
+//
+// Shared parallel-execution substrate: a lazily-created fixed thread pool
+// that is reused across calls (no per-call thread spawn/join), plus a
+// deterministic chunked ParallelFor on top of it.
+//
+// Determinism contract: ParallelFor partitions [0, n) into contiguous
+// chunks whose boundaries depend only on (n, num_threads) — never on the
+// pool size or on scheduling. Callers that write to disjoint, index-aligned
+// output slots therefore produce bit-identical results regardless of how
+// many OS threads actually execute the chunks.
+
+#ifndef NETBONE_COMMON_PARALLEL_H_
+#define NETBONE_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netbone {
+
+/// Resolves a caller-facing thread-count knob: values <= 0 mean "use
+/// hardware concurrency" (at least 1); positive values pass through.
+int ResolveThreadCount(int requested);
+
+/// Number of chunks ParallelFor(n, num_threads, ...) will invoke its
+/// callback with: min(ResolveThreadCount(num_threads), n), at least 1.
+/// Callers that size per-chunk accumulators must use this — it is the
+/// single definition of the partition width.
+int NumParallelChunks(int64_t n, int num_threads);
+
+/// Fixed pool of worker threads with a blocking fork-join Run() primitive.
+///
+/// The pool owns size() - 1 OS threads; the thread calling Run()
+/// participates as a worker, so a pool of size 1 spawns no threads at all.
+/// Run() calls are serialized internally — concurrent callers queue up
+/// rather than interleave, which keeps the pool small and the semantics
+/// simple.
+class ThreadPool {
+ public:
+  /// Creates a pool that can execute `num_threads` workers concurrently
+  /// (including the caller of Run). num_threads < 1 is clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum concurrency of Run(), counting the calling thread.
+  int size() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Invokes fn(worker) for every worker in [0, num_workers), distributing
+  /// the invocations over the pool (the caller executes some of them).
+  /// Blocks until all invocations finish. num_workers may exceed size();
+  /// excess workers simply share OS threads.
+  void Run(int num_workers, const std::function<void(int worker)>& fn);
+
+  /// Process-wide pool sized to hardware concurrency, created on first use
+  /// and intentionally never destroyed (avoids shutdown-order races with
+  /// static destructors).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs job workers until the current job is exhausted.
+  /// Precondition: `lock` holds mu_. Returns with mu_ re-held.
+  void DrainJob(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex run_mu_;  // serializes Run() calls
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // a job arrived (or shutdown)
+  std::condition_variable done_cv_;  // the current job fully finished
+  const std::function<void(int)>* job_ = nullptr;
+  int job_next_ = 0;    // next unclaimed worker index
+  int job_total_ = 0;   // workers in the current job
+  int job_active_ = 0;  // claimed but not yet finished
+  bool shutdown_ = false;
+};
+
+/// Deterministic chunked parallel loop over [0, n).
+///
+/// The range is split into W = min(max(num_threads_resolved, 1), n)
+/// contiguous chunks — chunk c covers [c*n/W, (c+1)*n/W) — and
+/// fn(begin, end, chunk) runs once per chunk on ThreadPool::Global().
+/// Chunk boundaries depend only on (n, num_threads), so per-chunk
+/// accumulators indexed by `chunk` are reproducible. `num_threads` <= 0
+/// resolves to hardware concurrency. n <= 0 is a no-op; W == 1 runs inline
+/// on the calling thread with no synchronization.
+void ParallelFor(int64_t n, int num_threads,
+                 const std::function<void(int64_t begin, int64_t end,
+                                          int chunk)>& fn);
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_PARALLEL_H_

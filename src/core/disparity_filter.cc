@@ -17,38 +17,39 @@ Result<ScoredEdges> DisparityFilter(const Graph& graph,
     return Status::FailedPrecondition("graph has no edges");
   }
 
-  std::vector<EdgeScore> scores;
-  scores.reserve(static_cast<size_t>(graph.num_edges()));
+  Result<std::vector<EdgeScore>> scores = ParallelScoreEdges(
+      graph, options.num_threads,
+      [&](EdgeId, const Edge& e, EdgeScore* out) -> Status {
+        // Test 1: from the source's perspective, the edge's share of
+        // outgoing strength. Test 2: from the target's perspective, the
+        // share of incoming strength. For undirected graphs both use the
+        // symmetric strength/degree, i.e. the two incident endpoints.
+        const double out_total = graph.out_strength(e.src);
+        const double in_total = graph.in_strength(e.dst);
+        const double src_share = out_total > 0.0 ? e.weight / out_total : 0.0;
+        const double dst_share = in_total > 0.0 ? e.weight / in_total : 0.0;
+        const double src_score =
+            1.0 - DisparityPValue(src_share, graph.out_degree(e.src));
+        const double dst_score =
+            1.0 - DisparityPValue(dst_share, graph.in_degree(e.dst));
 
-  for (const Edge& e : graph.edges()) {
-    // Test 1: from the source's perspective, the edge's share of outgoing
-    // strength. Test 2: from the target's perspective, the share of
-    // incoming strength. For undirected graphs both use the symmetric
-    // strength/degree, i.e. the two incident endpoints.
-    const double out_total = graph.out_strength(e.src);
-    const double in_total = graph.in_strength(e.dst);
-    const double src_share = out_total > 0.0 ? e.weight / out_total : 0.0;
-    const double dst_share = in_total > 0.0 ? e.weight / in_total : 0.0;
-    const double src_score =
-        1.0 - DisparityPValue(src_share, graph.out_degree(e.src));
-    const double dst_score =
-        1.0 - DisparityPValue(dst_share, graph.in_degree(e.dst));
-
-    double score = 0.0;
-    switch (options.endpoint_rule) {
-      case DisparityEndpointRule::kEither:
-        score = std::max(src_score, dst_score);
-        break;
-      case DisparityEndpointRule::kBoth:
-        score = std::min(src_score, dst_score);
-        break;
-      case DisparityEndpointRule::kSource:
-        score = src_score;
-        break;
-    }
-    scores.push_back(EdgeScore{score, 0.0});
-  }
-  return ScoredEdges(&graph, "disparity_filter", std::move(scores),
+        double score = 0.0;
+        switch (options.endpoint_rule) {
+          case DisparityEndpointRule::kEither:
+            score = std::max(src_score, dst_score);
+            break;
+          case DisparityEndpointRule::kBoth:
+            score = std::min(src_score, dst_score);
+            break;
+          case DisparityEndpointRule::kSource:
+            score = src_score;
+            break;
+        }
+        *out = EdgeScore{score, 0.0};
+        return Status::OK();
+      });
+  if (!scores.ok()) return scores.status();
+  return ScoredEdges(&graph, "disparity_filter", std::move(*scores),
                      /*has_sdev=*/false);
 }
 

@@ -32,6 +32,10 @@ enum class DisparityEndpointRule {
 /// Options for DisparityFilter.
 struct DisparityFilterOptions {
   DisparityEndpointRule endpoint_rule = DisparityEndpointRule::kEither;
+
+  /// Worker threads for the per-edge scoring sweep (ParallelScoreEdges).
+  /// 0 = hardware concurrency. Scores are bit-identical for every value.
+  int num_threads = 0;
 };
 
 /// Scores every edge with 1 - alpha_ij. Degree-1 endpoints yield score 0

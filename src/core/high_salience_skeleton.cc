@@ -1,9 +1,11 @@
 #include "core/high_salience_skeleton.h"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
+#include "common/parallel.h"
+#include "common/random.h"
 #include "common/strings.h"
 #include "graph/adjacency.h"
 #include "graph/paths.h"
@@ -15,12 +17,39 @@ Result<ScoredEdges> HighSalienceSkeleton(
   if (graph.num_edges() == 0) {
     return Status::FailedPrecondition("graph has no edges");
   }
+  if (options.source_sample_size < 0) {
+    return Status::InvalidArgument("source_sample_size must be >= 0");
+  }
+  const NodeId n = graph.num_nodes();
+
+  // Pick the Dijkstra sources: every node (exact), or a seeded uniform
+  // sample without replacement, sorted for traversal locality. The sample
+  // depends only on (n, sample_size, seed), never on threading.
+  std::vector<NodeId> sources;
+  const bool sampled =
+      options.source_sample_size > 0 &&
+      options.source_sample_size < static_cast<int64_t>(n);
+  if (sampled) {
+    Rng rng(options.sample_seed);
+    const std::vector<size_t> picks = rng.SampleWithoutReplacement(
+        static_cast<size_t>(n),
+        static_cast<size_t>(options.source_sample_size));
+    sources.reserve(picks.size());
+    for (const size_t p : picks) sources.push_back(static_cast<NodeId>(p));
+    std::sort(sources.begin(), sources.end());
+  } else {
+    sources.resize(static_cast<size_t>(n));
+    std::iota(sources.begin(), sources.end(), 0);
+  }
+
+  // The guard prices the actual traversal work, so sampling lifts the cap
+  // a full exact run would hit: S * |E| instead of |V| * |E|.
   if (options.max_cost > 0) {
     const int64_t cost =
-        static_cast<int64_t>(graph.num_nodes()) * graph.num_edges();
+        static_cast<int64_t>(sources.size()) * graph.num_edges();
     if (cost > options.max_cost) {
       return Status::FailedPrecondition(
-          StrFormat("HSS cost |V|*|E| = %lld exceeds budget %lld",
+          StrFormat("HSS cost sources*|E| = %lld exceeds budget %lld",
                     static_cast<long long>(cost),
                     static_cast<long long>(options.max_cost)));
     }
@@ -28,46 +57,36 @@ Result<ScoredEdges> HighSalienceSkeleton(
 
   const Adjacency adjacency(graph);
   const size_t num_edges = static_cast<size_t>(graph.num_edges());
-  const NodeId n = graph.num_nodes();
+  const int64_t num_sources = static_cast<int64_t>(sources.size());
+  const int chunks = NumParallelChunks(num_sources, options.num_threads);
 
-  int num_threads = options.num_threads;
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 1;
-  }
-  num_threads = std::min<int>(num_threads, std::max<NodeId>(n, 1));
-
-  // Each worker accumulates tree-membership counts into its own vector;
-  // summing at the end keeps the result independent of scheduling.
+  // Each chunk owns a tree-membership count vector and one reusable
+  // Dijkstra workspace (re-armed per source, never reallocated). Integer
+  // counts summed in chunk order keep the result independent of
+  // scheduling AND of the thread count: the final sum is the same
+  // associative integer total any partition yields.
   std::vector<std::vector<int64_t>> partial(
-      static_cast<size_t>(num_threads),
+      static_cast<size_t>(std::max(chunks, 1)),
       std::vector<int64_t>(num_edges, 0));
-  std::atomic<NodeId> next_source{0};
 
-  auto worker = [&](int thread_index) {
-    std::vector<int64_t>& counts = partial[static_cast<size_t>(thread_index)];
-    for (;;) {
-      const NodeId source = next_source.fetch_add(1);
-      if (source >= n) break;
-      const ShortestPathTree tree = Dijkstra(adjacency, source);
-      for (NodeId v = 0; v < n; ++v) {
-        const EdgeId parent = tree.parent_edge[static_cast<size_t>(v)];
+  ParallelFor(num_sources, chunks, [&](int64_t begin, int64_t end,
+                                       int chunk) {
+    std::vector<int64_t>& counts = partial[static_cast<size_t>(chunk)];
+    DijkstraWorkspace workspace;
+    for (int64_t s = begin; s < end; ++s) {
+      DijkstraInto(adjacency, sources[static_cast<size_t>(s)], {},
+                   &workspace);
+      for (const NodeId v : workspace.touched()) {
+        const EdgeId parent = workspace.parent_edge(v);
         if (parent >= 0) counts[static_cast<size_t>(parent)]++;
       }
     }
-  };
+  });
 
-  if (num_threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(num_threads));
-    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-    for (std::thread& t : threads) t.join();
-  }
-
+  // Salience = tree count / number of sources; for sampled runs this is
+  // the unbiased estimate (count * (n/k)) / n = count / k.
   std::vector<EdgeScore> scores(num_edges);
-  const double denom = static_cast<double>(n);
+  const double denom = static_cast<double>(num_sources);
   for (size_t e = 0; e < num_edges; ++e) {
     int64_t total = 0;
     for (const auto& counts : partial) total += counts[e];

@@ -6,6 +6,13 @@
 // HSS = (1/|V|) sum_v SPT(v). Salience is empirically bimodal, so a
 // threshold of ~0.5 splits skeleton from noise; here salience is simply the
 // edge score, and any filter from core/filter.h applies.
+//
+// Exact HSS costs one Dijkstra per node — the reason the paper "could not
+// run [it] on networks larger than a few thousand edges". Salience is
+// stable under source subsampling (Shekhtman et al. 2013), so
+// `source_sample_size` trades exactness for an unbiased k-source estimate
+// (count rescaled by |V|/k) that runs on graphs far beyond the exact
+// budget.
 
 #ifndef NETBONE_CORE_HIGH_SALIENCE_SKELETON_H_
 #define NETBONE_CORE_HIGH_SALIENCE_SKELETON_H_
@@ -24,10 +31,22 @@ struct HighSalienceSkeletonOptions {
   /// concurrency. The result is deterministic regardless of thread count.
   int num_threads = 0;
 
-  /// Abort with FailedPrecondition when |V| * |E| exceeds this budget, to
-  /// mirror the paper's observation that HSS "could not run ... on networks
-  /// larger than a few thousand edges". 0 disables the guard.
+  /// Abort with FailedPrecondition when the traversal cost S * |E| (S =
+  /// number of Dijkstra sources: |V| exact, source_sample_size sampled)
+  /// exceeds this budget, to mirror the paper's observation that HSS
+  /// "could not run ... on networks larger than a few thousand edges".
+  /// 0 disables the guard. Sampling shrinks S, so a budget that rejects an
+  /// exact run can admit a sampled one on the same graph.
   int64_t max_cost = 0;
+
+  /// Approximate mode: > 0 scores salience from this many distinct
+  /// sources, drawn uniformly without replacement with `sample_seed`, and
+  /// rescales tree-membership counts by |V| / k so the score remains an
+  /// unbiased salience estimate in [0, 1]. 0 (or >= |V|) = exact.
+  int64_t source_sample_size = 0;
+
+  /// Seed for the source sample; same seed + same graph = same scores.
+  uint64_t sample_seed = 42;
 };
 
 /// Scores every edge with its salience in [0, 1].

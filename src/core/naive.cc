@@ -2,16 +2,19 @@
 
 namespace netbone {
 
-Result<ScoredEdges> NaiveThreshold(const Graph& graph) {
+Result<ScoredEdges> NaiveThreshold(const Graph& graph,
+                                   const NaiveThresholdOptions& options) {
   if (graph.num_edges() == 0) {
     return Status::FailedPrecondition("graph has no edges");
   }
-  std::vector<EdgeScore> scores;
-  scores.reserve(static_cast<size_t>(graph.num_edges()));
-  for (const Edge& e : graph.edges()) {
-    scores.push_back(EdgeScore{e.weight, 0.0});
-  }
-  return ScoredEdges(&graph, "naive_threshold", std::move(scores),
+  Result<std::vector<EdgeScore>> scores = ParallelScoreEdges(
+      graph, options.num_threads,
+      [](EdgeId, const Edge& e, EdgeScore* out) -> Status {
+        *out = EdgeScore{e.weight, 0.0};
+        return Status::OK();
+      });
+  if (!scores.ok()) return scores.status();
+  return ScoredEdges(&graph, "naive_threshold", std::move(*scores),
                      /*has_sdev=*/false);
 }
 

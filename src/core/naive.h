@@ -14,8 +14,16 @@
 
 namespace netbone {
 
+/// Options for NaiveThreshold.
+struct NaiveThresholdOptions {
+  /// Worker threads for the per-edge scoring sweep (ParallelScoreEdges).
+  /// 0 = hardware concurrency. Scores are bit-identical for every value.
+  int num_threads = 0;
+};
+
 /// Scores every edge with its raw weight.
-Result<ScoredEdges> NaiveThreshold(const Graph& graph);
+Result<ScoredEdges> NaiveThreshold(const Graph& graph,
+                                   const NaiveThresholdOptions& options = {});
 
 }  // namespace netbone
 

@@ -101,24 +101,30 @@ Result<ScoredEdges> NoiseCorrectedWithDetails(
     return Status::FailedPrecondition("graph total weight is zero");
   }
 
-  details->clear();
-  details->reserve(static_cast<size_t>(graph.num_edges()));
-  std::vector<EdgeScore> scores;
-  scores.reserve(static_cast<size_t>(graph.num_edges()));
-
-  for (const Edge& e : graph.edges()) {
-    const double ni_out = graph.out_strength(e.src);
-    const double nj_in = graph.in_strength(e.dst);
-    Result<NoiseCorrectedDetail> d =
-        NoiseCorrectedEdge(e.weight, ni_out, nj_in, n_total, options);
-    if (!d.ok()) return d.status();
-    scores.push_back(EdgeScore{d->transformed_lift, d->sdev});
-    details->push_back(std::move(*d));
+  // The details table is pre-sized so parallel chunks can fill disjoint
+  // index-aligned slots alongside the score vector.
+  details->assign(static_cast<size_t>(graph.num_edges()),
+                  NoiseCorrectedDetail{});
+  Result<std::vector<EdgeScore>> scores = ParallelScoreEdges(
+      graph, options.num_threads,
+      [&](EdgeId id, const Edge& e, EdgeScore* out) -> Status {
+        const double ni_out = graph.out_strength(e.src);
+        const double nj_in = graph.in_strength(e.dst);
+        Result<NoiseCorrectedDetail> d =
+            NoiseCorrectedEdge(e.weight, ni_out, nj_in, n_total, options);
+        if (!d.ok()) return d.status();
+        *out = EdgeScore{d->transformed_lift, d->sdev};
+        (*details)[static_cast<size_t>(id)] = std::move(*d);
+        return Status::OK();
+      });
+  if (!scores.ok()) {
+    details->clear();
+    return scores.status();
   }
   return ScoredEdges(&graph,
                      options.use_binomial_pvalue ? "noise_corrected_pvalue"
                                                  : "noise_corrected",
-                     std::move(scores),
+                     std::move(*scores),
                      /*has_sdev=*/!options.use_binomial_pvalue);
 }
 

@@ -51,6 +51,10 @@ struct NoiseCorrectedOptions {
   /// (kappa + n dkappa/dn ~ 0) that deflates the sdev of hub-incident
   /// edges. Used by core/change_detection.
   bool marginals_respond_to_weight = true;
+
+  /// Worker threads for the per-edge scoring sweep (ParallelScoreEdges).
+  /// 0 = hardware concurrency. Scores are bit-identical for every value.
+  int num_threads = 0;
 };
 
 /// Full per-edge decomposition of the NC computation, for diagnostics,

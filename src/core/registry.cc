@@ -77,21 +77,33 @@ bool IsParameterFree(Method method) {
 Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
                               const RunMethodOptions& options) {
   switch (method) {
-    case Method::kNoiseCorrected:
-      return NoiseCorrected(graph);
-    case Method::kDisparityFilter:
-      return DisparityFilter(graph);
+    case Method::kNoiseCorrected: {
+      NoiseCorrectedOptions nc;
+      nc.num_threads = options.num_threads;
+      return NoiseCorrected(graph, nc);
+    }
+    case Method::kDisparityFilter: {
+      DisparityFilterOptions df;
+      df.num_threads = options.num_threads;
+      return DisparityFilter(graph, df);
+    }
     case Method::kHighSalienceSkeleton: {
       HighSalienceSkeletonOptions hss;
+      hss.num_threads = options.num_threads;
       hss.max_cost = options.hss_max_cost;
+      hss.source_sample_size = options.hss_source_sample_size;
+      hss.sample_seed = options.hss_sample_seed;
       return HighSalienceSkeleton(graph, hss);
     }
     case Method::kDoublyStochastic:
       return DoublyStochastic(graph);
     case Method::kMaximumSpanningTree:
       return MaximumSpanningTree(graph);
-    case Method::kNaiveThreshold:
-      return NaiveThreshold(graph);
+    case Method::kNaiveThreshold: {
+      NaiveThresholdOptions nt;
+      nt.num_threads = options.num_threads;
+      return NaiveThreshold(graph, nt);
+    }
     case Method::kKCore:
       return KCoreScores(graph);
   }

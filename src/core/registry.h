@@ -6,6 +6,7 @@
 #ifndef NETBONE_CORE_REGISTRY_H_
 #define NETBONE_CORE_REGISTRY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,11 +44,23 @@ std::string MethodTag(Method method);
 /// plots them as single points instead of threshold sweeps.
 bool IsParameterFree(Method method);
 
-/// Runs `method` with default options. HSS accepts an optional cost guard;
-/// see RunMethodOptions.
+/// Runs `method` with default options. HSS accepts an optional cost guard
+/// and an approximate sampled mode; see RunMethodOptions.
 struct RunMethodOptions {
+  /// Worker threads for the parallel methods (NC, DF, NT per-edge sweeps;
+  /// HSS per-source Dijkstras). 0 = hardware concurrency. Every method's
+  /// output is bit-identical regardless of this value.
+  int num_threads = 0;
+
   /// Forwarded to HighSalienceSkeletonOptions::max_cost (0 = unguarded).
   int64_t hss_max_cost = 0;
+
+  /// Forwarded to HighSalienceSkeletonOptions::source_sample_size
+  /// (0 = exact HSS; > 0 = seeded k-source salience estimate).
+  int64_t hss_source_sample_size = 0;
+
+  /// Forwarded to HighSalienceSkeletonOptions::sample_seed.
+  uint64_t hss_sample_seed = 42;
 };
 Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
                               const RunMethodOptions& options = {});

@@ -8,9 +8,12 @@
 #ifndef NETBONE_CORE_SCORED_EDGES_H_
 #define NETBONE_CORE_SCORED_EDGES_H_
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "graph/graph.h"
 
@@ -73,6 +76,65 @@ class ScoredEdges {
   std::vector<EdgeScore> scores_;
   bool has_sdev_ = false;
 };
+
+/// Scores every edge of `graph` by running `score_edge` over deterministic
+/// contiguous chunks of the edge table on the shared thread pool
+/// (common/parallel.h). Output is bit-identical for every `num_threads`
+/// (<= 0 = hardware concurrency): each chunk writes disjoint slots of a
+/// pre-sized vector, and when several chunks fail, the error of the
+/// lowest-numbered edge wins — the same error a serial sweep would report.
+///
+/// `score_edge` has signature Status(EdgeId id, const Edge& edge,
+/// EdgeScore* out); returning non-OK aborts that chunk. The callback may
+/// capture extra per-edge outputs (e.g. the NC detail table) and write
+/// them at index `id` — chunks never overlap. A template (rather than a
+/// std::function) so trivial scorers inline into the per-edge loop.
+template <typename Scorer>
+Result<std::vector<EdgeScore>> ParallelScoreEdges(const Graph& graph,
+                                                  int num_threads,
+                                                  const Scorer& score_edge) {
+  const int64_t n = graph.num_edges();
+  std::vector<EdgeScore> scores(static_cast<size_t>(n));
+  if (n == 0) return scores;
+
+  // Very small edge tables are not worth a pool handoff; a single chunk is
+  // observably identical (same slots, same first error) and faster. The
+  // reduced count feeds ParallelFor as its thread knob, which is exact:
+  // NumParallelChunks(n, chunks) == chunks whenever chunks <= n.
+  constexpr int64_t kMinEdgesPerChunk = 2048;
+  const int64_t max_useful = std::max<int64_t>(n / kMinEdgesPerChunk, 1);
+  const int chunks = static_cast<int>(std::min<int64_t>(
+      NumParallelChunks(n, num_threads), max_useful));
+
+  // One slot per chunk; first-error-wins is decided after the join by
+  // edge id, so the winning error never depends on scheduling.
+  std::vector<Status> chunk_status(static_cast<size_t>(chunks));
+  std::vector<EdgeId> chunk_error_edge(static_cast<size_t>(chunks), -1);
+
+  ParallelFor(n, chunks, [&](int64_t begin, int64_t end, int chunk) {
+    for (int64_t id = begin; id < end; ++id) {
+      Status status = score_edge(id, graph.edge(id),
+                                 &scores[static_cast<size_t>(id)]);
+      if (!status.ok()) {
+        chunk_status[static_cast<size_t>(chunk)] = std::move(status);
+        chunk_error_edge[static_cast<size_t>(chunk)] = id;
+        return;
+      }
+    }
+  });
+
+  EdgeId first_error = -1;
+  size_t first_chunk = 0;
+  for (size_t c = 0; c < chunk_status.size(); ++c) {
+    if (chunk_error_edge[c] >= 0 &&
+        (first_error < 0 || chunk_error_edge[c] < first_error)) {
+      first_error = chunk_error_edge[c];
+      first_chunk = c;
+    }
+  }
+  if (first_error >= 0) return chunk_status[first_chunk];
+  return scores;
+}
 
 }  // namespace netbone
 

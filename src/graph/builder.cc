@@ -79,6 +79,9 @@ Result<Graph> GraphBuilder::Build() {
     for (NodeId v = static_cast<NodeId>(labels_.size()); v <= max_node_;
          ++v) {
       labels_.push_back(std::to_string(v));
+      // Keep the label index total too, so Graph::FindLabel resolves the
+      // decimal placeholders; a real label always wins over a placeholder.
+      label_to_id_.emplace(labels_.back(), v);
     }
   }
 
@@ -115,6 +118,9 @@ Result<Graph> GraphBuilder::Build() {
   g.directedness_ = directedness_;
   g.edges_ = std::move(edges);
   g.labels_ = std::move(labels_);
+  // The interning map is exactly the label -> id index FindLabel needs;
+  // hand it to the graph instead of rebuilding it on first lookup.
+  g.label_index_ = std::move(label_to_id_);
   const size_t n = static_cast<size_t>(g.num_nodes_);
   g.out_strength_.assign(n, 0.0);
   g.in_strength_.assign(n, 0.0);

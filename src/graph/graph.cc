@@ -46,8 +46,14 @@ std::string Graph::LabelOf(NodeId v) const {
 }
 
 Result<NodeId> Graph::FindLabel(const std::string& label) const {
-  for (size_t i = 0; i < labels_.size(); ++i) {
-    if (labels_[i] == label) return static_cast<NodeId>(i);
+  const auto it = label_index_.find(label);
+  if (it != label_index_.end()) return it->second;
+  // Graphs assembled outside GraphBuilder may carry labels without an
+  // index; fall back to the scan so lookups stay total.
+  if (label_index_.empty()) {
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      if (labels_[i] == label) return static_cast<NodeId>(i);
+    }
   }
   return Status::NotFound("no node labeled '" + label + "'");
 }

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -119,8 +120,9 @@ class Graph {
   /// Label of `v`; falls back to the decimal id when labels are absent.
   std::string LabelOf(NodeId v) const;
 
-  /// Resolves a label to a node id; NotFound when unknown. O(n) scan —
-  /// intended for tests and examples, not hot paths.
+  /// Resolves a label to a node id; NotFound when unknown. O(1) via the
+  /// label index the builder hands over, so label-heavy loaders (the
+  /// occupations/countries case studies) stay linear overall.
   Result<NodeId> FindLabel(const std::string& label) const;
 
  private:
@@ -136,6 +138,8 @@ class Graph {
   double total_weight_ = 0.0;
   double self_loop_weight_ = 0.0;
   std::vector<std::string> labels_;
+  // label -> id, populated by GraphBuilder alongside labels_.
+  std::unordered_map<std::string, NodeId> label_index_;
 };
 
 }  // namespace netbone

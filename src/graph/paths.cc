@@ -1,6 +1,8 @@
 #include "graph/paths.h"
 
+#include <algorithm>
 #include <queue>
+#include <utility>
 
 namespace netbone {
 namespace {
@@ -19,35 +21,108 @@ double ArcLength(const Arc& arc, DijkstraOptions::LengthRule rule) {
 
 }  // namespace
 
+void DijkstraWorkspace::Arm(NodeId n) {
+  const size_t size = static_cast<size_t>(n);
+  if (stamp_.size() < size) {
+    stamp_.resize(size, 0);
+    distance_.resize(size);
+    parent_.resize(size);
+    parent_edge_.resize(size);
+  }
+  touched_.clear();
+  heap_.clear();
+  if (++generation_ == 0) {
+    // Stamp wrapped after 2^32 runs: every stale stamp of 0 would read as
+    // current, so pay one O(n) clear and restart at generation 1.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    generation_ = 1;
+  }
+}
+
+void DijkstraWorkspace::HeapPush(double dist, NodeId node) {
+  heap_.push_back(HeapItem{dist, node});
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t up = (i - 1) / 4;
+    if (heap_[up].distance <= heap_[i].distance) break;
+    std::swap(heap_[up], heap_[i]);
+    i = up;
+  }
+}
+
+DijkstraWorkspace::HeapItem DijkstraWorkspace::HeapPop() {
+  const HeapItem top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].distance < heap_[best].distance) best = c;
+    }
+    if (heap_[i].distance <= heap_[best].distance) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+void DijkstraInto(const Adjacency& adjacency, NodeId source,
+                  const DijkstraOptions& options,
+                  DijkstraWorkspace* workspace) {
+  DijkstraWorkspace& ws = *workspace;
+  ws.Arm(adjacency.num_nodes());
+
+  const size_t src = static_cast<size_t>(source);
+  ws.stamp_[src] = ws.generation_;
+  ws.distance_[src] = 0.0;
+  ws.parent_[src] = -1;
+  ws.parent_edge_[src] = -1;
+  ws.touched_.push_back(source);
+  ws.HeapPush(0.0, source);
+
+  while (!ws.heap_.empty()) {
+    const auto [dist, u] = ws.HeapPop();
+    if (dist > ws.distance_[static_cast<size_t>(u)]) continue;  // stale
+    for (const Arc& arc : adjacency.out_arcs(u)) {
+      const double length = ArcLength(arc, options.length_rule);
+      if (length == kInf) continue;
+      const double candidate = dist + length;
+      const size_t v = static_cast<size_t>(arc.neighbor);
+      if (ws.stamp_[v] != ws.generation_) {
+        ws.stamp_[v] = ws.generation_;
+        ws.distance_[v] = kInf;
+        ws.touched_.push_back(arc.neighbor);
+      }
+      if (candidate < ws.distance_[v]) {
+        ws.distance_[v] = candidate;
+        ws.parent_[v] = u;
+        ws.parent_edge_[v] = arc.edge;
+        ws.HeapPush(candidate, arc.neighbor);
+      }
+    }
+  }
+}
+
 ShortestPathTree Dijkstra(const Adjacency& adjacency, NodeId source,
                           const DijkstraOptions& options) {
+  DijkstraWorkspace workspace;
+  DijkstraInto(adjacency, source, options, &workspace);
+
   const size_t n = static_cast<size_t>(adjacency.num_nodes());
   ShortestPathTree tree;
   tree.parent_edge.assign(n, -1);
   tree.parent.assign(n, -1);
   tree.distance.assign(n, kInf);
-  tree.distance[static_cast<size_t>(source)] = 0.0;
-
-  using Item = std::pair<double, NodeId>;  // (distance, node)
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
-  heap.emplace(0.0, source);
-
-  while (!heap.empty()) {
-    const auto [dist, u] = heap.top();
-    heap.pop();
-    if (dist > tree.distance[static_cast<size_t>(u)]) continue;  // stale
-    for (const Arc& arc : adjacency.out_arcs(u)) {
-      const double length = ArcLength(arc, options.length_rule);
-      if (length == kInf) continue;
-      const double candidate = dist + length;
-      double& best = tree.distance[static_cast<size_t>(arc.neighbor)];
-      if (candidate < best) {
-        best = candidate;
-        tree.parent[static_cast<size_t>(arc.neighbor)] = u;
-        tree.parent_edge[static_cast<size_t>(arc.neighbor)] = arc.edge;
-        heap.emplace(candidate, arc.neighbor);
-      }
-    }
+  for (const NodeId v : workspace.touched()) {
+    const size_t i = static_cast<size_t>(v);
+    tree.parent_edge[i] = workspace.parent_edge(v);
+    tree.parent[i] = workspace.parent(v);
+    tree.distance[i] = workspace.distance(v);
   }
   return tree;
 }

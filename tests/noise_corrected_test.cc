@@ -11,6 +11,7 @@
 
 #include "core/disparity_filter.h"
 #include "core/filter.h"
+#include "gen/erdos_renyi.h"
 #include "graph/builder.h"
 #include "stats/distributions.h"
 
@@ -375,6 +376,52 @@ TEST(NoiseCorrectedGraphTest, DetailsAlignWithEdgeTable) {
 TEST(NoiseCorrectedGraphTest, RejectsNullDetails) {
   const Graph g = MakeToyHub();
   EXPECT_FALSE(NoiseCorrectedWithDetails(g, {}, nullptr).ok());
+}
+
+TEST(NoiseCorrectedGraphTest, ScoresAndDetailsIdenticalAcrossThreadCounts) {
+  // The parallel sweep (ParallelScoreEdges) must be bit-identical to the
+  // serial one, including the per-edge detail table, on a graph large
+  // enough to split into several chunks.
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 4000, .average_degree = 6.0, .seed = 13});
+  ASSERT_TRUE(g.ok());
+  NoiseCorrectedOptions serial;
+  serial.num_threads = 1;
+  std::vector<NoiseCorrectedDetail> serial_details;
+  const auto reference = NoiseCorrectedWithDetails(*g, serial,
+                                                   &serial_details);
+  ASSERT_TRUE(reference.ok());
+  for (const int threads : {2, 8}) {
+    NoiseCorrectedOptions options;
+    options.num_threads = threads;
+    std::vector<NoiseCorrectedDetail> details;
+    const auto nc = NoiseCorrectedWithDetails(*g, options, &details);
+    ASSERT_TRUE(nc.ok());
+    ASSERT_EQ(details.size(), serial_details.size());
+    for (EdgeId id = 0; id < g->num_edges(); ++id) {
+      const size_t i = static_cast<size_t>(id);
+      EXPECT_EQ(nc->at(id).score, reference->at(id).score);
+      EXPECT_EQ(nc->at(id).sdev, reference->at(id).sdev);
+      EXPECT_EQ(details[i].posterior_p, serial_details[i].posterior_p);
+      EXPECT_EQ(details[i].variance_lift, serial_details[i].variance_lift);
+    }
+  }
+}
+
+TEST(NoiseCorrectedGraphTest, ParallelSweepReportsSerialFirstError) {
+  // A zero-weight edge to an otherwise-isolated node breaks NC; the
+  // parallel sweep must surface the same failure for every thread count.
+  GraphBuilder builder(Directedness::kUndirected);
+  for (NodeId v = 0; v < 5000; ++v) builder.AddEdge(v, v + 1, 3.0);
+  builder.AddEdge(2500, 6000, 0.0);
+  const Graph g = *builder.Build();
+  for (const int threads : {1, 2, 8}) {
+    NoiseCorrectedOptions options;
+    options.num_threads = threads;
+    const auto nc = NoiseCorrected(g, options);
+    ASSERT_FALSE(nc.ok());
+    EXPECT_TRUE(nc.status().IsInvalidArgument());
+  }
 }
 
 TEST(NoiseCorrectedGraphTest, ShiftedScoresMatchManualComputation) {

@@ -1,0 +1,390 @@
+// Tests for the parallel-execution subsystem (common/parallel.h), the
+// ParallelScoreEdges helper, the reusable Dijkstra workspace, and the
+// determinism guarantees of the threaded scoring paths: identical scores
+// for every thread count, serial-equivalent first-error-wins status
+// aggregation, and seeded reproducibility of the sampled HSS mode.
+
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/disparity_filter.h"
+#include "core/high_salience_skeleton.h"
+#include "core/naive.h"
+#include "core/noise_corrected.h"
+#include "core/registry.h"
+#include "core/scored_edges.h"
+#include "gen/erdos_renyi.h"
+#include "graph/adjacency.h"
+#include "graph/builder.h"
+#include "graph/paths.h"
+#include "stats/correlation.h"
+
+namespace netbone {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelFor.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunExecutesEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.Run(64, [&](int worker) { hits[static_cast<size_t>(worker)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int sum = 0;  // no synchronization: everything runs on this thread
+  pool.Run(5, [&](int worker) { sum += worker; });
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (const int64_t n : {0, 1, 2, 7, 100, 1000}) {
+    for (const int threads : {1, 2, 3, 8, 33}) {
+      std::vector<int> hits(static_cast<size_t>(n), 0);
+      ParallelFor(n, threads, [&](int64_t begin, int64_t end, int chunk) {
+        EXPECT_GE(chunk, 0);
+        EXPECT_LT(begin, end);
+        for (int64_t i = begin; i < end; ++i) {
+          hits[static_cast<size_t>(i)]++;
+        }
+      });
+      for (const int h : hits) EXPECT_EQ(h, 1);
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkBoundariesDependOnlyOnInputs) {
+  // The deterministic-partition contract: same (n, num_threads) => same
+  // chunks, regardless of scheduling. Record and compare two runs.
+  const int64_t n = 1003;
+  const int threads = 7;
+  auto record = [&] {
+    std::vector<std::pair<int64_t, int64_t>> chunks(
+        static_cast<size_t>(threads), {-1, -1});
+    ParallelFor(n, threads, [&](int64_t begin, int64_t end, int chunk) {
+      chunks[static_cast<size_t>(chunk)] = {begin, end};
+    });
+    return chunks;
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(ParallelForTest, NestedCallsDegradeGracefully) {
+  // A ParallelFor inside a pool job must not deadlock; it runs serially.
+  std::atomic<int> total{0};
+  ParallelFor(8, 8, [&](int64_t begin, int64_t end, int) {
+    for (int64_t i = begin; i < end; ++i) {
+      ParallelFor(4, 4, [&](int64_t b, int64_t e, int) {
+        total += static_cast<int>(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ResolveThreadCountTest, PositivePassesThroughZeroResolvesHardware) {
+  EXPECT_EQ(ResolveThreadCount(3), 3);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_GE(ResolveThreadCount(-5), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelScoreEdges determinism across thread counts.
+// ---------------------------------------------------------------------------
+
+Graph MakeScoringGraph(Directedness directedness) {
+  // Large enough (30k edges) that ParallelScoreEdges genuinely splits the
+  // table into multiple chunks instead of collapsing to one.
+  auto g = GenerateErdosRenyi({.num_nodes = 10000,
+                               .average_degree = 6.0,
+                               .directedness = directedness,
+                               .seed = 5});
+  return *std::move(g);
+}
+
+void ExpectBitIdenticalAcrossThreads(Method method, const Graph& graph) {
+  RunMethodOptions serial;
+  serial.num_threads = 1;
+  const auto reference = RunMethod(method, graph, serial);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (const int threads : {2, 8}) {
+    RunMethodOptions options;
+    options.num_threads = threads;
+    const auto scored = RunMethod(method, graph, options);
+    ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+    ASSERT_EQ(scored->size(), reference->size());
+    for (EdgeId id = 0; id < reference->size(); ++id) {
+      // Bit-identical, not just close: same chunks compute the same FP
+      // expressions on the same inputs.
+      EXPECT_EQ(scored->at(id).score, reference->at(id).score)
+          << MethodName(method) << " edge " << id << " threads " << threads;
+      EXPECT_EQ(scored->at(id).sdev, reference->at(id).sdev);
+    }
+  }
+}
+
+TEST(ParallelScoreEdgesTest, NoiseCorrectedDeterministicUndirected) {
+  ExpectBitIdenticalAcrossThreads(Method::kNoiseCorrected,
+                                  MakeScoringGraph(Directedness::kUndirected));
+}
+
+TEST(ParallelScoreEdgesTest, NoiseCorrectedDeterministicDirected) {
+  ExpectBitIdenticalAcrossThreads(Method::kNoiseCorrected,
+                                  MakeScoringGraph(Directedness::kDirected));
+}
+
+TEST(ParallelScoreEdgesTest, DisparityFilterDeterministic) {
+  ExpectBitIdenticalAcrossThreads(Method::kDisparityFilter,
+                                  MakeScoringGraph(Directedness::kUndirected));
+  ExpectBitIdenticalAcrossThreads(Method::kDisparityFilter,
+                                  MakeScoringGraph(Directedness::kDirected));
+}
+
+TEST(ParallelScoreEdgesTest, NaiveThresholdDeterministic) {
+  ExpectBitIdenticalAcrossThreads(Method::kNaiveThreshold,
+                                  MakeScoringGraph(Directedness::kUndirected));
+}
+
+TEST(ParallelScoreEdgesTest, HighSalienceSkeletonDeterministic) {
+  auto g = GenerateErdosRenyi(
+      {.num_nodes = 120, .average_degree = 5.0, .seed = 9});
+  ASSERT_TRUE(g.ok());
+  ExpectBitIdenticalAcrossThreads(Method::kHighSalienceSkeleton, *g);
+}
+
+TEST(ParallelScoreEdgesTest, ScorerSeesAlignedEdgeIds) {
+  const Graph g = MakeScoringGraph(Directedness::kUndirected);
+  const auto scores = ParallelScoreEdges(
+      g, 4, [&](EdgeId id, const Edge& e, EdgeScore* out) -> Status {
+        EXPECT_EQ(e, g.edge(id));
+        *out = EdgeScore{static_cast<double>(id), 0.0};
+        return Status::OK();
+      });
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 0; i < scores->size(); ++i) {
+    EXPECT_EQ((*scores)[i].score, static_cast<double>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// First-error-wins status aggregation.
+// ---------------------------------------------------------------------------
+
+/// A graph whose NC sweep fails mid-table: zero-weight edges to
+/// otherwise-isolated nodes give that endpoint zero strength, which
+/// NoiseCorrectedEdge rejects. The chain is long enough (20k edges) that
+/// the parallel sweep uses several chunks, and the invalid edges land in
+/// different chunks so the error aggregation is actually contested.
+Graph MakeGraphWithInvalidEdges() {
+  GraphBuilder builder(Directedness::kUndirected);
+  for (NodeId v = 0; v < 20000; ++v) {
+    builder.AddEdge(v, v + 1, 2.0 + (v % 17));
+  }
+  builder.AddEdge(500, 20001, 0.0);    // earliest invalid edge in id order
+  builder.AddEdge(10000, 20002, 0.0);  // mid-table invalid edge
+  builder.AddEdge(19000, 20003, 0.0);  // late invalid edge
+  return *builder.Build();
+}
+
+TEST(ParallelScoreEdgesTest, ErrorFromMidChunkEdgePropagates) {
+  const Graph g = MakeGraphWithInvalidEdges();
+  for (const int threads : {1, 2, 8}) {
+    NoiseCorrectedOptions options;
+    options.num_threads = threads;
+    const auto scored = NoiseCorrected(g, options);
+    ASSERT_FALSE(scored.ok()) << "threads " << threads;
+    EXPECT_TRUE(scored.status().IsInvalidArgument());
+  }
+}
+
+TEST(ParallelScoreEdgesTest, FirstErrorWinsMatchesSerialSweep) {
+  const Graph g = MakeGraphWithInvalidEdges();
+  // Distinct error messages per edge id let us observe which error won.
+  auto scorer_result = [&](int threads) {
+    return ParallelScoreEdges(
+        g, threads, [](EdgeId id, const Edge& e, EdgeScore* out) -> Status {
+          if (e.weight == 0.0) {
+            return Status::InvalidArgument("zero weight at edge " +
+                                           std::to_string(id));
+          }
+          *out = EdgeScore{e.weight, 0.0};
+          return Status::OK();
+        });
+  };
+  const auto serial = scorer_result(1);
+  ASSERT_FALSE(serial.ok());
+  for (const int threads : {2, 8, 16}) {
+    const auto parallel = scorer_result(threads);
+    ASSERT_FALSE(parallel.ok());
+    EXPECT_EQ(parallel.status().ToString(), serial.status().ToString())
+        << "threads " << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DijkstraWorkspace: zero-alloc reuse must match the allocating wrapper.
+// ---------------------------------------------------------------------------
+
+TEST(DijkstraWorkspaceTest, MatchesAllocatingDijkstraAcrossReuse) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 150, .average_degree = 4.0, .seed = 21});
+  ASSERT_TRUE(g.ok());
+  const Adjacency adjacency(*g);
+  DijkstraWorkspace workspace;
+  // Reuse one workspace over many sources; stale state from the previous
+  // source must never leak into the next run.
+  for (NodeId source = 0; source < 40; ++source) {
+    DijkstraInto(adjacency, source, {}, &workspace);
+    const ShortestPathTree fresh = Dijkstra(adjacency, source);
+    for (NodeId v = 0; v < g->num_nodes(); ++v) {
+      const size_t i = static_cast<size_t>(v);
+      EXPECT_EQ(workspace.distance(v), fresh.distance[i]);
+      EXPECT_EQ(workspace.parent_edge(v), fresh.parent_edge[i]);
+      EXPECT_EQ(workspace.parent(v), fresh.parent[i]);
+    }
+  }
+}
+
+TEST(DijkstraWorkspaceTest, TouchedListsSourceAndAllReachedNodes) {
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 1.0);
+  builder.AddEdge(3, 4, 1.0);  // separate component
+  const Graph g = *builder.Build();
+  const Adjacency adjacency(g);
+  DijkstraWorkspace workspace;
+  DijkstraInto(adjacency, 0, {}, &workspace);
+  EXPECT_EQ(workspace.touched().size(), 3u);
+  EXPECT_TRUE(std::isinf(workspace.distance(3)));
+  EXPECT_EQ(workspace.parent_edge(4), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Sampled HSS: seeded reproducibility and agreement with the exact run.
+// ---------------------------------------------------------------------------
+
+TEST(SampledHssTest, SameSeedReproducesScoresExactly) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 200, .average_degree = 5.0, .seed = 31});
+  ASSERT_TRUE(g.ok());
+  HighSalienceSkeletonOptions options;
+  options.source_sample_size = 32;
+  options.sample_seed = 7;
+  const auto a = HighSalienceSkeleton(*g, options);
+  options.num_threads = 3;  // threading must not disturb the sample
+  const auto b = HighSalienceSkeleton(*g, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_EQ(a->at(id).score, b->at(id).score);
+  }
+}
+
+TEST(SampledHssTest, DifferentSeedsSampleDifferentSources) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 200, .average_degree = 5.0, .seed = 31});
+  ASSERT_TRUE(g.ok());
+  HighSalienceSkeletonOptions a_options;
+  a_options.source_sample_size = 16;
+  a_options.sample_seed = 1;
+  HighSalienceSkeletonOptions b_options = a_options;
+  b_options.sample_seed = 2;
+  const auto a = HighSalienceSkeleton(*g, a_options);
+  const auto b = HighSalienceSkeleton(*g, b_options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_difference = false;
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    if (a->at(id).score != b->at(id).score) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SampledHssTest, SampledScoresAgreeWithExact) {
+  // Acceptance gate: k = 256 sources on a small graph must rank edges
+  // nearly identically to the exact |V|-source run.
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 400, .average_degree = 4.0, .seed = 41});
+  ASSERT_TRUE(g.ok());
+  const auto exact = HighSalienceSkeleton(*g);
+  ASSERT_TRUE(exact.ok());
+  HighSalienceSkeletonOptions options;
+  options.source_sample_size = 256;
+  const auto sampled = HighSalienceSkeleton(*g, options);
+  ASSERT_TRUE(sampled.ok());
+  const auto spearman = SpearmanCorrelation(exact->ScoreValues(),
+                                            sampled->ScoreValues());
+  ASSERT_TRUE(spearman.ok()) << spearman.status().ToString();
+  EXPECT_GE(*spearman, 0.9);
+}
+
+TEST(SampledHssTest, SamplingLiftsTheExactCostCap) {
+  // A budget that rejects the exact |V|*|E| run admits the k*|E| sampled
+  // run on the same graph — the new large-graph HSS scenario.
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 500, .average_degree = 4.0, .seed = 51});
+  ASSERT_TRUE(g.ok());
+  HighSalienceSkeletonOptions options;
+  options.max_cost = 100 * g->num_edges();  // < |V| * |E|
+  const auto exact = HighSalienceSkeleton(*g, options);
+  ASSERT_FALSE(exact.ok());
+  EXPECT_TRUE(exact.status().IsFailedPrecondition());
+  options.source_sample_size = 64;  // 64 * |E| fits the same budget
+  const auto sampled = HighSalienceSkeleton(*g, options);
+  ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_GE(sampled->at(id).score, 0.0);
+    EXPECT_LE(sampled->at(id).score, 1.0);
+  }
+}
+
+TEST(SampledHssTest, SampleSizeAboveNodeCountRunsExact) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 50, .average_degree = 4.0, .seed = 61});
+  ASSERT_TRUE(g.ok());
+  HighSalienceSkeletonOptions options;
+  options.source_sample_size = 1000;  // >= |V|: silently exact
+  const auto a = HighSalienceSkeleton(*g, options);
+  const auto b = HighSalienceSkeleton(*g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_EQ(a->at(id).score, b->at(id).score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryParallelTest, SampledHssOptionsFlowThroughRunMethod) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 200, .average_degree = 4.0, .seed = 71});
+  ASSERT_TRUE(g.ok());
+  RunMethodOptions options;
+  options.hss_source_sample_size = 32;
+  options.hss_sample_seed = 9;
+  const auto a = RunMethod(Method::kHighSalienceSkeleton, *g, options);
+  ASSERT_TRUE(a.ok());
+  HighSalienceSkeletonOptions direct;
+  direct.source_sample_size = 32;
+  direct.sample_seed = 9;
+  const auto b = HighSalienceSkeleton(*g, direct);
+  ASSERT_TRUE(b.ok());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_EQ(a->at(id).score, b->at(id).score);
+  }
+}
+
+}  // namespace
+}  // namespace netbone
