@@ -1,15 +1,19 @@
 // Copyright 2026 The netbone Authors.
 //
-// Shared helpers for the experiment harnesses: aligned table printing and
-// the quick-mode switch (NETBONE_BENCH_QUICK=1 shrinks workloads for CI).
+// Shared helpers for the experiment harnesses: aligned table printing,
+// the quick-mode switch (NETBONE_BENCH_QUICK=1 shrinks workloads for CI),
+// and the machine-readable JSON timing log (JsonBenchLog) that tracks the
+// perf trajectory across PRs instead of losing it in stdout.
 
 #ifndef NETBONE_BENCH_BENCH_COMMON_H_
 #define NETBONE_BENCH_BENCH_COMMON_H_
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace netbone::bench {
@@ -49,6 +53,94 @@ inline std::string Num(double value, int precision = 4) {
 
 /// NaN sentinel used to mark "n/a" cells.
 inline double NaN() { return std::nan(""); }
+
+/// Machine-readable timing log. Each harness constructs one with its
+/// artifact name ("fig9", "sweep_engine", ...) and Record()s one entry per
+/// (method, problem size, threads) timing; destruction writes
+/// `BENCH_<name>.json` so CI can diff perf across PRs without scraping
+/// stdout. The file lands in the directory named by the
+/// NETBONE_BENCH_JSON_DIR environment variable (default: the working
+/// directory); NETBONE_BENCH_JSON=0 disables writing entirely.
+class JsonBenchLog {
+ public:
+  explicit JsonBenchLog(std::string name) : name_(std::move(name)) {}
+
+  JsonBenchLog(const JsonBenchLog&) = delete;
+  JsonBenchLog& operator=(const JsonBenchLog&) = delete;
+
+  ~JsonBenchLog() { Flush(); }
+
+  /// Appends one timing record. `n` is the problem size (edges, nodes —
+  /// whatever the harness sweeps); NaN timings are recorded as null.
+  void Record(const std::string& method, int64_t n, int threads,
+              double median_ns, double min_ns) {
+    records_.push_back(Entry{method, n, threads, median_ns, min_ns});
+  }
+
+  /// Seconds-flavored convenience for harnesses that time with Timer.
+  void RecordSeconds(const std::string& method, int64_t n, int threads,
+                     double median_s, double min_s) {
+    Record(method, n, threads, median_s * 1e9, min_s * 1e9);
+  }
+
+  /// Writes the file now (idempotent; a second call rewrites it).
+  void Flush() {
+    const char* toggle = std::getenv("NETBONE_BENCH_JSON");
+    if (toggle != nullptr && std::string(toggle) == "0") return;
+    if (records_.empty()) return;
+    const char* dir = std::getenv("NETBONE_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr && *dir != '\0')
+                                 ? std::string(dir) + "/BENCH_" + name_ +
+                                       ".json"
+                                 : "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return;
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+                 name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Entry& e = records_[i];
+      std::fprintf(out,
+                   "    {\"method\": \"%s\", \"n\": %lld, \"threads\": %d, "
+                   "\"median_ns\": %s, \"min_ns\": %s}%s\n",
+                   JsonEscape(e.method).c_str(),
+                   static_cast<long long>(e.n), e.threads,
+                   JsonNumber(e.median_ns).c_str(),
+                   JsonNumber(e.min_ns).c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+
+ private:
+  struct Entry {
+    std::string method;
+    int64_t n;
+    int threads;
+    double median_ns;
+    double min_ns;
+  };
+
+  static std::string JsonNumber(double value) {
+    if (value != value) return "null";  // NaN sentinel -> JSON null
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+    return buffer;
+  }
+
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Entry> records_;
+};
 
 }  // namespace netbone::bench
 

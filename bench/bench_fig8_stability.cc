@@ -4,14 +4,23 @@
 //
 // Paper shape to reproduce: no clear winner; every method is very stable,
 // with stability always above ~0.84; NC is on par with DF.
+//
+// The share grid rides the batch StabilitySweep (eval/sweep_metrics.h):
+// each snapshot is scored and sorted exactly once for the whole grid,
+// with snapshot pairs distributed over the thread pool. The old per-point
+// path re-ran the method and re-sorted for every (share, snapshot) cell;
+// it is timed alongside for the before/after record and checked
+// element-wise against the batch output.
 
 #include <vector>
 
 #include "bench_common.h"
+#include "common/timer.h"
 #include "core/filter.h"
 #include "core/registry.h"
 #include "eval/edge_budget.h"
 #include "eval/stability.h"
+#include "eval/sweep_metrics.h"
 #include "gen/countries.h"
 
 namespace nb = netbone;
@@ -23,6 +32,7 @@ using netbone::bench::PrintRow;
 int main() {
   Banner("Fig. 8", "stability = Spearman(N_t, N_t+1) on backbone edges");
   const bool quick = netbone::bench::QuickMode();
+  netbone::bench::JsonBenchLog json("fig8");
   const auto suite = nb::GenerateCountrySuite(
       /*seed=*/42, /*num_years=*/3, /*num_countries=*/quick ? 60 : 150);
   if (!suite.ok()) return 1;
@@ -32,29 +42,69 @@ int main() {
       nb::Method::kNaiveThreshold, nb::Method::kHighSalienceSkeleton,
       nb::Method::kDisparityFilter, nb::Method::kNoiseCorrected};
 
+  bool all_match = true;
   for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
     const nb::TemporalNetwork& network = suite->network(kind);
     std::printf("\n-- %s --\n", nb::CountryNetworkName(kind).c_str());
-    std::vector<std::string> header = {"share"};
-    for (const nb::Method m : parametric) header.push_back(nb::MethodTag(m));
-    PrintRow(header);
 
-    for (const double share : shares) {
-      std::vector<std::string> row = {Num(share, 2)};
-      for (const nb::Method m : parametric) {
+    // Before: the per-point path — RunMethod + a fresh sort for every
+    // (method, share, snapshot) cell, exactly what this harness used to do.
+    nb::Timer per_point_timer;
+    std::vector<std::vector<double>> per_point(parametric.size());
+    for (size_t i = 0; i < parametric.size(); ++i) {
+      for (const double share : shares) {
         const auto mean = nb::MeanStability(
             network, [&](const nb::Graph& year) {
-              nb::Result<nb::ScoredEdges> scored = nb::RunMethod(m, year);
+              nb::Result<nb::ScoredEdges> scored =
+                  nb::RunMethod(parametric[i], year);
               if (!scored.ok()) {
                 return nb::Result<nb::BackboneMask>(scored.status());
               }
               return nb::Result<nb::BackboneMask>(
                   nb::TopShare(*scored, share));
             });
-        row.push_back(mean.ok() ? Num(*mean, 3) : Num(NaN()));
+        per_point[i].push_back(mean.ok() ? *mean : NaN());
+      }
+    }
+    const double per_point_s = per_point_timer.ElapsedSeconds();
+
+    // After: the batch path — each snapshot scored and sorted once for
+    // the entire grid.
+    nb::Timer batch_timer;
+    std::vector<std::vector<double>> batch(parametric.size());
+    for (size_t i = 0; i < parametric.size(); ++i) {
+      const auto sweep = nb::StabilitySweep(network, parametric[i], shares);
+      for (size_t s = 0; s < shares.size(); ++s) {
+        batch[i].push_back(
+            sweep.ok() && (*sweep)[s].ok() ? *(*sweep)[s] : NaN());
+      }
+    }
+    const double batch_s = batch_timer.ElapsedSeconds();
+
+    std::vector<std::string> header = {"share"};
+    for (const nb::Method m : parametric) header.push_back(nb::MethodTag(m));
+    PrintRow(header);
+    for (size_t s = 0; s < shares.size(); ++s) {
+      std::vector<std::string> row = {Num(shares[s], 2)};
+      for (size_t i = 0; i < parametric.size(); ++i) {
+        row.push_back(Num(batch[i][s], 3));
+        const bool both_na =
+            batch[i][s] != batch[i][s] && per_point[i][s] != per_point[i][s];
+        if (!both_na && batch[i][s] != per_point[i][s]) all_match = false;
       }
       PrintRow(row);
     }
+
+    std::printf("sweep timing: per-point %.4fs, batch %.4fs (%.1fx)\n",
+                per_point_s, batch_s,
+                batch_s > 0.0 ? per_point_s / batch_s : NaN());
+    json.RecordSeconds("stability_sweep_per_point:" +
+                           nb::CountryNetworkName(kind),
+                       network.front().num_edges(), 1, per_point_s,
+                       per_point_s);
+    json.RecordSeconds("stability_sweep_batch:" +
+                           nb::CountryNetworkName(kind),
+                       network.front().num_edges(), 1, batch_s, batch_s);
 
     // Parameter-free methods as single points.
     for (const nb::Method m :
@@ -67,8 +117,10 @@ int main() {
                   mean.ok() ? Num(*mean, 3).c_str() : "n/a");
     }
   }
+  std::printf("\nbatch vs per-point stability values: %s\n",
+              all_match ? "identical" : "MISMATCH");
   std::printf(
       "\nPaper reference: all methods above ~0.84 on all networks; no\n"
       "clear winner — NC matches DF's stability.\n");
-  return 0;
+  return all_match ? 0 : 1;
 }

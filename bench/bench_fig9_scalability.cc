@@ -61,6 +61,7 @@ Timing TimeMethod(nb::Method method, const nb::Graph& graph,
 int main() {
   Banner("Fig. 9", "running time vs |E| (ER graphs, average degree 3)");
   const bool quick = netbone::bench::QuickMode();
+  netbone::bench::JsonBenchLog json("fig9");
   const int max_threads = nb::ResolveThreadCount(0);
 
   // Node counts; |E| = 1.5 |V|. The paper sweeps 25k..6.5M nodes.
@@ -95,6 +96,8 @@ int main() {
       const Timing t = TimeMethod(m, *graph, serial);
       row.push_back(Num(t.median, 4));
       row.push_back(Num(t.min, 4));
+      json.RecordSeconds(nb::MethodTag(m), graph->num_edges(), 1, t.median,
+                         t.min);
       if (m == nb::Method::kNoiseCorrected && t.median == t.median) {
         log_edges.push_back(std::log10(
             static_cast<double>(graph->num_edges())));
@@ -123,6 +126,8 @@ int main() {
                                   options);
       row.push_back(Num(t.median, 4));
       row.push_back(Num(t.min, 4));
+      json.RecordSeconds("NC", graph->num_edges(), threads, t.median,
+                         t.min);
     }
     nb::RunMethodOptions options;
     options.num_threads = max_threads;
@@ -130,6 +135,8 @@ int main() {
                                 options);
     row.push_back(Num(t.median, 4));
     row.push_back(Num(t.min, 4));
+    json.RecordSeconds("DF", graph->num_edges(), max_threads, t.median,
+                       t.min);
     PrintRow(row);
   }
 
@@ -142,11 +149,15 @@ int main() {
     const auto graph = nb::GenerateErdosRenyi(
         {.num_nodes = n, .average_degree = 3.0, .seed = 78});
     if (!graph.ok() || graph->num_edges() > slow_method_edge_cap) continue;
-    PrintRow({std::to_string(graph->num_edges()),
-              Num(TimeMethod(nb::Method::kHighSalienceSkeleton, *graph, {})
-                      .median, 4),
-              Num(TimeMethod(nb::Method::kDoublyStochastic, *graph, {})
-                      .median, 4)});
+    const Timing hss =
+        TimeMethod(nb::Method::kHighSalienceSkeleton, *graph, {});
+    const Timing ds = TimeMethod(nb::Method::kDoublyStochastic, *graph, {});
+    json.RecordSeconds("HSS", graph->num_edges(), max_threads, hss.median,
+                       hss.min);
+    json.RecordSeconds("DS", graph->num_edges(), max_threads, ds.median,
+                       ds.min);
+    PrintRow({std::to_string(graph->num_edges()), Num(hss.median, 4),
+              Num(ds.median, 4)});
   }
 
   // Sampled HSS (k seeded sources) on sizes the exact run is priced out
@@ -164,6 +175,8 @@ int main() {
     options.hss_source_sample_size = 256;
     const Timing t = TimeMethod(nb::Method::kHighSalienceSkeleton, *graph,
                                 options);
+    json.RecordSeconds("HSS_k256", graph->num_edges(), max_threads,
+                       t.median, t.min);
     PrintRow({std::to_string(graph->num_edges()), Num(t.median, 4),
               Num(t.min, 4)});
   }

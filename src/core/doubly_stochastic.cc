@@ -3,7 +3,9 @@
 #include <cmath>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/strings.h"
+#include "graph/adjacency.h"
 
 namespace netbone {
 
@@ -32,52 +34,94 @@ Result<ScoredEdges> DoublyStochastic(const Graph& graph,
   // Sparse Sinkhorn-Knopp: maintain row scalings r and column scalings c;
   // balanced entry = r[i] * w_ij * c[j]. For undirected graphs the stored
   // edge (i, j) represents both matrix entries (i, j) and (j, i).
+  //
+  // The sweeps are node-major over the CSR index: row_sum[i] folds i's
+  // out-arcs (incident arcs when undirected) and col_sum[j] folds j's
+  // in-arcs, each in its fixed CSR order. A node's sum is computed whole
+  // by whichever ParallelFor chunk owns the node, so the floating-point
+  // association never depends on the chunk partition and the result is
+  // bit-identical for every thread count.
   std::vector<double> r(n, 1.0);
   std::vector<double> c(n, 1.0);
   std::vector<double> row_sum(n), col_sum(n);
-  const bool undirected = !graph.directed();
+  const Adjacency adjacency(graph);
+  const int num_threads = options.num_threads;
 
-  const auto accumulate_sums = [&]() {
-    std::fill(row_sum.begin(), row_sum.end(), 0.0);
-    std::fill(col_sum.begin(), col_sum.end(), 0.0);
-    for (const Edge& e : graph.edges()) {
-      const size_t i = static_cast<size_t>(e.src);
-      const size_t j = static_cast<size_t>(e.dst);
-      const double balanced = r[i] * e.weight * c[j];
-      row_sum[i] += balanced;
-      col_sum[j] += balanced;
-      if (undirected && e.src != e.dst) {
-        const double mirrored = r[j] * e.weight * c[i];
-        row_sum[j] += mirrored;
-        col_sum[i] += mirrored;
-      }
-    }
+  const auto accumulate_row_sums = [&]() {
+    ParallelFor(static_cast<int64_t>(n), num_threads,
+                [&](int64_t begin, int64_t end, int) {
+                  for (int64_t v = begin; v < end; ++v) {
+                    const size_t i = static_cast<size_t>(v);
+                    double sum = 0.0;
+                    for (const Arc& arc :
+                         adjacency.out_arcs(static_cast<NodeId>(v))) {
+                      sum += r[i] * arc.weight *
+                             c[static_cast<size_t>(arc.neighbor)];
+                    }
+                    row_sum[i] = sum;
+                  }
+                });
+  };
+  const auto accumulate_col_sums = [&]() {
+    ParallelFor(static_cast<int64_t>(n), num_threads,
+                [&](int64_t begin, int64_t end, int) {
+                  for (int64_t v = begin; v < end; ++v) {
+                    const size_t j = static_cast<size_t>(v);
+                    double sum = 0.0;
+                    for (const Arc& arc :
+                         adjacency.in_arcs(static_cast<NodeId>(v))) {
+                      sum += r[static_cast<size_t>(arc.neighbor)] *
+                             arc.weight * c[j];
+                    }
+                    col_sum[j] = sum;
+                  }
+                });
   };
 
   bool converged = false;
   for (int64_t iter = 0; iter < options.max_iterations && !converged;
        ++iter) {
     // Row sweep.
-    accumulate_sums();
-    for (size_t i = 0; i < n; ++i) {
-      if (row_sum[i] > 0.0) r[i] /= row_sum[i];
-    }
+    accumulate_row_sums();
+    ParallelFor(static_cast<int64_t>(n), num_threads,
+                [&](int64_t begin, int64_t end, int) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    const size_t v = static_cast<size_t>(i);
+                    if (row_sum[v] > 0.0) r[v] /= row_sum[v];
+                  }
+                });
     // Column sweep.
-    accumulate_sums();
-    for (size_t j = 0; j < n; ++j) {
-      if (col_sum[j] > 0.0) c[j] /= col_sum[j];
-    }
-    // Convergence check on fresh sums.
-    accumulate_sums();
+    accumulate_col_sums();
+    ParallelFor(static_cast<int64_t>(n), num_threads,
+                [&](int64_t begin, int64_t end, int) {
+                  for (int64_t j = begin; j < end; ++j) {
+                    const size_t v = static_cast<size_t>(j);
+                    if (col_sum[v] > 0.0) c[v] /= col_sum[v];
+                  }
+                });
+    // Convergence check on fresh sums. Per-chunk maxima folded with max
+    // afterwards: exact, so the verdict is thread-count independent.
+    accumulate_row_sums();
+    accumulate_col_sums();
+    const int chunks =
+        NumParallelChunks(static_cast<int64_t>(n), num_threads);
+    std::vector<double> chunk_dev(static_cast<size_t>(chunks), 0.0);
+    ParallelFor(static_cast<int64_t>(n), num_threads,
+                [&](int64_t begin, int64_t end, int chunk) {
+                  double dev = 0.0;
+                  for (int64_t v = begin; v < end; ++v) {
+                    const size_t i = static_cast<size_t>(v);
+                    if (graph.out_degree(static_cast<NodeId>(v)) > 0) {
+                      dev = std::max(dev, std::fabs(row_sum[i] - 1.0));
+                    }
+                    if (graph.in_degree(static_cast<NodeId>(v)) > 0) {
+                      dev = std::max(dev, std::fabs(col_sum[i] - 1.0));
+                    }
+                  }
+                  chunk_dev[static_cast<size_t>(chunk)] = dev;
+                });
     double max_dev = 0.0;
-    for (size_t v = 0; v < n; ++v) {
-      if (graph.out_degree(static_cast<NodeId>(v)) > 0) {
-        max_dev = std::max(max_dev, std::fabs(row_sum[v] - 1.0));
-      }
-      if (graph.in_degree(static_cast<NodeId>(v)) > 0) {
-        max_dev = std::max(max_dev, std::fabs(col_sum[v] - 1.0));
-      }
-    }
+    for (const double dev : chunk_dev) max_dev = std::max(max_dev, dev);
     converged = max_dev <= options.tolerance;
   }
 
@@ -87,6 +131,7 @@ Result<ScoredEdges> DoublyStochastic(const Graph& graph,
         "stochastic form (paper: 'n/a')");
   }
 
+  const bool undirected = !graph.directed();
   std::vector<EdgeScore> scores;
   scores.reserve(static_cast<size_t>(graph.num_edges()));
   for (const Edge& e : graph.edges()) {

@@ -29,6 +29,11 @@ struct DoublyStochasticOptions {
   int64_t max_iterations = 1000;
   /// Convergence: every row and column sum within `tolerance` of 1.
   double tolerance = 1e-8;
+  /// Worker threads for the row/column normalization sweeps (0 = hardware
+  /// concurrency). The accumulation is node-major — every node's row and
+  /// column sums are computed whole by one worker, in a fixed per-node arc
+  /// order — so the output is bit-identical for every thread count.
+  int num_threads = 0;
 };
 
 /// Scores every edge with its doubly-stochastic normalized weight.

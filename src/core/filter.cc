@@ -1,11 +1,7 @@
 #include "core/filter.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-
+#include "core/sweep.h"
 #include "graph/transform.h"
-#include "graph/union_find.h"
 
 namespace netbone {
 
@@ -34,79 +30,22 @@ BackboneMask FilterByDelta(const ScoredEdges& scored, double delta) {
   return mask;
 }
 
-namespace {
-
-/// Edge ids sorted by (score desc, weight desc, id asc).
-std::vector<EdgeId> IdsByDescendingScore(const ScoredEdges& scored) {
-  std::vector<EdgeId> ids(static_cast<size_t>(scored.size()));
-  std::iota(ids.begin(), ids.end(), EdgeId{0});
-  const Graph& g = scored.graph();
-  std::sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
-    const double sa = scored.at(a).score;
-    const double sb = scored.at(b).score;
-    if (sa != sb) return sa > sb;
-    const double wa = g.edge(a).weight;
-    const double wb = g.edge(b).weight;
-    if (wa != wb) return wa > wb;
-    return a < b;
-  });
-  return ids;
-}
-
-}  // namespace
-
 BackboneMask TopK(const ScoredEdges& scored, int64_t k) {
-  BackboneMask mask;
-  mask.keep.assign(static_cast<size_t>(scored.size()), false);
-  if (k <= 0) return mask;
-  const std::vector<EdgeId> ids = IdsByDescendingScore(scored);
-  const int64_t limit = std::min<int64_t>(k, scored.size());
-  for (int64_t i = 0; i < limit; ++i) {
-    mask.keep[static_cast<size_t>(ids[static_cast<size_t>(i)])] = true;
+  if (k <= 0) {
+    BackboneMask mask;
+    mask.keep.assign(static_cast<size_t>(scored.size()), false);
+    return mask;
   }
-  mask.kept = limit;
-  return mask;
+  return TopK(ScoreOrder(scored), k);
 }
 
 BackboneMask TopShare(const ScoredEdges& scored, double share) {
-  share = std::clamp(share, 0.0, 1.0);
-  const int64_t k = static_cast<int64_t>(
-      std::llround(share * static_cast<double>(scored.size())));
-  return TopK(scored, k);
+  if (share <= 0.0) return TopK(scored, 0);
+  return TopShare(ScoreOrder(scored), share);
 }
 
 BackboneMask GrowUntilConnected(const ScoredEdges& scored) {
-  const Graph& g = scored.graph();
-  BackboneMask mask;
-  mask.keep.assign(static_cast<size_t>(scored.size()), false);
-
-  // Nodes that the backbone must cover: all non-isolates of the original.
-  int64_t target_nodes = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (g.out_degree(v) > 0 || g.in_degree(v) > 0) ++target_nodes;
-  }
-  if (target_nodes == 0) return mask;
-
-  UnionFind uf(g.num_nodes());
-  std::vector<bool> touched(static_cast<size_t>(g.num_nodes()), false);
-  int64_t touched_count = 0;
-  int64_t largest = 1;
-
-  for (const EdgeId id : IdsByDescendingScore(scored)) {
-    const Edge& e = g.edge(id);
-    mask.keep[static_cast<size_t>(id)] = true;
-    ++mask.kept;
-    for (const NodeId v : {e.src, e.dst}) {
-      if (!touched[static_cast<size_t>(v)]) {
-        touched[static_cast<size_t>(v)] = true;
-        ++touched_count;
-      }
-    }
-    uf.Union(e.src, e.dst);
-    largest = std::max(largest, uf.SetSize(e.src));
-    if (touched_count == target_nodes && largest == target_nodes) break;
-  }
-  return mask;
+  return GrowUntilConnected(ScoreOrder(scored));
 }
 
 Result<Graph> ApplyMask(const Graph& graph, const BackboneMask& mask) {

@@ -44,14 +44,20 @@ BackboneMask FilterByDelta(const ScoredEdges& scored, double delta);
 /// Keeps exactly min(k, |E|) edges with the highest scores. Ties are broken
 /// by weight (descending) then edge id so the selection is deterministic —
 /// required for the experiments that compare methods at identical budgets.
+///
+/// Thin wrapper over the sweep engine (core/sweep.h): sorts once via
+/// ScoreOrder. Callers evaluating many thresholds of the same ScoredEdges
+/// should build one ScoreOrder and use the overloads there.
 BackboneMask TopK(const ScoredEdges& scored, int64_t k);
 
-/// TopK with k = round(share * |E|), share in [0, 1].
+/// TopK with k = round(share * |E|), share in [0, 1]. One sort per call;
+/// sweep callers should ride a shared ScoreOrder (core/sweep.h).
 BackboneMask TopShare(const ScoredEdges& scored, double share);
 
 /// The Doubly Stochastic stopping rule: walk edges in descending score and
 /// keep adding until every non-isolated node of the original graph is
-/// covered by a single connected component (or edges run out).
+/// covered by a single connected component (or edges run out). One sort
+/// per call; sweep callers should ride a shared ScoreOrder (core/sweep.h).
 BackboneMask GrowUntilConnected(const ScoredEdges& scored);
 
 /// Materializes the backbone as a Graph over the same node set.

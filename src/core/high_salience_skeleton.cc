@@ -1,7 +1,10 @@
 #include "core/high_salience_skeleton.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -11,6 +14,49 @@
 #include "graph/paths.h"
 
 namespace netbone {
+namespace {
+
+/// Process-wide free list of per-chunk workspaces, so the per-chunk count
+/// vectors and Dijkstra arrays — the remaining large allocation of the HSS
+/// hot path — are reused across HighSalienceSkeleton calls instead of
+/// reallocated and zero-filled each time. A call checks one workspace out
+/// per chunk for its whole duration (concurrent HSS calls simply draw
+/// distinct workspaces), and counts are exact integers reset by generation
+/// stamp, so results never depend on which physical workspace serves which
+/// chunk. Retention is bounded by the hardware thread count — excess
+/// workspaces (from oversubscribed num_threads or concurrent calls) are
+/// freed on release. Note each retained workspace keeps the node/edge
+/// arrays of the largest graph it ever served; long-lived processes that
+/// run one huge HSS and then only small ones hold that peak until exit
+/// (ROADMAP records a byte-bound trim as a follow-up).
+class WorkspacePool {
+ public:
+  std::unique_ptr<DijkstraWorkspace> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return std::make_unique<DijkstraWorkspace>();
+    std::unique_ptr<DijkstraWorkspace> workspace = std::move(free_.back());
+    free_.pop_back();
+    return workspace;
+  }
+
+  void Release(std::unique_ptr<DijkstraWorkspace> workspace) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(free_.size()) < ResolveThreadCount(0)) {
+      free_.push_back(std::move(workspace));
+    }
+  }
+
+  static WorkspacePool& Global() {
+    static WorkspacePool* pool = new WorkspacePool();  // leaked on purpose
+    return *pool;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<DijkstraWorkspace>> free_;
+};
+
+}  // namespace
 
 Result<ScoredEdges> HighSalienceSkeleton(
     const Graph& graph, const HighSalienceSkeletonOptions& options) {
@@ -60,25 +106,29 @@ Result<ScoredEdges> HighSalienceSkeleton(
   const int64_t num_sources = static_cast<int64_t>(sources.size());
   const int chunks = NumParallelChunks(num_sources, options.num_threads);
 
-  // Each chunk owns a tree-membership count vector and one reusable
-  // Dijkstra workspace (re-armed per source, never reallocated). Integer
-  // counts summed in chunk order keep the result independent of
+  // Each chunk checks out one pooled workspace holding both the Dijkstra
+  // arrays (re-armed per source via generation stamp) and the
+  // tree-membership count vector (reset via its own stamp, surviving the
+  // per-source re-arms) — zero large allocations once the pool is warm.
+  // Integer counts summed in chunk order keep the result independent of
   // scheduling AND of the thread count: the final sum is the same
   // associative integer total any partition yields.
-  std::vector<std::vector<int64_t>> partial(
-      static_cast<size_t>(std::max(chunks, 1)),
-      std::vector<int64_t>(num_edges, 0));
+  std::vector<std::unique_ptr<DijkstraWorkspace>> workspaces(
+      static_cast<size_t>(std::max(chunks, 1)));
+  for (auto& workspace : workspaces) {
+    workspace = WorkspacePool::Global().Acquire();
+    workspace->ResetEdgeCounts(static_cast<int64_t>(num_edges));
+  }
 
   ParallelFor(num_sources, chunks, [&](int64_t begin, int64_t end,
                                        int chunk) {
-    std::vector<int64_t>& counts = partial[static_cast<size_t>(chunk)];
-    DijkstraWorkspace workspace;
+    DijkstraWorkspace& workspace = *workspaces[static_cast<size_t>(chunk)];
     for (int64_t s = begin; s < end; ++s) {
       DijkstraInto(adjacency, sources[static_cast<size_t>(s)], {},
                    &workspace);
       for (const NodeId v : workspace.touched()) {
         const EdgeId parent = workspace.parent_edge(v);
-        if (parent >= 0) counts[static_cast<size_t>(parent)]++;
+        if (parent >= 0) workspace.BumpEdgeCount(parent);
       }
     }
   });
@@ -89,8 +139,13 @@ Result<ScoredEdges> HighSalienceSkeleton(
   const double denom = static_cast<double>(num_sources);
   for (size_t e = 0; e < num_edges; ++e) {
     int64_t total = 0;
-    for (const auto& counts : partial) total += counts[e];
+    for (const auto& workspace : workspaces) {
+      total += workspace->edge_count(static_cast<EdgeId>(e));
+    }
     scores[e] = EdgeScore{static_cast<double>(total) / denom, 0.0};
+  }
+  for (auto& workspace : workspaces) {
+    WorkspacePool::Global().Release(std::move(workspace));
   }
   return ScoredEdges(&graph, "high_salience_skeleton", std::move(scores),
                      /*has_sdev=*/false);

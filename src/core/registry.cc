@@ -95,8 +95,11 @@ Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
       hss.sample_seed = options.hss_sample_seed;
       return HighSalienceSkeleton(graph, hss);
     }
-    case Method::kDoublyStochastic:
-      return DoublyStochastic(graph);
+    case Method::kDoublyStochastic: {
+      DoublyStochasticOptions ds;
+      ds.num_threads = options.num_threads;
+      return DoublyStochastic(graph, ds);
+    }
     case Method::kMaximumSpanningTree:
       return MaximumSpanningTree(graph);
     case Method::kNaiveThreshold: {

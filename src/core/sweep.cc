@@ -1,0 +1,152 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "graph/union_find.h"
+
+namespace netbone {
+namespace {
+
+/// Every score sort in the process goes through ScoreOrder's constructor;
+/// this counter lets tests prove a batch sweep sorted exactly once per
+/// method.
+std::atomic<int64_t> g_sorts_performed{0};
+
+/// Counters the connect-index walk hands back to its caller.
+struct WalkResult {
+  /// Smallest prefix length covering all non-isolated nodes in one
+  /// component; |E| when none does, 0 when there is nothing to cover.
+  int64_t connect_k = 0;
+  /// Non-isolated node count of the original graph.
+  int64_t target_nodes = 0;
+};
+
+/// The connect-index walk shared by GrowUntilConnected and
+/// BuildSweepProfile: feeds `visit(rank, edge, covered)` the edges in rank
+/// order together with the running covered-endpoint count, so callers
+/// building prefix arrays read the walk's own counters instead of
+/// re-deriving them. `stop_at_connect` enables the early exit for
+/// single-point callers.
+template <typename Visit>
+WalkResult WalkOrder(const ScoreOrder& order, bool stop_at_connect,
+                     const Visit& visit) {
+  const Graph& g = order.graph();
+  WalkResult result;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.out_degree(v) > 0 || g.in_degree(v) > 0) ++result.target_nodes;
+  }
+  const int64_t num_edges = order.size();
+  if (result.target_nodes == 0) return result;  // no edges to walk either
+
+  UnionFind uf(g.num_nodes());
+  std::vector<bool> touched(static_cast<size_t>(g.num_nodes()), false);
+  int64_t touched_count = 0;
+  int64_t largest = 1;
+  result.connect_k = num_edges;
+  bool connected = false;
+
+  for (int64_t rank = 0; rank < num_edges; ++rank) {
+    const Edge& e = g.edge(order.id_at(rank));
+    for (const NodeId v : {e.src, e.dst}) {
+      if (!touched[static_cast<size_t>(v)]) {
+        touched[static_cast<size_t>(v)] = true;
+        ++touched_count;
+      }
+    }
+    uf.Union(e.src, e.dst);
+    largest = std::max(largest, uf.SetSize(e.src));
+    visit(rank, e, touched_count);
+    if (!connected && touched_count == result.target_nodes &&
+        largest == result.target_nodes) {
+      connected = true;
+      result.connect_k = rank + 1;
+      if (stop_at_connect) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ScoreOrder::ScoreOrder(const ScoredEdges& scored) : scored_(&scored) {
+  ids_.resize(static_cast<size_t>(scored.size()));
+  std::iota(ids_.begin(), ids_.end(), EdgeId{0});
+  const Graph& g = scored.graph();
+  std::sort(ids_.begin(), ids_.end(), [&](EdgeId a, EdgeId b) {
+    const double sa = scored.at(a).score;
+    const double sb = scored.at(b).score;
+    if (sa != sb) return sa > sb;
+    const double wa = g.edge(a).weight;
+    const double wb = g.edge(b).weight;
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  g_sorts_performed.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t ScoreOrder::KForShare(double share) const {
+  share = std::clamp(share, 0.0, 1.0);
+  return static_cast<int64_t>(
+      std::llround(share * static_cast<double>(size())));
+}
+
+BackboneMask ScoreOrder::PrefixMask(int64_t k) const {
+  BackboneMask mask;
+  mask.keep.assign(ids_.size(), false);
+  const int64_t limit = std::clamp<int64_t>(k, 0, size());
+  for (int64_t rank = 0; rank < limit; ++rank) {
+    mask.keep[static_cast<size_t>(id_at(rank))] = true;
+  }
+  mask.kept = limit;
+  return mask;
+}
+
+int64_t ScoreOrder::CountAbove(double threshold) const {
+  const auto above = [&](EdgeId id) {
+    return scored_->at(id).score > threshold;
+  };
+  return std::partition_point(ids_.begin(), ids_.end(), above) -
+         ids_.begin();
+}
+
+int64_t ScoreOrder::SortsPerformed() {
+  return g_sorts_performed.load(std::memory_order_relaxed);
+}
+
+SweepProfile BuildSweepProfile(const ScoreOrder& order) {
+  const int64_t num_edges = order.size();
+  SweepProfile profile;
+  profile.covered_nodes.assign(static_cast<size_t>(num_edges) + 1, 0);
+  profile.kept_weight.assign(static_cast<size_t>(num_edges) + 1, 0.0);
+
+  double weight = 0.0;
+  const WalkResult walk = WalkOrder(
+      order, /*stop_at_connect=*/false,
+      [&](int64_t rank, const Edge& e, int64_t covered) {
+        weight += e.weight;
+        profile.covered_nodes[static_cast<size_t>(rank) + 1] = covered;
+        profile.kept_weight[static_cast<size_t>(rank) + 1] = weight;
+      });
+  profile.connect_k = walk.connect_k;
+  profile.target_nodes = walk.target_nodes;
+  return profile;
+}
+
+BackboneMask TopK(const ScoreOrder& order, int64_t k) {
+  return order.PrefixMask(k);
+}
+
+BackboneMask TopShare(const ScoreOrder& order, double share) {
+  return order.PrefixMask(order.KForShare(share));
+}
+
+BackboneMask GrowUntilConnected(const ScoreOrder& order) {
+  const WalkResult walk = WalkOrder(order, /*stop_at_connect=*/true,
+                                    [](int64_t, const Edge&, int64_t) {});
+  return order.PrefixMask(walk.connect_k);
+}
+
+}  // namespace netbone

@@ -1,0 +1,139 @@
+// Copyright 2026 The netbone Authors.
+//
+// One-sort threshold-sweep engine. The paper's evaluation criteria
+// (Coverage Sec. V-D, Stability Sec. V-F, the Fig. 7-8 share sweeps) are
+// defined over *families* of backbones — one method evaluated at many
+// retention levels. Pricing every sweep point independently costs
+// P * (E log E + E a(E)) per method: a fresh sort for each TopK/TopShare
+// call plus a fresh isolate scan for each Coverage. This engine computes
+// the deterministic (score desc, weight desc, id asc) permutation exactly
+// once per ScoredEdges (ScoreOrder), then answers the entire descending
+// sweep in a single linear pass: an incremental union-find with live
+// component/coverage counters yields Coverage, kept-weight share, and the
+// GrowUntilConnected stopping index for all P thresholds in
+// O(E log E + E a(E) + P) total (SweepProfile).
+//
+// The single-point entry points in core/filter.h (TopK, TopShare,
+// GrowUntilConnected) are thin wrappers over the overloads below, so every
+// caller shares one comparator and one tie-break rule.
+
+#ifndef NETBONE_CORE_SWEEP_H_
+#define NETBONE_CORE_SWEEP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/filter.h"
+#include "core/scored_edges.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// The deterministic descending-score permutation of a ScoredEdges table:
+/// edge ids sorted by (score desc, weight desc, id asc), computed exactly
+/// once at construction. Everything downstream — prefix masks, budget
+/// lookups, sweep profiles — reads the permutation instead of re-sorting.
+///
+/// The wrapped ScoredEdges (and its Graph) must outlive the order.
+class ScoreOrder {
+ public:
+  /// Sorts once. This is the only place in the library that orders edges
+  /// by score; the process-wide counter below observes every call.
+  explicit ScoreOrder(const ScoredEdges& scored);
+
+  /// The scored table the order was built from.
+  const ScoredEdges& scored() const { return *scored_; }
+
+  /// The underlying graph.
+  const Graph& graph() const { return scored_->graph(); }
+
+  /// Number of ordered edges (== scored().size()).
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
+
+  /// Edge ids in descending-score order.
+  std::span<const EdgeId> ids() const { return ids_; }
+
+  /// The edge id at `rank` (0 = highest score).
+  EdgeId id_at(int64_t rank) const {
+    return ids_[static_cast<size_t>(rank)];
+  }
+
+  /// Edge budget for a retention share: llround(share * |E|) with share
+  /// clamped to [0, 1] — the exact TopShare rule.
+  int64_t KForShare(double share) const;
+
+  /// Mask keeping the first min(k, |E|) edges of the order; element-wise
+  /// identical to TopK(scored(), k).
+  BackboneMask PrefixMask(int64_t k) const;
+
+  /// Number of edges with score strictly greater than `threshold`;
+  /// O(log E) binary search over the descending score sequence, identical
+  /// to the linear CountAboveScore in eval/edge_budget.h.
+  int64_t CountAbove(double threshold) const;
+
+  /// Process-wide count of score sorts ever performed (ScoreOrder
+  /// constructions). Test instrumentation for the one-sort-per-method
+  /// contract: a P-point batch sweep must advance this by exactly one per
+  /// scored method, never by P.
+  static int64_t SortsPerformed();
+
+ private:
+  const ScoredEdges* scored_ = nullptr;
+  std::vector<EdgeId> ids_;
+};
+
+/// Prefix profile of the full descending sweep, computed by one linear
+/// incremental union-find pass over a ScoreOrder. Index k describes the
+/// backbone that keeps the first k edges of the order (k in [0, |E|]).
+struct SweepProfile {
+  /// covered_nodes[k]: distinct endpoints among the first k edges — the
+  /// Coverage numerator at prefix k.
+  std::vector<int64_t> covered_nodes;
+
+  /// kept_weight[k]: total weight of the first k edges (cumulative sum in
+  /// rank order), for kept-weight-share curves.
+  std::vector<double> kept_weight;
+
+  /// Non-isolated node count of the original graph — the Coverage
+  /// denominator (|V| - |I_G|).
+  int64_t target_nodes = 0;
+
+  /// The GrowUntilConnected stopping index: the smallest k whose prefix
+  /// backbone covers every originally non-isolated node in one connected
+  /// component. |E| when no prefix ever does (the grow rule then keeps
+  /// every edge); 0 when the graph has no edges to cover.
+  int64_t connect_k = 0;
+
+  /// Coverage at prefix k, as CoverageOfMask would compute it.
+  double CoverageAt(int64_t k) const {
+    return static_cast<double>(covered_nodes[static_cast<size_t>(k)]) /
+           static_cast<double>(target_nodes);
+  }
+
+  /// Share of total weight retained at prefix k (0 when the graph has no
+  /// weight).
+  double WeightShareAt(int64_t k) const {
+    const double total = kept_weight.back();
+    return total > 0.0 ? kept_weight[static_cast<size_t>(k)] / total : 0.0;
+  }
+};
+
+/// Runs the single O(E a(E)) pass. The profile answers any number of
+/// sweep points afterwards in O(1) each.
+SweepProfile BuildSweepProfile(const ScoreOrder& order);
+
+/// TopK riding a precomputed order: no sort, O(E) mask build.
+BackboneMask TopK(const ScoreOrder& order, int64_t k);
+
+/// TopShare riding a precomputed order.
+BackboneMask TopShare(const ScoreOrder& order, double share);
+
+/// The Doubly Stochastic stopping rule riding a precomputed order: walks
+/// the order with an incremental union-find and stops at the connect
+/// index (early exit — it does not build a full profile).
+BackboneMask GrowUntilConnected(const ScoreOrder& order);
+
+}  // namespace netbone
+
+#endif  // NETBONE_CORE_SWEEP_H_

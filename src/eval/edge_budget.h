@@ -16,12 +16,22 @@
 #include "core/filter.h"
 #include "core/registry.h"
 #include "core/scored_edges.h"
+#include "core/sweep.h"
 #include "graph/graph.h"
 
 namespace netbone {
 
 /// Number of edges with score > threshold (e.g. positive HSS salience).
+/// One O(E) scan; callers holding a ScoreOrder get the same count in
+/// O(log E) from the overload below.
 int64_t CountAboveScore(const ScoredEdges& scored, double threshold);
+
+/// CountAboveScore riding a precomputed descending order (core/sweep.h):
+/// binary search instead of a table scan, for budget lookups inside
+/// threshold sweeps.
+inline int64_t CountAboveScore(const ScoreOrder& order, double threshold) {
+  return order.CountAbove(threshold);
+}
 
 /// The paper's default budget: the size of the HSS backbone at a low
 /// salience threshold (default 0 — every edge used by at least one

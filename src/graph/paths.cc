@@ -39,6 +39,20 @@ void DijkstraWorkspace::Arm(NodeId n) {
   }
 }
 
+void DijkstraWorkspace::ResetEdgeCounts(int64_t num_edges) {
+  const size_t size = static_cast<size_t>(num_edges);
+  if (count_stamp_.size() < size) {
+    count_stamp_.resize(size, 0);
+    edge_count_.resize(size, 0);
+  }
+  if (++count_generation_ == 0) {
+    // Same wrap discipline as Arm(): a wrapped generation of 0 would make
+    // every stale stamp read as current.
+    std::fill(count_stamp_.begin(), count_stamp_.end(), 0u);
+    count_generation_ = 1;
+  }
+}
+
 void DijkstraWorkspace::HeapPush(double dist, NodeId node) {
   heap_.push_back(HeapItem{dist, node});
   size_t i = heap_.size() - 1;

@@ -79,6 +79,31 @@ class DijkstraWorkspace {
   /// trees (HSS) touch O(reached) state instead of O(|V|).
   std::span<const NodeId> touched() const { return touched_; }
 
+  /// Per-edge integer accumulator with the same generation discipline as
+  /// the per-node arrays, for callers that superimpose many trees (HSS
+  /// tree-membership counts). Independent of the per-run Dijkstra state:
+  /// counts survive any number of DijkstraInto runs until the next
+  /// ResetEdgeCounts. Entries read as zero until bumped, so a reset is
+  /// O(1) on a warm workspace (O(m) only on growth or stamp wrap).
+  void ResetEdgeCounts(int64_t num_edges);
+
+  /// Increments the counter of edge `e`. Precondition: ResetEdgeCounts was
+  /// called with num_edges > e.
+  void BumpEdgeCount(EdgeId e) {
+    const size_t i = static_cast<size_t>(e);
+    if (count_stamp_[i] != count_generation_) {
+      count_stamp_[i] = count_generation_;
+      edge_count_[i] = 0;
+    }
+    ++edge_count_[i];
+  }
+
+  /// Counter of edge `e` since the last ResetEdgeCounts.
+  int64_t edge_count(EdgeId e) const {
+    const size_t i = static_cast<size_t>(e);
+    return count_stamp_[i] == count_generation_ ? edge_count_[i] : 0;
+  }
+
  private:
   friend void DijkstraInto(const Adjacency&, NodeId, const DijkstraOptions&,
                            DijkstraWorkspace*);
@@ -102,6 +127,10 @@ class DijkstraWorkspace {
   std::vector<EdgeId> parent_edge_;
   std::vector<NodeId> touched_;
   std::vector<HeapItem> heap_;  // 4-ary min-heap, lazy deletion
+
+  uint32_t count_generation_ = 0;
+  std::vector<uint32_t> count_stamp_;
+  std::vector<int64_t> edge_count_;
 };
 
 /// Dijkstra from `source` over the adjacency's out-arcs, writing the tree

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "core/disparity_filter.h"
+#include "core/doubly_stochastic.h"
 #include "core/high_salience_skeleton.h"
 #include "core/naive.h"
 #include "core/noise_corrected.h"
@@ -160,6 +161,24 @@ TEST(ParallelScoreEdgesTest, HighSalienceSkeletonDeterministic) {
       {.num_nodes = 120, .average_degree = 5.0, .seed = 9});
   ASSERT_TRUE(g.ok());
   ExpectBitIdenticalAcrossThreads(Method::kHighSalienceSkeleton, *g);
+}
+
+TEST(ParallelScoreEdgesTest, DoublyStochasticDeterministic) {
+  // The Sinkhorn sweeps are node-major: every node's row/column sums fold
+  // whole, in fixed CSR arc order, inside one chunk — so the balanced
+  // scores must be bit-identical for every thread count, not just close.
+  // A circulant graph (three chord lengths, varying weights) is regular,
+  // hence has total support and converges; 600 nodes give ParallelFor a
+  // real multi-chunk partition at every tested thread count.
+  GraphBuilder builder(Directedness::kUndirected);
+  const NodeId n = 600;
+  for (NodeId v = 0; v < n; ++v) {
+    builder.AddEdge(v, (v + 1) % n, 1.0 + (v % 13));
+    builder.AddEdge(v, (v + 7) % n, 2.0 + (v % 5));
+    builder.AddEdge(v, (v + 23) % n, 0.5 + (v % 3));
+  }
+  const Graph g = *builder.Build();
+  ExpectBitIdenticalAcrossThreads(Method::kDoublyStochastic, g);
 }
 
 TEST(ParallelScoreEdgesTest, ScorerSeesAlignedEdgeIds) {
