@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/timer.h"
 #include "core/disparity_filter.h"
 #include "core/filter.h"
 #include "core/noise_corrected.h"
@@ -43,12 +44,14 @@ int main() {
   const bool quick = netbone::bench::QuickMode();
   const int num_seeds = quick ? 2 : 5;
 
+  netbone::bench::JsonBenchLog json("ablation_nc");
   PrintRow({"eta", "NC full", "NC pvalue", "NC plugin", "NC erratum",
             "DF"});
   for (const double eta : {0.05, 0.15, 0.25}) {
     double full = 0.0, pvalue = 0.0, plugin = 0.0, erratum = 0.0,
            df_total = 0.0;
     int n = 0;
+    nb::Timer eta_timer;
     for (int seed = 0; seed < num_seeds; ++seed) {
       const auto truth = nb::GenerateBarabasiAlbert(
           {.num_nodes = 150,
@@ -80,10 +83,13 @@ int main() {
       df_total += Recovery(*e, *noisy);
       ++n;
     }
+    const double elapsed = eta_timer.ElapsedSeconds();
     if (n == 0) continue;
     PrintRow({Num(eta, 2), Num(full / n, 3), Num(pvalue / n, 3),
               Num(plugin / n, 3), Num(erratum / n, 3),
               Num(df_total / n, 3)});
+    json.RecordSeconds("ablation_nc:eta_" + Num(eta, 2),
+                       /*n=*/num_seeds, /*threads=*/1, elapsed, elapsed);
   }
 
   // (ii) zero-variance degeneracy, shown directly: the share of edges

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/timer.h"
 #include "core/noise_corrected.h"
 #include "gen/countries.h"
 #include "stats/correlation.h"
@@ -40,10 +41,12 @@ int main() {
   const auto suite = nb::GenerateCountrySuite(
       /*seed=*/42, num_years, /*num_countries=*/quick ? 60 : 150);
   if (!suite.ok()) return 1;
+  netbone::bench::JsonBenchLog json("table1");
 
   PrintRow({"network", "NC corr", "pairs"});
   for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
     const nb::TemporalNetwork& network = suite->network(kind);
+    nb::Timer network_timer;
 
     // Transformed lift per pair per year; prediction from year 0.
     std::unordered_map<uint64_t, std::vector<double>> lift_series;
@@ -78,9 +81,13 @@ int main() {
       observed.push_back(nb::SampleVariance(series));
     }
     const auto corr = nb::PearsonCorrelation(predicted, observed);
+    const double elapsed = network_timer.ElapsedSeconds();
     PrintRow({nb::CountryNetworkName(kind),
               corr.ok() ? Num(*corr, 3) : Num(NaN()),
               std::to_string(predicted.size())});
+    json.RecordSeconds("table1:" + nb::CountryNetworkName(kind),
+                       static_cast<int64_t>(predicted.size()),
+                       /*threads=*/1, elapsed, elapsed);
   }
   std::printf(
       "\nPaper reference (Table I): Business .590, Country Space .627,\n"

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/timer.h"
 #include "core/registry.h"
 #include "eval/edge_budget.h"
 #include "eval/quality.h"
@@ -59,8 +60,11 @@ int main() {
     budgets.push_back(chosen);
   }
 
+  netbone::bench::JsonBenchLog json("table2");
   for (const nb::Method method : nb::PaperMethods()) {
     std::vector<std::string> row = {nb::MethodTag(method)};
+    nb::Timer method_timer;
+    int64_t edges_evaluated = 0;
     size_t kind_index = 0;
     for (const nb::CountryNetworkKind kind : nb::AllCountryNetworkKinds()) {
       const nb::Graph& g = suite->network(kind).front();
@@ -80,8 +84,12 @@ int main() {
       }
       const auto quality = nb::QualityRatio(g, predictors->columns, *mask);
       row.push_back(quality.ok() ? Num(quality->ratio, 4) : Num(NaN()));
+      edges_evaluated += g.num_edges();
     }
+    const double elapsed = method_timer.ElapsedSeconds();
     PrintRow(row);
+    json.RecordSeconds("table2:" + nb::MethodTag(method), edges_evaluated,
+                       /*threads=*/1, elapsed, elapsed);
   }
 
   std::printf(

@@ -1,0 +1,42 @@
+// Copyright 2026 The netbone Authors.
+//
+// Byte accounting for long-lived caches and pools. Every resident-memory
+// budget in the library (the serving layer's ScoreCache / GraphStore, the
+// HSS Dijkstra-workspace pool trim) prices retained state through these
+// helpers so the budgets agree on what "bytes" means: heap capacity
+// actually reserved, not logical element counts.
+
+#ifndef NETBONE_COMMON_BYTES_H_
+#define NETBONE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netbone {
+
+/// Heap bytes reserved by a vector: capacity (not size) times the element
+/// footprint. Ignores heap allocations owned by the elements themselves;
+/// callers with pointer-bearing elements add those separately.
+template <typename T>
+int64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity()) * static_cast<int64_t>(sizeof(T));
+}
+
+/// std::vector<bool> is bit-packed; count capacity in bits.
+inline int64_t VectorBytes(const std::vector<bool>& v) {
+  return static_cast<int64_t>((v.capacity() + 7) / 8);
+}
+
+/// Heap bytes of a string's character storage (zero when the small-string
+/// optimization keeps it inline).
+inline int64_t StringBytes(const std::string& s) {
+  const size_t inline_capacity = std::string().capacity();
+  return s.capacity() > inline_capacity
+             ? static_cast<int64_t>(s.capacity() + 1)
+             : 0;
+}
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_BYTES_H_

@@ -13,11 +13,13 @@
 #ifndef NETBONE_COMMON_PARALLEL_H_
 #define NETBONE_COMMON_PARALLEL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace netbone {
@@ -95,6 +97,72 @@ class ThreadPool {
 void ParallelFor(int64_t n, int num_threads,
                  const std::function<void(int64_t begin, int64_t end,
                                           int chunk)>& fn);
+
+/// Comparison-based parallel sort on the shared pool: chunked std::sort
+/// followed by log(W) rounds of pairwise std::merge into a scratch buffer.
+///
+/// When `cmp` induces a strict *total* order over the elements (no two
+/// distinct elements compare equivalent), the sorted sequence is unique,
+/// so the output is bit-identical to std::sort and independent of
+/// `num_threads` — the determinism contract the MST Kruskal sort relies
+/// on. With genuinely tied elements the tie order may differ from
+/// std::sort and across thread counts; callers needing determinism add a
+/// final tie-break key instead.
+///
+/// Small inputs (or num_threads resolving to 1) fall back to a plain
+/// std::sort with no pool handoff or scratch allocation.
+template <typename T, typename Compare>
+void ParallelSort(std::vector<T>* v, int num_threads, Compare cmp) {
+  const int64_t n = static_cast<int64_t>(v->size());
+  // Below this size the chunk sorts are cheaper than the pool handoff and
+  // the scratch allocation; one std::sort is observably identical.
+  constexpr int64_t kMinParallelSize = 1 << 13;
+  const int chunks = NumParallelChunks(n, num_threads);
+  if (chunks <= 1 || n < kMinParallelSize) {
+    std::sort(v->begin(), v->end(), cmp);
+    return;
+  }
+
+  // Chunk boundaries follow the ParallelFor partition (c*n/W), but the
+  // result is boundary-independent for total-order comparators, so the
+  // only requirement here is covering [0, n) exactly.
+  std::vector<int64_t> bounds(static_cast<size_t>(chunks) + 1);
+  for (int c = 0; c <= chunks; ++c) {
+    bounds[static_cast<size_t>(c)] = n * c / chunks;
+  }
+  ThreadPool::Global().Run(chunks, [&](int c) {
+    std::sort(v->begin() + bounds[static_cast<size_t>(c)],
+              v->begin() + bounds[static_cast<size_t>(c) + 1], cmp);
+  });
+
+  // Merge runs pairwise until one remains, ping-ponging between the input
+  // and a scratch buffer. Each round's merges touch disjoint ranges.
+  std::vector<T> scratch(v->size());
+  std::vector<T>* src = v;
+  std::vector<T>* dst = &scratch;
+  while (bounds.size() > 2) {
+    const int runs = static_cast<int>(bounds.size()) - 1;
+    const int pairs = runs / 2;
+    ThreadPool::Global().Run(pairs, [&](int p) {
+      const int64_t lo = bounds[static_cast<size_t>(2 * p)];
+      const int64_t mid = bounds[static_cast<size_t>(2 * p) + 1];
+      const int64_t hi = bounds[static_cast<size_t>(2 * p) + 2];
+      std::merge(src->begin() + lo, src->begin() + mid, src->begin() + mid,
+                 src->begin() + hi, dst->begin() + lo, cmp);
+    });
+    if (runs % 2 != 0) {  // odd tail run: carry over unchanged
+      std::copy(src->begin() + bounds[bounds.size() - 2], src->end(),
+                dst->begin() + bounds[bounds.size() - 2]);
+    }
+    std::vector<int64_t> next;
+    next.reserve(static_cast<size_t>(pairs) + 2);
+    for (size_t b = 0; b < bounds.size(); b += 2) next.push_back(bounds[b]);
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != v) *v = std::move(*src);
+}
 
 }  // namespace netbone
 

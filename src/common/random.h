@@ -14,6 +14,17 @@
 
 namespace netbone {
 
+/// The splitmix64 finalizer: one stateless 64-bit mixing step. Used to
+/// seed the Rng lanes and as the diffusion primitive of the service
+/// layer's content hashes (GraphFingerprint, ScoreKeyHash) — one
+/// definition so the constants cannot drift apart.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256** pseudo-random generator seeded through SplitMix64.
 ///
 /// The generator is deliberately implemented in-repo (rather than relying on

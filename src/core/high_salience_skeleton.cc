@@ -23,12 +23,14 @@ namespace {
 /// per chunk for its whole duration (concurrent HSS calls simply draw
 /// distinct workspaces), and counts are exact integers reset by generation
 /// stamp, so results never depend on which physical workspace serves which
-/// chunk. Retention is bounded by the hardware thread count — excess
-/// workspaces (from oversubscribed num_threads or concurrent calls) are
-/// freed on release. Note each retained workspace keeps the node/edge
-/// arrays of the largest graph it ever served; long-lived processes that
-/// run one huge HSS and then only small ones hold that peak until exit
-/// (ROADMAP records a byte-bound trim as a follow-up).
+/// chunk. Retention is doubly bounded: by count (hardware thread count —
+/// excess workspaces from oversubscribed num_threads or concurrent calls
+/// are freed on release) and, optionally, by bytes. Each retained
+/// workspace keeps the node/edge arrays of the largest graph it ever
+/// served, so SetHssWorkspacePoolByteBudget lets long-lived servers that
+/// mix huge and tiny graphs shed the peak-size scratch: whenever the idle
+/// pool exceeds the budget, the largest workspaces are dropped first,
+/// keeping the most small ones available for reuse.
 class WorkspacePool {
  public:
   std::unique_ptr<DijkstraWorkspace> Acquire() {
@@ -44,6 +46,18 @@ class WorkspacePool {
     if (static_cast<int>(free_.size()) < ResolveThreadCount(0)) {
       free_.push_back(std::move(workspace));
     }
+    TrimLocked();
+  }
+
+  void SetByteBudget(int64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    byte_budget_ = bytes;
+    TrimLocked();
+  }
+
+  int64_t RetainedBytes() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return RetainedBytesLocked();
   }
 
   static WorkspacePool& Global() {
@@ -52,11 +66,46 @@ class WorkspacePool {
   }
 
  private:
+  int64_t RetainedBytesLocked() const {
+    int64_t total = 0;
+    for (const auto& workspace : free_) total += workspace->ApproxBytes();
+    return total;
+  }
+
+  /// Drops the largest idle workspaces until the pool fits the budget.
+  /// Precondition: mu_ held.
+  void TrimLocked() {
+    if (byte_budget_ <= 0) return;
+    int64_t total = RetainedBytesLocked();
+    while (total > byte_budget_ && !free_.empty()) {
+      auto largest = free_.begin();
+      int64_t largest_bytes = (*largest)->ApproxBytes();
+      for (auto it = std::next(free_.begin()); it != free_.end(); ++it) {
+        const int64_t bytes = (*it)->ApproxBytes();
+        if (bytes > largest_bytes) {
+          largest = it;
+          largest_bytes = bytes;
+        }
+      }
+      total -= largest_bytes;
+      free_.erase(largest);
+    }
+  }
+
   std::mutex mu_;
   std::vector<std::unique_ptr<DijkstraWorkspace>> free_;
+  int64_t byte_budget_ = 0;  // <= 0 = unlimited
 };
 
 }  // namespace
+
+void SetHssWorkspacePoolByteBudget(int64_t bytes) {
+  WorkspacePool::Global().SetByteBudget(bytes);
+}
+
+int64_t HssWorkspacePoolRetainedBytes() {
+  return WorkspacePool::Global().RetainedBytes();
+}
 
 Result<ScoredEdges> HighSalienceSkeleton(
     const Graph& graph, const HighSalienceSkeletonOptions& options) {

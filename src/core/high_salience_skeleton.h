@@ -53,6 +53,20 @@ struct HighSalienceSkeletonOptions {
 Result<ScoredEdges> HighSalienceSkeleton(
     const Graph& graph, const HighSalienceSkeletonOptions& options = {});
 
+/// Caps the heap bytes the process-wide HSS workspace pool may retain
+/// between calls (it already caps the retained *count* at hardware
+/// concurrency). Each pooled workspace keeps the arrays of the largest
+/// graph it ever served, so a long-lived server that mixes huge and tiny
+/// graphs would otherwise hold peak-size scratch forever. When the pool
+/// exceeds the budget, the largest workspaces are dropped first — the
+/// remaining small ones serve the common case. <= 0 restores the default
+/// (unlimited). Takes effect immediately and on every later release.
+void SetHssWorkspacePoolByteBudget(int64_t bytes);
+
+/// Heap bytes currently retained by the idle workspaces of the pool
+/// (workspaces checked out by a running HSS call are not counted).
+int64_t HssWorkspacePoolRetainedBytes();
+
 }  // namespace netbone
 
 #endif  // NETBONE_CORE_HIGH_SALIENCE_SKELETON_H_

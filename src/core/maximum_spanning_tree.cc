@@ -1,58 +1,99 @@
 #include "core/maximum_spanning_tree.h"
 
 #include <algorithm>
-#include <map>
-#include <numeric>
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/union_find.h"
 
 namespace netbone {
+namespace {
 
-Result<ScoredEdges> MaximumSpanningTree(const Graph& graph) {
+/// One undirected node pair fed to Kruskal. Directed graphs project onto
+/// pairs so that (i->j) and (j->i) are admitted or rejected together; a
+/// canonical (deduplicated) edge table maps at most two directed edges to
+/// a pair.
+struct PairEntry {
+  NodeId a = 0;
+  NodeId b = 0;
+  double weight = 0.0;  // combined (summed) pair weight
+  EdgeId first = -1;    // original edges mapping to the pair
+  EdgeId second = -1;   // -1 when the pair has a single edge
+};
+
+}  // namespace
+
+Result<ScoredEdges> MaximumSpanningTree(
+    const Graph& graph, const MaximumSpanningTreeOptions& options) {
   if (graph.num_edges() == 0) {
     return Status::FailedPrecondition("graph has no edges");
   }
 
-  // Project directed edges onto node pairs: Kruskal runs on the pair level
-  // so that (i->j) and (j->i) are admitted or rejected together.
-  struct PairEntry {
-    NodeId a;
-    NodeId b;
-    double weight = 0.0;            // combined (summed) pair weight
-    std::vector<EdgeId> edge_ids;   // original edges mapping to the pair
-  };
-  std::map<std::pair<NodeId, NodeId>, PairEntry> pairs;
-  for (EdgeId id = 0; id < graph.num_edges(); ++id) {
-    const Edge& e = graph.edge(id);
-    if (e.src == e.dst) continue;  // self-loops never join a tree
-    const NodeId a = std::min(e.src, e.dst);
-    const NodeId b = std::max(e.src, e.dst);
-    PairEntry& entry = pairs[{a, b}];
-    entry.a = a;
-    entry.b = b;
-    entry.weight += e.weight;
-    entry.edge_ids.push_back(id);
+  // Project edges onto node pairs. The canonical undirected edge table
+  // already stores each pair exactly once with src <= dst; the directed
+  // table needs a (min, max, id) sort to bring a pair's two directions
+  // together — within a pair ids stay ascending, so the summed weight
+  // accumulates in the same order as a serial scan over the edge table.
+  std::vector<PairEntry> pairs;
+  pairs.reserve(static_cast<size_t>(graph.num_edges()));
+  if (!graph.directed()) {
+    for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+      const Edge& e = graph.edge(id);
+      if (e.src == e.dst) continue;  // self-loops never join a tree
+      pairs.push_back(PairEntry{e.src, e.dst, e.weight, id, -1});
+    }
+  } else {
+    struct Item {
+      NodeId a;
+      NodeId b;
+      EdgeId id;
+    };
+    std::vector<Item> items;
+    items.reserve(static_cast<size_t>(graph.num_edges()));
+    for (EdgeId id = 0; id < graph.num_edges(); ++id) {
+      const Edge& e = graph.edge(id);
+      if (e.src == e.dst) continue;
+      items.push_back(Item{std::min(e.src, e.dst), std::max(e.src, e.dst),
+                           id});
+    }
+    ParallelSort(&items, options.num_threads,
+                 [](const Item& x, const Item& y) {
+                   if (x.a != y.a) return x.a < y.a;
+                   if (x.b != y.b) return x.b < y.b;
+                   return x.id < y.id;  // unique -> strict total order
+                 });
+    for (const Item& item : items) {
+      if (!pairs.empty() && pairs.back().a == item.a &&
+          pairs.back().b == item.b) {
+        pairs.back().weight += graph.edge(item.id).weight;
+        pairs.back().second = item.id;
+      } else {
+        pairs.push_back(PairEntry{item.a, item.b,
+                                  graph.edge(item.id).weight, item.id, -1});
+      }
+    }
   }
 
-  std::vector<const PairEntry*> order;
-  order.reserve(pairs.size());
-  for (const auto& [key, entry] : pairs) order.push_back(&entry);
-  std::sort(order.begin(), order.end(),
-            [](const PairEntry* x, const PairEntry* y) {
-              if (x->weight != y->weight) return x->weight > y->weight;
-              if (x->a != y->a) return x->a < y->a;
-              return x->b < y->b;
-            });
+  // The Kruskal sort — the dominant cost — on the shared pool. (weight
+  // desc, a, b) is a strict total order because each pair occurs once, so
+  // the sorted sequence (and therefore the tree) is bit-identical for
+  // every thread count.
+  ParallelSort(&pairs, options.num_threads,
+               [](const PairEntry& x, const PairEntry& y) {
+                 if (x.weight != y.weight) return x.weight > y.weight;
+                 if (x.a != y.a) return x.a < y.a;
+                 return x.b < y.b;
+               });
 
   std::vector<EdgeScore> scores(static_cast<size_t>(graph.num_edges()),
                                 EdgeScore{0.0, 0.0});
   UnionFind uf(graph.num_nodes());
-  for (const PairEntry* entry : order) {
-    if (uf.Union(entry->a, entry->b)) {
-      for (const EdgeId id : entry->edge_ids) {
-        scores[static_cast<size_t>(id)].score = 1.0;
+  for (const PairEntry& entry : pairs) {
+    if (uf.Union(entry.a, entry.b)) {
+      scores[static_cast<size_t>(entry.first)].score = 1.0;
+      if (entry.second >= 0) {
+        scores[static_cast<size_t>(entry.second)].score = 1.0;
       }
     }
   }

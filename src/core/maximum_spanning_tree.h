@@ -14,11 +14,21 @@
 
 namespace netbone {
 
+/// Options for MaximumSpanningTree.
+struct MaximumSpanningTreeOptions {
+  /// Worker threads for the Kruskal sort (the dominant cost; the pair
+  /// projection and the union-find walk stay serial). 0 = hardware
+  /// concurrency. The comparator is a strict total order over node pairs,
+  /// so the output is bit-identical for every thread count.
+  int num_threads = 0;
+};
+
 /// Scores tree edges 1 and non-tree edges 0. Directed graphs are treated
 /// as their undirected weight projection (each directed edge inherits the
 /// decision made for its node pair). Ties are broken deterministically by
 /// (weight desc, src, dst).
-Result<ScoredEdges> MaximumSpanningTree(const Graph& graph);
+Result<ScoredEdges> MaximumSpanningTree(
+    const Graph& graph, const MaximumSpanningTreeOptions& options = {});
 
 /// Sum of the weights of the tree edges (for optimality tests).
 double SpanningTreeWeight(const Graph& graph, const ScoredEdges& scored);

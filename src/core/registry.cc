@@ -100,8 +100,11 @@ Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
       ds.num_threads = options.num_threads;
       return DoublyStochastic(graph, ds);
     }
-    case Method::kMaximumSpanningTree:
-      return MaximumSpanningTree(graph);
+    case Method::kMaximumSpanningTree: {
+      MaximumSpanningTreeOptions mst;
+      mst.num_threads = options.num_threads;
+      return MaximumSpanningTree(graph, mst);
+    }
     case Method::kNaiveThreshold: {
       NaiveThresholdOptions nt;
       nt.num_threads = options.num_threads;

@@ -48,9 +48,9 @@ bool IsParameterFree(Method method);
 /// and an approximate sampled mode; see RunMethodOptions.
 struct RunMethodOptions {
   /// Worker threads for the parallel methods (NC, DF, NT per-edge sweeps;
-  /// HSS per-source Dijkstras; DS Sinkhorn row/column normalization).
-  /// 0 = hardware concurrency. Every method's output is bit-identical
-  /// regardless of this value.
+  /// HSS per-source Dijkstras; DS Sinkhorn row/column normalization; the
+  /// MST Kruskal sort). 0 = hardware concurrency. Every method's output is
+  /// bit-identical regardless of this value.
   int num_threads = 0;
 
   /// Forwarded to HighSalienceSkeletonOptions::max_cost (0 = unguarded).

@@ -4,6 +4,8 @@
 #include <queue>
 #include <utility>
 
+#include "common/bytes.h"
+
 namespace netbone {
 namespace {
 
@@ -51,6 +53,13 @@ void DijkstraWorkspace::ResetEdgeCounts(int64_t num_edges) {
     std::fill(count_stamp_.begin(), count_stamp_.end(), 0u);
     count_generation_ = 1;
   }
+}
+
+int64_t DijkstraWorkspace::ApproxBytes() const {
+  return VectorBytes(stamp_) + VectorBytes(distance_) + VectorBytes(parent_) +
+         VectorBytes(parent_edge_) + VectorBytes(touched_) +
+         VectorBytes(heap_) + VectorBytes(count_stamp_) +
+         VectorBytes(edge_count_);
 }
 
 void DijkstraWorkspace::HeapPush(double dist, NodeId node) {

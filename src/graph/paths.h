@@ -104,6 +104,11 @@ class DijkstraWorkspace {
     return count_stamp_[i] == count_generation_ ? edge_count_[i] : 0;
   }
 
+  /// Heap bytes this workspace retains (all per-node / per-edge arrays at
+  /// their grown capacity). Pools that cap retained memory price
+  /// workspaces with this (common/bytes.h accounting).
+  int64_t ApproxBytes() const;
+
  private:
   friend void DijkstraInto(const Adjacency&, NodeId, const DijkstraOptions&,
                            DijkstraWorkspace*);

@@ -1,0 +1,309 @@
+#include "service/engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/parallel.h"
+#include "core/filter.h"
+#include "eval/stability.h"
+
+namespace netbone {
+
+BackboneEngine::BackboneEngine(const Options& options)
+    : options_(options), cache_(options.cache_byte_budget) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+BackboneEngine::~BackboneEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();  // drains queued batches before exiting
+}
+
+uint64_t BackboneEngine::AddGraph(Graph graph) {
+  return graphs_.Intern(std::move(graph)).fingerprint;
+}
+
+std::shared_ptr<const Graph> BackboneEngine::FindGraph(
+    uint64_t fingerprint) const {
+  return graphs_.Find(fingerprint);
+}
+
+BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
+    const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
+    bool* cache_hit) {
+  *cache_hit = false;
+  std::promise<ScoreResult> promise;
+  {
+    std::unique_lock<std::mutex> lock(score_mu_);
+    if (std::shared_ptr<const CachedScore> hit = cache_.Get(key)) {
+      *cache_hit = true;
+      return ScoreResult(std::move(hit));
+    }
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      // Someone is already scoring this key: share their result. Only
+      // caller-context threads reach here (header invariant), so the wait
+      // cannot starve the pool the scorer needs.
+      std::shared_future<ScoreResult> future = it->second;
+      lock.unlock();
+      coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+      return future.get();
+    }
+    inflight_.emplace(key, promise.get_future().share());
+  }
+
+  RunMethodOptions run;
+  run.num_threads = options_.num_threads;
+  run.hss_max_cost = key.options.hss_max_cost;
+  run.hss_source_sample_size = key.options.hss_source_sample_size;
+  run.hss_sample_seed = key.options.hss_sample_seed;
+  scores_computed_.fetch_add(1, std::memory_order_relaxed);
+  Result<ScoredEdges> scored = RunMethod(key.method, *graph, run);
+  // Failures are not cached: the error is shared with current waiters,
+  // but a later request gets a fresh attempt.
+  ScoreResult result =
+      scored.ok()
+          ? ScoreResult(CachedScore::Build(graph, std::move(*scored)))
+          : ScoreResult(scored.status());
+  {
+    std::lock_guard<std::mutex> lock(score_mu_);
+    if (result.ok()) cache_.Put(key, *result);
+    inflight_.erase(key);
+  }
+  promise.set_value(result);
+  return result;
+}
+
+Result<BackboneResponse> BackboneEngine::BuildResponse(
+    const BackboneRequest& request, const CachedScore& score,
+    bool cache_hit) const {
+  const ScoreOrder& order = score.order();
+  const SweepProfile& profile = score.profile();
+  BackboneResponse response;
+  response.cache_hit = cache_hit;
+
+  const auto fill_extraction = [&](int64_t k) {
+    // PrefixMask clamps the same way, so `kept` needs no mask; the O(E)
+    // mask walk only runs when the caller wants the edge list.
+    const int64_t kept = std::clamp<int64_t>(k, 0, order.size());
+    response.kept = kept;
+    if (profile.target_nodes > 0) {
+      response.coverage = profile.CoverageAt(kept);
+    }
+    response.weight_share = profile.WeightShareAt(kept);
+    if (request.include_edges) {
+      response.kept_edges = MaskToEdgeIds(order.PrefixMask(k));
+    }
+  };
+
+  switch (request.kind) {
+    case RequestKind::kTopK:
+      fill_extraction(request.k);
+      break;
+    case RequestKind::kTopShare:
+      fill_extraction(order.KForShare(request.share));
+      break;
+    case RequestKind::kScoreThreshold:
+      // The order is score-descending, so the edges strictly above the
+      // threshold are exactly the first CountAbove ranks — the same set
+      // FilterByScore keeps.
+      fill_extraction(order.CountAbove(request.threshold));
+      break;
+    case RequestKind::kGrowUntilConnected:
+      fill_extraction(profile.connect_k);
+      break;
+    case RequestKind::kSweep: {
+      if (profile.target_nodes <= 0) {
+        return Status::FailedPrecondition(
+            "graph has no connected node to cover");
+      }
+      response.sweep.reserve(request.shares.size());
+      for (const double share : request.shares) {
+        const int64_t k = order.KForShare(share);
+        response.sweep.push_back(
+            SweepPoint{k, profile.CoverageAt(k), profile.WeightShareAt(k)});
+      }
+      response.connect_k = profile.connect_k;
+      break;
+    }
+    case RequestKind::kCoveragePoint: {
+      if (profile.target_nodes <= 0) {
+        return Status::FailedPrecondition(
+            "graph has no connected node to cover");
+      }
+      const int64_t k = order.KForShare(request.share);
+      response.kept = k;
+      response.coverage = profile.CoverageAt(k);
+      response.weight_share = profile.WeightShareAt(k);
+      break;
+    }
+    case RequestKind::kStabilityPoint: {
+      const std::shared_ptr<const Graph> next =
+          graphs_.Find(request.next_graph);
+      if (next == nullptr) {
+        return Status::NotFound("unknown next_graph fingerprint");
+      }
+      if (next->num_nodes() != score.graph().num_nodes()) {
+        return Status::InvalidArgument(
+            "stability snapshots must share the node universe");
+      }
+      const BackboneMask mask =
+          order.PrefixMask(order.KForShare(request.share));
+      const Result<double> stability =
+          Stability(score.graph(), *next, mask);
+      if (!stability.ok()) return stability.status();
+      response.stability = *stability;
+      response.kept = mask.kept;
+      break;
+    }
+  }
+  return response;
+}
+
+Result<BackboneResponse> BackboneEngine::Execute(
+    const BackboneRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<const Graph> graph = graphs_.Find(request.graph);
+  if (graph == nullptr) {
+    return Status::NotFound("unknown graph fingerprint (AddGraph first)");
+  }
+  const ScoreKey key =
+      MakeScoreKey(request.graph, request.method, request.score_options);
+  bool cache_hit = false;
+  const ScoreResult score = GetOrComputeScore(key, graph, &cache_hit);
+  if (!score.ok()) return score.status();
+  return BuildResponse(request, **score, cache_hit);
+}
+
+std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
+    std::span<const BackboneRequest> requests) {
+  const int64_t n = static_cast<int64_t>(requests.size());
+  requests_.fetch_add(n, std::memory_order_relaxed);
+
+  // Resolve graphs and collapse the batch onto its distinct score keys
+  // (first-appearance order, so the scoring order is deterministic).
+  struct Resolved {
+    std::shared_ptr<const Graph> graph;  // nullptr = unknown fingerprint
+    size_t key_slot = 0;
+  };
+  std::vector<Resolved> resolved(static_cast<size_t>(n));
+  std::vector<ScoreKey> keys;
+  std::vector<std::shared_ptr<const Graph>> key_graphs;
+  std::unordered_map<ScoreKey, size_t, ScoreKeyHash> key_slots;
+  for (int64_t i = 0; i < n; ++i) {
+    const BackboneRequest& request = requests[static_cast<size_t>(i)];
+    std::shared_ptr<const Graph> graph = graphs_.Find(request.graph);
+    if (graph == nullptr) continue;
+    const ScoreKey key =
+        MakeScoreKey(request.graph, request.method, request.score_options);
+    const auto [it, inserted] = key_slots.try_emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      key_graphs.push_back(graph);
+    }
+    resolved[static_cast<size_t>(i)] = Resolved{std::move(graph), it->second};
+  }
+
+  // Phase 1 (caller context, serial over keys): resolve every score once.
+  // Each miss scores with full inner parallelism on the shared pool;
+  // requests sharing a key — within this batch or with concurrent
+  // executions — coalesce onto one computation.
+  std::vector<std::optional<ScoreResult>> scores(keys.size());
+  std::vector<char> cache_hits(keys.size(), 0);
+  for (size_t s = 0; s < keys.size(); ++s) {
+    bool cache_hit = false;
+    scores[s] = GetOrComputeScore(keys[s], key_graphs[s], &cache_hit);
+    cache_hits[s] = cache_hit ? 1 : 0;
+  }
+
+  // Phase 2: per-request response assembly, distributed over the pool.
+  // Never blocks (the header's deadlock-freedom invariant); each slot is
+  // written by exactly one chunk, so results are deterministic.
+  std::vector<std::optional<Result<BackboneResponse>>> out(
+      static_cast<size_t>(n));
+  ParallelFor(n, options_.num_threads,
+              [&](int64_t begin, int64_t end, int /*chunk*/) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const size_t slot = static_cast<size_t>(i);
+                  const Resolved& r = resolved[slot];
+                  if (r.graph == nullptr) {
+                    out[slot] = Result<BackboneResponse>(Status::NotFound(
+                        "unknown graph fingerprint (AddGraph first)"));
+                    continue;
+                  }
+                  const ScoreResult& score = *scores[r.key_slot];
+                  if (!score.ok()) {
+                    out[slot] = Result<BackboneResponse>(score.status());
+                    continue;
+                  }
+                  out[slot] =
+                      BuildResponse(requests[slot], **score,
+                                    /*cache_hit=*/cache_hits[r.key_slot] != 0);
+                }
+              });
+
+  std::vector<Result<BackboneResponse>> results;
+  results.reserve(static_cast<size_t>(n));
+  for (auto& slot : out) results.push_back(std::move(*slot));
+  return results;
+}
+
+std::future<std::vector<Result<BackboneResponse>>> BackboneEngine::Submit(
+    std::vector<BackboneRequest> requests) {
+  PendingBatch batch;
+  batch.requests = std::move(requests);
+  std::future<std::vector<Result<BackboneResponse>>> future =
+      batch.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shutdown_) {
+      std::vector<Result<BackboneResponse>> aborted;
+      aborted.reserve(batch.requests.size());
+      for (size_t i = 0; i < batch.requests.size(); ++i) {
+        aborted.push_back(Result<BackboneResponse>(
+            Status::FailedPrecondition("engine is shutting down")));
+      }
+      batch.promise.set_value(std::move(aborted));
+      return future;
+    }
+    queue_.push_back(std::move(batch));
+    submitted_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void BackboneEngine::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    PendingBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    batch.promise.set_value(ExecuteBatch(batch.requests));
+    lock.lock();
+  }
+}
+
+BackboneEngine::Stats BackboneEngine::stats() const {
+  Stats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.scores_computed = scores_computed_.load(std::memory_order_relaxed);
+  stats.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
+  stats.submitted_batches =
+      submitted_batches_.load(std::memory_order_relaxed);
+  stats.graphs = graphs_.stats();
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+}  // namespace netbone

@@ -1,0 +1,238 @@
+// Copyright 2026 The netbone Authors.
+//
+// The serving front door: a long-lived BackboneEngine that turns the
+// library's score-once / threshold-many workflow (Coscia & Neffke, ICDE
+// 2017) into a request pipeline. Clients intern graphs once (AddGraph,
+// content-addressed via service/graph_store.h), then issue typed
+// BackboneRequests; the engine amortizes the expensive inference step —
+// scoring + the one sort + the one sweep pass — across every request that
+// shares a (graph, method, options) key (service/score_cache.h).
+//
+// Request lifecycle:
+//   1. resolve the graph fingerprint against the GraphStore;
+//   2. resolve the ScoreKey against the ScoreCache; on a miss, register
+//      the key in the in-flight table and score on the shared pool
+//      (common/parallel.h) — concurrent identical requests coalesce onto
+//      the one computation instead of scoring twice;
+//   3. answer the request from the cached artifact chain: extraction
+//      kinds are an O(E) prefix-mask walk, coverage points are O(1) reads
+//      of the sweep profile, zero rescoring and zero sorts when warm.
+//
+// Warm-path contract (pinned by tests/service_test.cc and
+// bench/bench_serving_engine.cc): requests on a cached key advance
+// ScoreOrder::SortsPerformed() by exactly zero, and every response is
+// bit-identical to the uncached RunMethod + TopK/TopShare/FilterByScore +
+// CoverageOfMask path at every thread count.
+//
+// Concurrency invariant (deadlock freedom): in-flight futures are only
+// ever waited on from caller context — Execute, the serial key-prefetch
+// phase of ExecuteBatch, or the async dispatcher thread — never from
+// inside a pool job. Pool jobs (the batch fan-out, a method's inner
+// ParallelFor) always run to completion without blocking on other
+// requests.
+
+#ifndef NETBONE_SERVICE_ENGINE_H_
+#define NETBONE_SERVICE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/registry.h"
+#include "graph/graph.h"
+#include "service/graph_store.h"
+#include "service/score_cache.h"
+
+namespace netbone {
+
+/// What a BackboneRequest asks the engine to compute.
+enum class RequestKind {
+  /// Backbone keeping the k highest-scoring edges (TopK semantics).
+  kTopK,
+  /// Backbone keeping round(share * |E|) edges (TopShare semantics).
+  kTopShare,
+  /// Backbone keeping edges with score strictly above `threshold`
+  /// (FilterByScore semantics).
+  kScoreThreshold,
+  /// The Doubly Stochastic stopping rule (GrowUntilConnected semantics).
+  kGrowUntilConnected,
+  /// Coverage / kept-weight share over a whole share grid plus the
+  /// connect index — the full sweep profile, O(1) per point when warm.
+  kSweep,
+  /// Coverage + kept-weight share at one retention share; no edge list is
+  /// materialized, making this the cheapest warm request (pure profile
+  /// reads).
+  kCoveragePoint,
+  /// Stability (Spearman of consecutive-snapshot weights, Sec. V-F) of
+  /// the share-backbone of `graph` against `next_graph`.
+  kStabilityPoint,
+};
+
+/// A typed request against an interned graph.
+struct BackboneRequest {
+  /// Fingerprint of a graph previously interned with AddGraph.
+  uint64_t graph = 0;
+  /// Scoring method; with `score_options` this selects the cache entry.
+  Method method = Method::kNoiseCorrected;
+  ScoreOptions score_options;
+
+  RequestKind kind = RequestKind::kTopShare;
+  int64_t k = 0;            ///< kTopK
+  double share = 0.0;       ///< kTopShare / kCoveragePoint / kStabilityPoint
+  double threshold = 0.0;   ///< kScoreThreshold
+  std::vector<double> shares;  ///< kSweep grid
+  uint64_t next_graph = 0;  ///< kStabilityPoint: the t+1 snapshot
+
+  /// When false, extraction kinds skip materializing `kept_edges`
+  /// (coverage/weight bookkeeping is still filled).
+  bool include_edges = true;
+};
+
+/// One sweep-grid point of a kSweep response.
+struct SweepPoint {
+  int64_t k = 0;            ///< edge budget at this share
+  double coverage = 0.0;    ///< Coverage at the prefix
+  double weight_share = 0.0;  ///< share of total weight retained
+
+  friend bool operator==(const SweepPoint&, const SweepPoint&) = default;
+};
+
+/// Typed response; which fields are meaningful depends on the request
+/// kind. Values are deterministic: bit-identical for every engine thread
+/// count and to the equivalent uncached library calls.
+struct BackboneResponse {
+  /// Extraction kinds: retained edge ids, ascending (empty when
+  /// include_edges was false).
+  std::vector<EdgeId> kept_edges;
+  /// Extraction kinds + kCoveragePoint/kStabilityPoint: retained count.
+  int64_t kept = 0;
+  /// Coverage of the result backbone (0 when the graph has no
+  /// non-isolated node). Filled for extraction kinds and kCoveragePoint.
+  double coverage = 0.0;
+  /// Kept-weight share of the result backbone (same kinds as coverage).
+  double weight_share = 0.0;
+  /// kSweep: one point per requested share.
+  std::vector<SweepPoint> sweep;
+  /// kSweep: the GrowUntilConnected stopping index of the full order.
+  int64_t connect_k = 0;
+  /// kStabilityPoint: the Spearman stability value.
+  double stability = 0.0;
+  /// True when the score was already resident in the ScoreCache when the
+  /// request executed — the warm path. False when the request triggered,
+  /// or waited on (coalesced with), a fresh computation.
+  bool cache_hit = false;
+};
+
+/// Options for BackboneEngine.
+struct BackboneEngineOptions {
+  /// ScoreCache byte budget (<= 0 = unlimited).
+  int64_t cache_byte_budget = int64_t{256} << 20;
+  /// Worker threads for scoring and batch fan-out (0 = hardware
+  /// concurrency). Responses are bit-identical for every value.
+  int num_threads = 0;
+};
+
+/// Long-lived serving engine: graph residency + score cache + request
+/// execution, safe for concurrent use from any number of threads.
+class BackboneEngine {
+ public:
+  using Options = BackboneEngineOptions;
+
+  struct Stats {
+    int64_t requests = 0;          ///< requests executed (all kinds)
+    int64_t scores_computed = 0;   ///< RunMethod invocations
+    int64_t coalesced_waits = 0;   ///< requests that waited on an in-flight score
+    int64_t submitted_batches = 0;  ///< Submit() calls accepted
+    GraphStore::Stats graphs;
+    ScoreCache::Stats cache;
+  };
+
+  explicit BackboneEngine(const Options& options = {});
+  ~BackboneEngine();
+
+  BackboneEngine(const BackboneEngine&) = delete;
+  BackboneEngine& operator=(const BackboneEngine&) = delete;
+
+  /// Interns a graph (content-addressed dedup) and returns the
+  /// fingerprint to cite in requests.
+  uint64_t AddGraph(Graph graph);
+
+  /// The resident graph for a fingerprint, or nullptr.
+  std::shared_ptr<const Graph> FindGraph(uint64_t fingerprint) const;
+
+  /// Executes one request synchronously on the calling thread (scoring
+  /// runs on the shared pool). May block on an identical in-flight
+  /// request instead of recomputing.
+  Result<BackboneResponse> Execute(const BackboneRequest& request);
+
+  /// Executes a batch: scores for distinct keys are resolved first (each
+  /// computed once, with full inner parallelism), then the per-request
+  /// extraction work is distributed over the shared pool. Results align
+  /// with `requests`.
+  std::vector<Result<BackboneResponse>> ExecuteBatch(
+      std::span<const BackboneRequest> requests);
+
+  /// Queues a batch for the dispatcher thread and returns immediately.
+  /// Batches execute FIFO; the future delivers the same results
+  /// ExecuteBatch would.
+  std::future<std::vector<Result<BackboneResponse>>> Submit(
+      std::vector<BackboneRequest> requests);
+
+  Stats stats() const;
+
+ private:
+  using ScoreResult = Result<std::shared_ptr<const CachedScore>>;
+
+  /// Cache lookup + in-flight coalescing + scoring. Caller context only
+  /// (see the concurrency invariant above). Sets *cache_hit when the
+  /// score was already resident (warm path — no computation triggered or
+  /// awaited).
+  ScoreResult GetOrComputeScore(const ScoreKey& key,
+                                const std::shared_ptr<const Graph>& graph,
+                                bool* cache_hit);
+
+  /// Pure response assembly from a resolved score; never blocks.
+  Result<BackboneResponse> BuildResponse(const BackboneRequest& request,
+                                         const CachedScore& score,
+                                         bool cache_hit) const;
+
+  void DispatcherLoop();
+
+  const Options options_;
+  GraphStore graphs_;
+  ScoreCache cache_;
+
+  /// Guards the cache-lookup + in-flight-registration window so exactly
+  /// one computation per key can be live.
+  std::mutex score_mu_;
+  std::unordered_map<ScoreKey, std::shared_future<ScoreResult>, ScoreKeyHash>
+      inflight_;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> scores_computed_{0};
+  std::atomic<int64_t> coalesced_waits_{0};
+  std::atomic<int64_t> submitted_batches_{0};
+
+  struct PendingBatch {
+    std::vector<BackboneRequest> requests;
+    std::promise<std::vector<Result<BackboneResponse>>> promise;
+  };
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingBatch> queue_;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_SERVICE_ENGINE_H_

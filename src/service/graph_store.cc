@@ -1,0 +1,170 @@
+#include "service/graph_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace netbone {
+namespace {
+
+/// Order-dependent chaining of already-mixed words.
+class Hasher {
+ public:
+  void Mix(uint64_t v) { h_ = Mix64(h_ ^ Mix64(v)); }
+
+  void MixDouble(double v) { Mix(std::bit_cast<uint64_t>(v)); }
+
+  void MixString(const std::string& s) {
+    // FNV-1a over the bytes, then folded into the chain with the length
+    // so "ab","c" and "a","bc" cannot collide as sequences.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+      h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    Mix(h);
+    Mix(static_cast<uint64_t>(s.size()));
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 0x6e6574626f6e6531ULL;  // "netbone1": fingerprint version
+};
+
+}  // namespace
+
+uint64_t GraphFingerprint(const Graph& graph) {
+  Hasher hasher;
+  hasher.Mix(graph.directed() ? 1 : 2);
+  hasher.Mix(static_cast<uint64_t>(graph.num_nodes()));
+  hasher.Mix(static_cast<uint64_t>(graph.num_edges()));
+  hasher.Mix(graph.has_labels() ? 1 : 0);
+
+  if (!graph.has_labels()) {
+    // Dense ids are the nodes' identity; the canonical (src, dst)-sorted
+    // edge table is already a content-stable sequence.
+    for (const Edge& e : graph.edges()) {
+      hasher.Mix(static_cast<uint64_t>(e.src));
+      hasher.Mix(static_cast<uint64_t>(e.dst));
+      hasher.MixDouble(e.weight);
+    }
+    return hasher.digest();
+  }
+
+  // Labeled graphs: dense ids depend on label interning order, so hash
+  // over label-ranked ids instead. Labels are unique (the builder interns
+  // them), so the rank is a strict permutation.
+  const NodeId n = graph.num_nodes();
+  std::vector<std::string> labels(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    labels[static_cast<size_t>(v)] = graph.LabelOf(v);
+  }
+  std::vector<NodeId> by_label(static_cast<size_t>(n));
+  std::iota(by_label.begin(), by_label.end(), NodeId{0});
+  std::sort(by_label.begin(), by_label.end(), [&](NodeId a, NodeId b) {
+    return labels[static_cast<size_t>(a)] < labels[static_cast<size_t>(b)];
+  });
+  std::vector<NodeId> rank(static_cast<size_t>(n));
+  for (NodeId r = 0; r < n; ++r) {
+    rank[static_cast<size_t>(by_label[static_cast<size_t>(r)])] = r;
+  }
+  // The node universe, in label order (covers isolates too).
+  for (const NodeId v : by_label) {
+    hasher.MixString(labels[static_cast<size_t>(v)]);
+  }
+  // Edges remapped to label ranks, re-canonicalized and re-sorted: the
+  // same labeled network yields the same sequence whatever the interning
+  // order was. Post-dedup, (src, dst) pairs are unique, so the order is a
+  // strict total order.
+  struct RankedEdge {
+    NodeId src;
+    NodeId dst;
+    double weight;
+  };
+  std::vector<RankedEdge> ranked;
+  ranked.reserve(static_cast<size_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    NodeId src = rank[static_cast<size_t>(e.src)];
+    NodeId dst = rank[static_cast<size_t>(e.dst)];
+    if (!graph.directed() && src > dst) std::swap(src, dst);
+    ranked.push_back(RankedEdge{src, dst, e.weight});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedEdge& a, const RankedEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  for (const RankedEdge& e : ranked) {
+    hasher.Mix(static_cast<uint64_t>(e.src));
+    hasher.Mix(static_cast<uint64_t>(e.dst));
+    hasher.MixDouble(e.weight);
+  }
+  return hasher.digest();
+}
+
+int64_t ApproxGraphBytes(const Graph& graph) {
+  const int64_t n = graph.num_nodes();
+  int64_t bytes = static_cast<int64_t>(sizeof(Graph));
+  bytes += graph.num_edges() * static_cast<int64_t>(sizeof(Edge));
+  // Marginals: out/in strength (double) and out/in degree (int64).
+  bytes += n * static_cast<int64_t>(2 * sizeof(double) +
+                                    2 * sizeof(int64_t));
+  if (graph.has_labels()) {
+    for (NodeId v = 0; v < n; ++v) {
+      const std::string label = graph.LabelOf(v);
+      // Twice: the label vector and the label->id index both hold a copy.
+      bytes += 2 * (static_cast<int64_t>(sizeof(std::string)) +
+                    StringBytes(label));
+      // Hash-map node + bucket overhead for the index entry.
+      bytes += static_cast<int64_t>(sizeof(NodeId) + 4 * sizeof(void*));
+    }
+  }
+  return bytes;
+}
+
+StoredGraph GraphStore::Intern(Graph graph) {
+  const uint64_t fingerprint = GraphFingerprint(graph);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(fingerprint);
+  if (it != graphs_.end()) {
+    ++dedup_hits_;
+    return StoredGraph{fingerprint, it->second};
+  }
+  auto resident = std::make_shared<const Graph>(std::move(graph));
+  graphs_.emplace(fingerprint, resident);
+  resident_bytes_ += ApproxGraphBytes(*resident);
+  ++inserts_;
+  return StoredGraph{fingerprint, std::move(resident)};
+}
+
+std::shared_ptr<const Graph> GraphStore::Find(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(fingerprint);
+  return it != graphs_.end() ? it->second : nullptr;
+}
+
+bool GraphStore::Erase(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(fingerprint);
+  if (it == graphs_.end()) return false;
+  resident_bytes_ -= ApproxGraphBytes(*it->second);
+  graphs_.erase(it);
+  return true;
+}
+
+GraphStore::Stats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.graphs = static_cast<int64_t>(graphs_.size());
+  stats.resident_bytes = resident_bytes_;
+  stats.inserts = inserts_;
+  stats.dedup_hits = dedup_hits_;
+  return stats;
+}
+
+}  // namespace netbone

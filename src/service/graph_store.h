@@ -1,0 +1,87 @@
+// Copyright 2026 The netbone Authors.
+//
+// Content-addressed graph residency for the serving layer. A long-lived
+// backbone server sees the same networks submitted over and over (the
+// paper's score-once / threshold-many workflow, issued by many clients);
+// the GraphStore gives every canonical graph a stable 64-bit fingerprint
+// and keeps exactly one resident copy per distinct content, so repeated
+// submissions dedupe to a shared_ptr bump instead of a second multi-MB
+// edge table. The fingerprint is also the graph half of every ScoreCache
+// key (service/score_cache.h).
+
+#ifndef NETBONE_SERVICE_GRAPH_STORE_H_
+#define NETBONE_SERVICE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/random.h"  // Mix64, the shared hash diffusion step
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Stable content fingerprint over the canonical edge table: two Graphs
+/// hash equal iff they describe the same weighted network. For labeled
+/// graphs the hash is computed over label-ranked node ids, so it does not
+/// depend on the order in which labels were interned at build time (the
+/// same CSV loaded in a different row order fingerprints identically).
+/// Unlabeled graphs hash their dense-id edge table directly — dense ids
+/// are the identity of their nodes. Collisions are possible in principle
+/// (64-bit) and accepted: the store treats equal fingerprints as equal
+/// content.
+uint64_t GraphFingerprint(const Graph& graph);
+
+/// Approximate resident heap bytes of a Graph (edge table, marginal
+/// arrays, labels + label index), priced with the common/bytes.h
+/// accounting. Used for the store's stats and any byte budgeting above it.
+int64_t ApproxGraphBytes(const Graph& graph);
+
+/// A graph resident in a GraphStore: its fingerprint plus a shared
+/// handle. The handle keeps the graph alive independently of the store.
+struct StoredGraph {
+  uint64_t fingerprint = 0;
+  std::shared_ptr<const Graph> graph;
+};
+
+/// Thread-safe content-addressed store. Intern() is the only way in:
+/// submitting a graph whose fingerprint is already resident returns the
+/// existing copy and drops the new one.
+class GraphStore {
+ public:
+  struct Stats {
+    int64_t graphs = 0;          ///< distinct graphs resident
+    int64_t resident_bytes = 0;  ///< ApproxGraphBytes over residents
+    int64_t inserts = 0;         ///< Intern() calls that added a graph
+    int64_t dedup_hits = 0;      ///< Intern() calls answered by a resident
+  };
+
+  GraphStore() = default;
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Fingerprints `graph` and either adopts it (first submission) or
+  /// returns the already-resident copy with the same content.
+  StoredGraph Intern(Graph graph);
+
+  /// The resident graph with this fingerprint, or nullptr.
+  std::shared_ptr<const Graph> Find(uint64_t fingerprint) const;
+
+  /// Drops a resident graph (outstanding shared_ptrs stay valid). Returns
+  /// false when the fingerprint is unknown.
+  bool Erase(uint64_t fingerprint);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const Graph>> graphs_;
+  int64_t resident_bytes_ = 0;
+  int64_t inserts_ = 0;
+  int64_t dedup_hits_ = 0;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_SERVICE_GRAPH_STORE_H_

@@ -1,0 +1,91 @@
+#include "service/score_cache.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace netbone {
+
+std::shared_ptr<const CachedScore> CachedScore::Build(
+    std::shared_ptr<const Graph> graph, ScoredEdges scored) {
+  // Two-phase construction: the ScoreOrder keeps a pointer to the
+  // ScoredEdges, so the table must reach its final heap address before
+  // the order is built.
+  std::shared_ptr<CachedScore> entry(new CachedScore());
+  entry->graph_ = std::move(graph);
+  entry->scored_ = std::move(scored);
+  entry->order_.emplace(entry->scored_);
+  entry->profile_ = BuildSweepProfile(*entry->order_);
+  entry->bytes_ =
+      static_cast<int64_t>(sizeof(CachedScore)) +
+      VectorBytes(entry->scored_.scores()) +
+      static_cast<int64_t>(entry->order_->ids().size() * sizeof(EdgeId)) +
+      VectorBytes(entry->profile_.covered_nodes) +
+      VectorBytes(entry->profile_.kept_weight);
+  return entry;
+}
+
+std::shared_ptr<const CachedScore> ScoreCache::Get(const ScoreKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+  ++hits_;
+  return it->second->second;
+}
+
+void ScoreCache::Put(const ScoreKey& key,
+                     std::shared_ptr<const CachedScore> score) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->second->bytes();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  bytes_ += score->bytes();
+  lru_.emplace_front(key, std::move(score));
+  index_.emplace(key, lru_.begin());
+  TrimLocked();
+}
+
+void ScoreCache::set_byte_budget(int64_t byte_budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = byte_budget;
+  TrimLocked();
+}
+
+void ScoreCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+ScoreCache::Stats ScoreCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = static_cast<int64_t>(lru_.size());
+  stats.bytes = bytes_;
+  stats.byte_budget = byte_budget_;
+  return stats;
+}
+
+void ScoreCache::TrimLocked() {
+  if (byte_budget_ <= 0) return;
+  while (bytes_ > byte_budget_ && !lru_.empty()) {
+    const auto& victim = lru_.back();
+    bytes_ -= victim.second->bytes();
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace netbone

@@ -1,0 +1,172 @@
+// Copyright 2026 The netbone Authors.
+//
+// Content-addressed score cache for the serving layer. Scoring is the
+// expensive half of every backbone request (NC/DF integrals, the HSS
+// Dijkstra fan-out); thresholding a cached score is O(E) and answering a
+// coverage point from a cached sweep profile is O(1). The cache therefore
+// holds, per (graph fingerprint, method, scoring options) key, the full
+// amortizable artifact chain: the ScoredEdges table, its one-sort
+// ScoreOrder permutation, and the SweepProfile from the single union-find
+// pass — everything a warm request needs with zero rescoring and zero
+// sorts (pinned by ScoreOrder::SortsPerformed in the tests and the
+// serving benchmark).
+//
+// Residency is LRU under a byte budget: entries are priced with the
+// common/bytes.h accounting and the least-recently-used entries are
+// dropped first once the budget is exceeded. Hit / miss / eviction
+// counters feed the engine's stats.
+
+#ifndef NETBONE_SERVICE_SCORE_CACHE_H_
+#define NETBONE_SERVICE_SCORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/random.h"  // Mix64, the shared hash diffusion step
+#include "core/registry.h"
+#include "core/scored_edges.h"
+#include "core/sweep.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// The scoring knobs that change a method's output and therefore belong
+/// in the cache key. RunMethodOptions::num_threads is deliberately NOT
+/// here: every method is bit-identical for every thread count (the PR 1/2
+/// determinism contract), so scores computed at different thread counts
+/// are interchangeable cache content.
+struct ScoreOptions {
+  /// Forwarded to HighSalienceSkeletonOptions::max_cost. Part of the key
+  /// because the guard decides whether HSS runs at all.
+  int64_t hss_max_cost = 0;
+  /// Forwarded to HighSalienceSkeletonOptions::source_sample_size.
+  int64_t hss_source_sample_size = 0;
+  /// Forwarded to HighSalienceSkeletonOptions::sample_seed.
+  uint64_t hss_sample_seed = 42;
+
+  friend bool operator==(const ScoreOptions&, const ScoreOptions&) = default;
+};
+
+/// Cache key: which graph, which method, which scoring options.
+struct ScoreKey {
+  uint64_t graph = 0;  ///< GraphFingerprint of an interned graph
+  Method method = Method::kNoiseCorrected;
+  ScoreOptions options;
+
+  friend bool operator==(const ScoreKey&, const ScoreKey&) = default;
+};
+
+/// Canonical key construction: scoring knobs that cannot affect `method`
+/// are reset to their defaults, so e.g. two NoiseCorrected requests that
+/// differ only in (irrelevant) HSS sampling knobs share one cache entry
+/// instead of scoring twice. Always build keys through this helper.
+inline ScoreKey MakeScoreKey(uint64_t graph, Method method,
+                             ScoreOptions options) {
+  if (method != Method::kHighSalienceSkeleton) options = ScoreOptions{};
+  return ScoreKey{graph, method, options};
+}
+
+/// Hash for ScoreKey (same Mix64 diffusion as the graph fingerprint).
+struct ScoreKeyHash {
+  size_t operator()(const ScoreKey& key) const {
+    uint64_t h = Mix64(key.graph);
+    h = Mix64(h ^ static_cast<uint64_t>(key.method));
+    h = Mix64(h ^ static_cast<uint64_t>(key.options.hss_max_cost));
+    h = Mix64(h ^ static_cast<uint64_t>(key.options.hss_source_sample_size));
+    h = Mix64(h ^ key.options.hss_sample_seed);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Immutable cached value: one method's scores on one graph plus the
+/// derived one-sort artifacts. Holds a shared_ptr to the graph so the
+/// ScoredEdges' interior pointer stays valid for the entry's lifetime
+/// (entries can outlive a GraphStore eviction).
+class CachedScore {
+ public:
+  /// Builds the artifact chain: moves `scored` in, computes the
+  /// ScoreOrder (the one sort) and the SweepProfile (the one union-find
+  /// pass). Precondition: scored.graph() is *graph.
+  static std::shared_ptr<const CachedScore> Build(
+      std::shared_ptr<const Graph> graph, ScoredEdges scored);
+
+  const Graph& graph() const { return *graph_; }
+  const std::shared_ptr<const Graph>& graph_handle() const { return graph_; }
+  const ScoredEdges& scored() const { return scored_; }
+  const ScoreOrder& order() const { return *order_; }
+  const SweepProfile& profile() const { return profile_; }
+
+  /// Heap bytes of the score table + order + profile (the graph is
+  /// accounted by the GraphStore, not double-counted here).
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  CachedScore() = default;
+
+  std::shared_ptr<const Graph> graph_;
+  ScoredEdges scored_;
+  std::optional<ScoreOrder> order_;  // built in place after scored_ settles
+  SweepProfile profile_;
+  int64_t bytes_ = 0;
+};
+
+/// Thread-safe LRU cache of CachedScore entries under a byte budget.
+class ScoreCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+    int64_t bytes = 0;
+    int64_t byte_budget = 0;
+  };
+
+  /// byte_budget <= 0 means unlimited.
+  explicit ScoreCache(int64_t byte_budget) : byte_budget_(byte_budget) {}
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// Returns the entry and marks it most-recently-used, or nullptr
+  /// (counted as a miss).
+  std::shared_ptr<const CachedScore> Get(const ScoreKey& key);
+
+  /// Inserts (or replaces) the entry as most-recently-used, then evicts
+  /// least-recently-used entries until the budget holds again. The budget
+  /// is strict: an entry larger than the whole budget is evicted
+  /// immediately (the caller's shared_ptr keeps it usable for the
+  /// in-flight request).
+  void Put(const ScoreKey& key, std::shared_ptr<const CachedScore> score);
+
+  /// Changes the budget (<= 0 = unlimited) and trims immediately.
+  void set_byte_budget(int64_t byte_budget);
+
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  void TrimLocked();
+
+  using LruList =
+      std::list<std::pair<ScoreKey, std::shared_ptr<const CachedScore>>>;
+
+  mutable std::mutex mu_;
+  int64_t byte_budget_;
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<ScoreKey, LruList::iterator, ScoreKeyHash> index_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_SERVICE_SCORE_CACHE_H_

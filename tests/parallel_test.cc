@@ -6,13 +6,16 @@
 
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/disparity_filter.h"
+#include "core/maximum_spanning_tree.h"
 #include "core/doubly_stochastic.h"
 #include "core/high_salience_skeleton.h"
 #include "core/naive.h"
@@ -375,6 +378,80 @@ TEST(SampledHssTest, SampleSizeAboveNodeCountRunsExact) {
   options.source_sample_size = 1000;  // >= |V|: silently exact
   const auto a = HighSalienceSkeleton(*g, options);
   const auto b = HighSalienceSkeleton(*g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (EdgeId id = 0; id < g->num_edges(); ++id) {
+    EXPECT_EQ(a->at(id).score, b->at(id).score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry plumbing.
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// ParallelSort and the parallel MST Kruskal sort built on it.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSortTest, MatchesStdSortForTotalOrders) {
+  // Shuffled distinct values: the comparator is a strict total order, so
+  // the sorted sequence is unique and must be identical to std::sort for
+  // every thread count. 50k elements exercises the chunked merge path.
+  std::vector<int64_t> base(50000);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<int64_t>((i * 2654435761u) % 1000003u) * 1000003 +
+              static_cast<int64_t>(i);  // distinct
+  }
+  std::vector<int64_t> expected = base;
+  std::sort(expected.begin(), expected.end());
+  for (const int threads : {1, 2, 3, 7, 16}) {
+    std::vector<int64_t> v = base;
+    ParallelSort(&v, threads, std::less<int64_t>());
+    EXPECT_EQ(v, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSortTest, SmallInputsFallBackToSerialSort) {
+  std::vector<int> v = {5, 3, 9, 1, 1, 3};
+  ParallelSort(&v, 8, std::less<int>());
+  EXPECT_EQ(v, (std::vector<int>{1, 1, 3, 3, 5, 9}));
+}
+
+TEST(MstParallelTest, BitIdenticalAcrossThreadCounts) {
+  // Big enough (>= 8192 pairs) that the Kruskal sort actually runs the
+  // chunked parallel path; both directednesses.
+  for (const Directedness directedness :
+       {Directedness::kUndirected, Directedness::kDirected}) {
+    const auto g = GenerateErdosRenyi({.num_nodes = 8000,
+                                       .average_degree = 4.0,
+                                       .directedness = directedness,
+                                       .seed = 81});
+    ASSERT_TRUE(g.ok());
+    MaximumSpanningTreeOptions serial;
+    serial.num_threads = 1;
+    const auto reference = MaximumSpanningTree(*g, serial);
+    ASSERT_TRUE(reference.ok());
+    for (const int threads : {2, 3, 8}) {
+      MaximumSpanningTreeOptions options;
+      options.num_threads = threads;
+      const auto scored = MaximumSpanningTree(*g, options);
+      ASSERT_TRUE(scored.ok());
+      for (EdgeId id = 0; id < g->num_edges(); ++id) {
+        ASSERT_EQ(scored->at(id).score, reference->at(id).score)
+            << "threads=" << threads << " edge=" << id;
+      }
+    }
+  }
+}
+
+TEST(MstParallelTest, ThreadsFlowThroughRunMethod) {
+  const auto g = GenerateErdosRenyi(
+      {.num_nodes = 500, .average_degree = 3.0, .seed = 82});
+  ASSERT_TRUE(g.ok());
+  RunMethodOptions two_threads;
+  two_threads.num_threads = 2;
+  const auto a = RunMethod(Method::kMaximumSpanningTree, *g, two_threads);
+  const auto b = RunMethod(Method::kMaximumSpanningTree, *g);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   for (EdgeId id = 0; id < g->num_edges(); ++id) {

@@ -1,0 +1,556 @@
+// Tests for the serving subsystem (src/service/): graph fingerprint
+// stability across label insertion order, content-addressed dedup in the
+// GraphStore, LRU eviction order under the ScoreCache byte budget,
+// in-flight coalescing (a single underlying score per key no matter how
+// many concurrent identical requests), warm-path zero-sort / zero-rescore
+// behavior, engine determinism across thread counts and against the
+// uncached library path, and the byte-bound trim of the HSS workspace
+// pool.
+
+#include "service/engine.h"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/filter.h"
+#include "core/high_salience_skeleton.h"
+#include "core/registry.h"
+#include "core/sweep.h"
+#include "eval/coverage.h"
+#include "eval/stability.h"
+#include "eval/sweep_metrics.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "service/graph_store.h"
+#include "service/score_cache.h"
+
+namespace netbone {
+namespace {
+
+using LabeledEdge = std::tuple<std::string, std::string, double>;
+
+Graph BuildLabeled(const std::vector<LabeledEdge>& edges,
+                   Directedness directedness = Directedness::kUndirected) {
+  GraphBuilder builder(directedness);
+  for (const auto& [src, dst, weight] : edges) {
+    builder.AddLabeledEdge(src, dst, weight);
+  }
+  return *builder.Build();
+}
+
+Graph BenchGraph(uint64_t seed = 7, NodeId num_nodes = 300) {
+  return *GenerateErdosRenyi(
+      {.num_nodes = num_nodes, .average_degree = 3.0, .seed = seed});
+}
+
+// ---------------------------------------------------------------------------
+// GraphFingerprint.
+// ---------------------------------------------------------------------------
+
+TEST(GraphFingerprintTest, StableAcrossLabelInsertionOrder) {
+  // Same labeled network, interned in three different orders (the third
+  // also flips endpoint order within an edge): the dense node ids differ,
+  // the content does not.
+  const Graph a =
+      BuildLabeled({{"ann", "bob", 1.0}, {"bob", "cat", 2.0},
+                    {"cat", "dee", 3.0}});
+  const Graph b =
+      BuildLabeled({{"cat", "dee", 3.0}, {"ann", "bob", 1.0},
+                    {"bob", "cat", 2.0}});
+  const Graph c =
+      BuildLabeled({{"dee", "cat", 3.0}, {"cat", "bob", 2.0},
+                    {"bob", "ann", 1.0}});
+  EXPECT_EQ(GraphFingerprint(a), GraphFingerprint(b));
+  EXPECT_EQ(GraphFingerprint(a), GraphFingerprint(c));
+
+  // Any content change moves the fingerprint.
+  const Graph weight_changed =
+      BuildLabeled({{"ann", "bob", 1.5}, {"bob", "cat", 2.0},
+                    {"cat", "dee", 3.0}});
+  const Graph edge_added =
+      BuildLabeled({{"ann", "bob", 1.0}, {"bob", "cat", 2.0},
+                    {"cat", "dee", 3.0}, {"dee", "ann", 4.0}});
+  const Graph label_changed =
+      BuildLabeled({{"ann", "bob", 1.0}, {"bob", "cat", 2.0},
+                    {"cat", "eve", 3.0}});
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(weight_changed));
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(edge_added));
+  EXPECT_NE(GraphFingerprint(a), GraphFingerprint(label_changed));
+}
+
+TEST(GraphFingerprintTest, DirectedLabeledRespectsDirection) {
+  const Graph ab = BuildLabeled({{"a", "b", 1.0}, {"b", "c", 2.0}},
+                                Directedness::kDirected);
+  const Graph ab2 = BuildLabeled({{"b", "c", 2.0}, {"a", "b", 1.0}},
+                                 Directedness::kDirected);
+  const Graph reversed = BuildLabeled({{"b", "a", 1.0}, {"c", "b", 2.0}},
+                                      Directedness::kDirected);
+  EXPECT_EQ(GraphFingerprint(ab), GraphFingerprint(ab2));
+  EXPECT_NE(GraphFingerprint(ab), GraphFingerprint(reversed));
+}
+
+TEST(GraphFingerprintTest, UnlabeledCanonicalTableIsOrderFree) {
+  GraphBuilder b1(Directedness::kUndirected);
+  b1.AddEdge(0, 1, 1.0);
+  b1.AddEdge(1, 2, 2.0);
+  GraphBuilder b2(Directedness::kUndirected);
+  b2.AddEdge(2, 1, 2.0);  // flipped + reordered: canonicalization absorbs
+  b2.AddEdge(1, 0, 1.0);
+  EXPECT_EQ(GraphFingerprint(*b1.Build()), GraphFingerprint(*b2.Build()));
+
+  GraphBuilder b3(Directedness::kUndirected);
+  b3.AddEdge(0, 1, 1.0);
+  b3.AddEdge(1, 2, 2.5);
+  EXPECT_NE(GraphFingerprint(*b1.Build()), GraphFingerprint(*b3.Build()));
+}
+
+TEST(GraphFingerprintTest, IsolatesChangeTheFingerprint) {
+  GraphBuilder b1(Directedness::kUndirected);
+  b1.AddEdge(0, 1, 1.0);
+  GraphBuilder b2(Directedness::kUndirected);
+  b2.AddEdge(0, 1, 1.0);
+  b2.ReserveNodes(5);
+  EXPECT_NE(GraphFingerprint(*b1.Build()), GraphFingerprint(*b2.Build()));
+}
+
+// ---------------------------------------------------------------------------
+// GraphStore.
+// ---------------------------------------------------------------------------
+
+TEST(GraphStoreTest, DedupesIdenticalContent) {
+  GraphStore store;
+  const StoredGraph first = store.Intern(BenchGraph(/*seed=*/11));
+  const StoredGraph again = store.Intern(BenchGraph(/*seed=*/11));
+  const StoredGraph other = store.Intern(BenchGraph(/*seed=*/12));
+
+  EXPECT_EQ(first.fingerprint, again.fingerprint);
+  EXPECT_EQ(first.graph.get(), again.graph.get());  // one resident copy
+  EXPECT_NE(first.fingerprint, other.fingerprint);
+
+  const GraphStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.graphs, 2);
+  EXPECT_EQ(stats.inserts, 2);
+  EXPECT_EQ(stats.dedup_hits, 1);
+  EXPECT_GT(stats.resident_bytes, 0);
+
+  EXPECT_EQ(store.Find(first.fingerprint).get(), first.graph.get());
+  EXPECT_EQ(store.Find(0xdeadbeef), nullptr);
+  EXPECT_TRUE(store.Erase(first.fingerprint));
+  EXPECT_FALSE(store.Erase(first.fingerprint));
+  EXPECT_EQ(store.Find(first.fingerprint), nullptr);
+  // Outstanding handles stay valid after eviction.
+  EXPECT_EQ(first.graph->num_nodes(), 300);
+}
+
+// ---------------------------------------------------------------------------
+// ScoreCache.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const CachedScore> ScoreFor(
+    const std::shared_ptr<const Graph>& graph) {
+  Result<ScoredEdges> scored =
+      RunMethod(Method::kNaiveThreshold, *graph);
+  EXPECT_TRUE(scored.ok());
+  return CachedScore::Build(graph, std::move(*scored));
+}
+
+TEST(ScoreCacheTest, LruEvictionOrderUnderByteBudget) {
+  // Three same-shape graphs -> three same-size entries; budget admits two.
+  GraphStore store;
+  const StoredGraph ga = store.Intern(BenchGraph(21));
+  const StoredGraph gb = store.Intern(BenchGraph(22));
+  const StoredGraph gc = store.Intern(BenchGraph(23));
+  const auto sa = ScoreFor(ga.graph);
+  const auto sb = ScoreFor(gb.graph);
+  const auto sc = ScoreFor(gc.graph);
+  const ScoreKey ka{ga.fingerprint, Method::kNaiveThreshold, {}};
+  const ScoreKey kb{gb.fingerprint, Method::kNaiveThreshold, {}};
+  const ScoreKey kc{gc.fingerprint, Method::kNaiveThreshold, {}};
+
+  ScoreCache cache(sa->bytes() + sb->bytes() + sb->bytes() / 2);
+  cache.Put(ka, sa);
+  cache.Put(kb, sb);
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 0);
+
+  // Touch A so B becomes least-recently-used, then insert C: B must go.
+  EXPECT_NE(cache.Get(ka), nullptr);
+  cache.Put(kc, sc);
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_NE(cache.Get(ka), nullptr);
+  EXPECT_NE(cache.Get(kc), nullptr);
+  EXPECT_EQ(cache.Get(kb), nullptr);  // evicted
+
+  // Entries larger than the whole budget are evicted immediately; the
+  // caller's handle keeps the value usable.
+  cache.set_byte_budget(1);
+  EXPECT_EQ(cache.stats().entries, 0);
+  cache.Put(ka, sa);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_GT(sa->order().size(), 0);
+
+  const ScoreCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3);    // ka bump + ka and kc lookups
+  EXPECT_EQ(stats.misses, 1);  // the evicted kb lookup
+}
+
+TEST(ScoreCacheTest, KeySeparatesMethodAndOptions) {
+  GraphStore store;
+  const StoredGraph g = store.Intern(BenchGraph(31));
+  const auto score = ScoreFor(g.graph);
+  ScoreCache cache(/*byte_budget=*/0);  // unlimited
+
+  const ScoreKey nt{g.fingerprint, Method::kNaiveThreshold, {}};
+  ScoreKey sampled = nt;
+  sampled.method = Method::kHighSalienceSkeleton;
+  sampled.options.hss_source_sample_size = 64;
+  cache.Put(nt, score);
+  EXPECT_NE(cache.Get(nt), nullptr);
+  EXPECT_EQ(cache.Get(sampled), nullptr);
+  ScoreKey other_seed = sampled;
+  other_seed.options.hss_sample_seed = 43;
+  EXPECT_FALSE(sampled == other_seed);
+  EXPECT_FALSE(nt == sampled);
+}
+
+// ---------------------------------------------------------------------------
+// BackboneEngine: warm path, coalescing, determinism.
+// ---------------------------------------------------------------------------
+
+TEST(BackboneEngineTest, WarmRequestsPerformZeroSortsAndZeroRescoring) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(41));
+
+  BackboneRequest request;
+  request.graph = graph;
+  request.method = Method::kNoiseCorrected;
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.2;
+  const Result<BackboneResponse> cold = engine.Execute(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_hit);
+  EXPECT_EQ(engine.stats().scores_computed, 1);
+
+  // Every further request on the cached (graph, method) key — whatever
+  // the threshold rule — must sort and score exactly zero times.
+  const int64_t sorts_before = ScoreOrder::SortsPerformed();
+  BackboneRequest top_k = request;
+  top_k.kind = RequestKind::kTopK;
+  top_k.k = 37;
+  BackboneRequest threshold = request;
+  threshold.kind = RequestKind::kScoreThreshold;
+  threshold.threshold = 0.5;
+  BackboneRequest grow = request;
+  grow.kind = RequestKind::kGrowUntilConnected;
+  BackboneRequest coverage = request;
+  coverage.kind = RequestKind::kCoveragePoint;
+  coverage.share = 0.4;
+  BackboneRequest sweep = request;
+  sweep.kind = RequestKind::kSweep;
+  sweep.shares = {0.1, 0.2, 0.5, 1.0};
+  for (const BackboneRequest* warm :
+       {&request, &top_k, &threshold, &grow, &coverage, &sweep}) {
+    const Result<BackboneResponse> response = engine.Execute(*warm);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->cache_hit);
+  }
+  EXPECT_EQ(ScoreOrder::SortsPerformed() - sorts_before, 0);
+  EXPECT_EQ(engine.stats().scores_computed, 1);
+  EXPECT_EQ(engine.stats().cache.hits, 6);
+}
+
+TEST(BackboneEngineTest, IrrelevantScoreOptionsShareOneCacheEntry) {
+  // HSS sampling knobs cannot change a NoiseCorrected score, so requests
+  // differing only in those knobs must resolve to one cache entry
+  // (MakeScoreKey canonicalization).
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(40));
+  BackboneRequest request;
+  request.graph = graph;
+  request.method = Method::kNoiseCorrected;
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.2;
+  request.score_options.hss_sample_seed = 7;
+  ASSERT_TRUE(engine.Execute(request).ok());
+  request.score_options.hss_sample_seed = 99;
+  request.score_options.hss_source_sample_size = 16;
+  const Result<BackboneResponse> warm = engine.Execute(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(engine.stats().scores_computed, 1);
+}
+
+TEST(BackboneEngineTest, ResponsesMatchTheUncachedPath) {
+  const Graph graph = BenchGraph(42);
+  Result<ScoredEdges> scored = RunMethod(Method::kDisparityFilter, graph);
+  ASSERT_TRUE(scored.ok());
+
+  BackboneEngine engine;
+  const uint64_t fingerprint = engine.AddGraph(BenchGraph(42));
+
+  BackboneRequest request;
+  request.graph = fingerprint;
+  request.method = Method::kDisparityFilter;
+
+  // TopShare.
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.3;
+  Result<BackboneResponse> response = engine.Execute(request);
+  ASSERT_TRUE(response.ok());
+  const BackboneMask top_share = TopShare(*scored, 0.3);
+  EXPECT_EQ(response->kept_edges, MaskToEdgeIds(top_share));
+  EXPECT_EQ(response->kept, top_share.kept);
+  EXPECT_EQ(response->coverage, *CoverageOfMask(graph, top_share));
+
+  // TopK.
+  request.kind = RequestKind::kTopK;
+  request.k = 55;
+  response = engine.Execute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kept_edges, MaskToEdgeIds(TopK(*scored, 55)));
+
+  // Score threshold (strictly-above semantics, like FilterByScore).
+  request.kind = RequestKind::kScoreThreshold;
+  request.threshold = 0.4;
+  response = engine.Execute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kept_edges,
+            MaskToEdgeIds(FilterByScore(*scored, 0.4)));
+
+  // GrowUntilConnected.
+  request.kind = RequestKind::kGrowUntilConnected;
+  response = engine.Execute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kept_edges,
+            MaskToEdgeIds(GrowUntilConnected(*scored)));
+
+  // Sweep: element-wise identical to the batch CoverageSweep.
+  request.kind = RequestKind::kSweep;
+  request.shares = {0.1, 0.25, 0.5, 0.75, 1.0};
+  response = engine.Execute(request);
+  ASSERT_TRUE(response.ok());
+  const Result<std::vector<double>> reference =
+      CoverageSweep(*scored, request.shares);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(response->sweep.size(), reference->size());
+  for (size_t p = 0; p < reference->size(); ++p) {
+    EXPECT_EQ(response->sweep[p].coverage, (*reference)[p]);
+  }
+}
+
+TEST(BackboneEngineTest, UnknownFingerprintIsNotFound) {
+  BackboneEngine engine;
+  BackboneRequest request;
+  request.graph = 0x1234;
+  const Result<BackboneResponse> response = engine.Execute(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsNotFound());
+}
+
+TEST(BackboneEngineTest, CoalescesConcurrentIdenticalRequests) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(43, /*num_nodes=*/800));
+
+  BackboneRequest request;
+  request.graph = graph;
+  request.method = Method::kHighSalienceSkeleton;  // slow enough to overlap
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.25;
+
+  const int64_t sorts_before = ScoreOrder::SortsPerformed();
+  constexpr int kThreads = 8;
+  std::vector<std::optional<Result<BackboneResponse>>> responses(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&, t] { responses[static_cast<size_t>(t)] = engine.Execute(request); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // However the executions interleaved (coalesced onto the in-flight
+  // score or served from the cache), the method ran exactly once.
+  EXPECT_EQ(engine.stats().scores_computed, 1);
+  EXPECT_EQ(ScoreOrder::SortsPerformed() - sorts_before, 1);
+  ASSERT_TRUE(responses[0]->ok());
+  const std::vector<EdgeId>& kept = (*responses[0])->kept_edges;
+  EXPECT_GT(kept.size(), 0u);
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response->ok());
+    EXPECT_EQ((*response)->kept_edges, kept);
+  }
+}
+
+TEST(BackboneEngineTest, BatchCoalescesDuplicateKeys) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(44));
+
+  std::vector<BackboneRequest> batch;
+  for (int i = 0; i < 6; ++i) {
+    BackboneRequest request;
+    request.graph = graph;
+    request.method = Method::kNoiseCorrected;
+    request.kind = RequestKind::kTopShare;
+    request.share = 0.1 * (i + 1);  // different points, one key
+    batch.push_back(request);
+  }
+  BackboneRequest other = batch.front();
+  other.method = Method::kNaiveThreshold;
+  batch.push_back(other);
+
+  const int64_t sorts_before = ScoreOrder::SortsPerformed();
+  const std::vector<Result<BackboneResponse>> results =
+      engine.ExecuteBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+  // Two distinct keys -> two scores, two sorts, no matter the batch size.
+  EXPECT_EQ(engine.stats().scores_computed, 2);
+  EXPECT_EQ(ScoreOrder::SortsPerformed() - sorts_before, 2);
+  EXPECT_EQ(engine.stats().requests, static_cast<int64_t>(batch.size()));
+}
+
+TEST(BackboneEngineTest, DeterministicAcrossThreadCounts) {
+  std::optional<std::vector<Result<BackboneResponse>>> reference;
+  for (const int threads : {1, 2, 5}) {
+    BackboneEngineOptions options;
+    options.num_threads = threads;
+    BackboneEngine engine(options);
+    const uint64_t graph = engine.AddGraph(BenchGraph(45));
+
+    std::vector<BackboneRequest> batch;
+    for (const Method method :
+         {Method::kNoiseCorrected, Method::kDisparityFilter,
+          Method::kMaximumSpanningTree, Method::kNaiveThreshold}) {
+      BackboneRequest request;
+      request.graph = graph;
+      request.method = method;
+      request.kind = RequestKind::kTopShare;
+      request.share = 0.3;
+      batch.push_back(request);
+      request.kind = RequestKind::kSweep;
+      request.shares = {0.2, 0.6, 1.0};
+      batch.push_back(request);
+    }
+    std::vector<Result<BackboneResponse>> results =
+        engine.ExecuteBatch(batch);
+    if (!reference.has_value()) {
+      reference = std::move(results);
+      continue;
+    }
+    ASSERT_EQ(results.size(), reference->size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok());
+      EXPECT_EQ(results[i]->kept_edges, (*reference)[i]->kept_edges);
+      EXPECT_EQ(results[i]->kept, (*reference)[i]->kept);
+      EXPECT_EQ(results[i]->coverage, (*reference)[i]->coverage);
+      EXPECT_EQ(results[i]->weight_share, (*reference)[i]->weight_share);
+      EXPECT_EQ(results[i]->sweep, (*reference)[i]->sweep);
+    }
+  }
+}
+
+TEST(BackboneEngineTest, AsyncSubmitMatchesSync) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(46));
+
+  std::vector<BackboneRequest> batch;
+  for (const double share : {0.1, 0.4, 0.8}) {
+    BackboneRequest request;
+    request.graph = graph;
+    request.method = Method::kDisparityFilter;
+    request.kind = RequestKind::kTopShare;
+    request.share = share;
+    batch.push_back(request);
+  }
+
+  std::future<std::vector<Result<BackboneResponse>>> future =
+      engine.Submit(batch);
+  const std::vector<Result<BackboneResponse>> async = future.get();
+  const std::vector<Result<BackboneResponse>> sync =
+      engine.ExecuteBatch(batch);
+  ASSERT_EQ(async.size(), sync.size());
+  for (size_t i = 0; i < async.size(); ++i) {
+    ASSERT_TRUE(async[i].ok());
+    ASSERT_TRUE(sync[i].ok());
+    EXPECT_EQ(async[i]->kept_edges, sync[i]->kept_edges);
+    EXPECT_EQ(async[i]->coverage, sync[i]->coverage);
+  }
+  EXPECT_EQ(engine.stats().submitted_batches, 1);
+  // The async batch scored DF once; the sync replay was all warm.
+  EXPECT_EQ(engine.stats().scores_computed, 1);
+}
+
+TEST(BackboneEngineTest, StabilityPointMatchesDirectEvaluation) {
+  const Graph year0 = BenchGraph(47);
+  const Graph year1 = BenchGraph(48);  // same node universe, new weights
+
+  BackboneEngine engine;
+  const uint64_t f0 = engine.AddGraph(BenchGraph(47));
+  const uint64_t f1 = engine.AddGraph(BenchGraph(48));
+
+  BackboneRequest request;
+  request.graph = f0;
+  request.next_graph = f1;
+  request.method = Method::kNoiseCorrected;
+  request.kind = RequestKind::kStabilityPoint;
+  request.share = 0.5;
+  const Result<BackboneResponse> response = engine.Execute(request);
+  ASSERT_TRUE(response.ok());
+
+  Result<ScoredEdges> scored = RunMethod(Method::kNoiseCorrected, year0);
+  ASSERT_TRUE(scored.ok());
+  const BackboneMask mask = TopShare(*scored, 0.5);
+  const Result<double> direct = Stability(year0, year1, mask);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(response->stability, *direct);
+  EXPECT_EQ(response->kept, mask.kept);
+}
+
+TEST(BackboneEngineTest, DedupesResubmittedGraphs) {
+  BackboneEngine engine;
+  const uint64_t first = engine.AddGraph(BenchGraph(49));
+  const uint64_t again = engine.AddGraph(BenchGraph(49));
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(engine.stats().graphs.graphs, 1);
+  EXPECT_EQ(engine.stats().graphs.dedup_hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// HSS workspace pool byte-bound trim.
+// ---------------------------------------------------------------------------
+
+TEST(HssWorkspacePoolTest, ByteBudgetTrimsRetainedWorkspaces) {
+  // A big exact HSS run leaves peak-size workspaces in the pool.
+  const Graph big = BenchGraph(51, /*num_nodes=*/2000);
+  ASSERT_TRUE(HighSalienceSkeleton(big).ok());
+  EXPECT_GT(HssWorkspacePoolRetainedBytes(), 0);
+
+  // A tight budget sheds the peak-size scratch immediately...
+  constexpr int64_t kBudget = 16 << 10;
+  SetHssWorkspacePoolByteBudget(kBudget);
+  EXPECT_LE(HssWorkspacePoolRetainedBytes(), kBudget);
+
+  // ... and keeps holding on every later release: a small run may retain
+  // its (small) workspaces, a big run's are dropped on release.
+  const Graph small = BenchGraph(52, /*num_nodes=*/64);
+  ASSERT_TRUE(HighSalienceSkeleton(small).ok());
+  EXPECT_LE(HssWorkspacePoolRetainedBytes(), kBudget);
+  ASSERT_TRUE(HighSalienceSkeleton(big).ok());
+  EXPECT_LE(HssWorkspacePoolRetainedBytes(), kBudget);
+
+  // Restore the default so other tests keep full reuse.
+  SetHssWorkspacePoolByteBudget(0);
+}
+
+}  // namespace
+}  // namespace netbone
