@@ -1,0 +1,228 @@
+// Acceptance harness for the work-stealing HSS schedule
+// (common/parallel.h ParallelForDynamic, core/high_salience_skeleton.cc).
+//
+// Workload: a deliberately skew-hostile graph — hundreds of 4-node cycle
+// fragments on the low node ids (near-free Dijkstra sources) and one
+// dense circulant hub clump on the high node ids (each of its sources
+// settles thousands of arcs). Sorted sources + static contiguous
+// chunking therefore concentrate essentially all of the Dijkstra cost in
+// the final chunk: every other core goes idle behind it. The stealing
+// schedule splits sources into grain-sized tasks that idle cores take
+// over.
+//
+// Contract being demonstrated (and enforced — non-zero exit):
+//   * bit-identity, always: the static-chunk schedule (replicated here
+//     with ParallelFor + per-chunk workspaces, exactly the pre-PR-4 HSS
+//     loop) and the library's stealing HSS produce identical scores, and
+//     the stealing HSS is identical across thread counts 1 / 2 / hw;
+//   * speedup, on >= 2 hardware threads only (auto-skipped on a
+//     single-core CI box): the stealing schedule must beat the static
+//     schedule on this workload (min-of-reps, > 1.05x).
+// Timings land in BENCH_scheduler_skew.json.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/high_salience_skeleton.h"
+#include "graph/adjacency.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/paths.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+namespace {
+
+/// Fragments first (cheap sources), then one dense clump (heavy
+/// sources): node ids are contiguous per group, so static chunking over
+/// the sorted source list lands the whole clump in the tail chunk.
+nb::Graph MakeSkewedGraph(int num_fragments, nb::NodeId clump_nodes,
+                          int clump_strides) {
+  nb::GraphBuilder builder(nb::Directedness::kUndirected);
+  constexpr nb::NodeId kFragmentSize = 4;
+  for (int f = 0; f < num_fragments; ++f) {
+    const nb::NodeId base = static_cast<nb::NodeId>(f) * kFragmentSize;
+    for (nb::NodeId v = 0; v < kFragmentSize; ++v) {
+      builder.AddEdge(base + v, base + (v + 1) % kFragmentSize,
+                      1.0 + static_cast<double>(v));
+    }
+  }
+  const nb::NodeId clump_base =
+      static_cast<nb::NodeId>(num_fragments) * kFragmentSize;
+  for (nb::NodeId v = 0; v < clump_nodes; ++v) {
+    for (int s = 1; s <= clump_strides; ++s) {
+      const nb::NodeId u = clump_base + v;
+      const nb::NodeId w = clump_base + (v + s) % clump_nodes;
+      // Varying weights keep the shortest-path trees non-trivial.
+      builder.AddEdge(u, w, 1.0 + static_cast<double>((v + s) % 7));
+    }
+  }
+  return *builder.Build();
+}
+
+/// The pre-PR-4 HSS schedule, replicated on public API: W static
+/// contiguous source slabs (ParallelFor), one workspace per slab,
+/// integer tree-membership counts folded per edge. Bit-identical to
+/// HighSalienceSkeleton by the integer-count argument — which is exactly
+/// what the identity gate checks. `workspaces` persists across calls and
+/// stays warm (generation-stamped resets), mirroring the process-wide
+/// pool the library path draws from, so the timed comparison measures
+/// scheduling rather than workspace allocation.
+std::vector<double> StaticScheduleHss(
+    const nb::Graph& graph, int num_threads,
+    std::vector<std::unique_ptr<nb::DijkstraWorkspace>>* workspaces) {
+  const nb::Adjacency adjacency(graph);
+  const int64_t num_sources = graph.num_nodes();
+  const int64_t num_edges = graph.num_edges();
+  const int chunks = nb::NumParallelChunks(num_sources, num_threads);
+  while (workspaces->size() < static_cast<size_t>(chunks)) {
+    workspaces->push_back(std::make_unique<nb::DijkstraWorkspace>());
+  }
+  for (int c = 0; c < chunks; ++c) {
+    (*workspaces)[static_cast<size_t>(c)]->ResetEdgeCounts(num_edges);
+  }
+  nb::ParallelFor(num_sources, chunks,
+                  [&](int64_t begin, int64_t end, int chunk) {
+                    nb::DijkstraWorkspace& workspace =
+                        *(*workspaces)[static_cast<size_t>(chunk)];
+                    for (int64_t s = begin; s < end; ++s) {
+                      nb::DijkstraInto(adjacency,
+                                       static_cast<nb::NodeId>(s), {},
+                                       &workspace);
+                      for (const nb::NodeId v : workspace.touched()) {
+                        const nb::EdgeId parent = workspace.parent_edge(v);
+                        if (parent >= 0) workspace.BumpEdgeCount(parent);
+                      }
+                    }
+                  });
+  std::vector<double> scores(static_cast<size_t>(num_edges));
+  const double denom = static_cast<double>(num_sources);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    int64_t total = 0;
+    // Fold only the chunks this call armed; later entries may hold stale
+    // counts from a wider earlier call.
+    for (int c = 0; c < chunks; ++c) {
+      total += (*workspaces)[static_cast<size_t>(c)]->edge_count(e);
+    }
+    scores[static_cast<size_t>(e)] = static_cast<double>(total) / denom;
+  }
+  return scores;
+}
+
+std::vector<double> StealingHss(const nb::Graph& graph, int num_threads) {
+  nb::HighSalienceSkeletonOptions options;
+  options.num_threads = num_threads;
+  const auto scored = nb::HighSalienceSkeleton(graph, options);
+  if (!scored.ok()) return {};
+  std::vector<double> scores;
+  scores.reserve(static_cast<size_t>(scored->size()));
+  for (nb::EdgeId e = 0; e < scored->size(); ++e) {
+    scores.push_back(scored->at(e).score);
+  }
+  return scores;
+}
+
+}  // namespace
+
+int main() {
+  Banner("scheduler skew",
+         "static chunking vs work-stealing on skewed HSS source costs");
+  const bool quick = netbone::bench::QuickMode();
+  netbone::bench::JsonBenchLog json("scheduler_skew");
+
+  const int num_fragments = quick ? 300 : 500;
+  const nb::NodeId clump_nodes = quick ? 128 : 256;
+  const int clump_strides = quick ? 8 : 16;
+  const nb::Graph graph =
+      MakeSkewedGraph(num_fragments, clump_nodes, clump_strides);
+  const int hw = nb::ResolveThreadCount(0);
+  // Min-of-3 even in quick mode: the speedup gate compares mins, and
+  // three samples per side keep a transient CI load spike from deciding
+  // the ratio.
+  const int reps = 3;
+
+  std::printf("%lld nodes, %lld edges, hardware threads: %d\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()), hw);
+
+  // One warm workspace set shared by every static-schedule call, playing
+  // the role of the library's process-wide pool.
+  std::vector<std::unique_ptr<nb::DijkstraWorkspace>> workspaces;
+
+  // --- Identity gates (always enforced). -----------------------------
+  bool identical = true;
+  const std::vector<double> reference = StealingHss(graph, 1);
+  if (reference.empty()) {
+    std::printf("HSS failed to score the skew graph\n");
+    return 1;
+  }
+  for (const int threads : {2, hw}) {
+    if (StealingHss(graph, threads) != reference) {
+      std::printf("FAIL: stealing HSS diverges at %d threads\n", threads);
+      identical = false;
+    }
+  }
+  for (const int threads : {1, 2, hw}) {
+    if (StaticScheduleHss(graph, threads, &workspaces) != reference) {
+      std::printf("FAIL: static schedule diverges at %d threads\n",
+                  threads);
+      identical = false;
+    }
+  }
+
+  // --- Timings: static slabs vs stealing tasks at full width. --------
+  // Both paths are warm by now (the identity gates above ran each once);
+  // min-of-reps then measures scheduling, not allocation.
+  std::vector<double> static_times;
+  std::vector<double> stealing_times;
+  for (int rep = 0; rep < reps; ++rep) {
+    nb::Timer timer;
+    StaticScheduleHss(graph, hw, &workspaces);
+    static_times.push_back(timer.ElapsedSeconds());
+    timer.Restart();
+    StealingHss(graph, hw);
+    stealing_times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(static_times.begin(), static_times.end());
+  std::sort(stealing_times.begin(), stealing_times.end());
+  const double static_min = static_times.front();
+  const double static_med = static_times[static_times.size() / 2];
+  const double stealing_min = stealing_times.front();
+  const double stealing_med = stealing_times[stealing_times.size() / 2];
+  const double speedup =
+      stealing_min > 0.0 ? static_min / stealing_min : 0.0;
+
+  PrintRow({"schedule", "median s", "min s"});
+  PrintRow({"static chunks", Num(static_med, 5), Num(static_min, 5)});
+  PrintRow({"work stealing", Num(stealing_med, 5), Num(stealing_min, 5)});
+  std::printf("static/stealing speedup (min-of-%d): %s\n", reps,
+              Num(speedup, 2).c_str());
+  json.RecordSeconds("hss_skew_static", graph.num_edges(), hw, static_med,
+                     static_min);
+  json.RecordSeconds("hss_skew_stealing", graph.num_edges(), hw,
+                     stealing_med, stealing_min);
+
+  // --- Speedup gate: only meaningful with real parallelism. ----------
+  bool fast_enough = true;
+  if (hw >= 2) {
+    fast_enough = speedup > 1.05;
+    if (!fast_enough) {
+      std::printf("FAIL: stealing does not beat static chunking "
+                  "(%.2fx <= 1.05x) on %d threads\n",
+                  speedup, hw);
+    }
+  } else {
+    std::printf("single hardware thread: speedup gate skipped\n");
+  }
+
+  std::printf("identity checks: %s\n", identical ? "PASS" : "FAIL");
+  return identical && fast_enough ? 0 : 1;
+}

@@ -16,14 +16,14 @@
 namespace netbone {
 namespace {
 
-/// Process-wide free list of per-chunk workspaces, so the per-chunk count
-/// vectors and Dijkstra arrays — the remaining large allocation of the HSS
-/// hot path — are reused across HighSalienceSkeleton calls instead of
-/// reallocated and zero-filled each time. A call checks one workspace out
-/// per chunk for its whole duration (concurrent HSS calls simply draw
+/// Process-wide free list of workspaces, so the count vectors and
+/// Dijkstra arrays — the remaining large allocation of the HSS hot path —
+/// are reused across HighSalienceSkeleton calls instead of reallocated
+/// and zero-filled each time. A call draws workspaces on demand, one per
+/// concurrently-executing source task (concurrent HSS calls simply draw
 /// distinct workspaces), and counts are exact integers reset by generation
 /// stamp, so results never depend on which physical workspace serves which
-/// chunk. Retention is doubly bounded: by count (hardware thread count —
+/// source. Retention is doubly bounded: by count (hardware thread count —
 /// excess workspaces from oversubscribed num_threads or concurrent calls
 /// are freed on release) and, optionally, by bytes. Each retained
 /// workspace keeps the node/edge arrays of the largest graph it ever
@@ -153,34 +153,61 @@ Result<ScoredEdges> HighSalienceSkeleton(
   const Adjacency adjacency(graph);
   const size_t num_edges = static_cast<size_t>(graph.num_edges());
   const int64_t num_sources = static_cast<int64_t>(sources.size());
-  const int chunks = NumParallelChunks(num_sources, options.num_threads);
 
-  // Each chunk checks out one pooled workspace holding both the Dijkstra
-  // arrays (re-armed per source via generation stamp) and the
-  // tree-membership count vector (reset via its own stamp, surviving the
-  // per-source re-arms) — zero large allocations once the pool is warm.
-  // Integer counts summed in chunk order keep the result independent of
-  // scheduling AND of the thread count: the final sum is the same
-  // associative integer total any partition yields.
-  std::vector<std::unique_ptr<DijkstraWorkspace>> workspaces(
-      static_cast<size_t>(std::max(chunks, 1)));
-  for (auto& workspace : workspaces) {
-    workspace = WorkspacePool::Global().Acquire();
-    workspace->ResetEdgeCounts(static_cast<int64_t>(num_edges));
-  }
-
-  ParallelFor(num_sources, chunks, [&](int64_t begin, int64_t end,
-                                       int chunk) {
-    DijkstraWorkspace& workspace = *workspaces[static_cast<size_t>(chunk)];
-    for (int64_t s = begin; s < end; ++s) {
-      DijkstraInto(adjacency, sources[static_cast<size_t>(s)], {},
-                   &workspace);
-      for (const NodeId v : workspace.touched()) {
-        const EdgeId parent = workspace.parent_edge(v);
-        if (parent >= 0) workspace.BumpEdgeCount(parent);
-      }
+  // Per-source Dijkstra costs are wildly skewed on hub-dominated graphs
+  // (a source inside the dense core settles the whole component, a source
+  // on a fragment settles a handful of nodes), so the sources run as
+  // grain-batched work-stealing tasks instead of W static slabs: no core
+  // idles behind the one slab that happened to hold the expensive
+  // sources. Each task checks a workspace out of a call-local set fed by
+  // the process-wide pool — the workspace holds both the Dijkstra arrays
+  // (re-armed per source via generation stamp) and the tree-membership
+  // count vector (reset once per call via its own stamp, surviving the
+  // per-source re-arms) — so the hot path still makes zero large
+  // allocations once the pool is warm. Which task lands on which
+  // workspace depends on scheduling, but the counts are exact integers:
+  // the final per-edge sum over the call's workspaces is the same
+  // associative total any partition and any steal order yields, keeping
+  // scores bit-identical at every thread count.
+  std::mutex workspace_mu;
+  std::vector<std::unique_ptr<DijkstraWorkspace>> call_workspaces;
+  std::vector<DijkstraWorkspace*> idle_workspaces;
+  const auto checkout = [&]() -> DijkstraWorkspace* {
+    std::lock_guard<std::mutex> lock(workspace_mu);
+    if (!idle_workspaces.empty()) {
+      DijkstraWorkspace* workspace = idle_workspaces.back();
+      idle_workspaces.pop_back();
+      return workspace;
     }
-  });
+    call_workspaces.push_back(WorkspacePool::Global().Acquire());
+    call_workspaces.back()->ResetEdgeCounts(
+        static_cast<int64_t>(num_edges));
+    return call_workspaces.back().get();
+  };
+  const auto checkin = [&](DijkstraWorkspace* workspace) {
+    std::lock_guard<std::mutex> lock(workspace_mu);
+    idle_workspaces.push_back(workspace);
+  };
+
+  // A handful of sources per task: fine enough that a heavy source never
+  // strands more than grain-1 siblings behind it, coarse enough that the
+  // two checkout mutex hops amortize over real Dijkstra work.
+  const int64_t grain = std::clamp<int64_t>(
+      num_sources / (32 * ResolveThreadCount(options.num_threads)), 1, 32);
+  ParallelForDynamic(
+      num_sources, grain, options.num_threads,
+      [&](int64_t begin, int64_t end) {
+        DijkstraWorkspace* workspace = checkout();
+        for (int64_t s = begin; s < end; ++s) {
+          DijkstraInto(adjacency, sources[static_cast<size_t>(s)], {},
+                       workspace);
+          for (const NodeId v : workspace->touched()) {
+            const EdgeId parent = workspace->parent_edge(v);
+            if (parent >= 0) workspace->BumpEdgeCount(parent);
+          }
+        }
+        checkin(workspace);
+      });
 
   // Salience = tree count / number of sources; for sampled runs this is
   // the unbiased estimate (count * (n/k)) / n = count / k.
@@ -188,12 +215,12 @@ Result<ScoredEdges> HighSalienceSkeleton(
   const double denom = static_cast<double>(num_sources);
   for (size_t e = 0; e < num_edges; ++e) {
     int64_t total = 0;
-    for (const auto& workspace : workspaces) {
+    for (const auto& workspace : call_workspaces) {
       total += workspace->edge_count(static_cast<EdgeId>(e));
     }
     scores[e] = EdgeScore{static_cast<double>(total) / denom, 0.0};
   }
-  for (auto& workspace : workspaces) {
+  for (auto& workspace : call_workspaces) {
     WorkspacePool::Global().Release(std::move(workspace));
   }
   return ScoredEdges(&graph, "high_salience_skeleton", std::move(scores),

@@ -27,8 +27,11 @@ namespace netbone {
 
 /// Options for HighSalienceSkeleton.
 struct HighSalienceSkeletonOptions {
-  /// Worker threads for the per-source Dijkstra runs. 0 = use hardware
-  /// concurrency. The result is deterministic regardless of thread count.
+  /// Worker threads for the per-source Dijkstra runs, scheduled as
+  /// grain-batched work-stealing tasks (skewed per-source costs cannot
+  /// strand cores behind one heavy slab). 0 = use hardware concurrency.
+  /// The result is deterministic regardless of thread count and steal
+  /// order: tree-membership counts are exact integers.
   int num_threads = 0;
 
   /// Abort with FailedPrecondition when the traversal cost S * |E| (S =

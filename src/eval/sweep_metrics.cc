@@ -37,29 +37,33 @@ std::vector<MethodCoverageSweep> CoverageSweepByMethod(
     const Graph& graph, std::span<const Method> methods,
     std::span<const double> shares, const RunMethodOptions& options) {
   std::vector<MethodCoverageSweep> results(methods.size());
-  // One slot per method; a worker computes its slot end to end, so the
-  // output is independent of how methods are distributed over threads.
-  ParallelFor(static_cast<int64_t>(methods.size()), options.num_threads,
-              [&](int64_t begin, int64_t end, int) {
-                for (int64_t i = begin; i < end; ++i) {
-                  MethodCoverageSweep& out =
-                      results[static_cast<size_t>(i)];
-                  out.method = methods[static_cast<size_t>(i)];
-                  const Result<ScoredEdges> scored =
-                      RunMethod(out.method, graph, options);
-                  if (!scored.ok()) {
-                    out.status = scored.status();
-                    continue;
-                  }
-                  Result<std::vector<double>> coverage =
-                      CoverageSweep(ScoreOrder(*scored), shares);
-                  if (!coverage.ok()) {
-                    out.status = coverage.status();
-                    continue;
-                  }
-                  out.coverage = std::move(*coverage);
-                }
-              });
+  // One slot per method, one grain-1 task per method: each task computes
+  // its slot end to end, so the output is independent of scheduling. The
+  // tasks share the work-stealing pool with the methods' own inner
+  // ParallelFor fan-outs (two-level schedule) — while one task is deep in
+  // the slow method's per-source loop, idle workers execute the other
+  // methods' chunks instead of waiting for the method level to finish.
+  ParallelForDynamic(
+      static_cast<int64_t>(methods.size()), /*grain=*/1,
+      options.num_threads, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          MethodCoverageSweep& out = results[static_cast<size_t>(i)];
+          out.method = methods[static_cast<size_t>(i)];
+          const Result<ScoredEdges> scored =
+              RunMethod(out.method, graph, options);
+          if (!scored.ok()) {
+            out.status = scored.status();
+            continue;
+          }
+          Result<std::vector<double>> coverage =
+              CoverageSweep(ScoreOrder(*scored), shares);
+          if (!coverage.ok()) {
+            out.status = coverage.status();
+            continue;
+          }
+          out.coverage = std::move(*coverage);
+        }
+      });
   return results;
 }
 
@@ -74,32 +78,36 @@ Result<std::vector<Result<double>>> StabilitySweep(
 
   // stability[t] holds one Result per share for the pair (t, t+1); a
   // scoring failure is recorded in score_status[t] instead. Each pair is
-  // computed by exactly one worker, so slots never race and the final
-  // fold below is a fixed-order serial pass.
+  // computed by exactly one task (grain 1), so slots never race and the
+  // final fold below is a fixed-order serial pass. Pair-level tasks and
+  // the scoring's inner per-edge/per-source loops share one stealing
+  // pool, so a snapshot with an expensive scoring no longer serializes
+  // the cores that finished their own pairs.
   std::vector<std::vector<Result<double>>> stability(
       static_cast<size_t>(num_pairs));
   std::vector<Status> score_status(static_cast<size_t>(num_pairs));
 
-  ParallelFor(num_pairs, options.num_threads,
-              [&](int64_t begin, int64_t end, int) {
-                for (int64_t t = begin; t < end; ++t) {
-                  const Graph& year_t = network.snapshot(t);
-                  const Result<ScoredEdges> scored =
-                      RunMethod(method, year_t, options);
-                  if (!scored.ok()) {
-                    score_status[static_cast<size_t>(t)] = scored.status();
-                    continue;
-                  }
-                  // The one sort this snapshot pays for the whole grid.
-                  const ScoreOrder order(*scored);
-                  auto& row = stability[static_cast<size_t>(t)];
-                  row.reserve(num_shares);
-                  for (const double share : shares) {
-                    row.push_back(Stability(year_t, network.snapshot(t + 1),
-                                            TopShare(order, share)));
-                  }
-                }
-              });
+  ParallelForDynamic(
+      num_pairs, /*grain=*/1, options.num_threads,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t t = begin; t < end; ++t) {
+          const Graph& year_t = network.snapshot(t);
+          const Result<ScoredEdges> scored =
+              RunMethod(method, year_t, options);
+          if (!scored.ok()) {
+            score_status[static_cast<size_t>(t)] = scored.status();
+            continue;
+          }
+          // The one sort this snapshot pays for the whole grid.
+          const ScoreOrder order(*scored);
+          auto& row = stability[static_cast<size_t>(t)];
+          row.reserve(num_shares);
+          for (const double share : shares) {
+            row.push_back(Stability(year_t, network.snapshot(t + 1),
+                                    TopShare(order, share)));
+          }
+        }
+      });
 
   // Earliest-snapshot-first error semantics, matching the serial
   // MeanStability sweep.

@@ -6,9 +6,11 @@
 // share grid at one sort + one linear union-find pass per scored table
 // (core/sweep.h), instead of a fresh sort and a fresh O(E) isolate scan
 // per point. Independent methods (CoverageSweepByMethod) and independent
-// snapshot pairs (StabilitySweep) are distributed over the shared thread
-// pool; results are bit-identical for every thread count because each
-// slot is computed entirely by one worker and combined in index order.
+// snapshot pairs (StabilitySweep) run as work-stealing tasks that share
+// one pool with the methods' own inner parallel loops (a two-level
+// schedule); results are bit-identical for every thread count and steal
+// order because each slot is computed entirely by one task and combined
+// in index order.
 
 #ifndef NETBONE_EVAL_SWEEP_METRICS_H_
 #define NETBONE_EVAL_SWEEP_METRICS_H_
@@ -49,18 +51,15 @@ struct MethodCoverageSweep {
 };
 
 /// Runs every method once and sweeps the whole share grid on its shared
-/// order. Methods are independent, so they are distributed over the
-/// thread pool (`options.num_threads` workers; 0 = hardware concurrency);
-/// scoring inside a pool job degrades to its serial path, which is
-/// bit-identical by the ParallelScoreEdges contract, so the output never
-/// depends on the thread count.
-///
-/// Scheduling trade-off: with M methods on C cores, method-level fan-out
-/// wins when M is comparable to C or the graphs are small; when one slow
-/// method dominates (HSS) and C >> M, wall clock is that method's serial
-/// time — callers wanting full inner parallelism for it can sweep that
-/// method alone (a single-element span runs inline, keeping RunMethod's
-/// own ParallelFor fan-out intact). Results are identical either way.
+/// order. Methods are independent, so each runs as its own work-stealing
+/// task (`options.num_threads` as the thread knob; 0 = hardware
+/// concurrency), and the methods' inner parallel loops spawn into the
+/// same pool: with M methods on C cores the schedule is two-level — when
+/// one slow method dominates (HSS), the cores that finished the cheap
+/// methods steal its inner per-source chunks instead of idling until the
+/// method level drains. Chunk partitions depend only on (n, num_threads),
+/// so the output is bit-identical to the serial sweep at every thread
+/// count; num_threads == 1 runs fully inline.
 std::vector<MethodCoverageSweep> CoverageSweepByMethod(
     const Graph& graph, std::span<const Method> methods,
     std::span<const double> shares, const RunMethodOptions& options = {});
@@ -68,10 +67,11 @@ std::vector<MethodCoverageSweep> CoverageSweepByMethod(
 /// Fig. 8 batch: mean Stability (Spearman of consecutive-snapshot weights
 /// over the backbone kept at t) per share. Each snapshot is scored and
 /// sorted exactly once for the entire grid — the per-point path re-runs
-/// the method P times per snapshot. Snapshot pairs are distributed over
-/// the thread pool; the mean is accumulated in snapshot order, so results
-/// are bit-identical for every thread count and element-wise identical to
-/// the per-point MeanStability/TopShare path.
+/// the method P times per snapshot. Snapshot pairs run as work-stealing
+/// tasks sharing the pool with the scoring's inner loops; the mean is
+/// accumulated in snapshot order, so results are bit-identical for every
+/// thread count and element-wise identical to the per-point
+/// MeanStability/TopShare path.
 ///
 /// The outer Result fails when the network has fewer than two snapshots
 /// or the method fails to score a snapshot (earliest snapshot wins). The

@@ -11,7 +11,9 @@
 namespace netbone {
 
 BackboneEngine::BackboneEngine(const Options& options)
-    : options_(options), cache_(options.cache_byte_budget) {
+    : options_(options),
+      graphs_(options.graph_byte_budget),
+      cache_(options.cache_byte_budget) {
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -33,10 +35,29 @@ std::shared_ptr<const Graph> BackboneEngine::FindGraph(
   return graphs_.Find(fingerprint);
 }
 
-BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
+void BackboneEngine::RememberFailureLocked(const ScoreKey& key,
+                                           const Status& status) {
+  // The table is bounded: negative keys are attacker/typo-shaped input,
+  // so a hard cap beats unbounded growth. On overflow, sweep dead
+  // entries; if every entry is live, drop the table — the cost is one
+  // re-attempt per key, not correctness.
+  constexpr size_t kMaxNegativeEntries = 4096;
+  if (negative_.size() >= kMaxNegativeEntries) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = negative_.begin(); it != negative_.end();) {
+      it = it->second.expiry <= now ? negative_.erase(it) : std::next(it);
+    }
+    if (negative_.size() >= kMaxNegativeEntries) negative_.clear();
+  }
+  negative_[key] = NegativeEntry{
+      status, std::chrono::steady_clock::now() + options_.negative_ttl};
+}
+
+std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
     const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-    bool* cache_hit) {
+    bool* cache_hit, std::shared_future<ScoreResult>* pending) {
   *cache_hit = false;
+  const bool negative_enabled = options_.negative_ttl.count() > 0;
   std::promise<ScoreResult> promise;
   {
     std::unique_lock<std::mutex> lock(score_mu_);
@@ -44,19 +65,31 @@ BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
       *cache_hit = true;
       return ScoreResult(std::move(hit));
     }
+    if (negative_enabled) {
+      const auto it = negative_.find(key);
+      if (it != negative_.end()) {
+        if (std::chrono::steady_clock::now() < it->second.expiry) {
+          negative_hits_.fetch_add(1, std::memory_order_relaxed);
+          return ScoreResult(it->second.status);
+        }
+        negative_.erase(it);  // expired: re-attempt
+      }
+    }
     const auto it = inflight_.find(key);
     if (it != inflight_.end()) {
-      // Someone is already scoring this key: share their result. Only
-      // caller-context threads reach here (header invariant), so the wait
-      // cannot starve the pool the scorer needs.
-      std::shared_future<ScoreResult> future = it->second;
-      lock.unlock();
-      coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
-      return future.get();
+      // Someone is already scoring this key: share their result. The
+      // future is handed back, never awaited here — waiting is caller-
+      // context-only (header invariant), and this function also runs
+      // inside ExecuteBatch's work-stealing tasks.
+      *pending = it->second;
+      return std::nullopt;
     }
     inflight_.emplace(key, promise.get_future().share());
   }
 
+  // The caller holds the store pin for this graph (taken at resolve time,
+  // before any fan-out, so the byte budget cannot evict the fingerprint
+  // between resolution and this scoring).
   RunMethodOptions run;
   run.num_threads = options_.num_threads;
   run.hss_max_cost = key.options.hss_max_cost;
@@ -64,19 +97,40 @@ BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
   run.hss_sample_seed = key.options.hss_sample_seed;
   scores_computed_.fetch_add(1, std::memory_order_relaxed);
   Result<ScoredEdges> scored = RunMethod(key.method, *graph, run);
-  // Failures are not cached: the error is shared with current waiters,
-  // but a later request gets a fresh attempt.
   ScoreResult result =
       scored.ok()
           ? ScoreResult(CachedScore::Build(graph, std::move(*scored)))
           : ScoreResult(scored.status());
   {
     std::lock_guard<std::mutex> lock(score_mu_);
-    if (result.ok()) cache_.Put(key, *result);
+    if (result.ok()) {
+      cache_.Put(key, *result);
+    } else if (negative_enabled) {
+      // The error is shared with current waiters AND remembered: repeated
+      // requests on a bad key are answered from the negative cache until
+      // the TTL lapses or the generation is cleared.
+      RememberFailureLocked(key, result.status());
+    }
     inflight_.erase(key);
   }
   promise.set_value(result);
   return result;
+}
+
+BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
+    const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
+    bool* cache_hit) {
+  std::shared_future<ScoreResult> pending;
+  std::optional<ScoreResult> result =
+      StartOrJoinScore(key, graph, cache_hit, &pending);
+  if (result.has_value()) return *std::move(result);
+  coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+  return pending.get();  // caller context: safe to block
+}
+
+void BackboneEngine::ClearNegativeCache() {
+  std::lock_guard<std::mutex> lock(score_mu_);
+  negative_.clear();
 }
 
 Result<BackboneResponse> BackboneEngine::BuildResponse(
@@ -175,7 +229,13 @@ Result<BackboneResponse> BackboneEngine::Execute(
   const ScoreKey key =
       MakeScoreKey(request.graph, request.method, request.score_options);
   bool cache_hit = false;
+  // Pinned from resolve through scoring: the store's byte budget must not
+  // evict a graph a request is actively using (the shared_ptr keeps the
+  // memory alive regardless — the pin keeps the *fingerprint* resolvable
+  // for the requests that will want the cached score next).
+  graphs_.Pin(request.graph);
   const ScoreResult score = GetOrComputeScore(key, graph, &cache_hit);
+  graphs_.Unpin(request.graph);
   if (!score.ok()) return score.status();
   return BuildResponse(request, **score, cache_hit);
 }
@@ -209,17 +269,63 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
     resolved[static_cast<size_t>(i)] = Resolved{std::move(graph), it->second};
   }
 
-  // Phase 1 (caller context, serial over keys): resolve every score once.
-  // Each miss scores with full inner parallelism on the shared pool;
-  // requests sharing a key — within this batch or with concurrent
-  // executions — coalesce onto one computation.
+  // Every distinct key's graph stays pinned from here through phase 1,
+  // so the store's byte budget cannot evict a fingerprint between this
+  // resolution and its scoring.
+  for (const ScoreKey& key : keys) graphs_.Pin(key.graph);
+
+  // Phase 1: resolve every distinct score once, concurrently — a batch
+  // mixing many cold keys overlaps their scorings instead of running
+  // them back to back, and each scoring still fans its inner loops out
+  // into the same pool. Concurrency is capped at options_.num_threads:
+  // that many self-scheduling runner tasks claim key slots off a shared
+  // cursor (the ParallelForDynamic pattern, hand-rolled here because a
+  // slot that finds its key in flight elsewhere must hand the future
+  // back instead of blocking). Requests sharing a key — within this
+  // batch or with concurrent executions — coalesce onto one
+  // computation; the caller awaits recorded futures after the fan-out
+  // joins (futures are never awaited inside a task — the header's
+  // deadlock-freedom invariant).
   std::vector<std::optional<ScoreResult>> scores(keys.size());
+  std::vector<std::shared_future<ScoreResult>> pending(keys.size());
   std::vector<char> cache_hits(keys.size(), 0);
-  for (size_t s = 0; s < keys.size(); ++s) {
-    bool cache_hit = false;
-    scores[s] = GetOrComputeScore(keys[s], key_graphs[s], &cache_hit);
-    cache_hits[s] = cache_hit ? 1 : 0;
+  const int width = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(
+                           ResolveThreadCount(options_.num_threads)),
+                       keys.size()));
+  if (width <= 1) {
+    // One key (the common warm case) or a serial engine: no task handoff.
+    for (size_t s = 0; s < keys.size(); ++s) {
+      bool cache_hit = false;
+      scores[s] = GetOrComputeScore(keys[s], key_graphs[s], &cache_hit);
+      cache_hits[s] = cache_hit ? 1 : 0;
+    }
+  } else {
+    std::atomic<size_t> next_key{0};
+    const auto runner = [&] {
+      for (;;) {
+        const size_t s = next_key.fetch_add(1, std::memory_order_relaxed);
+        if (s >= keys.size()) return;
+        bool cache_hit = false;
+        scores[s] = StartOrJoinScore(keys[s], key_graphs[s], &cache_hit,
+                                     &pending[s]);
+        cache_hits[s] = cache_hit ? 1 : 0;
+      }
+    };
+    {
+      TaskGroup group;
+      for (int r = 1; r < width; ++r) group.Spawn(runner);
+      runner();  // the caller is runner 0
+      group.Wait();
+    }
+    for (size_t s = 0; s < keys.size(); ++s) {
+      if (!scores[s].has_value()) {
+        coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+        scores[s] = pending[s].get();  // caller context: safe to block
+      }
+    }
   }
+  for (const ScoreKey& key : keys) graphs_.Unpin(key.graph);
 
   // Phase 2: per-request response assembly, distributed over the pool.
   // Never blocks (the header's deadlock-freedom invariant); each slot is
@@ -301,6 +407,15 @@ BackboneEngine::Stats BackboneEngine::stats() const {
   stats.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
   stats.submitted_batches =
       submitted_batches_.load(std::memory_order_relaxed);
+  stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
+  {
+    // Live entries only: expired ones awaiting a lazy sweep don't count.
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(score_mu_);
+    for (const auto& [key, entry] : negative_) {
+      if (now < entry.expiry) ++stats.negative_entries;
+    }
+  }
   stats.graphs = graphs_.stats();
   stats.cache = cache_.stats();
   return stats;

@@ -24,23 +24,36 @@
 // bit-identical to the uncached RunMethod + TopK/TopShare/FilterByScore +
 // CoverageOfMask path at every thread count.
 //
-// Concurrency invariant (deadlock freedom): in-flight futures are only
-// ever waited on from caller context — Execute, the serial key-prefetch
-// phase of ExecuteBatch, or the async dispatcher thread — never from
-// inside a pool job. Pool jobs (the batch fan-out, a method's inner
-// ParallelFor) always run to completion without blocking on other
-// requests.
+// Failures are remembered too (negative caching): a scoring failure is
+// recorded against its key with a TTL, so a client that hammers a bad
+// (graph, method, options) combination gets the same error back without
+// re-running the scoring every time. Entries expire after
+// BackboneEngineOptions::negative_ttl or on ClearNegativeCache();
+// successes never consult the negative table.
+//
+// Concurrency invariant (deadlock freedom): in-flight score futures are
+// only ever *waited on* from caller context — Execute, the post-fan-out
+// join in ExecuteBatch, or the async dispatcher thread — never from
+// inside a work-stealing task. Tasks may *start* scorings (ExecuteBatch
+// phase 1 resolves distinct cold keys as concurrent tasks, each scoring
+// with full inner parallelism via nested spawns); a task that finds its
+// key already in flight records the future for the caller to await after
+// the task group joins, instead of blocking a worker on it. Tasks
+// therefore always run to completion without blocking on other requests
+// (common/parallel.h blocking rules).
 
 #ifndef NETBONE_SERVICE_ENGINE_H_
 #define NETBONE_SERVICE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -136,9 +149,19 @@ struct BackboneResponse {
 struct BackboneEngineOptions {
   /// ScoreCache byte budget (<= 0 = unlimited).
   int64_t cache_byte_budget = int64_t{256} << 20;
+  /// GraphStore byte budget (<= 0 = unlimited): under it, the least-
+  /// recently-used graphs are evicted — except graphs pinned by an
+  /// in-flight scoring — so multi-tenant churn cannot grow residency
+  /// without bound. Requests on an evicted fingerprint return NotFound
+  /// until the graph is re-interned.
+  int64_t graph_byte_budget = 0;
   /// Worker threads for scoring and batch fan-out (0 = hardware
   /// concurrency). Responses are bit-identical for every value.
   int num_threads = 0;
+  /// How long a scoring failure is remembered per key before the engine
+  /// re-attempts it (negative caching). <= 0 disables: every request on
+  /// a failing key re-runs the scoring, the pre-PR-4 behavior.
+  std::chrono::milliseconds negative_ttl = std::chrono::seconds(30);
 };
 
 /// Long-lived serving engine: graph residency + score cache + request
@@ -152,6 +175,8 @@ class BackboneEngine {
     int64_t scores_computed = 0;   ///< RunMethod invocations
     int64_t coalesced_waits = 0;   ///< requests that waited on an in-flight score
     int64_t submitted_batches = 0;  ///< Submit() calls accepted
+    int64_t negative_hits = 0;     ///< failures answered from the negative cache
+    int64_t negative_entries = 0;  ///< live negative-cache entries
     GraphStore::Stats graphs;
     ScoreCache::Stats cache;
   };
@@ -174,10 +199,13 @@ class BackboneEngine {
   /// request instead of recomputing.
   Result<BackboneResponse> Execute(const BackboneRequest& request);
 
-  /// Executes a batch: scores for distinct keys are resolved first (each
-  /// computed once, with full inner parallelism), then the per-request
-  /// extraction work is distributed over the shared pool. Results align
-  /// with `requests`.
+  /// Executes a batch: distinct score keys are resolved first as
+  /// concurrent work-stealing tasks, capped at options.num_threads
+  /// runners (each key computed once — in-batch and cross-execution
+  /// coalescing still hold — with full inner parallelism via nested
+  /// spawns), then the per-request extraction work is distributed over
+  /// the pool. Results align with `requests` and are bit-identical to
+  /// executing each request alone.
   std::vector<Result<BackboneResponse>> ExecuteBatch(
       std::span<const BackboneRequest> requests);
 
@@ -187,18 +215,39 @@ class BackboneEngine {
   std::future<std::vector<Result<BackboneResponse>>> Submit(
       std::vector<BackboneRequest> requests);
 
+  /// Forgets all remembered scoring failures at once: the next request
+  /// on a previously-failing key re-attempts it. For operators that
+  /// fixed an environmental cause.
+  void ClearNegativeCache();
+
   Stats stats() const;
 
  private:
   using ScoreResult = Result<std::shared_ptr<const CachedScore>>;
 
+  /// The non-blocking half of score resolution: positive cache, negative
+  /// cache, then either computes the score itself (registering the key
+  /// in-flight; the graph stays pinned in the store for the duration) or
+  /// — when another request already has the key in flight — returns
+  /// nullopt with *pending set to that computation's future. Never waits
+  /// on another request's work, so it is safe both from caller context
+  /// and from inside a work-stealing task (the ExecuteBatch fan-out).
+  /// The *caller* awaits `pending`, from caller context only.
+  std::optional<ScoreResult> StartOrJoinScore(
+      const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
+      bool* cache_hit, std::shared_future<ScoreResult>* pending);
+
   /// Cache lookup + in-flight coalescing + scoring. Caller context only
-  /// (see the concurrency invariant above). Sets *cache_hit when the
-  /// score was already resident (warm path — no computation triggered or
+  /// (may block on an in-flight future). Sets *cache_hit when the score
+  /// was already resident (warm path — no computation triggered or
   /// awaited).
   ScoreResult GetOrComputeScore(const ScoreKey& key,
                                 const std::shared_ptr<const Graph>& graph,
                                 bool* cache_hit);
+
+  /// Records a scoring failure in the negative cache. Precondition:
+  /// score_mu_ held and negative caching enabled.
+  void RememberFailureLocked(const ScoreKey& key, const Status& status);
 
   /// Pure response assembly from a resolved score; never blocks.
   Result<BackboneResponse> BuildResponse(const BackboneRequest& request,
@@ -212,15 +261,27 @@ class BackboneEngine {
   ScoreCache cache_;
 
   /// Guards the cache-lookup + in-flight-registration window so exactly
-  /// one computation per key can be live.
-  std::mutex score_mu_;
+  /// one computation per key can be live, plus the negative cache
+  /// (mutable: stats() reads the entry count).
+  mutable std::mutex score_mu_;
   std::unordered_map<ScoreKey, std::shared_future<ScoreResult>, ScoreKeyHash>
       inflight_;
+
+  /// Remembered scoring failures, keyed like the positive cache. An entry
+  /// answers only while its expiry is in the future (ClearNegativeCache
+  /// empties the table outright); expired entries are dropped lazily on
+  /// lookup and wholesale when the table hits its capacity bound.
+  struct NegativeEntry {
+    Status status;
+    std::chrono::steady_clock::time_point expiry;
+  };
+  std::unordered_map<ScoreKey, NegativeEntry, ScoreKeyHash> negative_;
 
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> scores_computed_{0};
   std::atomic<int64_t> coalesced_waits_{0};
   std::atomic<int64_t> submitted_batches_{0};
+  std::atomic<int64_t> negative_hits_{0};
 
   struct PendingBatch {
     std::vector<BackboneRequest> requests;

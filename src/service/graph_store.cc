@@ -127,34 +127,88 @@ int64_t ApproxGraphBytes(const Graph& graph) {
   return bytes;
 }
 
+GraphStore::GraphStore(int64_t byte_budget) : byte_budget_(byte_budget) {}
+
+void GraphStore::TouchLocked(Entry& entry) const {
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+void GraphStore::TrimLocked(std::optional<uint64_t> keep) {
+  if (byte_budget_ <= 0) return;
+  // Walk from the LRU tail, skipping pinned entries — a graph with an
+  // in-flight scoring stays resident even over budget (better a
+  // transiently fat store than a fingerprint that vanishes mid-request)
+  // — and the `keep` fingerprint, so Intern never evicts the graph it is
+  // about to hand back even when that graph alone exceeds the budget.
+  auto it = lru_.end();
+  while (resident_bytes_ > byte_budget_ && it != lru_.begin()) {
+    --it;
+    if (keep.has_value() && *it == *keep) continue;
+    const auto entry_it = graphs_.find(*it);
+    if (entry_it->second.pins > 0) continue;
+    resident_bytes_ -= entry_it->second.bytes;
+    ++evictions_;
+    it = lru_.erase(it);
+    graphs_.erase(entry_it);
+  }
+}
+
 StoredGraph GraphStore::Intern(Graph graph) {
   const uint64_t fingerprint = GraphFingerprint(graph);
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(fingerprint);
   if (it != graphs_.end()) {
     ++dedup_hits_;
-    return StoredGraph{fingerprint, it->second};
+    TouchLocked(it->second);
+    return StoredGraph{fingerprint, it->second.graph};
   }
   auto resident = std::make_shared<const Graph>(std::move(graph));
-  graphs_.emplace(fingerprint, resident);
-  resident_bytes_ += ApproxGraphBytes(*resident);
+  lru_.push_front(fingerprint);
+  Entry entry;
+  entry.graph = resident;
+  entry.bytes = ApproxGraphBytes(*resident);
+  entry.lru_it = lru_.begin();
+  resident_bytes_ += entry.bytes;
+  graphs_.emplace(fingerprint, std::move(entry));
   ++inserts_;
+  TrimLocked(/*keep=*/fingerprint);
   return StoredGraph{fingerprint, std::move(resident)};
 }
 
 std::shared_ptr<const Graph> GraphStore::Find(uint64_t fingerprint) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(fingerprint);
-  return it != graphs_.end() ? it->second : nullptr;
+  if (it == graphs_.end()) return nullptr;
+  TouchLocked(it->second);
+  return it->second.graph;
 }
 
 bool GraphStore::Erase(uint64_t fingerprint) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(fingerprint);
   if (it == graphs_.end()) return false;
-  resident_bytes_ -= ApproxGraphBytes(*it->second);
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
   graphs_.erase(it);
   return true;
+}
+
+void GraphStore::Pin(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(fingerprint);
+  if (it != graphs_.end()) ++it->second.pins;
+}
+
+void GraphStore::Unpin(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graphs_.find(fingerprint);
+  if (it != graphs_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+void GraphStore::set_byte_budget(int64_t byte_budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_budget_ = byte_budget;
+  TrimLocked();
 }
 
 GraphStore::Stats GraphStore::stats() const {
@@ -164,6 +218,8 @@ GraphStore::Stats GraphStore::stats() const {
   stats.resident_bytes = resident_bytes_;
   stats.inserts = inserts_;
   stats.dedup_hits = dedup_hits_;
+  stats.evictions = evictions_;
+  stats.byte_budget = byte_budget_;
   return stats;
 }
 

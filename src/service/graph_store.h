@@ -8,13 +8,25 @@
 // submissions dedupe to a shared_ptr bump instead of a second multi-MB
 // edge table. The fingerprint is also the graph half of every ScoreCache
 // key (service/score_cache.h).
+//
+// Residency is optionally bounded: under a byte budget (common/bytes.h
+// accounting via ApproxGraphBytes) the least-recently-used unpinned
+// graphs are evicted first, so multi-tenant churn cannot grow resident
+// bytes without bound. Pins are in-flight refcounts: the engine pins a
+// graph while a scoring on it runs, and pinned graphs are never evicted
+// (the budget is exceeded rather than dropping a graph mid-use).
+// Eviction only drops the store's reference — outstanding shared_ptr
+// handles (requests, cached scores) stay valid; the evicted fingerprint
+// simply stops resolving until the graph is re-interned.
 
 #ifndef NETBONE_SERVICE_GRAPH_STORE_H_
 #define NETBONE_SERVICE_GRAPH_STORE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "common/random.h"  // Mix64, the shared hash diffusion step
@@ -45,9 +57,10 @@ struct StoredGraph {
   std::shared_ptr<const Graph> graph;
 };
 
-/// Thread-safe content-addressed store. Intern() is the only way in:
-/// submitting a graph whose fingerprint is already resident returns the
-/// existing copy and drops the new one.
+/// Thread-safe content-addressed store with optional LRU-under-byte-
+/// budget eviction. Intern() is the only way in: submitting a graph whose
+/// fingerprint is already resident returns the existing copy and drops
+/// the new one. Intern() and Find() both count as uses for recency.
 class GraphStore {
  public:
   struct Stats {
@@ -55,31 +68,67 @@ class GraphStore {
     int64_t resident_bytes = 0;  ///< ApproxGraphBytes over residents
     int64_t inserts = 0;         ///< Intern() calls that added a graph
     int64_t dedup_hits = 0;      ///< Intern() calls answered by a resident
+    int64_t evictions = 0;       ///< graphs dropped by the byte budget
+    int64_t byte_budget = 0;     ///< current budget (<= 0 = unlimited)
   };
 
-  GraphStore() = default;
+  /// byte_budget <= 0 means unlimited (no eviction) — the default.
+  explicit GraphStore(int64_t byte_budget = 0);
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
 
   /// Fingerprints `graph` and either adopts it (first submission) or
-  /// returns the already-resident copy with the same content.
+  /// returns the already-resident copy with the same content. Either way
+  /// the graph becomes most-recently-used; an insert that pushes the
+  /// store past its budget evicts least-recently-used unpinned graphs
+  /// (never the one just interned — it is the most recent).
   StoredGraph Intern(Graph graph);
 
-  /// The resident graph with this fingerprint, or nullptr.
+  /// The resident graph with this fingerprint (marked most-recently-used)
+  /// or nullptr.
   std::shared_ptr<const Graph> Find(uint64_t fingerprint) const;
 
-  /// Drops a resident graph (outstanding shared_ptrs stay valid). Returns
-  /// false when the fingerprint is unknown.
+  /// Drops a resident graph (outstanding shared_ptrs stay valid), pinned
+  /// or not — Erase is the explicit admin override, not the budget path.
+  /// Returns false when the fingerprint is unknown.
   bool Erase(uint64_t fingerprint);
+
+  /// In-flight refcount: while a fingerprint holds pins the budget never
+  /// evicts it. No-op when the fingerprint is not resident. Balance every
+  /// Pin with one Unpin.
+  void Pin(uint64_t fingerprint);
+  void Unpin(uint64_t fingerprint);
+
+  /// Changes the budget (<= 0 = unlimited) and trims immediately.
+  void set_byte_budget(int64_t byte_budget);
 
   Stats stats() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const Graph> graph;
+    int64_t bytes = 0;
+    int64_t pins = 0;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  /// Moves the entry to the MRU front. Precondition: mu_ held.
+  void TouchLocked(Entry& entry) const;
+  /// Evicts LRU-first unpinned entries until the budget holds (or only
+  /// pinned / kept entries remain). `keep` exempts one fingerprint — the
+  /// graph Intern is in the middle of handing back. Precondition: mu_
+  /// held.
+  void TrimLocked(std::optional<uint64_t> keep = std::nullopt);
+
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const Graph>> graphs_;
+  int64_t byte_budget_;
+  // Logically-const bookkeeping: Find() refreshes recency.
+  mutable std::list<uint64_t> lru_;  // front = most recently used
+  mutable std::unordered_map<uint64_t, Entry> graphs_;
   int64_t resident_bytes_ = 0;
   int64_t inserts_ = 0;
   int64_t dedup_hits_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace netbone

@@ -1,14 +1,18 @@
-// Tests for the parallel-execution subsystem (common/parallel.h), the
-// ParallelScoreEdges helper, the reusable Dijkstra workspace, and the
-// determinism guarantees of the threaded scoring paths: identical scores
-// for every thread count, serial-equivalent first-error-wins status
-// aggregation, and seeded reproducibility of the sampled HSS mode.
+// Tests for the parallel-execution subsystem (common/parallel.h) — the
+// work-stealing TaskScheduler/TaskGroup runtime and the legacy
+// ThreadPool — the ParallelScoreEdges helper, the reusable Dijkstra
+// workspace, and the determinism guarantees of the threaded scoring
+// paths: identical scores for every thread count and steal order,
+// serial-equivalent first-error-wins status aggregation, seeded
+// reproducibility of the sampled HSS mode, and the one-sort-per-method
+// contract under the serving engine's concurrent batch fan-out.
 
 #include "common/parallel.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -22,10 +26,12 @@
 #include "core/noise_corrected.h"
 #include "core/registry.h"
 #include "core/scored_edges.h"
+#include "core/sweep.h"
 #include "gen/erdos_renyi.h"
 #include "graph/adjacency.h"
 #include "graph/builder.h"
 #include "graph/paths.h"
+#include "service/engine.h"
 #include "stats/correlation.h"
 
 namespace netbone {
@@ -84,7 +90,8 @@ TEST(ParallelForTest, ChunkBoundariesDependOnlyOnInputs) {
 }
 
 TEST(ParallelForTest, NestedCallsDegradeGracefully) {
-  // A ParallelFor inside a pool job must not deadlock; it runs serially.
+  // A ParallelFor inside a pool task must not deadlock; its chunks join
+  // the shared stealing pool (two-level parallelism).
   std::atomic<int> total{0};
   ParallelFor(8, 8, [&](int64_t begin, int64_t end, int) {
     for (int64_t i = begin; i < end; ++i) {
@@ -94,6 +101,162 @@ TEST(ParallelForTest, NestedCallsDegradeGracefully) {
     }
   });
   EXPECT_EQ(total.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// TaskScheduler / TaskGroup / ParallelForDynamic: the work-stealing
+// runtime.
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroupTest, RunsEveryTaskExactlyOnce) {
+  TaskScheduler scheduler(4);
+  EXPECT_EQ(scheduler.num_workers(), 3);
+  TaskGroup group(&scheduler);
+  std::vector<std::atomic<int>> hits(300);
+  for (int i = 0; i < 300; ++i) {
+    group.Spawn([&hits, i] { hits[static_cast<size_t>(i)]++; });
+  }
+  group.Wait();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskGroupTest, SingleThreadSchedulerRunsTasksInTheWaiter) {
+  TaskScheduler scheduler(1);
+  EXPECT_EQ(scheduler.num_workers(), 0);
+  TaskGroup group(&scheduler);
+  int sum = 0;  // no synchronization: every task runs on this thread
+  for (int i = 0; i < 5; ++i) {
+    group.Spawn([&sum, i] { sum += i; });
+  }
+  group.Wait();
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(TaskGroupTest, GroupIsReusableAfterWait) {
+  TaskScheduler scheduler(3);
+  TaskGroup group(&scheduler);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      group.Spawn([&total] { total++; });
+    }
+    group.Wait();
+    EXPECT_EQ(total.load(), 16 * (round + 1));
+  }
+}
+
+TEST(TaskGroupTest, StealOrderIndependenceAcross100SeededRuns) {
+  // The determinism contract under genuine stealing: per-index slots make
+  // the output identical whatever the steal interleaving. Per-task busy
+  // work is jittered by (run, index) so the 100 runs at each pool width
+  // explore different steal patterns; the pools own real OS threads even
+  // on a single-core box, so the interleavings are real.
+  constexpr int kTasks = 256;
+  std::vector<uint64_t> expected(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    expected[static_cast<size_t>(i)] =
+        static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL + 1;
+  }
+  for (const int threads : {1, 2, 8}) {
+    TaskScheduler scheduler(threads);
+    for (int run = 0; run < 100; ++run) {
+      std::vector<uint64_t> out(kTasks, 0);
+      TaskGroup group(&scheduler);
+      for (int i = 0; i < kTasks; ++i) {
+        group.Spawn([&out, i, run] {
+          volatile uint64_t spin = 0;  // jitter: run-dependent duration
+          const uint64_t work =
+              (static_cast<uint64_t>(i) * 31 + static_cast<uint64_t>(run)) %
+              97;
+          for (uint64_t k = 0; k < work; ++k) spin = spin + k;
+          out[static_cast<size_t>(i)] =
+              static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL + 1;
+        });
+      }
+      group.Wait();
+      ASSERT_EQ(out, expected) << "threads=" << threads << " run=" << run;
+    }
+  }
+}
+
+TEST(TaskGroupTest, NestedGroupsInsidePoolTasksDoNotDeadlock) {
+  // Every outer task parks in an inner Wait; with only 3 workers plus the
+  // caller, progress requires the helping wait (a blocked Wait executing
+  // pending tasks itself). A deadlock here times out the test suite.
+  TaskScheduler scheduler(4);
+  std::atomic<int> total{0};
+  TaskGroup outer(&scheduler);
+  for (int i = 0; i < 16; ++i) {
+    outer.Spawn([&scheduler, &total] {
+      TaskGroup inner(&scheduler);
+      for (int j = 0; j < 8; ++j) {
+        inner.Spawn([&total] { total++; });
+      }
+      inner.Wait();
+      total++;
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(total.load(), 16 * 8 + 16);
+}
+
+TEST(ParallelForDynamicTest, CoversRangeExactlyOnceWithBoundedBlocks) {
+  for (const int64_t n : {0, 1, 2, 7, 100, 1000}) {
+    for (const int64_t grain : {1, 3, 16, 1000}) {
+      for (const int threads : {1, 2, 8}) {
+        std::vector<int> hits(static_cast<size_t>(n), 0);
+        ParallelForDynamic(n, grain, threads,
+                           [&](int64_t begin, int64_t end) {
+                             EXPECT_LT(begin, end);
+                             if (threads != 1) {
+                               // Parallel decomposition: blocks honor the
+                               // grain (the serial path is one block).
+                               EXPECT_LE(end - begin,
+                                         std::max<int64_t>(grain, 1));
+                             }
+                             for (int64_t i = begin; i < end; ++i) {
+                               hits[static_cast<size_t>(i)]++;
+                             }
+                           });
+        for (const int h : hits) EXPECT_EQ(h, 1);
+      }
+    }
+  }
+}
+
+TEST(ParallelForDynamicTest, PerIndexSlotsIdenticalAcrossThreadCounts) {
+  constexpr int64_t kN = 5000;
+  std::vector<uint64_t> reference(kN);
+  ParallelForDynamic(kN, 16, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      reference[static_cast<size_t>(i)] =
+          static_cast<uint64_t>(i * i) ^ 0xABCDULL;
+    }
+  });
+  for (const int threads : {2, 8}) {
+    std::vector<uint64_t> out(kN, 0);
+    ParallelForDynamic(kN, 16, threads, [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        out[static_cast<size_t>(i)] =
+            static_cast<uint64_t>(i * i) ^ 0xABCDULL;
+      }
+    });
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForDynamicTest, NestedInsideParallelForSharesThePool) {
+  // The two-level shape the sweep engine uses: outer static chunks, inner
+  // dynamic blocks, one shared pool, no deadlock, exact coverage.
+  std::atomic<int64_t> total{0};
+  ParallelFor(8, 8, [&](int64_t begin, int64_t end, int) {
+    for (int64_t i = begin; i < end; ++i) {
+      ParallelForDynamic(64, 4, 8, [&](int64_t b, int64_t e) {
+        total += e - b;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
 }
 
 TEST(ResolveThreadCountTest, PositivePassesThroughZeroResolvesHardware) {
@@ -462,6 +625,64 @@ TEST(MstParallelTest, ThreadsFlowThroughRunMethod) {
 // ---------------------------------------------------------------------------
 // Registry plumbing.
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Serving-engine scheduling: phase 1 of ExecuteBatch now resolves
+// distinct cold keys as concurrent work-stealing tasks — the one-sort /
+// one-score-per-key contract must hold exactly as it did when the keys
+// were resolved serially.
+// ---------------------------------------------------------------------------
+
+TEST(ExecuteBatchSchedulingTest, OneSortPerMethodUnderConcurrentColdKeys) {
+  BackboneEngine engine;
+  const auto g1 = GenerateErdosRenyi(
+      {.num_nodes = 300, .average_degree = 3.0, .seed = 91});
+  const auto g2 = GenerateErdosRenyi(
+      {.num_nodes = 300, .average_degree = 3.0, .seed = 92});
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  const uint64_t f1 = engine.AddGraph(*g1);
+  const uint64_t f2 = engine.AddGraph(*g2);
+
+  // 2 graphs x 4 methods x 2 shares = 16 requests over 8 distinct keys,
+  // all cold.
+  std::vector<BackboneRequest> batch;
+  for (const uint64_t graph : {f1, f2}) {
+    for (const Method method :
+         {Method::kNoiseCorrected, Method::kDisparityFilter,
+          Method::kMaximumSpanningTree, Method::kNaiveThreshold}) {
+      for (const double share : {0.2, 0.5}) {
+        BackboneRequest request;
+        request.graph = graph;
+        request.method = method;
+        request.kind = RequestKind::kTopShare;
+        request.share = share;
+        batch.push_back(request);
+      }
+    }
+  }
+
+  const int64_t sorts_before = ScoreOrder::SortsPerformed();
+  const std::vector<Result<BackboneResponse>> cold =
+      engine.ExecuteBatch(batch);
+  ASSERT_EQ(cold.size(), batch.size());
+  for (const auto& result : cold) ASSERT_TRUE(result.ok());
+  // However the 8 cold-key tasks interleaved, each key scored and sorted
+  // exactly once.
+  EXPECT_EQ(ScoreOrder::SortsPerformed() - sorts_before, 8);
+  EXPECT_EQ(engine.stats().scores_computed, 8);
+
+  // A warm replay stays zero-sort / zero-score.
+  const std::vector<Result<BackboneResponse>> warm =
+      engine.ExecuteBatch(batch);
+  EXPECT_EQ(ScoreOrder::SortsPerformed() - sorts_before, 8);
+  EXPECT_EQ(engine.stats().scores_computed, 8);
+  for (size_t i = 0; i < warm.size(); ++i) {
+    ASSERT_TRUE(warm[i].ok());
+    EXPECT_TRUE(warm[i]->cache_hit);
+    EXPECT_EQ(warm[i]->kept_edges, cold[i]->kept_edges);
+  }
+}
 
 TEST(RegistryParallelTest, SampledHssOptionsFlowThroughRunMethod) {
   const auto g = GenerateErdosRenyi(

@@ -1,15 +1,17 @@
 // Tests for the serving subsystem (src/service/): graph fingerprint
-// stability across label insertion order, content-addressed dedup in the
-// GraphStore, LRU eviction order under the ScoreCache byte budget,
-// in-flight coalescing (a single underlying score per key no matter how
-// many concurrent identical requests), warm-path zero-sort / zero-rescore
-// behavior, engine determinism across thread counts and against the
-// uncached library path, and the byte-bound trim of the HSS workspace
-// pool.
+// stability across label insertion order, content-addressed dedup and
+// LRU-under-byte-budget eviction (with in-flight pins) in the GraphStore,
+// LRU eviction order under the ScoreCache byte budget, in-flight
+// coalescing (a single underlying score per key no matter how many
+// concurrent identical requests), negative caching of scoring failures,
+// warm-path zero-sort / zero-rescore behavior, engine determinism across
+// thread counts and against the uncached library path, and the
+// byte-bound trim of the HSS workspace pool.
 
 #include "service/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <optional>
 #include <string>
@@ -147,6 +149,40 @@ TEST(GraphStoreTest, DedupesIdenticalContent) {
   EXPECT_EQ(store.Find(first.fingerprint), nullptr);
   // Outstanding handles stay valid after eviction.
   EXPECT_EQ(first.graph->num_nodes(), 300);
+}
+
+TEST(GraphStoreTest, LruEvictionUnderByteBudgetSkipsPinned) {
+  // Three same-shape graphs -> three same-size entries; budget admits two.
+  const int64_t one = ApproxGraphBytes(BenchGraph(61));
+  GraphStore store(2 * one + one / 2);
+  const StoredGraph ga = store.Intern(BenchGraph(61));
+  const StoredGraph gb = store.Intern(BenchGraph(62));
+  EXPECT_EQ(store.stats().graphs, 2);
+  EXPECT_EQ(store.stats().evictions, 0);
+
+  // Touch A so B becomes least-recently-used, then intern C: B must go.
+  EXPECT_NE(store.Find(ga.fingerprint), nullptr);
+  const StoredGraph gc = store.Intern(BenchGraph(63));
+  EXPECT_EQ(store.stats().graphs, 2);
+  EXPECT_EQ(store.stats().evictions, 1);
+  EXPECT_EQ(store.Find(gb.fingerprint), nullptr);  // evicted
+  EXPECT_NE(store.Find(gc.fingerprint), nullptr);
+  // The evicted handle stays valid; only residency is gone.
+  EXPECT_EQ(gb.graph->num_nodes(), 300);
+
+  // A pinned graph survives any budget; the unpinned one is shed first.
+  store.Pin(ga.fingerprint);
+  store.set_byte_budget(1);
+  EXPECT_NE(store.Find(ga.fingerprint), nullptr);  // pinned: kept
+  EXPECT_EQ(store.Find(gc.fingerprint), nullptr);  // unpinned: evicted
+  EXPECT_EQ(store.stats().evictions, 2);
+
+  // Unpinning makes it evictable on the next trim.
+  store.Unpin(ga.fingerprint);
+  store.set_byte_budget(1);
+  EXPECT_EQ(store.Find(ga.fingerprint), nullptr);
+  EXPECT_EQ(store.stats().graphs, 0);
+  EXPECT_EQ(store.stats().evictions, 3);
 }
 
 // ---------------------------------------------------------------------------
@@ -514,6 +550,100 @@ TEST(BackboneEngineTest, StabilityPointMatchesDirectEvaluation) {
   ASSERT_TRUE(direct.ok());
   EXPECT_EQ(response->stability, *direct);
   EXPECT_EQ(response->kept, mask.kept);
+}
+
+TEST(BackboneEngineTest, NegativeCacheSuppressesRepeatedFailures) {
+  BackboneEngine engine;  // default negative_ttl: 30s
+  const uint64_t graph = engine.AddGraph(BenchGraph(70));
+
+  // The HSS cost guard rejects this deterministically: |V| * |E| > 1.
+  BackboneRequest request;
+  request.graph = graph;
+  request.method = Method::kHighSalienceSkeleton;
+  request.score_options.hss_max_cost = 1;
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.5;
+
+  const Result<BackboneResponse> first = engine.Execute(request);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsFailedPrecondition());
+  EXPECT_EQ(engine.stats().scores_computed, 1);
+  EXPECT_EQ(engine.stats().negative_hits, 0);
+  EXPECT_EQ(engine.stats().negative_entries, 1);
+
+  // Hammering the bad key is answered from the negative cache: the same
+  // error, zero further scoring attempts.
+  for (int i = 0; i < 3; ++i) {
+    const Result<BackboneResponse> repeat = engine.Execute(request);
+    ASSERT_FALSE(repeat.ok());
+    EXPECT_EQ(repeat.status().ToString(), first.status().ToString());
+  }
+  // A batch of two identical bad requests collapses to one key — one
+  // negative hit answers both.
+  const auto batch_results =
+      engine.ExecuteBatch(std::vector<BackboneRequest>{request, request});
+  for (const auto& result : batch_results) EXPECT_FALSE(result.ok());
+  EXPECT_EQ(engine.stats().scores_computed, 1);
+  EXPECT_EQ(engine.stats().negative_hits, 4);
+
+  // Clearing the negative cache re-arms the key.
+  engine.ClearNegativeCache();
+  EXPECT_EQ(engine.stats().negative_entries, 0);
+  ASSERT_FALSE(engine.Execute(request).ok());
+  EXPECT_EQ(engine.stats().scores_computed, 2);
+}
+
+TEST(BackboneEngineTest, NegativeTtlZeroDisablesNegativeCaching) {
+  BackboneEngineOptions options;
+  options.negative_ttl = std::chrono::milliseconds(0);
+  BackboneEngine engine(options);
+  const uint64_t graph = engine.AddGraph(BenchGraph(71));
+
+  BackboneRequest request;
+  request.graph = graph;
+  request.method = Method::kHighSalienceSkeleton;
+  request.score_options.hss_max_cost = 1;
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.5;
+
+  ASSERT_FALSE(engine.Execute(request).ok());
+  ASSERT_FALSE(engine.Execute(request).ok());
+  // Pre-PR-4 behavior: every request re-attempts the scoring.
+  EXPECT_EQ(engine.stats().scores_computed, 2);
+  EXPECT_EQ(engine.stats().negative_hits, 0);
+  EXPECT_EQ(engine.stats().negative_entries, 0);
+}
+
+TEST(BackboneEngineTest, GraphByteBudgetEvictsColdGraphs) {
+  BackboneEngineOptions options;
+  options.graph_byte_budget =
+      2 * ApproxGraphBytes(BenchGraph(72)) +
+      ApproxGraphBytes(BenchGraph(72)) / 2;  // admits two same-shape graphs
+  BackboneEngine engine(options);
+  const uint64_t f1 = engine.AddGraph(BenchGraph(72));
+  const uint64_t f2 = engine.AddGraph(BenchGraph(73));
+  const uint64_t f3 = engine.AddGraph(BenchGraph(74));
+  EXPECT_EQ(engine.stats().graphs.graphs, 2);
+  EXPECT_EQ(engine.stats().graphs.evictions, 1);
+
+  // The least-recently-used fingerprint stopped resolving...
+  BackboneRequest request;
+  request.method = Method::kNaiveThreshold;
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.5;
+  request.graph = f1;
+  const Result<BackboneResponse> evicted = engine.Execute(request);
+  ASSERT_FALSE(evicted.ok());
+  EXPECT_TRUE(evicted.status().IsNotFound());
+
+  // ... the resident ones still serve, and re-interning revives f1.
+  for (const uint64_t resident : {f2, f3}) {
+    request.graph = resident;
+    EXPECT_TRUE(engine.Execute(request).ok());
+  }
+  EXPECT_EQ(engine.AddGraph(BenchGraph(72)), f1);
+  request.graph = f1;
+  EXPECT_TRUE(engine.Execute(request).ok());
 }
 
 TEST(BackboneEngineTest, DedupesResubmittedGraphs) {
