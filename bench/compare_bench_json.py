@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diff two bench history snapshots and flag median regressions.
+
+Every timing harness writes machine-readable ``BENCH_<name>.json`` files
+(``netbone::bench::JsonBenchLog``); ``snapshot_bench.sh`` collects one run's
+files into a timestamped directory under ``bench/history/``. This script
+compares the two most recent snapshots (or two explicitly named ones) record
+by record — a record is identified by ``(bench, method, n, threads)`` — and
+flags any whose ``median_ns`` grew by more than the threshold (default 10%).
+
+Usage:
+    compare_bench_json.py [--history DIR] [--threshold PCT] [OLD NEW]
+
+Exits non-zero when at least one regression was flagged, so CI can gate on
+it. Records present in only one snapshot are listed but never flagged (new
+benches appear, old ones retire).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_snapshot(directory: Path):
+    """Maps (bench, method, n, threads) -> median_ns for one snapshot."""
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path) as handle:
+            data = json.load(handle)
+        bench = data.get("bench", path.stem)
+        for record in data.get("records", []):
+            key = (bench, record["method"], record["n"], record["threads"])
+            median = record.get("median_ns")
+            if median is not None:
+                records[key] = float(median)
+    return records
+
+
+def pick_latest_two(history: Path):
+    """The two most recent snapshot directories.
+
+    Snapshots are ordered by name: labels must sort chronologically, which
+    snapshot_bench.sh guarantees by prefixing every label (default and
+    custom alike) with a YYYYmmdd-HHMMSS timestamp.
+    """
+    snapshots = sorted(
+        d for d in history.iterdir() if d.is_dir() and any(d.glob("BENCH_*.json"))
+    )
+    if len(snapshots) < 2:
+        sys.exit(
+            f"need at least two snapshots under {history} "
+            f"(found {len(snapshots)}); run bench/snapshot_bench.sh first"
+        )
+    return snapshots[-2], snapshots[-1]
+
+
+def format_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=Path(__file__).resolve().parent / "history",
+        help="snapshot root (default: bench/history/)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="flag growth above this percentage (default: 10)",
+    )
+    parser.add_argument("snapshots", nargs="*", type=Path)
+    args = parser.parse_args()
+
+    if len(args.snapshots) == 2:
+        old_dir, new_dir = args.snapshots
+    elif not args.snapshots:
+        old_dir, new_dir = pick_latest_two(args.history)
+    else:
+        parser.error("pass either zero or two snapshot directories")
+
+    old = load_snapshot(old_dir)
+    new = load_snapshot(new_dir)
+    print(f"comparing {old_dir.name} -> {new_dir.name} "
+          f"(threshold {args.threshold:.0f}%)")
+
+    regressions = []
+    improvements = 0
+    for key in sorted(old.keys() & new.keys()):
+        old_ns, new_ns = old[key], new[key]
+        if old_ns <= 0:
+            continue
+        change = 100.0 * (new_ns - old_ns) / old_ns
+        if change > args.threshold:
+            regressions.append((key, old_ns, new_ns, change))
+        elif change < -args.threshold:
+            improvements += 1
+
+    for key, old_ns, new_ns, change in regressions:
+        bench, method, n, threads = key
+        print(
+            f"  REGRESSION {bench}/{method} (n={n}, threads={threads}): "
+            f"{format_ns(old_ns)} -> {format_ns(new_ns)} (+{change:.1f}%)"
+        )
+
+    only_old = sorted(old.keys() - new.keys())
+    only_new = sorted(new.keys() - old.keys())
+    if only_old:
+        print(f"  {len(only_old)} record(s) retired since {old_dir.name}")
+    if only_new:
+        print(f"  {len(only_new)} new record(s) in {new_dir.name}")
+
+    shared = len(old.keys() & new.keys())
+    print(
+        f"{shared} shared records: {len(regressions)} regression(s), "
+        f"{improvements} improvement(s) beyond {args.threshold:.0f}%"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

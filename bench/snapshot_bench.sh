@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Records one bench snapshot: runs the smoke-labeled harnesses (quick mode)
+# with their JSON logs redirected into a timestamped directory under
+# bench/history/, so the perf trajectory accumulates across PRs and
+# compare_bench_json.py can diff the latest two runs.
+#
+# Usage: snapshot_bench.sh <build-dir> [label]
+set -euo pipefail
+
+build=${1:?usage: snapshot_bench.sh <build-dir> [label]}
+# Labels always carry a timestamp prefix so snapshot names sort
+# chronologically — compare_bench_json.py picks the latest two by name.
+stamp=$(date +%Y%m%d-%H%M%S)
+label=${2:+$stamp-$2}
+label=${label:-$stamp}
+history_dir="$(cd "$(dirname "$0")" && pwd)/history/$label"
+
+mkdir -p "$history_dir"
+NETBONE_BENCH_JSON_DIR="$history_dir" ctest --test-dir "$build" -L smoke \
+  --output-on-failure
+count=$(ls "$history_dir" | wc -l)
+echo "recorded $count bench JSON file(s) under $history_dir"

@@ -1,7 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/random.h"
 
@@ -28,6 +30,23 @@ int ResolveThreadCount(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int SchedulerThreadsFromEnv(const char* value, int hardware_threads) {
+  hardware_threads = std::max(hardware_threads, 1);
+  if (value == nullptr || *value == '\0') return hardware_threads;
+  // Strict decimal parse: any trailing junk ("4x", "2.5") rejects the
+  // override rather than half-applying it.
+  long parsed = 0;
+  char* end = nullptr;
+  errno = 0;
+  parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < 0) {
+    return hardware_threads;
+  }
+  if (parsed == 0) return hardware_threads;  // 0 = hardware, the knob's doc
+  return static_cast<int>(
+      std::min<long>(parsed, static_cast<long>(kMaxSchedulerThreads)));
 }
 
 int NumParallelChunks(int64_t n, int num_threads) {
@@ -156,8 +175,11 @@ TaskScheduler::~TaskScheduler() {
 
 TaskScheduler& TaskScheduler::Global() {
   // Leaked on purpose: joining workers from a static destructor can
-  // deadlock with other atexit teardown.
-  static TaskScheduler* scheduler = new TaskScheduler(ResolveThreadCount(0));
+  // deadlock with other atexit teardown. NETBONE_NUM_THREADS overrides
+  // the hardware-concurrency default for containerized deployments whose
+  // cgroup quota is narrower than the host's core count.
+  static TaskScheduler* scheduler = new TaskScheduler(SchedulerThreadsFromEnv(
+      std::getenv("NETBONE_NUM_THREADS"), ResolveThreadCount(0)));
   return *scheduler;
 }
 

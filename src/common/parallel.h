@@ -50,6 +50,19 @@ namespace netbone {
 /// hardware concurrency" (at least 1); positive values pass through.
 int ResolveThreadCount(int requested);
 
+/// Worker-count policy for the process-wide scheduler: the value of the
+/// NETBONE_NUM_THREADS environment variable, clamped to
+/// [1, kMaxSchedulerThreads]; 0, unset, or unparsable means "hardware
+/// concurrency". Containerized deployments use this to size the pool
+/// below what hardware_concurrency() reports for the host. Exposed as a
+/// pure function of (env value, hardware count) so the parsing/clamping
+/// is unit-testable; TaskScheduler::Global() applies it once at creation.
+int SchedulerThreadsFromEnv(const char* value, int hardware_threads);
+
+/// Upper clamp for SchedulerThreadsFromEnv (absurd requests cost one OS
+/// thread each; the clamp keeps a typo from spawning thousands).
+inline constexpr int kMaxSchedulerThreads = 1024;
+
 /// Number of chunks ParallelFor(n, num_threads, ...) will invoke its
 /// callback with: min(ResolveThreadCount(num_threads), n), at least 1.
 /// Callers that size per-chunk accumulators must use this — it is the

@@ -11,6 +11,36 @@ double DisparityPValue(double share, int64_t degree) {
   return std::pow(1.0 - share, static_cast<double>(degree - 1));
 }
 
+EdgeScore DisparityFilterEdgeScore(const Graph& graph, const Edge& e,
+                                   const DisparityFilterOptions& options) {
+  // Test 1: from the source's perspective, the edge's share of outgoing
+  // strength. Test 2: from the target's perspective, the share of incoming
+  // strength. For undirected graphs both use the symmetric strength/
+  // degree, i.e. the two incident endpoints.
+  const double out_total = graph.out_strength(e.src);
+  const double in_total = graph.in_strength(e.dst);
+  const double src_share = out_total > 0.0 ? e.weight / out_total : 0.0;
+  const double dst_share = in_total > 0.0 ? e.weight / in_total : 0.0;
+  const double src_score =
+      1.0 - DisparityPValue(src_share, graph.out_degree(e.src));
+  const double dst_score =
+      1.0 - DisparityPValue(dst_share, graph.in_degree(e.dst));
+
+  double score = 0.0;
+  switch (options.endpoint_rule) {
+    case DisparityEndpointRule::kEither:
+      score = std::max(src_score, dst_score);
+      break;
+    case DisparityEndpointRule::kBoth:
+      score = std::min(src_score, dst_score);
+      break;
+    case DisparityEndpointRule::kSource:
+      score = src_score;
+      break;
+  }
+  return EdgeScore{score, 0.0};
+}
+
 Result<ScoredEdges> DisparityFilter(const Graph& graph,
                                     const DisparityFilterOptions& options) {
   if (graph.num_edges() == 0) {
@@ -20,32 +50,7 @@ Result<ScoredEdges> DisparityFilter(const Graph& graph,
   Result<std::vector<EdgeScore>> scores = ParallelScoreEdges(
       graph, options.num_threads,
       [&](EdgeId, const Edge& e, EdgeScore* out) -> Status {
-        // Test 1: from the source's perspective, the edge's share of
-        // outgoing strength. Test 2: from the target's perspective, the
-        // share of incoming strength. For undirected graphs both use the
-        // symmetric strength/degree, i.e. the two incident endpoints.
-        const double out_total = graph.out_strength(e.src);
-        const double in_total = graph.in_strength(e.dst);
-        const double src_share = out_total > 0.0 ? e.weight / out_total : 0.0;
-        const double dst_share = in_total > 0.0 ? e.weight / in_total : 0.0;
-        const double src_score =
-            1.0 - DisparityPValue(src_share, graph.out_degree(e.src));
-        const double dst_score =
-            1.0 - DisparityPValue(dst_share, graph.in_degree(e.dst));
-
-        double score = 0.0;
-        switch (options.endpoint_rule) {
-          case DisparityEndpointRule::kEither:
-            score = std::max(src_score, dst_score);
-            break;
-          case DisparityEndpointRule::kBoth:
-            score = std::min(src_score, dst_score);
-            break;
-          case DisparityEndpointRule::kSource:
-            score = src_score;
-            break;
-        }
-        *out = EdgeScore{score, 0.0};
+        *out = DisparityFilterEdgeScore(graph, e, options);
         return Status::OK();
       });
   if (!scores.ok()) return scores.status();

@@ -48,6 +48,13 @@ Result<ScoredEdges> DisparityFilter(const Graph& graph,
 /// carrying share `share` at a node of degree `degree`. Exposed for tests.
 double DisparityPValue(double share, int64_t degree);
 
+/// The per-edge DF kernel: the score DisparityFilter assigns to `edge`
+/// given `graph`'s marginals. Single source of truth for the full sweep
+/// and the incremental rescoring path (core/delta_rescore.h) — both call
+/// this, so a patched score is bitwise the score a full run computes.
+EdgeScore DisparityFilterEdgeScore(const Graph& graph, const Edge& edge,
+                                   const DisparityFilterOptions& options);
+
 }  // namespace netbone
 
 #endif  // NETBONE_CORE_DISPARITY_FILTER_H_

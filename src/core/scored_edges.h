@@ -9,6 +9,9 @@
 #define NETBONE_CORE_SCORED_EDGES_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -134,6 +137,91 @@ Result<std::vector<EdgeScore>> ParallelScoreEdges(const Graph& graph,
   }
   if (first_error >= 0) return chunk_status[first_chunk];
   return scores;
+}
+
+namespace internal {
+
+/// Dynamic-schedule scoring core shared by the grain overload of
+/// ParallelScoreEdges and ParallelScoreEdgeSubset: runs `score_edge` over
+/// the `count` edges named by `id_at` in grain-bounded blocks claimed off
+/// ParallelForDynamic, writing each result to scores[id]. First-error-wins
+/// is deterministic without per-block bookkeeping: every block reports its
+/// own lowest erroring index into an atomic min (commutative, so steal
+/// order cannot matter), and the winning status is regenerated by re-
+/// invoking the scorer once — scorers are pure functions of their inputs,
+/// so the replay reproduces the exact status a serial sweep would return.
+template <typename IdAt, typename Scorer>
+Status ScoreEdgesDynamic(const Graph& graph, int64_t count, int num_threads,
+                         int64_t grain, const IdAt& id_at,
+                         const Scorer& score_edge,
+                         std::vector<EdgeScore>* scores) {
+  if (count <= 0) return Status::OK();
+  std::atomic<int64_t> first_error_index{count};
+  ParallelForDynamic(count, grain, num_threads,
+                     [&](int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         const EdgeId id = id_at(i);
+                         if (!score_edge(id, graph.edge(id),
+                                         &(*scores)[static_cast<size_t>(id)])
+                                  .ok()) {
+                           int64_t seen =
+                               first_error_index.load(std::memory_order_relaxed);
+                           while (i < seen &&
+                                  !first_error_index.compare_exchange_weak(
+                                      seen, i, std::memory_order_relaxed)) {
+                           }
+                           return;  // abandon the rest of this block
+                         }
+                       }
+                     });
+  const int64_t winner = first_error_index.load(std::memory_order_relaxed);
+  if (winner == count) return Status::OK();
+  const EdgeId id = id_at(winner);
+  EdgeScore discard;
+  return score_edge(id, graph.edge(id), &discard);
+}
+
+}  // namespace internal
+
+/// Dynamic-schedule overload of ParallelScoreEdges for scorers with skewed
+/// per-edge cost: the edge table is decomposed into blocks of at most
+/// `grain` edges (ParallelForDynamic — blocks depend only on (n, grain))
+/// claimed dynamically, so one expensive region stalls a single runner
+/// instead of serializing its whole static chunk. Output — scores and the
+/// winning error — is bit-identical to the static overload at every thread
+/// count and grain. Opt-in: uniform per-edge scorers should keep the
+/// static overload (fewer scheduler handoffs).
+template <typename Scorer>
+Result<std::vector<EdgeScore>> ParallelScoreEdges(const Graph& graph,
+                                                  int num_threads,
+                                                  int64_t grain,
+                                                  const Scorer& score_edge) {
+  const int64_t n = graph.num_edges();
+  std::vector<EdgeScore> scores(static_cast<size_t>(n));
+  Status status = internal::ScoreEdgesDynamic(
+      graph, n, num_threads, grain, [](int64_t i) { return EdgeId{i}; },
+      score_edge, &scores);
+  if (!status.ok()) return status;
+  return scores;
+}
+
+/// Rescores only the edges named by `ids` (ascending edge ids), writing
+/// each result into scores[id] and leaving every other slot untouched —
+/// the incremental path's kernel (core/delta_rescore.h): after a sparse
+/// graph update only the dirty edges pay scoring work. Blocks of at most
+/// `grain` ids are claimed dynamically (dirty work is skewed: a hub's star
+/// lands contiguous ids). `scores` must be sized to the full edge table.
+/// On failure the status of the lowest-id failing edge is returned — the
+/// same winner the full sweeps report.
+template <typename Scorer>
+Status ParallelScoreEdgeSubset(const Graph& graph,
+                               std::span<const EdgeId> ids, int num_threads,
+                               int64_t grain, const Scorer& score_edge,
+                               std::vector<EdgeScore>* scores) {
+  return internal::ScoreEdgesDynamic(
+      graph, static_cast<int64_t>(ids.size()), num_threads, grain,
+      [ids](int64_t i) { return ids[static_cast<size_t>(i)]; }, score_edge,
+      scores);
 }
 
 }  // namespace netbone

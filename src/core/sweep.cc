@@ -15,6 +15,24 @@ namespace {
 /// method.
 std::atomic<int64_t> g_sorts_performed{0};
 
+/// The one comparator every score ordering uses: (score desc, weight
+/// desc, id asc). Total order — ids are unique — so the sorted sequence
+/// is unique and patch-merged orders are bit-identical to sorted ones.
+struct DescendingScore {
+  const ScoredEdges* scored;
+  const Graph* graph;
+
+  bool operator()(EdgeId a, EdgeId b) const {
+    const double sa = scored->at(a).score;
+    const double sb = scored->at(b).score;
+    if (sa != sb) return sa > sb;
+    const double wa = graph->edge(a).weight;
+    const double wb = graph->edge(b).weight;
+    if (wa != wb) return wa > wb;
+    return a < b;
+  }
+};
+
 /// Counters the connect-index walk hands back to its caller.
 struct WalkResult {
   /// Smallest prefix length covering all non-isolated nodes in one
@@ -56,8 +74,12 @@ WalkResult WalkOrder(const ScoreOrder& order, bool stop_at_connect,
         ++touched_count;
       }
     }
-    uf.Union(e.src, e.dst);
-    largest = std::max(largest, uf.SetSize(e.src));
+    // SetSize is only consulted when a merge actually happened — a failed
+    // Union cannot grow any set, and skipping the extra Find pays on the
+    // later ranks where most edges close cycles.
+    if (uf.Union(e.src, e.dst)) {
+      largest = std::max(largest, uf.SetSize(e.src));
+    }
     visit(rank, e, touched_count);
     if (!connected && touched_count == result.target_nodes &&
         largest == result.target_nodes) {
@@ -74,17 +96,72 @@ WalkResult WalkOrder(const ScoreOrder& order, bool stop_at_connect,
 ScoreOrder::ScoreOrder(const ScoredEdges& scored) : scored_(&scored) {
   ids_.resize(static_cast<size_t>(scored.size()));
   std::iota(ids_.begin(), ids_.end(), EdgeId{0});
-  const Graph& g = scored.graph();
-  std::sort(ids_.begin(), ids_.end(), [&](EdgeId a, EdgeId b) {
-    const double sa = scored.at(a).score;
-    const double sb = scored.at(b).score;
-    if (sa != sb) return sa > sb;
-    const double wa = g.edge(a).weight;
-    const double wb = g.edge(b).weight;
-    if (wa != wb) return wa > wb;
-    return a < b;
-  });
+  std::sort(ids_.begin(), ids_.end(),
+            DescendingScore{&scored, &scored.graph()});
   g_sorts_performed.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScoreOrder::ScoreOrder(const ScoredEdges& scored, const ScoreOrder& base,
+                       std::span<const EdgeId> base_to_next,
+                       std::span<const EdgeId> dirty)
+    : scored_(&scored) {
+  const size_t n = static_cast<size_t>(scored.size());
+  std::vector<char> is_dirty(n, 0);
+  for (const EdgeId id : dirty) is_dirty[static_cast<size_t>(id)] = 1;
+
+  // The surviving clean run, remapped to successor ids in base rank
+  // order (an empty base_to_next is the identity mapping). Monotone remap
+  // + bitwise-unchanged keys => still sorted under the shared comparator.
+  std::vector<EdgeId> clean;
+  clean.reserve(n);
+  if (base_to_next.empty()) {
+    for (const EdgeId b : base.ids()) {
+      if (static_cast<size_t>(b) < n && is_dirty[static_cast<size_t>(b)] == 0) {
+        clean.push_back(b);
+      }
+    }
+  } else {
+    for (const EdgeId b : base.ids()) {
+      const EdgeId next_id = base_to_next[static_cast<size_t>(b)];
+      if (next_id >= 0 && is_dirty[static_cast<size_t>(next_id)] == 0) {
+        clean.push_back(next_id);
+      }
+    }
+  }
+
+  if (clean.size() + dirty.size() != n) {
+    // Inconsistent patch inputs (a dirty list missing an inserted edge,
+    // a stale base). Degrade to the plain sort: correct, and visible on
+    // the counter so zero-sort tests catch the misuse.
+    ids_.resize(n);
+    std::iota(ids_.begin(), ids_.end(), EdgeId{0});
+    std::sort(ids_.begin(), ids_.end(),
+              DescendingScore{&scored, &scored.graph()});
+    g_sorts_performed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const DescendingScore cmp{&scored, &scored.graph()};
+  std::vector<EdgeId> ranked(dirty.begin(), dirty.end());
+  std::sort(ranked.begin(), ranked.end(), cmp);  // O(d log d), d = |dirty|
+
+  // Merge by insertion point instead of element-by-element: each dirty id
+  // binary-searches its slot in the remaining clean run (d log n
+  // comparator calls, not n) and the clean segments between slots move as
+  // contiguous copies. The comparator is a total order, so the result is
+  // exactly std::merge's — and exactly the full sort's.
+  ids_.resize(n);
+  EdgeId* out = ids_.data();
+  const EdgeId* clean_pos = clean.data();
+  const EdgeId* const clean_end = clean_pos + clean.size();
+  for (const EdgeId id : ranked) {
+    const EdgeId* insert_at = std::lower_bound(clean_pos, clean_end, id, cmp);
+    out = std::copy(clean_pos, insert_at, out);
+    *out++ = id;
+    clean_pos = insert_at;
+  }
+  std::copy(clean_pos, clean_end, out);
+  // No g_sorts_performed bump: zero global sorts is the patch's contract.
 }
 
 int64_t ScoreOrder::KForShare(double share) const {

@@ -42,6 +42,26 @@ class ScoreOrder {
   /// by score; the process-wide counter below observes every call.
   explicit ScoreOrder(const ScoredEdges& scored);
 
+  /// Patch construction for the incremental rescoring path
+  /// (core/delta_rescore.h): builds the order of `scored` from `base` —
+  /// the order of the ancestor table — without a global sort.
+  /// `base_to_next` maps each base edge id to its successor id (-1 =
+  /// deleted; empty = the identity mapping of a weight-changes-only
+  /// delta); `dirty` lists the successor ids whose scores were
+  /// recomputed, ascending, and must include every inserted edge. The
+  /// clean run keeps its base order (scores and weights are bitwise
+  /// unchanged and the id remap is monotone, so the (score desc, weight
+  /// desc, id asc) comparator agrees), the dirty ids are ranked among
+  /// themselves — an O(d log d) sort over the delta, not the table — and
+  /// one linear merge yields the permutation, element-for-element
+  /// identical to sorting from scratch (the comparator is a total order).
+  /// SortsPerformed() does not advance: patching is not a sort. If the
+  /// inputs are inconsistent (clean + dirty does not cover the table) the
+  /// constructor falls back to the full sort — correct, counted, slow.
+  ScoreOrder(const ScoredEdges& scored, const ScoreOrder& base,
+             std::span<const EdgeId> base_to_next,
+             std::span<const EdgeId> dirty);
+
   /// The scored table the order was built from.
   const ScoredEdges& scored() const { return *scored_; }
 

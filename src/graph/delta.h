@@ -1,0 +1,96 @@
+// Copyright 2026 The netbone Authors.
+//
+// Sparse difference between two canonical graphs. The paper's setting is a
+// network observed repeatedly under noise (Sec. III-A; the multi-year
+// snapshots of Sec. V): successive observations share almost all of their
+// edges, so the difference — not the graph — is the natural unit of work
+// for everything downstream. GraphDelta captures that difference exactly:
+// weight changes, insertions and deletions classified by one merge walk
+// over the two (src, dst)-sorted edge tables, plus the set of nodes whose
+// marginals (N_i., N_.j, degrees) moved at all. The incremental rescoring
+// path (core/delta_rescore.h) consumes it to recompute only the edges
+// whose score inputs changed.
+//
+// Deltas compare node identities positionally: dense ids must mean the
+// same nodes in both graphs. For unlabeled graphs dense ids are the nodes'
+// identity by definition; for labeled graphs the label tables must match
+// id-for-id (same labels interned in the same order) — otherwise
+// ComputeGraphDelta refuses rather than diff two incompatible universes.
+
+#ifndef NETBONE_GRAPH_DELTA_H_
+#define NETBONE_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// One edge present in both graphs with a different weight.
+struct EdgeWeightChange {
+  EdgeId base_id = 0;   ///< index into the base graph's edge table
+  EdgeId next_id = 0;   ///< index into the successor graph's edge table
+  double base_weight = 0.0;
+  double next_weight = 0.0;
+};
+
+/// Canonical sparse difference between a base graph and a successor.
+/// Sizes are O(affected edges + changed nodes) — the endpoint stars of
+/// the changed nodes, never the whole table; a delta between identical
+/// graphs is empty.
+struct GraphDelta {
+  /// Edges in both graphs whose weights differ (bitwise comparison),
+  /// ascending by base_id (equivalently next_id: the merge walk is
+  /// monotone).
+  std::vector<EdgeWeightChange> changed;
+  /// Successor edge ids absent from the base, ascending.
+  std::vector<EdgeId> inserted;
+  /// Base edge ids absent from the successor, ascending.
+  std::vector<EdgeId> deleted;
+  /// Nodes (valid in the successor graph) with any marginal difference:
+  /// out/in strength compared bitwise, out/in degree exactly. Nodes the
+  /// successor added beyond the base's node count are included; nodes only
+  /// the base had are not (no successor edge can reference them).
+  std::vector<NodeId> changed_nodes;
+  /// Successor edge ids with an endpoint in changed_nodes (the union of
+  /// the endpoint stars), ascending. Collected in the same walk that
+  /// classifies the edges, so consumers whose scores read marginals — the
+  /// incremental rescoring path — get their dirty candidates without
+  /// re-scanning the table.
+  std::vector<EdgeId> star_edges;
+
+  /// True when the matrix totals N_.. compare bitwise equal — the gate for
+  /// methods whose null model divides by the total (Noise-Corrected).
+  bool totals_equal = false;
+
+  int64_t base_edges = 0;  ///< |E| of the base graph
+  int64_t next_edges = 0;  ///< |E| of the successor graph
+
+  /// True when nothing changed at all.
+  bool Empty() const {
+    return changed.empty() && inserted.empty() && deleted.empty() &&
+           changed_nodes.empty();
+  }
+
+  /// Total touched edges (changes + insertions + deletions).
+  int64_t AffectedEdges() const {
+    return static_cast<int64_t>(changed.size() + inserted.size() +
+                                deleted.size());
+  }
+
+  /// Approximate heap bytes of the delta's vectors, for callers that keep
+  /// deltas resident under a byte budget.
+  int64_t ApproxBytes() const;
+};
+
+/// Diffs `next` against `base` in one O(E_base + E_next + V) pass over the
+/// sorted edge tables and marginal arrays. Fails when the graphs are not
+/// comparable: different directedness, or label universes that do not
+/// match id-for-id (see the header comment).
+Result<GraphDelta> ComputeGraphDelta(const Graph& base, const Graph& next);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_DELTA_H_

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "core/delta_rescore.h"
 #include "core/filter.h"
 #include "eval/stability.h"
+#include "graph/delta.h"
 
 namespace netbone {
 
@@ -28,6 +30,26 @@ BackboneEngine::~BackboneEngine() {
 
 uint64_t BackboneEngine::AddGraph(Graph graph) {
   return graphs_.Intern(std::move(graph)).fingerprint;
+}
+
+uint64_t BackboneEngine::AddGraphRevision(Graph graph,
+                                          uint64_t base_fingerprint) {
+  const StoredGraph stored = graphs_.Intern(std::move(graph));
+  // The delta is extracted once, at submission, over the two sorted edge
+  // tables — request-time patching then starts from precomputed
+  // difference lists. An unresolvable or incomparable base just degrades
+  // to lineage-without-delta (the request path re-diffs or falls back).
+  std::shared_ptr<const GraphDelta> delta;
+  Result<GraphDelta> computed =
+      graphs_.DeltaBetween(base_fingerprint, stored.fingerprint);
+  if (computed.ok()) {
+    delta = std::make_shared<const GraphDelta>(*std::move(computed));
+  }
+  // RegisterLineage ignores self-edges (a revision that dedupes to its
+  // base) and zero fingerprints.
+  cache_.RegisterLineage(stored.fingerprint, base_fingerprint,
+                         std::move(delta));
+  return stored.fingerprint;
 }
 
 std::shared_ptr<const Graph> BackboneEngine::FindGraph(
@@ -89,18 +111,26 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
 
   // The caller holds the store pin for this graph (taken at resolve time,
   // before any fan-out, so the byte budget cannot evict the fingerprint
-  // between resolution and this scoring).
-  RunMethodOptions run;
-  run.num_threads = options_.num_threads;
-  run.hss_max_cost = key.options.hss_max_cost;
-  run.hss_source_sample_size = key.options.hss_source_sample_size;
-  run.hss_sample_seed = key.options.hss_sample_seed;
-  scores_computed_.fetch_add(1, std::memory_order_relaxed);
-  Result<ScoredEdges> scored = RunMethod(key.method, *graph, run);
-  ScoreResult result =
-      scored.ok()
-          ? ScoreResult(CachedScore::Build(graph, std::move(*scored)))
-          : ScoreResult(scored.status());
+  // between resolution and this scoring). Three roads, cheapest first:
+  // the positive cache answered above; a warm ancestor patch; the full
+  // rescore.
+  ScoreResult result = [&]() -> ScoreResult {
+    if (options_.enable_delta_rescore) {
+      if (std::shared_ptr<const CachedScore> patched =
+              TryDeltaRescore(key, graph)) {
+        return ScoreResult(std::move(patched));
+      }
+    }
+    RunMethodOptions run;
+    run.num_threads = options_.num_threads;
+    run.hss_max_cost = key.options.hss_max_cost;
+    run.hss_source_sample_size = key.options.hss_source_sample_size;
+    run.hss_sample_seed = key.options.hss_sample_seed;
+    scores_computed_.fetch_add(1, std::memory_order_relaxed);
+    Result<ScoredEdges> scored = RunMethod(key.method, *graph, run);
+    if (!scored.ok()) return ScoreResult(scored.status());
+    return ScoreResult(CachedScore::Build(graph, std::move(*scored)));
+  }();
   {
     std::lock_guard<std::mutex> lock(score_mu_);
     if (result.ok()) {
@@ -115,6 +145,70 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
   }
   promise.set_value(result);
   return result;
+}
+
+std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
+    const ScoreKey& key, const std::shared_ptr<const Graph>& graph) {
+  if (!SupportsDeltaRescore(key.method)) return nullptr;
+
+  // Walk the lineage chain for the nearest warm ancestor entry of this
+  // (method, options). Bounded hops guard against cycles a client could
+  // register; the probe uses Peek so ancestor lookups don't distort the
+  // request-facing hit rate. When the warm ancestor is the direct parent,
+  // the submission-time delta is already on the lineage record; a deeper
+  // ancestor is re-diffed here.
+  constexpr int kMaxLineageHops = 8;
+  std::shared_ptr<const CachedScore> base;
+  std::shared_ptr<const GraphDelta> stored_delta;
+  uint64_t base_fingerprint = 0;
+  uint64_t fingerprint = key.graph;
+  for (int hop = 0; hop < kMaxLineageHops; ++hop) {
+    ScoreCache::Lineage lineage = cache_.LineageFor(fingerprint);
+    if (lineage.parent == 0 || lineage.parent == key.graph) break;
+    if (std::shared_ptr<const CachedScore> entry = cache_.Peek(
+            MakeScoreKey(lineage.parent, key.method, key.options))) {
+      base = std::move(entry);
+      base_fingerprint = lineage.parent;
+      if (fingerprint == key.graph) stored_delta = std::move(lineage.delta);
+      break;
+    }
+    fingerprint = lineage.parent;
+  }
+  if (base == nullptr) return nullptr;
+
+  // From here on a warm ancestor exists: any bail-out is a fallback the
+  // stats should show. The ancestor graph comes from the entry's own
+  // handle, so a GraphStore eviction of the ancestor cannot break the
+  // diff.
+  std::optional<GraphDelta> computed;
+  if (stored_delta == nullptr) {
+    Result<GraphDelta> diff = ComputeGraphDelta(base->graph(), *graph);
+    if (!diff.ok()) {
+      delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    computed = *std::move(diff);
+  }
+  const GraphDelta& delta =
+      stored_delta != nullptr ? *stored_delta : *computed;
+  DeltaRescoreOptions rescore_options;
+  rescore_options.num_threads = options_.num_threads;
+  rescore_options.grain = options_.delta_grain;
+  Result<std::optional<DeltaRescoreResult>> rescored = DeltaRescore(
+      key.method, base->scored(), *graph, delta, rescore_options);
+  if (!rescored.ok() || !rescored->has_value()) {
+    // A rescoring *error* also falls back: the full path reproduces the
+    // canonical error and feeds the negative cache as usual.
+    delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  DeltaRescoreResult& patch = **rescored;
+  delta_rescores_.fetch_add(1, std::memory_order_relaxed);
+  return CachedScore::BuildPatched(
+      graph,
+      ScoredEdges(graph.get(), base->scored().method(),
+                  std::move(patch.scores), base->scored().has_sdev()),
+      *base, patch.base_to_next, patch.dirty, base_fingerprint);
 }
 
 BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
@@ -408,6 +502,8 @@ BackboneEngine::Stats BackboneEngine::stats() const {
   stats.submitted_batches =
       submitted_batches_.load(std::memory_order_relaxed);
   stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
+  stats.delta_rescores = delta_rescores_.load(std::memory_order_relaxed);
+  stats.delta_fallbacks = delta_fallbacks_.load(std::memory_order_relaxed);
   {
     // Live entries only: expired ones awaiting a lazy sweep don't count.
     const auto now = std::chrono::steady_clock::now();

@@ -13,7 +13,11 @@
 //   2. resolve the ScoreKey against the ScoreCache; on a miss, register
 //      the key in the in-flight table and score on the shared pool
 //      (common/parallel.h) — concurrent identical requests coalesce onto
-//      the one computation instead of scoring twice;
+//      the one computation instead of scoring twice. Graphs registered as
+//      revisions (AddGraphRevision) take a third road between "cache" and
+//      "recompute": *patch* — a warm ancestor entry is diffed against the
+//      new graph and only the affected edges are rescored, the score
+//      order merged without a global sort (core/delta_rescore.h);
 //   3. answer the request from the cached artifact chain: extraction
 //      kinds are an O(E) prefix-mask walk, coverage points are O(1) reads
 //      of the sweep profile, zero rescoring and zero sorts when warm.
@@ -162,6 +166,16 @@ struct BackboneEngineOptions {
   /// re-attempts it (negative caching). <= 0 disables: every request on
   /// a failing key re-runs the scoring, the pre-PR-4 behavior.
   std::chrono::milliseconds negative_ttl = std::chrono::seconds(30);
+  /// When true (the default), a cold key whose graph was registered as a
+  /// revision of an ancestor (AddGraphRevision) and whose method supports
+  /// incremental rescoring (core/delta_rescore.h) is *patched* from the
+  /// warm ancestor entry — scoring only the affected edges and merging
+  /// the score order with zero global sorts — instead of fully rescored.
+  /// Responses are bit-identical either way; false forces the full path.
+  bool enable_delta_rescore = true;
+  /// Block size for the delta path's dirty-edge rescoring
+  /// (DeltaRescoreOptions::grain).
+  int64_t delta_grain = 32;
 };
 
 /// Long-lived serving engine: graph residency + score cache + request
@@ -177,6 +191,8 @@ class BackboneEngine {
     int64_t submitted_batches = 0;  ///< Submit() calls accepted
     int64_t negative_hits = 0;     ///< failures answered from the negative cache
     int64_t negative_entries = 0;  ///< live negative-cache entries
+    int64_t delta_rescores = 0;    ///< cold keys answered by patching an ancestor
+    int64_t delta_fallbacks = 0;   ///< warm ancestor found but patch not applicable
     GraphStore::Stats graphs;
     ScoreCache::Stats cache;
   };
@@ -190,6 +206,17 @@ class BackboneEngine {
   /// Interns a graph (content-addressed dedup) and returns the
   /// fingerprint to cite in requests.
   uint64_t AddGraph(Graph graph);
+
+  /// Interns like AddGraph and additionally records `base_fingerprint`
+  /// (a previously-interned graph this one revises — the next noisy
+  /// observation of the same network) as the graph's lineage parent in
+  /// the ScoreCache. A later cold request on the new fingerprint then
+  /// resolves a warm ancestor along the lineage chain and patches its
+  /// artifacts instead of rescoring the world (see
+  /// BackboneEngineOptions::enable_delta_rescore). base_fingerprint == 0
+  /// — or a graph that dedupes to its own base — degrades to plain
+  /// AddGraph.
+  uint64_t AddGraphRevision(Graph graph, uint64_t base_fingerprint);
 
   /// The resident graph for a fingerprint, or nullptr.
   std::shared_ptr<const Graph> FindGraph(uint64_t fingerprint) const;
@@ -249,6 +276,16 @@ class BackboneEngine {
   /// score_mu_ held and negative caching enabled.
   void RememberFailureLocked(const ScoreKey& key, const Status& status);
 
+  /// The incremental fast path for a cold key: walks the cache's lineage
+  /// map (bounded hops) for a warm ancestor entry of the same (method,
+  /// options), diffs the ancestor's graph against `graph`, and patches
+  /// scores + order + profile (core/delta_rescore.h, zero global sorts).
+  /// Returns nullptr when not applicable — no lineage, no warm ancestor,
+  /// a non-incremental method or delta — and the caller runs the full
+  /// rescore. Never blocks on other requests' work.
+  std::shared_ptr<const CachedScore> TryDeltaRescore(
+      const ScoreKey& key, const std::shared_ptr<const Graph>& graph);
+
   /// Pure response assembly from a resolved score; never blocks.
   Result<BackboneResponse> BuildResponse(const BackboneRequest& request,
                                          const CachedScore& score,
@@ -282,6 +319,8 @@ class BackboneEngine {
   std::atomic<int64_t> coalesced_waits_{0};
   std::atomic<int64_t> submitted_batches_{0};
   std::atomic<int64_t> negative_hits_{0};
+  std::atomic<int64_t> delta_rescores_{0};
+  std::atomic<int64_t> delta_fallbacks_{0};
 
   struct PendingBatch {
     std::vector<BackboneRequest> requests;

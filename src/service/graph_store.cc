@@ -183,6 +183,22 @@ std::shared_ptr<const Graph> GraphStore::Find(uint64_t fingerprint) const {
   return it->second.graph;
 }
 
+Result<GraphDelta> GraphStore::DeltaBetween(uint64_t base_fingerprint,
+                                            uint64_t next_fingerprint) const {
+  // Resolve both handles first (each Find refreshes recency), then diff
+  // outside the store lock — the walk is O(E) and the handles keep the
+  // graphs alive regardless of eviction.
+  const std::shared_ptr<const Graph> base = Find(base_fingerprint);
+  if (base == nullptr) {
+    return Status::NotFound("base fingerprint is not resident");
+  }
+  const std::shared_ptr<const Graph> next = Find(next_fingerprint);
+  if (next == nullptr) {
+    return Status::NotFound("next fingerprint is not resident");
+  }
+  return ComputeGraphDelta(*base, *next);
+}
+
 bool GraphStore::Erase(uint64_t fingerprint) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(fingerprint);

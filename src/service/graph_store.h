@@ -30,6 +30,8 @@
 #include <unordered_map>
 
 #include "common/random.h"  // Mix64, the shared hash diffusion step
+#include "common/result.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 
 namespace netbone {
@@ -87,6 +89,13 @@ class GraphStore {
   /// The resident graph with this fingerprint (marked most-recently-used)
   /// or nullptr.
   std::shared_ptr<const Graph> Find(uint64_t fingerprint) const;
+
+  /// Sparse difference between two resident graphs, computed over their
+  /// canonical sorted edge tables (graph/delta.h) — the submission-time
+  /// hook for callers tracking graph revisions. NotFound when either
+  /// fingerprint is not resident; both graphs count as used (recency).
+  Result<GraphDelta> DeltaBetween(uint64_t base_fingerprint,
+                                  uint64_t next_fingerprint) const;
 
   /// Drops a resident graph (outstanding shared_ptrs stay valid), pinned
   /// or not — Erase is the explicit admin override, not the budget path.

@@ -6,6 +6,18 @@
 
 namespace netbone {
 
+void CachedScore::FinishBuild() {
+  profile_ = BuildSweepProfile(*order_);
+  bytes_ = static_cast<int64_t>(sizeof(CachedScore)) +
+           VectorBytes(scored_.scores()) +
+           static_cast<int64_t>(order_->ids().size() * sizeof(EdgeId)) +
+           VectorBytes(profile_.covered_nodes) +
+           VectorBytes(profile_.kept_weight);
+  if (provenance_.has_value()) {
+    bytes_ += static_cast<int64_t>(sizeof(DeltaProvenance));
+  }
+}
+
 std::shared_ptr<const CachedScore> CachedScore::Build(
     std::shared_ptr<const Graph> graph, ScoredEdges scored) {
   // Two-phase construction: the ScoreOrder keeps a pointer to the
@@ -15,26 +27,78 @@ std::shared_ptr<const CachedScore> CachedScore::Build(
   entry->graph_ = std::move(graph);
   entry->scored_ = std::move(scored);
   entry->order_.emplace(entry->scored_);
-  entry->profile_ = BuildSweepProfile(*entry->order_);
-  entry->bytes_ =
-      static_cast<int64_t>(sizeof(CachedScore)) +
-      VectorBytes(entry->scored_.scores()) +
-      static_cast<int64_t>(entry->order_->ids().size() * sizeof(EdgeId)) +
-      VectorBytes(entry->profile_.covered_nodes) +
-      VectorBytes(entry->profile_.kept_weight);
+  entry->FinishBuild();
   return entry;
+}
+
+std::shared_ptr<const CachedScore> CachedScore::BuildPatched(
+    std::shared_ptr<const Graph> graph, ScoredEdges scored,
+    const CachedScore& base, std::span<const EdgeId> base_to_next,
+    std::span<const EdgeId> dirty, uint64_t base_fingerprint) {
+  std::shared_ptr<CachedScore> entry(new CachedScore());
+  entry->graph_ = std::move(graph);
+  entry->scored_ = std::move(scored);
+  // The patch constructor: no global sort (SortsPerformed stays flat).
+  entry->order_.emplace(entry->scored_, base.order(), base_to_next, dirty);
+  entry->provenance_ = DeltaProvenance{base_fingerprint,
+                                       static_cast<int64_t>(dirty.size()),
+                                       entry->scored_.size()};
+  entry->FinishBuild();
+  return entry;
+}
+
+std::shared_ptr<const CachedScore> ScoreCache::GetLocked(
+    const ScoreKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+  return it->second->second;
 }
 
 std::shared_ptr<const CachedScore> ScoreCache::Get(const ScoreKey& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
+  std::shared_ptr<const CachedScore> entry = GetLocked(key);
+  ++(entry != nullptr ? hits_ : misses_);
+  return entry;
+}
+
+std::shared_ptr<const CachedScore> ScoreCache::Peek(const ScoreKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetLocked(key);
+}
+
+void ScoreCache::RegisterLineage(uint64_t child, uint64_t parent,
+                                 std::shared_ptr<const GraphDelta> delta) {
+  if (child == 0 || parent == 0 || child == parent) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lineage_.size() >= kMaxLineageEntries &&
+      lineage_.find(child) == lineage_.end()) {
+    // Wholesale drop, like the negative cache: the cost is lost patch
+    // opportunities for old revisions, never correctness.
+    bytes_ -= lineage_bytes_;
+    lineage_bytes_ = 0;
+    lineage_.clear();
   }
-  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
-  ++hits_;
-  return it->second->second;
+  const auto it = lineage_.find(child);
+  if (it != lineage_.end()) {
+    const int64_t old_bytes =
+        kLineageEntryBytes +
+        (it->second.delta != nullptr ? it->second.delta->ApproxBytes() : 0);
+    bytes_ -= old_bytes;
+    lineage_bytes_ -= old_bytes;
+  }
+  const int64_t new_bytes =
+      kLineageEntryBytes + (delta != nullptr ? delta->ApproxBytes() : 0);
+  lineage_[child] = Lineage{parent, std::move(delta)};
+  bytes_ += new_bytes;
+  lineage_bytes_ += new_bytes;
+  TrimLocked();
+}
+
+ScoreCache::Lineage ScoreCache::LineageFor(uint64_t child) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = lineage_.find(child);
+  return it != lineage_.end() ? it->second : Lineage{};
 }
 
 void ScoreCache::Put(const ScoreKey& key,
@@ -62,6 +126,8 @@ void ScoreCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  lineage_.clear();
+  lineage_bytes_ = 0;
   bytes_ = 0;
 }
 
@@ -72,6 +138,7 @@ ScoreCache::Stats ScoreCache::stats() const {
   stats.misses = misses_;
   stats.evictions = evictions_;
   stats.entries = static_cast<int64_t>(lru_.size());
+  stats.lineage_entries = static_cast<int64_t>(lineage_.size());
   stats.bytes = bytes_;
   stats.byte_budget = byte_budget_;
   return stats;
@@ -79,6 +146,9 @@ ScoreCache::Stats ScoreCache::stats() const {
 
 void ScoreCache::TrimLocked() {
   if (byte_budget_ <= 0) return;
+  // Lineage bytes count against the budget but only entries are evicted:
+  // the loop stops when the list drains even if lineage alone overflows
+  // (its hard cap bounds that at a few MiB).
   while (bytes_ > byte_budget_ && !lru_.empty()) {
     const auto& victim = lru_.back();
     bytes_ -= victim.second->bytes();

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -31,6 +32,7 @@
 #include "core/registry.h"
 #include "core/scored_edges.h"
 #include "core/sweep.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 
 namespace netbone {
@@ -89,11 +91,35 @@ struct ScoreKeyHash {
 /// (entries can outlive a GraphStore eviction).
 class CachedScore {
  public:
+  /// How an entry was produced when it came from the incremental path:
+  /// which ancestor it patched and how much of the table was actually
+  /// rescored. Kept (and byte-accounted) so operators can audit delta
+  /// efficiency per entry.
+  struct DeltaProvenance {
+    uint64_t base_fingerprint = 0;  ///< ancestor graph the patch started from
+    int64_t dirty_edges = 0;        ///< edges rescored (the affected set)
+    int64_t total_edges = 0;        ///< edges in this entry's table
+  };
+
   /// Builds the artifact chain: moves `scored` in, computes the
   /// ScoreOrder (the one sort) and the SweepProfile (the one union-find
   /// pass). Precondition: scored.graph() is *graph.
   static std::shared_ptr<const CachedScore> Build(
       std::shared_ptr<const Graph> graph, ScoredEdges scored);
+
+  /// Builds the artifact chain incrementally from an ancestor entry: the
+  /// ScoreOrder is patched (remove + merge over `base.order()`, zero
+  /// global sorts — see ScoreOrder's patch constructor) and the
+  /// SweepProfile is rebuilt from the patched order (union-find is
+  /// inherently batch; the rebuild is cheap next to scoring).
+  /// Preconditions: scored.graph() is *graph, `scored` was produced by
+  /// DeltaRescore against base.scored(), and base_to_next / dirty are
+  /// that rescore's bookkeeping. The result is bit-identical to
+  /// Build(graph, full rescore).
+  static std::shared_ptr<const CachedScore> BuildPatched(
+      std::shared_ptr<const Graph> graph, ScoredEdges scored,
+      const CachedScore& base, std::span<const EdgeId> base_to_next,
+      std::span<const EdgeId> dirty, uint64_t base_fingerprint);
 
   const Graph& graph() const { return *graph_; }
   const std::shared_ptr<const Graph>& graph_handle() const { return graph_; }
@@ -101,21 +127,41 @@ class CachedScore {
   const ScoreOrder& order() const { return *order_; }
   const SweepProfile& profile() const { return profile_; }
 
-  /// Heap bytes of the score table + order + profile (the graph is
-  /// accounted by the GraphStore, not double-counted here).
+  /// Set when this entry was produced by the incremental path; nullptr
+  /// for cold-scored entries.
+  const DeltaProvenance* delta_provenance() const {
+    return provenance_.has_value() ? &*provenance_ : nullptr;
+  }
+
+  /// Heap bytes of the score table + order + profile + delta metadata
+  /// (the graph is accounted by the GraphStore, not double-counted here).
   int64_t bytes() const { return bytes_; }
 
  private:
   CachedScore() = default;
 
+  /// Shared tail of both factories: profile + byte pricing.
+  void FinishBuild();
+
   std::shared_ptr<const Graph> graph_;
   ScoredEdges scored_;
   std::optional<ScoreOrder> order_;  // built in place after scored_ settles
   SweepProfile profile_;
+  std::optional<DeltaProvenance> provenance_;
   int64_t bytes_ = 0;
 };
 
 /// Thread-safe LRU cache of CachedScore entries under a byte budget.
+///
+/// Besides the score entries, the cache keeps a small *lineage map* —
+/// child graph fingerprint -> the base fingerprint it was derived from,
+/// registered by BackboneEngine::AddGraphRevision. The incremental
+/// rescoring path walks it to find a warm ancestor entry to patch from.
+/// Lineage is graph-level (independent of method/options), bounded
+/// (kMaxLineageEntries; the table is dropped wholesale on overflow — the
+/// cost is lost patch opportunities, never correctness), and its bytes
+/// are charged against the same budget as the entries, so the byte
+/// accounting stays honest under eviction.
 class ScoreCache {
  public:
   struct Stats {
@@ -123,6 +169,7 @@ class ScoreCache {
     int64_t misses = 0;
     int64_t evictions = 0;
     int64_t entries = 0;
+    int64_t lineage_entries = 0;
     int64_t bytes = 0;
     int64_t byte_budget = 0;
   };
@@ -136,6 +183,36 @@ class ScoreCache {
   /// Returns the entry and marks it most-recently-used, or nullptr
   /// (counted as a miss).
   std::shared_ptr<const CachedScore> Get(const ScoreKey& key);
+
+  /// As Get but without hit/miss accounting (recency still refreshes):
+  /// the delta path's ancestor probe, which is bookkept by the engine's
+  /// own delta counters instead of distorting the request-facing hit
+  /// rate.
+  std::shared_ptr<const CachedScore> Peek(const ScoreKey& key);
+
+  /// One lineage record: the declared base plus (optionally) the sparse
+  /// delta computed at submission time, so request-time patching starts
+  /// from precomputed difference lists instead of re-diffing the tables.
+  struct Lineage {
+    uint64_t parent = 0;  ///< base fingerprint, 0 = no lineage
+    std::shared_ptr<const GraphDelta> delta;  ///< may be null
+  };
+
+  /// Records `child`'s graph as derived from `parent` (both graph
+  /// fingerprints), with the submission-time delta when the caller has
+  /// one. No-op when either fingerprint is zero or they are equal. A
+  /// re-registration overwrites: the latest declared base wins. The
+  /// delta's bytes are charged to the cache budget.
+  void RegisterLineage(uint64_t child, uint64_t parent,
+                       std::shared_ptr<const GraphDelta> delta = nullptr);
+
+  /// The lineage record for `child` (parent == 0 when none).
+  Lineage LineageFor(uint64_t child) const;
+
+  /// The registered base fingerprint for `child`, or 0.
+  uint64_t LineageParent(uint64_t child) const {
+    return LineageFor(child).parent;
+  }
 
   /// Inserts (or replaces) the entry as most-recently-used, then evicts
   /// least-recently-used entries until the budget holds again. The budget
@@ -152,7 +229,16 @@ class ScoreCache {
   Stats stats() const;
 
  private:
+  /// Approximate bytes one lineage entry occupies (two fingerprints plus
+  /// hash-map node overhead) — the unit the lineage map is priced at.
+  static constexpr int64_t kLineageEntryBytes =
+      static_cast<int64_t>(2 * sizeof(uint64_t) + 4 * sizeof(void*));
+  /// Hard cap on lineage entries (~64k revisions, a few MiB): on
+  /// overflow the table is dropped wholesale, like the negative cache.
+  static constexpr size_t kMaxLineageEntries = 65536;
+
   void TrimLocked();
+  std::shared_ptr<const CachedScore> GetLocked(const ScoreKey& key);
 
   using LruList =
       std::list<std::pair<ScoreKey, std::shared_ptr<const CachedScore>>>;
@@ -165,6 +251,8 @@ class ScoreCache {
   int64_t evictions_ = 0;
   LruList lru_;  // front = most recently used
   std::unordered_map<ScoreKey, LruList::iterator, ScoreKeyHash> index_;
+  std::unordered_map<uint64_t, Lineage> lineage_;  // child -> record
+  int64_t lineage_bytes_ = 0;  // lineage map share of bytes_
 };
 
 }  // namespace netbone

@@ -684,6 +684,27 @@ TEST(ExecuteBatchSchedulingTest, OneSortPerMethodUnderConcurrentColdKeys) {
   }
 }
 
+TEST(SchedulerThreadsFromEnvTest, ParsesClampsAndRejects) {
+  // Unset / empty / 0 / garbage / negative / overflow -> hardware count.
+  EXPECT_EQ(SchedulerThreadsFromEnv(nullptr, 8), 8);
+  EXPECT_EQ(SchedulerThreadsFromEnv("", 8), 8);
+  EXPECT_EQ(SchedulerThreadsFromEnv("0", 8), 8);
+  EXPECT_EQ(SchedulerThreadsFromEnv("4x", 8), 8);
+  EXPECT_EQ(SchedulerThreadsFromEnv("2.5", 8), 8);
+  EXPECT_EQ(SchedulerThreadsFromEnv("-3", 8), 8);
+  EXPECT_EQ(SchedulerThreadsFromEnv("threads", 8), 8);
+  EXPECT_EQ(SchedulerThreadsFromEnv("99999999999999999999", 8), 8);
+
+  // Valid values pass through, clamped above.
+  EXPECT_EQ(SchedulerThreadsFromEnv("1", 8), 1);
+  EXPECT_EQ(SchedulerThreadsFromEnv("4", 8), 4);
+  EXPECT_EQ(SchedulerThreadsFromEnv("16", 2), 16);  // may exceed hardware
+  EXPECT_EQ(SchedulerThreadsFromEnv("1000000", 8), kMaxSchedulerThreads);
+
+  // A degenerate hardware report still yields a usable pool.
+  EXPECT_EQ(SchedulerThreadsFromEnv(nullptr, 0), 1);
+}
+
 TEST(RegistryParallelTest, SampledHssOptionsFlowThroughRunMethod) {
   const auto g = GenerateErdosRenyi(
       {.num_nodes = 200, .average_degree = 4.0, .seed = 71});

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <optional>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "core/filter.h"
 #include "core/high_salience_skeleton.h"
 #include "core/registry.h"
@@ -30,6 +32,7 @@
 #include "eval/sweep_metrics.h"
 #include "gen/erdos_renyi.h"
 #include "graph/builder.h"
+#include "graph/delta.h"
 #include "service/graph_store.h"
 #include "service/score_cache.h"
 
@@ -680,6 +683,246 @@ TEST(HssWorkspacePoolTest, ByteBudgetTrimsRetainedWorkspaces) {
 
   // Restore the default so other tests keep full reuse.
   SetHssWorkspacePoolByteBudget(0);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental delta rescoring through the engine.
+// ---------------------------------------------------------------------------
+
+/// The bench graph re-weighted to small integers: the paper's count-data
+/// regime, where weight redistribution preserves marginals and totals
+/// exactly (integer sums are exact in doubles).
+Graph IntWeightGraph(uint64_t seed = 7, NodeId num_nodes = 300) {
+  const Graph er = BenchGraph(seed, num_nodes);
+  GraphBuilder builder(Directedness::kUndirected);
+  builder.ReserveNodes(num_nodes);
+  for (const Edge& e : er.edges()) {
+    builder.AddEdge(e.src, e.dst, std::floor(e.weight) + 1.0);
+  }
+  return *builder.Build();
+}
+
+/// A noisy re-observation: moves one unit of weight between `transfers`
+/// random edge pairs. Totals are bitwise preserved, so NC stays
+/// incremental.
+Graph TransferWeight(const Graph& base, int64_t transfers, uint64_t seed) {
+  std::vector<Edge> edges(base.edges().begin(), base.edges().end());
+  Rng rng(seed);
+  for (int64_t t = 0; t < transfers; ++t) {
+    const size_t a = static_cast<size_t>(rng.NextBounded(edges.size()));
+    const size_t b = static_cast<size_t>(rng.NextBounded(edges.size()));
+    if (a == b || edges[a].weight < 2.0) continue;
+    edges[a].weight -= 1.0;
+    edges[b].weight += 1.0;
+  }
+  GraphBuilder builder(base.directedness());
+  builder.ReserveNodes(base.num_nodes());
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst, e.weight);
+  return *builder.Build();
+}
+
+BackboneRequest DeltaShareRequest(uint64_t graph, Method method) {
+  BackboneRequest request;
+  request.graph = graph;
+  request.method = method;
+  request.kind = RequestKind::kTopShare;
+  request.share = 0.3;
+  return request;
+}
+
+TEST(BackboneEngineTest, RevisionIsPatchedNotRescored) {
+  const Graph base = IntWeightGraph();
+  const Graph next = TransferWeight(base, 8, 99);
+
+  // Reference: a lineage-less engine scores the revision cold.
+  BackboneEngine cold_engine;
+  const uint64_t cold_fp = cold_engine.AddGraph(next);
+  const Result<BackboneResponse> cold =
+      cold_engine.Execute(DeltaShareRequest(cold_fp, Method::kNoiseCorrected));
+  ASSERT_TRUE(cold.ok());
+
+  BackboneEngine engine;
+  const uint64_t base_fp = engine.AddGraph(base);
+  ASSERT_TRUE(
+      engine.Execute(DeltaShareRequest(base_fp, Method::kNoiseCorrected))
+          .ok());
+  const uint64_t next_fp = engine.AddGraphRevision(next, base_fp);
+  ASSERT_NE(next_fp, base_fp);
+
+  const int64_t sorts_before = ScoreOrder::SortsPerformed();
+  const int64_t scores_before = engine.stats().scores_computed;
+  const Result<BackboneResponse> patched =
+      engine.Execute(DeltaShareRequest(next_fp, Method::kNoiseCorrected));
+  ASSERT_TRUE(patched.ok());
+  EXPECT_FALSE(patched->cache_hit);  // it did trigger a (cheap) computation
+
+  // The incremental contract: zero global sorts, zero full rescorings,
+  // one delta rescore — and a bit-identical response.
+  EXPECT_EQ(ScoreOrder::SortsPerformed(), sorts_before);
+  EXPECT_EQ(engine.stats().scores_computed, scores_before);
+  EXPECT_EQ(engine.stats().delta_rescores, 1);
+  EXPECT_EQ(engine.stats().delta_fallbacks, 0);
+  EXPECT_EQ(patched->kept_edges, cold->kept_edges);
+  EXPECT_EQ(patched->kept, cold->kept);
+  EXPECT_EQ(patched->coverage, cold->coverage);
+  EXPECT_EQ(patched->weight_share, cold->weight_share);
+
+  // The patched entry is a first-class cache entry: the next request on
+  // the revision is a plain warm hit.
+  const Result<BackboneResponse> warm =
+      engine.Execute(DeltaShareRequest(next_fp, Method::kNoiseCorrected));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+}
+
+TEST(BackboneEngineTest, RevisionPatchIsDeterministicAcrossThreadCounts) {
+  const Graph base = IntWeightGraph(9);
+  const Graph next = TransferWeight(base, 6, 123);
+  std::optional<BackboneResponse> reference;
+  for (const int threads : {1, 2, 4}) {
+    BackboneEngineOptions options;
+    options.num_threads = threads;
+    BackboneEngine engine(options);
+    const uint64_t base_fp = engine.AddGraph(base);
+    ASSERT_TRUE(
+        engine.Execute(DeltaShareRequest(base_fp, Method::kDisparityFilter))
+            .ok());
+    const uint64_t next_fp = engine.AddGraphRevision(next, base_fp);
+    const Result<BackboneResponse> response = engine.Execute(
+        DeltaShareRequest(next_fp, Method::kDisparityFilter));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(engine.stats().delta_rescores, 1);
+    if (!reference.has_value()) {
+      reference = *response;
+    } else {
+      EXPECT_EQ(response->kept_edges, reference->kept_edges);
+      EXPECT_EQ(response->coverage, reference->coverage);
+      EXPECT_EQ(response->weight_share, reference->weight_share);
+    }
+  }
+}
+
+TEST(BackboneEngineTest, LineageChainResolvesAcrossUnscoredHops) {
+  // rev2 -> rev1 -> base, where rev1 was never scored: the walk must hop
+  // through rev1 and patch rev2 directly from base's warm entry.
+  const Graph base = IntWeightGraph(11);
+  const Graph rev1 = TransferWeight(base, 4, 5);
+  const Graph rev2 = TransferWeight(rev1, 4, 6);
+
+  BackboneEngine engine;
+  const uint64_t base_fp = engine.AddGraph(base);
+  ASSERT_TRUE(
+      engine.Execute(DeltaShareRequest(base_fp, Method::kNoiseCorrected))
+          .ok());
+  const uint64_t rev1_fp = engine.AddGraphRevision(rev1, base_fp);
+  const uint64_t rev2_fp = engine.AddGraphRevision(rev2, rev1_fp);
+
+  const Result<BackboneResponse> response =
+      engine.Execute(DeltaShareRequest(rev2_fp, Method::kNoiseCorrected));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(engine.stats().delta_rescores, 1);
+
+  BackboneEngine cold_engine;
+  const uint64_t cold_fp = cold_engine.AddGraph(rev2);
+  const Result<BackboneResponse> cold =
+      cold_engine.Execute(DeltaShareRequest(cold_fp, Method::kNoiseCorrected));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(response->kept_edges, cold->kept_edges);
+  EXPECT_EQ(response->coverage, cold->coverage);
+}
+
+TEST(BackboneEngineTest, GlobalMethodsFallBackToFullRescore) {
+  const Graph base = IntWeightGraph(13, /*num_nodes=*/120);
+  const Graph next = TransferWeight(base, 4, 7);
+
+  BackboneEngine engine;
+  const uint64_t base_fp = engine.AddGraph(base);
+  ASSERT_TRUE(
+      engine
+          .Execute(DeltaShareRequest(base_fp, Method::kHighSalienceSkeleton))
+          .ok());
+  const uint64_t next_fp = engine.AddGraphRevision(next, base_fp);
+  const int64_t scores_before = engine.stats().scores_computed;
+  const Result<BackboneResponse> response = engine.Execute(
+      DeltaShareRequest(next_fp, Method::kHighSalienceSkeleton));
+  ASSERT_TRUE(response.ok());
+  // HSS is not incremental: the request full-rescored (and, because the
+  // method is unsupported, it does not even count as a fallback attempt).
+  EXPECT_EQ(engine.stats().scores_computed, scores_before + 1);
+  EXPECT_EQ(engine.stats().delta_rescores, 0);
+
+  BackboneEngine cold_engine;
+  const uint64_t cold_fp = cold_engine.AddGraph(next);
+  const Result<BackboneResponse> cold = cold_engine.Execute(
+      DeltaShareRequest(cold_fp, Method::kHighSalienceSkeleton));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(response->kept_edges, cold->kept_edges);
+}
+
+TEST(BackboneEngineTest, DeltaRescoreCanBeDisabled) {
+  const Graph base = IntWeightGraph(15);
+  const Graph next = TransferWeight(base, 4, 8);
+  BackboneEngineOptions options;
+  options.enable_delta_rescore = false;
+  BackboneEngine engine(options);
+  const uint64_t base_fp = engine.AddGraph(base);
+  ASSERT_TRUE(
+      engine.Execute(DeltaShareRequest(base_fp, Method::kNoiseCorrected))
+          .ok());
+  const uint64_t next_fp = engine.AddGraphRevision(next, base_fp);
+  ASSERT_TRUE(
+      engine.Execute(DeltaShareRequest(next_fp, Method::kNoiseCorrected))
+          .ok());
+  EXPECT_EQ(engine.stats().delta_rescores, 0);
+  EXPECT_EQ(engine.stats().scores_computed, 2);
+}
+
+TEST(ScoreCacheTest, LineageIsAccountedAndPeekDoesNotCountHits) {
+  ScoreCache cache(/*byte_budget=*/0);
+  const ScoreCache::Stats empty = cache.stats();
+  EXPECT_EQ(empty.lineage_entries, 0);
+
+  cache.RegisterLineage(2, 1);
+  cache.RegisterLineage(3, 2);
+  cache.RegisterLineage(3, 3);  // self-edge: ignored
+  cache.RegisterLineage(0, 1);  // zero child: ignored
+  const ScoreCache::Stats with_lineage = cache.stats();
+  EXPECT_EQ(with_lineage.lineage_entries, 2);
+  EXPECT_GT(with_lineage.bytes, empty.bytes);  // the map is priced
+  EXPECT_EQ(cache.LineageParent(2), 1u);
+  EXPECT_EQ(cache.LineageParent(3), 2u);
+  EXPECT_EQ(cache.LineageParent(7), 0u);
+
+  // Peek is invisible to the hit/miss counters.
+  const ScoreKey key = MakeScoreKey(42, Method::kNoiseCorrected, {});
+  EXPECT_EQ(cache.Peek(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().lineage_entries, 0);
+  EXPECT_EQ(cache.stats().bytes, 0);
+}
+
+TEST(GraphStoreTest, DeltaBetweenResidentGraphs) {
+  GraphStore store;
+  const Graph base = IntWeightGraph(17, /*num_nodes=*/60);
+  const Graph next = TransferWeight(base, 3, 21);
+  const StoredGraph stored_base = store.Intern(base);
+  const StoredGraph stored_next = store.Intern(next);
+
+  const Result<GraphDelta> delta =
+      store.DeltaBetween(stored_base.fingerprint, stored_next.fingerprint);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->totals_equal);
+  EXPECT_EQ(delta->base_edges, base.num_edges());
+  // Identity mirrors the direct computation.
+  const Result<GraphDelta> direct = ComputeGraphDelta(base, next);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(delta->AffectedEdges(), direct->AffectedEdges());
+
+  EXPECT_FALSE(store.DeltaBetween(stored_base.fingerprint, 12345u).ok());
 }
 
 }  // namespace
