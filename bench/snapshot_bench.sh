@@ -9,8 +9,11 @@ set -euo pipefail
 
 build=${1:?usage: snapshot_bench.sh <build-dir> [label]}
 # Labels always carry a timestamp prefix so snapshot names sort
-# chronologically — compare_bench_json.py picks the latest two by name.
-stamp=$(date +%Y%m%d-%H%M%S)
+# chronologically — compare_bench_json.py picks the latest two by name —
+# and a host tag so snapshots from different machines are never diffed
+# against each other by accident.
+host=$(hostname -s 2>/dev/null || echo unknown)
+stamp=$(date +%Y%m%d-%H%M%S)-$host
 label=${2:+$stamp-$2}
 label=${label:-$stamp}
 history_dir="$(cd "$(dirname "$0")" && pwd)/history/$label"

@@ -4,15 +4,26 @@
 // the engine's cache statistics.
 //
 //   ./example_netbone_serve [num_requests] [cache_mb]
+//   ./example_netbone_serve --chaos[=seed] [num_requests] [cache_mb]
 //
 // The trace mimics a production mix: a skewed graph popularity (one hot
 // network), method cycling, and a mix of request kinds — threshold
 // extractions, O(1) coverage points, full sweep profiles.
+//
+// --chaos replays the same trace under seeded fault injection
+// (service/fault_injection.h): 2% scoring failures, 2% injected scoring
+// latency, 2% dropped cache inserts and 2% dispatcher stalls, with every
+// request carrying a 250 ms deadline and opting into degradation. The
+// seed makes a run reproducible — rerunning with the same seed injects
+// the same faults at the same draws. Failed requests are expected here
+// (and typed); the exit code only reflects crashes/untyped failures.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,15 +31,57 @@
 #include "core/registry.h"
 #include "gen/erdos_renyi.h"
 #include "service/engine.h"
+#include "service/fault_injection.h"
 
 namespace nb = netbone;
 
 int main(int argc, char** argv) {
-  const int num_requests = argc > 1 ? std::atoi(argv[1]) : 400;
-  const int64_t cache_mb = argc > 2 ? std::atoll(argv[2]) : 64;
+  bool chaos = false;
+  uint64_t chaos_seed = 0xC7A05;
+  int positional[2] = {400, 64};
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--chaos", 7) == 0) {
+      chaos = true;
+      if (argv[i][7] == '=') {
+        chaos_seed = std::strtoull(argv[i] + 8, nullptr, 0);
+      }
+    } else if (positionals < 2) {
+      positional[positionals++] = std::atoi(argv[i]);
+    }
+  }
+  const int num_requests = positional[0];
+  const int64_t cache_mb = positional[1];
 
   nb::BackboneEngineOptions options;
   options.cache_byte_budget = cache_mb << 20;
+  if (chaos) {
+    // Bounded admission so the stalled dispatcher exercises shedding.
+    options.max_queued_batches = 8;
+    options.overload_policy = nb::OverloadPolicy::kShedOldest;
+  }
+  // Install injection before the engine exists and keep it installed
+  // until after the engine is destroyed: background refreshes may still
+  // draw faults on the dispatcher thread during teardown.
+  std::unique_ptr<nb::FaultInjector> injector;
+  std::unique_ptr<nb::ScopedFaultInjection> injection;
+  if (chaos) {
+    injector = std::make_unique<nb::FaultInjector>(chaos_seed);
+    injector->Configure(nb::FaultSite::kScoringFailure,
+                        {.probability = 0.02});
+    injector->Configure(nb::FaultSite::kScoringLatency,
+                        {.probability = 0.02,
+                         .latency = std::chrono::milliseconds(5)});
+    injector->Configure(nb::FaultSite::kCacheInsertFailure,
+                        {.probability = 0.02});
+    injector->Configure(nb::FaultSite::kDispatcherStall,
+                        {.probability = 0.02,
+                         .latency = std::chrono::milliseconds(5)});
+    injection = std::make_unique<nb::ScopedFaultInjection>(injector.get());
+    std::printf("chaos mode: seed 0x%llx, 2%% fault rates, 250 ms "
+                "deadlines, degradation on\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
   nb::BackboneEngine engine(options);
 
   // Three resident networks; the "hot" one is submitted twice and dedupes
@@ -78,6 +131,10 @@ int main(int argc, char** argv) {
         request.shares = {0.1, 0.25, 0.5, 0.75, 1.0};
         break;
     }
+    if (chaos) {
+      request.timeout = std::chrono::milliseconds(250);
+      request.allow_degraded = true;
+    }
     trace.push_back(std::move(request));
   }
 
@@ -94,10 +151,24 @@ int main(int argc, char** argv) {
         trace.begin() + static_cast<ptrdiff_t>(begin),
         trace.begin() + static_cast<ptrdiff_t>(end))));
   }
-  int64_t ok_count = 0, failed = 0;
+  int64_t ok_count = 0, failed = 0, degraded = 0, untyped = 0;
   for (auto& future : futures) {
     for (const auto& result : future.get()) {
-      (result.ok() ? ok_count : failed)++;
+      if (result.ok()) {
+        ++ok_count;
+        if (result->degraded) ++degraded;
+      } else {
+        ++failed;
+        // Under chaos every failure must be typed: overload, deadline,
+        // cancellation, or a retried-out transient.
+        const nb::Status& status = result.status();
+        if (!status.IsUnavailable() && !status.IsResourceExhausted() &&
+            !status.IsDeadlineExceeded() && !status.IsCancelled()) {
+          ++untyped;
+          std::fprintf(stderr, "untyped failure: %s\n",
+                       status.ToString().c_str());
+        }
+      }
     }
   }
   const double elapsed = timer.ElapsedSeconds();
@@ -129,5 +200,31 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.graphs.dedup_hits));
   std::printf("%-28s %12.2f\n", "resident graph MB",
               static_cast<double>(stats.graphs.resident_bytes) / (1 << 20));
+  if (chaos) {
+    std::printf("%-28s %12lld\n", "degraded responses",
+                static_cast<long long>(degraded));
+    std::printf("%-28s %12lld\n", "retries",
+                static_cast<long long>(stats.retries));
+    std::printf("%-28s %12lld\n", "deadline hits",
+                static_cast<long long>(stats.deadline_hits));
+    std::printf("%-28s %12lld\n", "shed batches",
+                static_cast<long long>(stats.shed_batches));
+    std::printf("%-28s %12lld\n", "cache insert drops",
+                static_cast<long long>(stats.cache.insert_failures));
+    std::printf("%-28s %12lld\n", "background refreshes",
+                static_cast<long long>(stats.background_refreshes));
+    for (const auto site :
+         {nb::FaultSite::kScoringFailure, nb::FaultSite::kScoringLatency,
+          nb::FaultSite::kCacheInsertFailure,
+          nb::FaultSite::kDispatcherStall}) {
+      std::printf("fault site %-17d %6lld / %-6lld injected/draws\n",
+                  static_cast<int>(site),
+                  static_cast<long long>(injector->injected(site)),
+                  static_cast<long long>(injector->draws(site)));
+    }
+    // Chaos succeeds as long as nothing crashed, wedged, or failed with
+    // an untyped status; injected failures are the point.
+    return untyped == 0 ? 0 : 1;
+  }
   return failed == 0 ? 0 : 1;
 }

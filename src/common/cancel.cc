@@ -1,0 +1,30 @@
+#include "common/cancel.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace netbone {
+
+Status InterruptibleSleep(std::chrono::nanoseconds duration,
+                          const CancelToken& cancel) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point wake = Clock::now() + duration;
+  // Slice the sleep so an explicit Cancel() is observed within ~1ms and a
+  // deadline never overshoots by more than one slice. A null token takes
+  // one uninterrupted sleep.
+  constexpr auto kSlice = std::chrono::milliseconds(1);
+  if (!cancel.CanExpire()) {
+    std::this_thread::sleep_until(wake);
+    return Status::OK();
+  }
+  const Clock::time_point deadline = cancel.deadline();
+  while (true) {
+    Status status = cancel.Check();
+    if (!status.ok()) return status;
+    const Clock::time_point now = Clock::now();
+    if (now >= wake) return Status::OK();
+    std::this_thread::sleep_until(std::min({now + kSlice, wake, deadline}));
+  }
+}
+
+}  // namespace netbone

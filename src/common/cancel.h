@@ -1,0 +1,165 @@
+// Copyright 2026 The netbone Authors.
+//
+// Cooperative cancellation and deadlines. A CancelSource owns a shared
+// cancellation state (an explicit Cancel() flag plus an optional
+// steady-clock deadline); CancelTokens are cheap copyable handles that
+// long-running loops poll at work-grain boundaries — the scoring chunk
+// loops (core/scored_edges.h), the HSS per-source batches, the serving
+// engine's retry/backoff sleeps. Cancellation is *cooperative*: nothing
+// is interrupted, loops observe the token and return a typed status
+// (Status::Cancelled / Status::DeadlineExceeded) at the next check.
+//
+// Tokens form small chains: a source may be created with up to two
+// parent tokens, and a token reports cancelled when its own state or any
+// ancestor's fires. The serving engine uses this to combine three
+// independent reasons to stop one scoring — the request's deadline, the
+// client's explicit cancel token, and engine shutdown — into the single
+// token the scoring loops poll.
+//
+// A default-constructed CancelToken is null: it never cancels, never
+// expires, and costs one null check to poll — the fast path for the
+// batch library, which passes no token at all.
+
+#ifndef NETBONE_COMMON_CANCEL_H_
+#define NETBONE_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+
+namespace netbone {
+
+namespace internal {
+
+struct CancelStateNode {
+  std::atomic<bool> cancelled{false};
+  /// time_point::max() encodes "no deadline".
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Up to two parent states (engine shutdown, caller token). Parents are
+  /// held by shared_ptr so a chained token keeps its ancestors alive.
+  std::shared_ptr<const CancelStateNode> parents[2];
+};
+
+}  // namespace internal
+
+/// Copyable, thread-safe handle polled by cancellable loops.
+class CancelToken {
+ public:
+  /// Null token: IsNull() is true, Check() is always OK.
+  CancelToken() = default;
+
+  bool IsNull() const { return state_ == nullptr; }
+
+  /// True once Cancel() fired on this token's source or any ancestor.
+  bool CancellationRequested() const {
+    for (const internal::CancelStateNode* node = state_.get(); node != nullptr;) {
+      if (node->cancelled.load(std::memory_order_acquire)) return true;
+      // Depth-first over the (tiny) parent chain without recursion: chains
+      // in practice are a list (each source has at most one non-null
+      // second parent at the engine root, which itself has none).
+      const internal::CancelStateNode* second = node->parents[1].get();
+      if (second != nullptr &&
+          second->cancelled.load(std::memory_order_acquire)) {
+        return true;
+      }
+      if (second != nullptr && SecondHasAncestors(*second) &&
+          CancelToken(node->parents[1]).CancellationRequested()) {
+        return true;
+      }
+      node = node->parents[0].get();
+    }
+    return false;
+  }
+
+  /// The tightest deadline along the chain, or time_point::max().
+  std::chrono::steady_clock::time_point deadline() const {
+    auto deadline = std::chrono::steady_clock::time_point::max();
+    for (const internal::CancelStateNode* node = state_.get(); node != nullptr;
+         node = node->parents[0].get()) {
+      deadline = std::min(deadline, node->deadline);
+      if (node->parents[1] != nullptr) {
+        deadline = std::min(deadline, CancelToken(node->parents[1]).deadline());
+      }
+    }
+    return deadline;
+  }
+
+  /// True when polling can ever return non-OK — hoist this out of hot
+  /// loops so a null token costs nothing per iteration.
+  bool CanExpire() const { return state_ != nullptr; }
+
+  /// The poll: OK, Cancelled (explicit), or DeadlineExceeded (the
+  /// tightest deadline along the chain has passed). Explicit cancellation
+  /// wins over an expired deadline when both hold.
+  Status Check() const {
+    if (state_ == nullptr) return Status::OK();
+    if (CancellationRequested()) {
+      return Status::Cancelled("operation cancelled");
+    }
+    if (std::chrono::steady_clock::now() >= deadline()) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  friend class CancelSource;
+
+  explicit CancelToken(std::shared_ptr<const internal::CancelStateNode> state)
+      : state_(std::move(state)) {}
+
+  static bool SecondHasAncestors(const internal::CancelStateNode& node) {
+    return node.parents[0] != nullptr || node.parents[1] != nullptr;
+  }
+
+  std::shared_ptr<const internal::CancelStateNode> state_;
+};
+
+/// Owns one cancellation state; hand its token() to the work it governs.
+class CancelSource {
+ public:
+  /// A source with no deadline (cancel-only).
+  CancelSource() : state_(std::make_shared<internal::CancelStateNode>()) {}
+
+  /// A source that auto-expires at `deadline` (steady clock), optionally
+  /// chained under up to two parent tokens: the token reports cancelled /
+  /// expired when this source fires OR any parent does.
+  explicit CancelSource(std::chrono::steady_clock::time_point deadline,
+                        CancelToken parent1 = {}, CancelToken parent2 = {})
+      : state_(std::make_shared<internal::CancelStateNode>()) {
+    state_->deadline = deadline;
+    state_->parents[0] = std::move(parent1.state_);
+    state_->parents[1] = std::move(parent2.state_);
+  }
+
+  CancelSource(const CancelSource&) = delete;
+  CancelSource& operator=(const CancelSource&) = delete;
+
+  /// Requests cancellation; idempotent, thread-safe, observed by every
+  /// token (and chained child token) at its next Check().
+  void Cancel() { state_->cancelled.store(true, std::memory_order_release); }
+
+  bool CancellationRequested() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  CancelToken token() const { return CancelToken(state_); }
+
+ private:
+  std::shared_ptr<internal::CancelStateNode> state_;
+};
+
+/// Sleeps for `duration` in short slices, returning early with the
+/// token's status as soon as it fires — the sanctioned way to back off
+/// (retry schedules, injected latency) without holding a core past a
+/// request's deadline. Returns OK when the full duration elapsed.
+Status InterruptibleSleep(std::chrono::nanoseconds duration,
+                          const CancelToken& cancel);
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_CANCEL_H_

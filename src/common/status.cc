@@ -25,6 +25,14 @@ const char* CodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kIOError:
       return "IO error";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

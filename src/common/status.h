@@ -31,6 +31,10 @@ class Status {
     kNotSupported = 7,
     kCorruption = 8,
     kIOError = 9,
+    kCancelled = 10,
+    kDeadlineExceeded = 11,
+    kUnavailable = 12,
+    kResourceExhausted = 13,
   };
 
   /// Default-constructed Status is OK.
@@ -65,6 +69,18 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(Code::kIOError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == Code::kOk; }
@@ -87,6 +103,28 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  /// Failure-taxonomy predicates used by the serving layer.
+  ///
+  /// A *cancellation-shaped* failure says nothing about the work itself —
+  /// the caller ran out of budget (deadline) or interest (explicit
+  /// cancel). These must never be negative-cached: the same scoring may
+  /// well succeed for the next caller with a fresh budget.
+  bool IsCancellationShaped() const {
+    return code_ == Code::kCancelled || code_ == Code::kDeadlineExceeded;
+  }
+  /// A *transient* failure may succeed on retry (flaky IO, injected or
+  /// real unavailability) — the serving engine retries these with
+  /// exponential backoff before giving up.
+  bool IsTransient() const {
+    return code_ == Code::kUnavailable || code_ == Code::kIOError;
+  }
 
   /// "OK" or "<category>: <message>".
   std::string ToString() const;

@@ -115,7 +115,8 @@ Result<std::optional<DeltaRescoreResult>> PatchScores(
 
   Status status =
       ParallelScoreEdgeSubset(next, out.dirty, options.num_threads,
-                              options.grain, score_edge, &out.scores);
+                              options.grain, score_edge, &out.scores,
+                              options.cancel);
   if (!status.ok()) return status;
   return std::optional<DeltaRescoreResult>(std::move(out));
 }

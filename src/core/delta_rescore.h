@@ -57,6 +57,9 @@ struct DeltaRescoreOptions {
   /// (ParallelScoreEdgeSubset): dirty work is skewed — a hub's star lands
   /// as one contiguous id run — so blocks are claimed dynamically.
   int64_t grain = 32;
+  /// Cooperative cancellation, polled at block granularity inside the
+  /// dirty-edge rescoring sweep.
+  CancelToken cancel;
 };
 
 /// A patched score table plus the bookkeeping the downstream artifact

@@ -52,7 +52,8 @@ Result<ScoredEdges> DisparityFilter(const Graph& graph,
       [&](EdgeId, const Edge& e, EdgeScore* out) -> Status {
         *out = DisparityFilterEdgeScore(graph, e, options);
         return Status::OK();
-      });
+      },
+      options.cancel);
   if (!scores.ok()) return scores.status();
   return ScoredEdges(&graph, "disparity_filter", std::move(*scores),
                      /*has_sdev=*/false);

@@ -36,6 +36,10 @@ struct DisparityFilterOptions {
   /// Worker threads for the per-edge scoring sweep (ParallelScoreEdges).
   /// 0 = hardware concurrency. Scores are bit-identical for every value.
   int num_threads = 0;
+
+  /// Cooperative cancellation, polled at chunk granularity inside the
+  /// scoring sweep; a fired token returns Cancelled / DeadlineExceeded.
+  CancelToken cancel;
 };
 
 /// Scores every edge with 1 - alpha_ij. Degree-1 endpoints yield score 0

@@ -1,6 +1,7 @@
 #include "core/high_salience_skeleton.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -194,9 +195,22 @@ Result<ScoredEdges> HighSalienceSkeleton(
   // two checkout mutex hops amortize over real Dijkstra work.
   const int64_t grain = std::clamp<int64_t>(
       num_sources / (32 * ResolveThreadCount(options.num_threads)), 1, 32);
+  const bool cancellable = options.cancel.CanExpire();
+  std::atomic<bool> saw_cancel{false};
   ParallelForDynamic(
       num_sources, grain, options.num_threads,
       [&](int64_t begin, int64_t end) {
+        // Cooperative cancellation at batch granularity: once the token
+        // fires, remaining batches skip their Dijkstras entirely (the
+        // partial counts are discarded below, so skipping cannot leak
+        // into any returned score).
+        if (cancellable) {
+          if (saw_cancel.load(std::memory_order_relaxed)) return;
+          if (!options.cancel.Check().ok()) {
+            saw_cancel.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
         DijkstraWorkspace* workspace = checkout();
         for (int64_t s = begin; s < end; ++s) {
           DijkstraInto(adjacency, sources[static_cast<size_t>(s)], {},
@@ -208,6 +222,13 @@ Result<ScoredEdges> HighSalienceSkeleton(
         }
         checkin(workspace);
       });
+
+  if (saw_cancel.load(std::memory_order_relaxed)) {
+    for (auto& workspace : call_workspaces) {
+      WorkspacePool::Global().Release(std::move(workspace));
+    }
+    return options.cancel.Check();
+  }
 
   // Salience = tree count / number of sources; for sampled runs this is
   // the unbiased estimate (count * (n/k)) / n = count / k.

@@ -50,6 +50,10 @@ struct HighSalienceSkeletonOptions {
 
   /// Seed for the source sample; same seed + same graph = same scores.
   uint64_t sample_seed = 42;
+
+  /// Cooperative cancellation, polled before every grain-batch of source
+  /// Dijkstras; a fired token returns Cancelled / DeadlineExceeded.
+  CancelToken cancel;
 };
 
 /// Scores every edge with its salience in [0, 1].

@@ -12,7 +12,8 @@ Result<ScoredEdges> NaiveThreshold(const Graph& graph,
       [](EdgeId, const Edge& e, EdgeScore* out) -> Status {
         *out = EdgeScore{e.weight, 0.0};
         return Status::OK();
-      });
+      },
+      options.cancel);
   if (!scores.ok()) return scores.status();
   return ScoredEdges(&graph, "naive_threshold", std::move(*scores),
                      /*has_sdev=*/false);

@@ -19,6 +19,10 @@ struct NaiveThresholdOptions {
   /// Worker threads for the per-edge scoring sweep (ParallelScoreEdges).
   /// 0 = hardware concurrency. Scores are bit-identical for every value.
   int num_threads = 0;
+
+  /// Cooperative cancellation, polled at chunk granularity inside the
+  /// scoring sweep; a fired token returns Cancelled / DeadlineExceeded.
+  CancelToken cancel;
 };
 
 /// Scores every edge with its raw weight.

@@ -116,7 +116,8 @@ Result<ScoredEdges> NoiseCorrectedWithDetails(
         *out = EdgeScore{d->transformed_lift, d->sdev};
         (*details)[static_cast<size_t>(id)] = std::move(*d);
         return Status::OK();
-      });
+      },
+      options.cancel);
   if (!scores.ok()) {
     details->clear();
     return scores.status();

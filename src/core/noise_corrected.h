@@ -55,6 +55,10 @@ struct NoiseCorrectedOptions {
   /// Worker threads for the per-edge scoring sweep (ParallelScoreEdges).
   /// 0 = hardware concurrency. Scores are bit-identical for every value.
   int num_threads = 0;
+
+  /// Cooperative cancellation, polled at chunk granularity inside the
+  /// scoring sweep; a fired token returns Cancelled / DeadlineExceeded.
+  CancelToken cancel;
 };
 
 /// Full per-edge decomposition of the NC computation, for diagnostics,

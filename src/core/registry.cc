@@ -76,15 +76,22 @@ bool IsParameterFree(Method method) {
 
 Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
                               const RunMethodOptions& options) {
+  // Pre-dispatch cancellation gate: an already-expired request never
+  // starts scoring at all, whichever method it names.
+  if (Status cancelled = options.cancel.Check(); !cancelled.ok()) {
+    return cancelled;
+  }
   switch (method) {
     case Method::kNoiseCorrected: {
       NoiseCorrectedOptions nc;
       nc.num_threads = options.num_threads;
+      nc.cancel = options.cancel;
       return NoiseCorrected(graph, nc);
     }
     case Method::kDisparityFilter: {
       DisparityFilterOptions df;
       df.num_threads = options.num_threads;
+      df.cancel = options.cancel;
       return DisparityFilter(graph, df);
     }
     case Method::kHighSalienceSkeleton: {
@@ -93,6 +100,7 @@ Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
       hss.max_cost = options.hss_max_cost;
       hss.source_sample_size = options.hss_source_sample_size;
       hss.sample_seed = options.hss_sample_seed;
+      hss.cancel = options.cancel;
       return HighSalienceSkeleton(graph, hss);
     }
     case Method::kDoublyStochastic: {
@@ -108,6 +116,7 @@ Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
     case Method::kNaiveThreshold: {
       NaiveThresholdOptions nt;
       nt.num_threads = options.num_threads;
+      nt.cancel = options.cancel;
       return NaiveThreshold(graph, nt);
     }
     case Method::kKCore:

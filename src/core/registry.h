@@ -62,6 +62,13 @@ struct RunMethodOptions {
 
   /// Forwarded to HighSalienceSkeletonOptions::sample_seed.
   uint64_t hss_sample_seed = 42;
+
+  /// Cooperative cancellation. Checked before dispatch for every method;
+  /// the parallel sweeps (NC, DF, NT) and the HSS source loop also poll
+  /// it at chunk / batch granularity mid-run. DS, MST and KC only honour
+  /// the pre-dispatch check (their runtimes are an order of magnitude
+  /// below one HSS source batch, so mid-run polling buys nothing).
+  CancelToken cancel;
 };
 Result<ScoredEdges> RunMethod(Method method, const Graph& graph,
                               const RunMethodOptions& options = {});

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/result.h"
 #include "graph/graph.h"
@@ -92,13 +93,23 @@ class ScoredEdges {
 /// capture extra per-edge outputs (e.g. the NC detail table) and write
 /// them at index `id` — chunks never overlap. A template (rather than a
 /// std::function) so trivial scorers inline into the per-edge loop.
+///
+/// `cancel` is polled at chunk entry and every kCancelCheckStride edges;
+/// once it fires, remaining chunks stop scoring and the token's status
+/// (Cancelled / DeadlineExceeded) is returned — unless some edge already
+/// failed for real, in which case the lowest-id edge error still wins (a
+/// serial sweep would have hit that edge before any cancellation check
+/// at or past it). A null token adds zero per-edge work.
+inline constexpr int64_t kCancelCheckStride = 1024;
+
 template <typename Scorer>
-Result<std::vector<EdgeScore>> ParallelScoreEdges(const Graph& graph,
-                                                  int num_threads,
-                                                  const Scorer& score_edge) {
+Result<std::vector<EdgeScore>> ParallelScoreEdges(
+    const Graph& graph, int num_threads, const Scorer& score_edge,
+    const CancelToken& cancel = {}) {
   const int64_t n = graph.num_edges();
   std::vector<EdgeScore> scores(static_cast<size_t>(n));
   if (n == 0) return scores;
+  const bool cancellable = cancel.CanExpire();
 
   // Very small edge tables are not worth a pool handoff; a single chunk is
   // observably identical (same slots, same first error) and faster. The
@@ -113,9 +124,16 @@ Result<std::vector<EdgeScore>> ParallelScoreEdges(const Graph& graph,
   // edge id, so the winning error never depends on scheduling.
   std::vector<Status> chunk_status(static_cast<size_t>(chunks));
   std::vector<EdgeId> chunk_error_edge(static_cast<size_t>(chunks), -1);
+  std::atomic<bool> saw_cancel{false};
 
   ParallelFor(n, chunks, [&](int64_t begin, int64_t end, int chunk) {
+    if (cancellable && saw_cancel.load(std::memory_order_relaxed)) return;
     for (int64_t id = begin; id < end; ++id) {
+      if (cancellable && (id - begin) % kCancelCheckStride == 0 &&
+          !cancel.Check().ok()) {
+        saw_cancel.store(true, std::memory_order_relaxed);
+        return;
+      }
       Status status = score_edge(id, graph.edge(id),
                                  &scores[static_cast<size_t>(id)]);
       if (!status.ok()) {
@@ -136,6 +154,11 @@ Result<std::vector<EdgeScore>> ParallelScoreEdges(const Graph& graph,
     }
   }
   if (first_error >= 0) return chunk_status[first_chunk];
+  // Cancellation is reported only when no edge failed outright: a real
+  // edge error is reproducible state the caller can act on (and negative-
+  // cache); a cancellation is not. Re-polling the token here is safe —
+  // cancel flags never un-fire and deadlines never un-expire.
+  if (saw_cancel.load(std::memory_order_relaxed)) return cancel.Check();
   return scores;
 }
 
@@ -150,15 +173,32 @@ namespace internal {
 /// order cannot matter), and the winning status is regenerated by re-
 /// invoking the scorer once — scorers are pure functions of their inputs,
 /// so the replay reproduces the exact status a serial sweep would return.
+///
+/// Cancellation cannot use the replay trick (re-invoking the scorer after
+/// the token fired would return OK), so it is tracked by a separate flag:
+/// blocks poll `cancel` at entry, and when no real edge error exists the
+/// token's own status is returned.
 template <typename IdAt, typename Scorer>
 Status ScoreEdgesDynamic(const Graph& graph, int64_t count, int num_threads,
                          int64_t grain, const IdAt& id_at,
                          const Scorer& score_edge,
-                         std::vector<EdgeScore>* scores) {
+                         std::vector<EdgeScore>* scores,
+                         const CancelToken& cancel = {}) {
   if (count <= 0) return Status::OK();
+  const bool cancellable = cancel.CanExpire();
   std::atomic<int64_t> first_error_index{count};
+  std::atomic<bool> saw_cancel{false};
   ParallelForDynamic(count, grain, num_threads,
                      [&](int64_t begin, int64_t end) {
+                       if (cancellable) {
+                         if (saw_cancel.load(std::memory_order_relaxed)) {
+                           return;
+                         }
+                         if (!cancel.Check().ok()) {
+                           saw_cancel.store(true, std::memory_order_relaxed);
+                           return;
+                         }
+                       }
                        for (int64_t i = begin; i < end; ++i) {
                          const EdgeId id = id_at(i);
                          if (!score_edge(id, graph.edge(id),
@@ -175,7 +215,10 @@ Status ScoreEdgesDynamic(const Graph& graph, int64_t count, int num_threads,
                        }
                      });
   const int64_t winner = first_error_index.load(std::memory_order_relaxed);
-  if (winner == count) return Status::OK();
+  if (winner == count) {
+    if (saw_cancel.load(std::memory_order_relaxed)) return cancel.Check();
+    return Status::OK();
+  }
   const EdgeId id = id_at(winner);
   EdgeScore discard;
   return score_edge(id, graph.edge(id), &discard);
@@ -192,15 +235,14 @@ Status ScoreEdgesDynamic(const Graph& graph, int64_t count, int num_threads,
 /// count and grain. Opt-in: uniform per-edge scorers should keep the
 /// static overload (fewer scheduler handoffs).
 template <typename Scorer>
-Result<std::vector<EdgeScore>> ParallelScoreEdges(const Graph& graph,
-                                                  int num_threads,
-                                                  int64_t grain,
-                                                  const Scorer& score_edge) {
+Result<std::vector<EdgeScore>> ParallelScoreEdges(
+    const Graph& graph, int num_threads, int64_t grain,
+    const Scorer& score_edge, const CancelToken& cancel = {}) {
   const int64_t n = graph.num_edges();
   std::vector<EdgeScore> scores(static_cast<size_t>(n));
   Status status = internal::ScoreEdgesDynamic(
       graph, n, num_threads, grain, [](int64_t i) { return EdgeId{i}; },
-      score_edge, &scores);
+      score_edge, &scores, cancel);
   if (!status.ok()) return status;
   return scores;
 }
@@ -217,11 +259,12 @@ template <typename Scorer>
 Status ParallelScoreEdgeSubset(const Graph& graph,
                                std::span<const EdgeId> ids, int num_threads,
                                int64_t grain, const Scorer& score_edge,
-                               std::vector<EdgeScore>* scores) {
+                               std::vector<EdgeScore>* scores,
+                               const CancelToken& cancel = {}) {
   return internal::ScoreEdgesDynamic(
       graph, static_cast<int64_t>(ids.size()), num_threads, grain,
       [ids](int64_t i) { return ids[static_cast<size_t>(i)]; }, score_edge,
-      scores);
+      scores, cancel);
 }
 
 }  // namespace netbone

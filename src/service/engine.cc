@@ -5,12 +5,45 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "common/random.h"
 #include "core/delta_rescore.h"
 #include "core/filter.h"
 #include "eval/stability.h"
 #include "graph/delta.h"
+#include "service/fault_injection.h"
 
 namespace netbone {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// time_point::max() encodes "no deadline" throughout the engine.
+SteadyClock::time_point DeadlineFor(const BackboneRequest& request,
+                                    SteadyClock::time_point now) {
+  return request.timeout.count() > 0 ? now + request.timeout
+                                     : SteadyClock::time_point::max();
+}
+
+std::vector<Result<BackboneResponse>> FailAll(size_t n,
+                                              const Status& status) {
+  std::vector<Result<BackboneResponse>> failed;
+  failed.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    failed.push_back(Result<BackboneResponse>(status));
+  }
+  return failed;
+}
+
+/// Deterministic backoff jitter in [0.5, 1.0): a pure Mix64 hash of
+/// (key, attempt), so a replayed workload backs off identically while
+/// distinct keys retrying the same transient outage decorrelate.
+double BackoffJitter(const ScoreKey& key, int attempt) {
+  const uint64_t h =
+      Mix64(ScoreKeyHash{}(key) ^ (static_cast<uint64_t>(attempt) + 1));
+  return 0.5 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+}
+
+}  // namespace
 
 BackboneEngine::BackboneEngine(const Options& options)
     : options_(options),
@@ -20,12 +53,19 @@ BackboneEngine::BackboneEngine(const Options& options)
 }
 
 BackboneEngine::~BackboneEngine() {
+  // Shutdown ordering: flag first, then fire the engine-wide cancel
+  // token so in-flight scorings abort at their next chunk check, then
+  // join the dispatcher — which *cancels* still-queued batches (their
+  // futures resolve with kUnavailable; they are never executed against
+  // caches about to be torn down). Only after the join do the members
+  // (ScoreCache, GraphStore) destruct, in reverse declaration order.
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     shutdown_ = true;
   }
+  lifetime_.Cancel();
   queue_cv_.notify_all();
-  dispatcher_.join();  // drains queued batches before exiting
+  dispatcher_.join();
 }
 
 uint64_t BackboneEngine::AddGraph(Graph graph) {
@@ -59,6 +99,15 @@ std::shared_ptr<const Graph> BackboneEngine::FindGraph(
 
 void BackboneEngine::RememberFailureLocked(const ScoreKey& key,
                                            const Status& status) {
+  // Failure taxonomy: cancellation-shaped statuses (deadline, explicit
+  // cancel) and admission rejections describe the *caller's budget* or
+  // the *engine's load*, not the key — the identical scoring may well
+  // succeed for the next caller. Negative-caching them would poison the
+  // key for every client behind one impatient request.
+  if (status.IsCancellationShaped() || status.IsResourceExhausted()) {
+    negative_exempt_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // The table is bounded: negative keys are attacker/typo-shaped input,
   // so a hard cap beats unbounded growth. On overflow, sweep dead
   // entries; if every entry is live, drop the table — the cost is one
@@ -77,7 +126,8 @@ void BackboneEngine::RememberFailureLocked(const ScoreKey& key,
 
 std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
     const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-    bool* cache_hit, std::shared_future<ScoreResult>* pending) {
+    bool* cache_hit, std::shared_future<ScoreResult>* pending,
+    const CancelToken& cancel) {
   *cache_hit = false;
   const bool negative_enabled = options_.negative_ttl.count() > 0;
   std::promise<ScoreResult> promise;
@@ -106,6 +156,18 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
       *pending = it->second;
       return std::nullopt;
     }
+    // Admission control: a cold scoring past the in-flight bound is
+    // refused before registration (warm hits, negative hits and joins
+    // above are untouched — the bound prices *computations*, not
+    // requests). Never negative-cached: the key is fine, the engine is
+    // busy.
+    if (options_.max_inflight_scores > 0 &&
+        static_cast<int64_t>(inflight_.size()) >=
+            options_.max_inflight_scores) {
+      inflight_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ScoreResult(
+          Status::ResourceExhausted("in-flight scoring limit reached"));
+    }
     inflight_.emplace(key, promise.get_future().share());
   }
 
@@ -113,23 +175,18 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
   // before any fan-out, so the byte budget cannot evict the fingerprint
   // between resolution and this scoring). Three roads, cheapest first:
   // the positive cache answered above; a warm ancestor patch; the full
-  // rescore.
+  // (retrying) rescore.
   ScoreResult result = [&]() -> ScoreResult {
+    if (Status budget = cancel.Check(); !budget.ok()) {
+      return ScoreResult(budget);
+    }
     if (options_.enable_delta_rescore) {
       if (std::shared_ptr<const CachedScore> patched =
-              TryDeltaRescore(key, graph)) {
+              TryDeltaRescore(key, graph, cancel)) {
         return ScoreResult(std::move(patched));
       }
     }
-    RunMethodOptions run;
-    run.num_threads = options_.num_threads;
-    run.hss_max_cost = key.options.hss_max_cost;
-    run.hss_source_sample_size = key.options.hss_source_sample_size;
-    run.hss_sample_seed = key.options.hss_sample_seed;
-    scores_computed_.fetch_add(1, std::memory_order_relaxed);
-    Result<ScoredEdges> scored = RunMethod(key.method, *graph, run);
-    if (!scored.ok()) return ScoreResult(scored.status());
-    return ScoreResult(CachedScore::Build(graph, std::move(*scored)));
+    return ComputeScoreWithRetry(key, graph, cancel);
   }();
   {
     std::lock_guard<std::mutex> lock(score_mu_);
@@ -138,7 +195,8 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
     } else if (negative_enabled) {
       // The error is shared with current waiters AND remembered: repeated
       // requests on a bad key are answered from the negative cache until
-      // the TTL lapses or the generation is cleared.
+      // the TTL lapses or the generation is cleared. (Cancellation-shaped
+      // failures are exempted inside — see the taxonomy note there.)
       RememberFailureLocked(key, result.status());
     }
     inflight_.erase(key);
@@ -147,41 +205,107 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
   return result;
 }
 
-std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
-    const ScoreKey& key, const std::shared_ptr<const Graph>& graph) {
-  if (!SupportsDeltaRescore(key.method)) return nullptr;
+BackboneEngine::ScoreResult BackboneEngine::ComputeScoreWithRetry(
+    const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
+    const CancelToken& cancel) {
+  RunMethodOptions run;
+  run.num_threads = options_.num_threads;
+  run.hss_max_cost = key.options.hss_max_cost;
+  run.hss_source_sample_size = key.options.hss_source_sample_size;
+  run.hss_sample_seed = key.options.hss_sample_seed;
+  run.cancel = cancel;
+  for (int attempt = 0;; ++attempt) {
+    // Injected latency models a slow scoring backend. The sleep honours
+    // the request budget (InterruptibleSleep), so a stalled scoring
+    // still returns within deadline + one slice instead of serving the
+    // full stall.
+    if (FaultInjector* injector = ActiveFaultInjector();
+        injector != nullptr &&
+        injector->Draw(FaultSite::kScoringLatency)) {
+      Status slept = InterruptibleSleep(
+          injector->latency(FaultSite::kScoringLatency), cancel);
+      if (!slept.ok()) return ScoreResult(slept);
+    }
+    if (Status budget = cancel.Check(); !budget.ok()) {
+      return ScoreResult(budget);
+    }
+    ScoreResult result = [&]() -> ScoreResult {
+      // The failure site sits *inside* the retry loop so a retried
+      // attempt draws independently — chaos runs exercise the recovery
+      // path, not just the failure.
+      if (InjectFault(FaultSite::kScoringFailure)) {
+        return ScoreResult(
+            Status::Unavailable("injected scoring failure"));
+      }
+      scores_computed_.fetch_add(1, std::memory_order_relaxed);
+      Result<ScoredEdges> scored = RunMethod(key.method, *graph, run);
+      if (!scored.ok()) return ScoreResult(scored.status());
+      return ScoreResult(CachedScore::Build(graph, std::move(*scored)));
+    }();
+    if (result.ok() || !result.status().IsTransient() ||
+        attempt >= options_.max_retries) {
+      return result;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    // Exponential backoff with deterministic jitter; the sleep never
+    // outlives the budget (a lapsed deadline surfaces as the sleep's
+    // status, typed, not as a burned core).
+    const int shift = std::min(attempt, 10);
+    auto delay = std::chrono::nanoseconds(options_.retry_backoff) *
+                 (int64_t{1} << shift);
+    delay = std::min(delay,
+                     std::chrono::nanoseconds(options_.retry_backoff_max));
+    delay = std::chrono::nanoseconds(static_cast<int64_t>(
+        static_cast<double>(delay.count()) * BackoffJitter(key, attempt)));
+    if (delay.count() > 0) {
+      Status slept = InterruptibleSleep(delay, cancel);
+      if (!slept.ok()) return ScoreResult(slept);
+    }
+  }
+}
 
+BackboneEngine::WarmAncestor BackboneEngine::FindWarmAncestor(
+    const ScoreKey& key) {
   // Walk the lineage chain for the nearest warm ancestor entry of this
   // (method, options). Bounded hops guard against cycles a client could
   // register; the probe uses Peek so ancestor lookups don't distort the
   // request-facing hit rate. When the warm ancestor is the direct parent,
   // the submission-time delta is already on the lineage record; a deeper
-  // ancestor is re-diffed here.
+  // ancestor has none (the delta path re-diffs).
   constexpr int kMaxLineageHops = 8;
-  std::shared_ptr<const CachedScore> base;
-  std::shared_ptr<const GraphDelta> stored_delta;
-  uint64_t base_fingerprint = 0;
+  WarmAncestor found;
   uint64_t fingerprint = key.graph;
   for (int hop = 0; hop < kMaxLineageHops; ++hop) {
     ScoreCache::Lineage lineage = cache_.LineageFor(fingerprint);
     if (lineage.parent == 0 || lineage.parent == key.graph) break;
     if (std::shared_ptr<const CachedScore> entry = cache_.Peek(
             MakeScoreKey(lineage.parent, key.method, key.options))) {
-      base = std::move(entry);
-      base_fingerprint = lineage.parent;
-      if (fingerprint == key.graph) stored_delta = std::move(lineage.delta);
+      found.entry = std::move(entry);
+      found.fingerprint = lineage.parent;
+      if (fingerprint == key.graph) found.delta = std::move(lineage.delta);
       break;
     }
     fingerprint = lineage.parent;
   }
-  if (base == nullptr) return nullptr;
+  return found;
+}
+
+std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
+    const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
+    const CancelToken& cancel) {
+  if (!SupportsDeltaRescore(key.method)) return nullptr;
+
+  WarmAncestor ancestor = FindWarmAncestor(key);
+  if (ancestor.entry == nullptr) return nullptr;
+  const std::shared_ptr<const CachedScore>& base = ancestor.entry;
+  const uint64_t base_fingerprint = ancestor.fingerprint;
 
   // From here on a warm ancestor exists: any bail-out is a fallback the
   // stats should show. The ancestor graph comes from the entry's own
   // handle, so a GraphStore eviction of the ancestor cannot break the
   // diff.
   std::optional<GraphDelta> computed;
-  if (stored_delta == nullptr) {
+  if (ancestor.delta == nullptr) {
     Result<GraphDelta> diff = ComputeGraphDelta(base->graph(), *graph);
     if (!diff.ok()) {
       delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
@@ -190,16 +314,22 @@ std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
     computed = *std::move(diff);
   }
   const GraphDelta& delta =
-      stored_delta != nullptr ? *stored_delta : *computed;
+      ancestor.delta != nullptr ? *ancestor.delta : *computed;
   DeltaRescoreOptions rescore_options;
   rescore_options.num_threads = options_.num_threads;
   rescore_options.grain = options_.delta_grain;
+  rescore_options.cancel = cancel;
   Result<std::optional<DeltaRescoreResult>> rescored = DeltaRescore(
       key.method, base->scored(), *graph, delta, rescore_options);
   if (!rescored.ok() || !rescored->has_value()) {
     // A rescoring *error* also falls back: the full path reproduces the
-    // canonical error and feeds the negative cache as usual.
-    delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    // canonical error and feeds the negative cache as usual. A lapsed
+    // budget mid-patch is not a patch shortcoming, so it skips the
+    // fallback counter (the full path returns the typed status at its
+    // own pre-flight check).
+    if (rescored.ok() || !rescored.status().IsCancellationShaped()) {
+      delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
     return nullptr;
   }
   DeltaRescoreResult& patch = **rescored;
@@ -213,13 +343,41 @@ std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
 
 BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
     const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-    bool* cache_hit) {
-  std::shared_future<ScoreResult> pending;
-  std::optional<ScoreResult> result =
-      StartOrJoinScore(key, graph, cache_hit, &pending);
-  if (result.has_value()) return *std::move(result);
-  coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
-  return pending.get();  // caller context: safe to block
+    bool* cache_hit, const CancelToken& cancel) {
+  // Bounded resolve loop: round k re-enters when round k-1's shared
+  // computation died of a *foreign* budget (the starter's deadline, not
+  // ours) — on re-entry this caller may become the starter. Bounded so a
+  // pathological storm of dying starters cannot spin forever.
+  constexpr int kMaxResolveRounds = 4;
+  ScoreResult last = ScoreResult(Status::Cancelled("operation cancelled"));
+  for (int round = 0; round < kMaxResolveRounds; ++round) {
+    std::shared_future<ScoreResult> pending;
+    std::optional<ScoreResult> result =
+        StartOrJoinScore(key, graph, cache_hit, &pending, cancel);
+    if (!result.has_value()) {
+      coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+      if (cancel.CanExpire()) {
+        // Joiners wait with their *own* budget: the shared computation
+        // keeps running for everyone else when this caller gives up.
+        constexpr auto kJoinSlice = std::chrono::milliseconds(1);
+        while (pending.wait_for(kJoinSlice) !=
+               std::future_status::ready) {
+          if (Status budget = cancel.Check(); !budget.ok()) {
+            return ScoreResult(budget);
+          }
+        }
+      }
+      result = pending.get();  // caller context: safe to block
+    }
+    if (result->ok()) return *std::move(result);
+    const Status& status = result->status();
+    if (status.IsCancellationShaped() && cancel.Check().ok()) {
+      last = *std::move(result);
+      continue;  // foreign cancellation; our budget is still live
+    }
+    return *std::move(result);
+  }
+  return last;
 }
 
 void BackboneEngine::ClearNegativeCache() {
@@ -320,6 +478,12 @@ Result<BackboneResponse> BackboneEngine::Execute(
   if (graph == nullptr) {
     return Status::NotFound("unknown graph fingerprint (AddGraph first)");
   }
+  // One token carries all three reasons this request may stop: its
+  // deadline (armed here), the caller's explicit cancel, and engine
+  // shutdown.
+  CancelSource source(DeadlineFor(request, SteadyClock::now()),
+                      request.cancel, lifetime_.token());
+  const CancelToken token = source.token();
   const ScoreKey key =
       MakeScoreKey(request.graph, request.method, request.score_options);
   bool cache_hit = false;
@@ -328,29 +492,156 @@ Result<BackboneResponse> BackboneEngine::Execute(
   // memory alive regardless — the pin keeps the *fingerprint* resolvable
   // for the requests that will want the cached score next).
   graphs_.Pin(request.graph);
-  const ScoreResult score = GetOrComputeScore(key, graph, &cache_hit);
+  const ScoreResult score = GetOrComputeScore(key, graph, &cache_hit, token);
   graphs_.Unpin(request.graph);
-  if (!score.ok()) return score.status();
+  if (!score.ok()) {
+    const Status& status = score.status();
+    if (status.IsDeadlineExceeded()) {
+      deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.IsCancelled()) {
+      cancellations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (request.allow_degraded &&
+        (status.IsCancellationShaped() || status.IsTransient() ||
+         status.IsResourceExhausted()) &&
+        !lifetime_.CancellationRequested()) {
+      if (std::optional<Result<BackboneResponse>> stale =
+              TryDegradedResponse(request, key)) {
+        return *std::move(stale);
+      }
+      if (std::optional<Result<BackboneResponse>> sampled =
+              TryDegradedSampledHss(request, graph)) {
+        return *std::move(sampled);
+      }
+    }
+    return status;
+  }
   return BuildResponse(request, **score, cache_hit);
+}
+
+std::optional<Result<BackboneResponse>> BackboneEngine::TryDegradedResponse(
+    const BackboneRequest& request, const ScoreKey& key) {
+  WarmAncestor ancestor = FindWarmAncestor(key);
+  if (ancestor.entry == nullptr) return std::nullopt;
+  // The ancestor entry is a *stale but exact* answer: computed on the
+  // previous noisy observation of the same network, bit-identical to
+  // what that snapshot's own requests were served. No blocking, so this
+  // path is also safe from ExecuteBatch's phase-2 tasks.
+  Result<BackboneResponse> response =
+      BuildResponse(request, *ancestor.entry, /*cache_hit=*/true);
+  if (!response.ok()) return std::nullopt;
+  response->degraded = true;
+  response->degraded_from = ancestor.fingerprint;
+  degraded_served_.fetch_add(1, std::memory_order_relaxed);
+  ScheduleBackgroundRefresh(request);
+  return response;
+}
+
+std::optional<Result<BackboneResponse>>
+BackboneEngine::TryDegradedSampledHss(
+    const BackboneRequest& request,
+    const std::shared_ptr<const Graph>& graph) {
+  if (request.method != Method::kHighSalienceSkeleton ||
+      options_.degraded_hss_sample <= 0) {
+    return std::nullopt;
+  }
+  // Only degrade when it actually shrinks the work: an exact request, or
+  // a sampled one coarser than our fallback sample.
+  const int64_t requested = request.score_options.hss_source_sample_size;
+  if (requested > 0 && requested <= options_.degraded_hss_sample) {
+    return std::nullopt;
+  }
+  ScoreOptions sampled = request.score_options;
+  sampled.hss_source_sample_size = options_.degraded_hss_sample;
+  const ScoreKey sampled_key =
+      MakeScoreKey(request.graph, request.method, sampled);
+  // The sampled run is bounded by construction (k sources, not |V|), so
+  // it runs without the lapsed deadline — only engine shutdown can stop
+  // it. It caches under its canonical sampled key: repeat degradations
+  // on the same graph are warm.
+  bool cache_hit = false;
+  graphs_.Pin(request.graph);
+  const ScoreResult score =
+      GetOrComputeScore(sampled_key, graph, &cache_hit, lifetime_.token());
+  graphs_.Unpin(request.graph);
+  if (!score.ok()) return std::nullopt;
+  Result<BackboneResponse> response =
+      BuildResponse(request, **score, cache_hit);
+  if (!response.ok()) return std::nullopt;
+  response->degraded = true;
+  response->degraded_from = request.graph;
+  degraded_served_.fetch_add(1, std::memory_order_relaxed);
+  ScheduleBackgroundRefresh(request);
+  return response;
+}
+
+void BackboneEngine::ScheduleBackgroundRefresh(
+    const BackboneRequest& request) {
+  BackboneRequest exact = request;
+  exact.timeout = std::chrono::milliseconds(0);
+  exact.cancel = CancelToken();
+  exact.allow_degraded = false;
+  exact.include_edges = false;  // the point is warming the score cache
+  PendingBatch batch;
+  batch.requests.push_back(std::move(exact));
+  batch.deadlines.push_back(SteadyClock::time_point::max());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    // Refreshes never displace client work: full queue (or shutdown)
+    // just drops the refresh — the next degraded serve re-queues it.
+    if (shutdown_) return;
+    if (options_.max_queued_batches > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.max_queued_batches) {
+      return;
+    }
+    queue_.push_back(std::move(batch));
+    background_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
 }
 
 std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
     std::span<const BackboneRequest> requests) {
+  const SteadyClock::time_point now = SteadyClock::now();
+  std::vector<SteadyClock::time_point> deadlines;
+  deadlines.reserve(requests.size());
+  for (const BackboneRequest& request : requests) {
+    deadlines.push_back(DeadlineFor(request, now));
+  }
+  return ExecuteBatchWithDeadlines(requests, deadlines);
+}
+
+std::vector<Result<BackboneResponse>>
+BackboneEngine::ExecuteBatchWithDeadlines(
+    std::span<const BackboneRequest> requests,
+    std::span<const SteadyClock::time_point> deadlines) {
   const int64_t n = static_cast<int64_t>(requests.size());
   requests_.fetch_add(n, std::memory_order_relaxed);
+  const SteadyClock::time_point entry_now = SteadyClock::now();
 
   // Resolve graphs and collapse the batch onto its distinct score keys
   // (first-appearance order, so the scoring order is deterministic).
+  // Requests already past their deadline at entry are pre-answered and
+  // never touch resolution or scoring — an expired batch costs O(n), not
+  // O(scoring).
   struct Resolved {
     std::shared_ptr<const Graph> graph;  // nullptr = unknown fingerprint
     size_t key_slot = 0;
+    bool expired = false;  // pre-answered kDeadlineExceeded
   };
   std::vector<Resolved> resolved(static_cast<size_t>(n));
   std::vector<ScoreKey> keys;
   std::vector<std::shared_ptr<const Graph>> key_graphs;
+  // Scoring budget per key: the *latest* member deadline — the key keeps
+  // computing as long as any request still wants it.
+  std::vector<SteadyClock::time_point> key_deadlines;
   std::unordered_map<ScoreKey, size_t, ScoreKeyHash> key_slots;
   for (int64_t i = 0; i < n; ++i) {
     const BackboneRequest& request = requests[static_cast<size_t>(i)];
+    if (deadlines[static_cast<size_t>(i)] <= entry_now) {
+      resolved[static_cast<size_t>(i)].expired = true;
+      continue;
+    }
     std::shared_ptr<const Graph> graph = graphs_.Find(request.graph);
     if (graph == nullptr) continue;
     const ScoreKey key =
@@ -359,8 +650,27 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
     if (inserted) {
       keys.push_back(key);
       key_graphs.push_back(graph);
+      key_deadlines.push_back(deadlines[static_cast<size_t>(i)]);
+    } else {
+      key_deadlines[it->second] = std::max(
+          key_deadlines[it->second], deadlines[static_cast<size_t>(i)]);
     }
     resolved[static_cast<size_t>(i)] = Resolved{std::move(graph), it->second};
+  }
+
+  // One cancel source per key (latest member deadline, chained under
+  // engine shutdown). Per-request cancel tokens are not folded into the
+  // scoring token — a shared computation must not die because one
+  // sibling lost interest; they gate that sibling's own response in
+  // phase 2 instead.
+  std::vector<std::unique_ptr<CancelSource>> key_sources;
+  std::vector<CancelToken> key_tokens;
+  key_sources.reserve(keys.size());
+  key_tokens.reserve(keys.size());
+  for (size_t s = 0; s < keys.size(); ++s) {
+    key_sources.push_back(std::make_unique<CancelSource>(
+        key_deadlines[s], CancelToken(), lifetime_.token()));
+    key_tokens.push_back(key_sources.back()->token());
   }
 
   // Every distinct key's graph stays pinned from here through phase 1,
@@ -391,7 +701,8 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
     // One key (the common warm case) or a serial engine: no task handoff.
     for (size_t s = 0; s < keys.size(); ++s) {
       bool cache_hit = false;
-      scores[s] = GetOrComputeScore(keys[s], key_graphs[s], &cache_hit);
+      scores[s] =
+          GetOrComputeScore(keys[s], key_graphs[s], &cache_hit, key_tokens[s]);
       cache_hits[s] = cache_hit ? 1 : 0;
     }
   } else {
@@ -402,7 +713,7 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
         if (s >= keys.size()) return;
         bool cache_hit = false;
         scores[s] = StartOrJoinScore(keys[s], key_graphs[s], &cache_hit,
-                                     &pending[s]);
+                                     &pending[s], key_tokens[s]);
         cache_hits[s] = cache_hit ? 1 : 0;
       }
     };
@@ -414,16 +725,46 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
     }
     for (size_t s = 0; s < keys.size(); ++s) {
       if (!scores[s].has_value()) {
+        // Coalesced with a foreign computation: wait under this key's
+        // own budget (slice-wait — the key token always can expire, it
+        // is chained under shutdown), falling back through the full
+        // resolve loop when the foreign computation died of *its*
+        // budget while ours is still live.
         coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
-        scores[s] = pending[s].get();  // caller context: safe to block
+        constexpr auto kJoinSlice = std::chrono::milliseconds(1);
+        std::optional<Status> lapsed;
+        while (pending[s].wait_for(kJoinSlice) !=
+               std::future_status::ready) {
+          if (Status budget = key_tokens[s].Check(); !budget.ok()) {
+            lapsed = budget;
+            break;
+          }
+        }
+        if (lapsed.has_value()) {
+          scores[s] = ScoreResult(*lapsed);
+          continue;
+        }
+        ScoreResult joined = pending[s].get();
+        if (!joined.ok() && joined.status().IsCancellationShaped() &&
+            key_tokens[s].Check().ok()) {
+          bool cache_hit = false;
+          joined = GetOrComputeScore(keys[s], key_graphs[s], &cache_hit,
+                                     key_tokens[s]);
+          cache_hits[s] = cache_hit ? 1 : 0;
+        }
+        scores[s] = std::move(joined);
       }
     }
   }
   for (const ScoreKey& key : keys) graphs_.Unpin(key.graph);
 
   // Phase 2: per-request response assembly, distributed over the pool.
-  // Never blocks (the header's deadlock-freedom invariant); each slot is
-  // written by exactly one chunk, so results are deterministic.
+  // Never blocks (the header's deadlock-freedom invariant — the only
+  // degraded fallback taken here is the non-blocking warm-ancestor one);
+  // each slot is written by exactly one chunk, so results are
+  // deterministic. Deadlines bound *work*, not delivery: a request whose
+  // own deadline lapsed mid-batch still receives its key's result when a
+  // sibling's longer budget finished the scoring.
   std::vector<std::optional<Result<BackboneResponse>>> out(
       static_cast<size_t>(n));
   ParallelFor(n, options_.num_threads,
@@ -431,18 +772,52 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
                 for (int64_t i = begin; i < end; ++i) {
                   const size_t slot = static_cast<size_t>(i);
                   const Resolved& r = resolved[slot];
+                  const BackboneRequest& request = requests[slot];
+                  if (r.expired) {
+                    deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+                    out[slot] = Result<BackboneResponse>(
+                        Status::DeadlineExceeded(
+                            "deadline expired before batch execution"));
+                    continue;
+                  }
                   if (r.graph == nullptr) {
                     out[slot] = Result<BackboneResponse>(Status::NotFound(
                         "unknown graph fingerprint (AddGraph first)"));
                     continue;
                   }
+                  if (!request.cancel.IsNull() &&
+                      !request.cancel.Check().ok()) {
+                    cancellations_.fetch_add(1, std::memory_order_relaxed);
+                    out[slot] = Result<BackboneResponse>(
+                        request.cancel.Check());
+                    continue;
+                  }
                   const ScoreResult& score = *scores[r.key_slot];
                   if (!score.ok()) {
-                    out[slot] = Result<BackboneResponse>(score.status());
+                    const Status& status = score.status();
+                    if (status.IsDeadlineExceeded()) {
+                      deadline_hits_.fetch_add(1,
+                                               std::memory_order_relaxed);
+                    } else if (status.IsCancelled()) {
+                      cancellations_.fetch_add(1,
+                                               std::memory_order_relaxed);
+                    }
+                    if (request.allow_degraded &&
+                        (status.IsCancellationShaped() ||
+                         status.IsTransient() ||
+                         status.IsResourceExhausted())) {
+                      if (std::optional<Result<BackboneResponse>> stale =
+                              TryDegradedResponse(request,
+                                                  keys[r.key_slot])) {
+                        out[slot] = *std::move(stale);
+                        continue;
+                      }
+                    }
+                    out[slot] = Result<BackboneResponse>(status);
                     continue;
                   }
                   out[slot] =
-                      BuildResponse(requests[slot], **score,
+                      BuildResponse(request, **score,
                                     /*cache_hit=*/cache_hits[r.key_slot] != 0);
                 }
               });
@@ -455,24 +830,52 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
 
 std::future<std::vector<Result<BackboneResponse>>> BackboneEngine::Submit(
     std::vector<BackboneRequest> requests) {
+  // Deadlines arm at submit time, so queueing delay counts against the
+  // request budget — an async client's patience starts when it hands the
+  // batch over, not when the dispatcher gets around to it.
+  const SteadyClock::time_point now = SteadyClock::now();
   PendingBatch batch;
+  batch.deadlines.reserve(requests.size());
+  for (const BackboneRequest& request : requests) {
+    batch.deadlines.push_back(DeadlineFor(request, now));
+  }
   batch.requests = std::move(requests);
   std::future<std::vector<Result<BackboneResponse>>> future =
       batch.promise.get_future();
+  std::optional<PendingBatch> shed;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (shutdown_) {
-      std::vector<Result<BackboneResponse>> aborted;
-      aborted.reserve(batch.requests.size());
-      for (size_t i = 0; i < batch.requests.size(); ++i) {
-        aborted.push_back(Result<BackboneResponse>(
-            Status::FailedPrecondition("engine is shutting down")));
-      }
-      batch.promise.set_value(std::move(aborted));
+      batch.promise.set_value(
+          FailAll(batch.requests.size(),
+                  Status::Unavailable("engine is shutting down")));
       return future;
+    }
+    // Admission control: a bounded queue answers overload with a typed
+    // refusal instead of unbounded memory growth.
+    if (options_.max_queued_batches > 0 &&
+        static_cast<int64_t>(queue_.size()) >=
+            options_.max_queued_batches) {
+      if (options_.overload_policy == OverloadPolicy::kRejectNew) {
+        rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+        batch.promise.set_value(
+            FailAll(batch.requests.size(),
+                    Status::ResourceExhausted("submit queue is full")));
+        return future;
+      }
+      shed = std::move(queue_.front());
+      queue_.pop_front();
+      shed_batches_.fetch_add(1, std::memory_order_relaxed);
     }
     queue_.push_back(std::move(batch));
     submitted_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (shed.has_value()) {
+    // Resolved outside the lock: a waiter on the shed future may react
+    // by submitting again, which takes queue_mu_.
+    shed->promise.set_value(
+        FailAll(shed->requests.size(),
+                Status::Unavailable("shed by overload policy")));
   }
   queue_cv_.notify_one();
   return future;
@@ -482,15 +885,33 @@ void BackboneEngine::DispatcherLoop() {
   std::unique_lock<std::mutex> lock(queue_mu_);
   for (;;) {
     queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (shutdown_) return;
-      continue;
-    }
+    if (shutdown_) break;
+    if (queue_.empty()) continue;
     PendingBatch batch = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    batch.promise.set_value(ExecuteBatch(batch.requests));
+    // Fault-injection site: a stalled dispatcher. The stall is bounded
+    // by engine shutdown (lifetime token), never by request deadlines —
+    // the point is to let queued requests' budgets burn.
+    if (FaultInjector* injector = ActiveFaultInjector();
+        injector != nullptr &&
+        injector->Draw(FaultSite::kDispatcherStall)) {
+      InterruptibleSleep(injector->latency(FaultSite::kDispatcherStall),
+                         lifetime_.token());
+    }
+    batch.promise.set_value(
+        ExecuteBatchWithDeadlines(batch.requests, batch.deadlines));
     lock.lock();
+  }
+  // Shutdown: queued batches are *cancelled*, not executed — their
+  // futures resolve immediately with a typed status instead of racing
+  // the destructor's cache teardown. (lock is held here.)
+  while (!queue_.empty()) {
+    PendingBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    batch.promise.set_value(FailAll(
+        batch.requests.size(),
+        Status::Unavailable("engine is shutting down")));
   }
 }
 
@@ -504,6 +925,22 @@ BackboneEngine::Stats BackboneEngine::stats() const {
   stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
   stats.delta_rescores = delta_rescores_.load(std::memory_order_relaxed);
   stats.delta_fallbacks = delta_fallbacks_.load(std::memory_order_relaxed);
+  stats.shed_batches = shed_batches_.load(std::memory_order_relaxed);
+  stats.rejected_batches =
+      rejected_batches_.load(std::memory_order_relaxed);
+  stats.inflight_rejected =
+      inflight_rejected_.load(std::memory_order_relaxed);
+  stats.deadline_hits = deadline_hits_.load(std::memory_order_relaxed);
+  stats.cancellations = cancellations_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.negative_exempt = negative_exempt_.load(std::memory_order_relaxed);
+  stats.degraded_served = degraded_served_.load(std::memory_order_relaxed);
+  stats.background_refreshes =
+      background_refreshes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.queue_depth = static_cast<int64_t>(queue_.size());
+  }
   {
     // Live entries only: expired ones awaiting a lazy sweep don't count.
     const auto now = std::chrono::steady_clock::now();

@@ -45,6 +45,40 @@
 // the task group joins, instead of blocking a worker on it. Tasks
 // therefore always run to completion without blocking on other requests
 // (common/parallel.h blocking rules).
+//
+// Failure semantics (the fault-tolerance layer):
+//  * Deadlines + cancellation: BackboneRequest::timeout arms a deadline
+//    at Execute / ExecuteBatch / Submit entry; together with the
+//    request's own CancelToken and the engine's shutdown token it forms
+//    the token the scoring loops poll at chunk granularity
+//    (common/cancel.h). A request past its budget returns a typed
+//    kDeadlineExceeded / kCancelled and the scoring stops burning cores
+//    at the next check. Deadlines bound *work*, not delivery: a batch
+//    request whose key finishes scoring under a sibling's longer
+//    deadline still receives the (exact, bit-identical) result.
+//  * Retry: transient scoring failures (kUnavailable, kIOError) are
+//    retried up to max_retries with exponential backoff and
+//    deterministic jitter (a Mix64 hash of key and attempt — reruns of
+//    the same workload back off identically). Cancellation-shaped
+//    failures are never retried and never negative-cached.
+//  * Admission control: the Submit queue is bounded (max_queued_batches;
+//    reject-new or shed-oldest under overload) and cold scorings are
+//    bounded (max_inflight_scores) — overload answers kResourceExhausted
+//    / kUnavailable instead of growing queues without bound.
+//  * Degradation: a request that opts in via allow_degraded and misses
+//    its budget may be answered from a warm lineage ancestor's entry
+//    (stale but exact-for-the-ancestor) or, for HSS, a seeded sampled
+//    approximation — always flagged degraded=true with provenance, and
+//    the exact result is scheduled in the background. Nothing silently
+//    approximates: every unflagged response keeps the bit-identity
+//    contract above.
+//  * Shutdown: the destructor stops the dispatcher, *cancels* queued
+//    batches (futures resolve with kUnavailable, never dangle) and fires
+//    the engine-wide cancel token so in-flight scorings abort before the
+//    caches are torn down.
+// All of this is exercised deterministically by the seeded
+// fault-injection harness (service/fault_injection.h) and the chaos
+// bench (bench/bench_fault_tolerance.cc).
 
 #ifndef NETBONE_SERVICE_ENGINE_H_
 #define NETBONE_SERVICE_ENGINE_H_
@@ -63,6 +97,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "core/registry.h"
 #include "graph/graph.h"
@@ -112,6 +147,27 @@ struct BackboneRequest {
   /// When false, extraction kinds skip materializing `kept_edges`
   /// (coverage/weight bookkeeping is still filled).
   bool include_edges = true;
+
+  /// Soft deadline: > 0 arms a deadline of now + timeout when the
+  /// request enters the engine (Execute / ExecuteBatch call time; Submit
+  /// time for async batches, so queueing delay counts against the
+  /// budget). Past the deadline the request returns kDeadlineExceeded
+  /// and its scoring stops at the next chunk-granularity check. 0 = no
+  /// deadline.
+  std::chrono::milliseconds timeout{0};
+
+  /// Optional caller-held cancellation (CancelSource::token()). Honoured
+  /// like the deadline in Execute; in batches it pre-empts the request's
+  /// own response but does not abort a scoring shared with siblings.
+  CancelToken cancel;
+
+  /// Opt-in graceful degradation: when the exact path misses its budget
+  /// (deadline/cancel) or fails transiently, the engine may answer from
+  /// a warm lineage ancestor's entry or (HSS, Execute only) a seeded
+  /// sampled approximation — flagged degraded=true, with the exact
+  /// result scheduled in the background. Never changes an unflagged
+  /// response.
+  bool allow_degraded = false;
 };
 
 /// One sweep-grid point of a kSweep response.
@@ -147,6 +203,28 @@ struct BackboneResponse {
   /// request executed — the warm path. False when the request triggered,
   /// or waited on (coalesced with), a fresh computation.
   bool cache_hit = false;
+
+  /// True when this response was served by a degraded path (stale warm
+  /// ancestor or sampled-HSS approximation) after the exact path missed
+  /// its budget; see BackboneRequest::allow_degraded. A degraded
+  /// response is exact *for the artifacts that served it* — it is never
+  /// a silently perturbed version of the exact answer.
+  bool degraded = false;
+  /// Degraded responses: fingerprint of the graph whose cached artifacts
+  /// served the answer (the warm ancestor; the request's own graph for
+  /// the sampled-HSS path). 0 otherwise.
+  uint64_t degraded_from = 0;
+};
+
+/// What Submit does when its bounded queue is full.
+enum class OverloadPolicy {
+  /// Fail the incoming batch with kResourceExhausted; queued work keeps
+  /// its place (favours earlier clients — predictable under ramp load).
+  kRejectNew,
+  /// Fail the *oldest* queued batch with kUnavailable and enqueue the
+  /// incoming one (favours fresh requests — the oldest batch is the most
+  /// likely to be past its caller's patience anyway).
+  kShedOldest,
 };
 
 /// Options for BackboneEngine.
@@ -176,6 +254,33 @@ struct BackboneEngineOptions {
   /// Block size for the delta path's dirty-edge rescoring
   /// (DeltaRescoreOptions::grain).
   int64_t delta_grain = 32;
+
+  /// Retries for transiently-failed cold scorings (kUnavailable /
+  /// kIOError): up to this many re-attempts after the first failure.
+  /// 0 disables retry. Cancellation-shaped failures never retry.
+  int max_retries = 3;
+  /// Base of the exponential backoff between retries: attempt k sleeps
+  /// ~retry_backoff * 2^k, capped at retry_backoff_max, scaled by a
+  /// deterministic jitter in [0.5, 1.0) derived from (key, attempt) —
+  /// identical workloads back off identically, distinct keys decorrelate.
+  /// The sleep is deadline-aware (it never outlives the request budget).
+  std::chrono::milliseconds retry_backoff{1};
+  std::chrono::milliseconds retry_backoff_max{50};
+
+  /// Bound on queued Submit batches (admission control). 0 = unbounded
+  /// (the pre-PR-6 behavior). When full, `overload_policy` decides.
+  int64_t max_queued_batches = 0;
+  OverloadPolicy overload_policy = OverloadPolicy::kRejectNew;
+
+  /// Bound on concurrently in-flight cold scorings. A request whose key
+  /// is warm, negative-cached or already in flight is unaffected; one
+  /// that would *start* a new scoring past the bound returns
+  /// kResourceExhausted instead (never negative-cached). 0 = unlimited.
+  int64_t max_inflight_scores = 0;
+
+  /// Source-sample size for the degraded sampled-HSS fallback
+  /// (BackboneRequest::allow_degraded); <= 0 disables that fallback.
+  int64_t degraded_hss_sample = 64;
 };
 
 /// Long-lived serving engine: graph residency + score cache + request
@@ -193,6 +298,19 @@ class BackboneEngine {
     int64_t negative_entries = 0;  ///< live negative-cache entries
     int64_t delta_rescores = 0;    ///< cold keys answered by patching an ancestor
     int64_t delta_fallbacks = 0;   ///< warm ancestor found but patch not applicable
+
+    /// Fault-tolerance counters (PR 6).
+    int64_t queue_depth = 0;       ///< Submit batches currently queued
+    int64_t shed_batches = 0;      ///< batches failed by shed-oldest overflow
+    int64_t rejected_batches = 0;  ///< batches failed by reject-new overflow
+    int64_t inflight_rejected = 0;  ///< scorings refused by max_inflight_scores
+    int64_t deadline_hits = 0;     ///< requests whose exact path hit its deadline
+    int64_t cancellations = 0;     ///< requests answered kCancelled
+    int64_t retries = 0;           ///< transient-failure re-attempts
+    int64_t negative_exempt = 0;   ///< failures exempted from negative caching
+    int64_t degraded_served = 0;   ///< responses served by a degraded path
+    int64_t background_refreshes = 0;  ///< exact recomputes queued by degradation
+
     GraphStore::Stats graphs;
     ScoreCache::Stats cache;
   };
@@ -262,18 +380,34 @@ class BackboneEngine {
   /// The *caller* awaits `pending`, from caller context only.
   std::optional<ScoreResult> StartOrJoinScore(
       const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-      bool* cache_hit, std::shared_future<ScoreResult>* pending);
+      bool* cache_hit, std::shared_future<ScoreResult>* pending,
+      const CancelToken& cancel = {});
 
   /// Cache lookup + in-flight coalescing + scoring. Caller context only
   /// (may block on an in-flight future). Sets *cache_hit when the score
   /// was already resident (warm path — no computation triggered or
-  /// awaited).
+  /// awaited). The join honours `cancel`: a waiter whose budget lapses
+  /// stops waiting (the shared computation keeps running for the
+  /// others), and a waiter that inherits a *foreign* cancellation — the
+  /// starter's budget died, not this caller's — re-enters the resolve
+  /// loop and may become the starter itself.
   ScoreResult GetOrComputeScore(const ScoreKey& key,
                                 const std::shared_ptr<const Graph>& graph,
-                                bool* cache_hit);
+                                bool* cache_hit,
+                                const CancelToken& cancel = {});
 
-  /// Records a scoring failure in the negative cache. Precondition:
-  /// score_mu_ held and negative caching enabled.
+  /// The cold scoring itself, with the transient-failure retry loop and
+  /// the scoring fault-injection sites. Runs in the in-flight window
+  /// (the key is registered); never touches engine locks.
+  ScoreResult ComputeScoreWithRetry(const ScoreKey& key,
+                                    const std::shared_ptr<const Graph>& graph,
+                                    const CancelToken& cancel);
+
+  /// Records a scoring failure in the negative cache — unless the status
+  /// is cancellation-shaped or an admission rejection, which say nothing
+  /// about the key itself (the taxonomy split; such failures bump
+  /// Stats::negative_exempt instead). Precondition: score_mu_ held and
+  /// negative caching enabled.
   void RememberFailureLocked(const ScoreKey& key, const Status& status);
 
   /// The incremental fast path for a cold key: walks the cache's lineage
@@ -284,12 +418,49 @@ class BackboneEngine {
   /// a non-incremental method or delta — and the caller runs the full
   /// rescore. Never blocks on other requests' work.
   std::shared_ptr<const CachedScore> TryDeltaRescore(
-      const ScoreKey& key, const std::shared_ptr<const Graph>& graph);
+      const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
+      const CancelToken& cancel = {});
 
   /// Pure response assembly from a resolved score; never blocks.
   Result<BackboneResponse> BuildResponse(const BackboneRequest& request,
                                          const CachedScore& score,
                                          bool cache_hit) const;
+
+  /// A warm cache entry along `key`'s lineage chain (the same walk the
+  /// delta path uses), plus its fingerprint. entry == nullptr when none.
+  struct WarmAncestor {
+    std::shared_ptr<const CachedScore> entry;
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const GraphDelta> delta;  ///< set when direct parent
+  };
+  WarmAncestor FindWarmAncestor(const ScoreKey& key);
+
+  /// The non-blocking degraded path: answer from a warm lineage
+  /// ancestor's entry, flagged degraded, and queue the exact recompute.
+  /// nullopt when no warm ancestor (or its assembly fails) — the caller
+  /// falls back to the original error. Safe inside work-stealing tasks.
+  std::optional<Result<BackboneResponse>> TryDegradedResponse(
+      const BackboneRequest& request, const ScoreKey& key);
+
+  /// The blocking degraded fallback for HSS without a warm ancestor:
+  /// score a seeded source-sample (options_.degraded_hss_sample) under
+  /// no deadline — sampling bounds the cost by construction — and flag
+  /// the response. Execute-only (may block). nullopt when inapplicable.
+  std::optional<Result<BackboneResponse>> TryDegradedSampledHss(
+      const BackboneRequest& request,
+      const std::shared_ptr<const Graph>& graph);
+
+  /// Queues a background exact recompute of `request`'s key (stripped of
+  /// deadline/cancel/degradation) after a degraded serve. Dropped when
+  /// the queue is full or shutting down — degradation never sheds client
+  /// work to make room for its own refresh.
+  void ScheduleBackgroundRefresh(const BackboneRequest& request);
+
+  /// Batch execution against per-request deadlines armed by the caller
+  /// (Execute/ExecuteBatch arm at call time, Submit at submit time).
+  std::vector<Result<BackboneResponse>> ExecuteBatchWithDeadlines(
+      std::span<const BackboneRequest> requests,
+      std::span<const std::chrono::steady_clock::time_point> deadlines);
 
   void DispatcherLoop();
 
@@ -321,12 +492,29 @@ class BackboneEngine {
   std::atomic<int64_t> negative_hits_{0};
   std::atomic<int64_t> delta_rescores_{0};
   std::atomic<int64_t> delta_fallbacks_{0};
+  std::atomic<int64_t> shed_batches_{0};
+  std::atomic<int64_t> rejected_batches_{0};
+  std::atomic<int64_t> inflight_rejected_{0};
+  std::atomic<int64_t> deadline_hits_{0};
+  std::atomic<int64_t> cancellations_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> negative_exempt_{0};
+  std::atomic<int64_t> degraded_served_{0};
+  std::atomic<int64_t> background_refreshes_{0};
+
+  /// Engine-wide shutdown token, chained as a parent into every
+  /// request's cancel token: the destructor fires it so in-flight
+  /// scorings abort before ScoreCache / GraphStore are torn down.
+  CancelSource lifetime_;
 
   struct PendingBatch {
     std::vector<BackboneRequest> requests;
+    /// Per-request deadlines armed at Submit time (queueing delay counts
+    /// against the budget); time_point::max() = none.
+    std::vector<std::chrono::steady_clock::time_point> deadlines;
     std::promise<std::vector<Result<BackboneResponse>>> promise;
   };
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;  // mutable: stats() reads queue depth
   std::condition_variable queue_cv_;
   std::deque<PendingBatch> queue_;
   bool shutdown_ = false;

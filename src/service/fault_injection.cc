@@ -1,0 +1,70 @@
+#include "service/fault_injection.h"
+
+#include "common/random.h"
+
+namespace netbone {
+namespace internal {
+
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+
+}  // namespace internal
+
+namespace {
+
+// Distinct per-site salt so two sites with equal probability do not
+// inject on the same draw indices.
+uint64_t SiteSalt(FaultSite site) {
+  return 0xF417A51BD00D0000ULL + static_cast<uint64_t>(site);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {
+  for (auto& d : draws_) d.store(0, std::memory_order_relaxed);
+  for (auto& i : injected_) i.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Configure(FaultSite site, const FaultSpec& spec) {
+  specs_[static_cast<size_t>(site)] = spec;
+}
+
+bool FaultInjector::Draw(FaultSite site) {
+  const size_t s = static_cast<size_t>(site);
+  const FaultSpec& spec = specs_[s];
+  if (spec.probability <= 0.0) return false;
+  const int64_t draw = draws_[s].fetch_add(1, std::memory_order_relaxed);
+  // frac() via the 53 high bits, the usual uint64 -> [0,1) mapping.
+  const double unit =
+      static_cast<double>(Mix64(seed_ ^ SiteSalt(site) ^
+                                static_cast<uint64_t>(draw)) >>
+                          11) *
+      0x1.0p-53;
+  if (unit >= spec.probability) return false;
+  if (spec.max_injections >= 0) {
+    // Claim one of the bounded injection slots; losers pass through.
+    int64_t used = injected_[s].load(std::memory_order_relaxed);
+    while (true) {
+      if (used >= spec.max_injections) return false;
+      if (injected_[s].compare_exchange_weak(used, used + 1,
+                                             std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  injected_[s].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::chrono::microseconds FaultInjector::latency(FaultSite site) const {
+  return specs_[static_cast<size_t>(site)].latency;
+}
+
+int64_t FaultInjector::draws(FaultSite site) const {
+  return draws_[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::injected(FaultSite site) const {
+  return injected_[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+}  // namespace netbone

@@ -1,0 +1,129 @@
+// Copyright 2026 The netbone Authors.
+//
+// Deterministic fault injection for the serving stack. The production
+// failure modes the engine must tolerate — a scoring backend erroring
+// transiently, a slow scoring, a cache insert losing the allocation
+// race, a stalled dispatcher — are rare and timing-dependent in the
+// wild, which makes "does the engine survive them" untestable without a
+// harness. This one is:
+//
+//  * *Seeded*: every injection decision is a pure function of
+//    (seed, site, draw index) via the Mix64 diffusion primitive, so a
+//    chaos replay with the same seed injects the same faults at the same
+//    draws — failures found in CI reproduce on a laptop.
+//  * *Scoped*: ScopedFaultInjection installs an injector for its
+//    lifetime (RAII); tests and the chaos bench wrap exactly the region
+//    they mean to perturb.
+//  * *Compiled in always, zero-cost when off*: call sites do a single
+//    relaxed atomic load of the global injector pointer and branch on
+//    null. No build flag forks the binary — the code path exercised
+//    under chaos is byte-for-byte the code path serving production.
+//
+// Thread-safety: Configure() before installing; Draw() is lock-free and
+// safe from any thread while installed.
+
+#ifndef NETBONE_SERVICE_FAULT_INJECTION_H_
+#define NETBONE_SERVICE_FAULT_INJECTION_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace netbone {
+
+/// The injection points wired into the serving stack.
+enum class FaultSite : int {
+  /// The engine's cold-scoring path fails with Status::Unavailable —
+  /// exercised *inside* the retry loop, so retries can succeed.
+  kScoringFailure = 0,
+  /// Artificial latency before a cold scoring (deadline-aware sleep).
+  kScoringLatency = 1,
+  /// ScoreCache::Put drops the insert, simulating allocation failure:
+  /// the result is still returned to waiters but never cached.
+  kCacheInsertFailure = 2,
+  /// The Submit dispatcher stalls before executing a batch.
+  kDispatcherStall = 3,
+};
+inline constexpr int kNumFaultSites = 4;
+
+/// Per-site configuration.
+struct FaultSpec {
+  /// Probability in [0, 1] that a draw at this site injects.
+  double probability = 0.0;
+  /// Sleep injected by the latency/stall sites when a draw fires.
+  std::chrono::microseconds latency{0};
+  /// When >= 0, at most this many draws inject (first-come across
+  /// threads); -1 = unlimited. Lets tests say "fail exactly the first
+  /// two attempts" deterministically.
+  int64_t max_injections = -1;
+};
+
+/// A seeded injector. Decisions are deterministic in the *sequence of
+/// draws per site*: draw k at site s injects iff
+/// frac(Mix64(seed ^ site-salt ^ k)) < probability. Under concurrency
+/// the assignment of draws to threads varies, but the multiset of
+/// decisions over any n draws does not — which is what the chaos gate's
+/// "same seed, same fault pressure" contract needs.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed);
+
+  /// Sets the spec for one site. Call before installing.
+  void Configure(FaultSite site, const FaultSpec& spec);
+
+  /// Takes the next draw at `site`; true = inject. Lock-free.
+  bool Draw(FaultSite site);
+
+  /// The configured injected latency for `site`.
+  std::chrono::microseconds latency(FaultSite site) const;
+
+  /// Total draws / injections at `site` so far.
+  int64_t draws(FaultSite site) const;
+  int64_t injected(FaultSite site) const;
+
+ private:
+  uint64_t seed_;
+  std::array<FaultSpec, kNumFaultSites> specs_;
+  std::array<std::atomic<int64_t>, kNumFaultSites> draws_;
+  std::array<std::atomic<int64_t>, kNumFaultSites> injected_;
+};
+
+namespace internal {
+extern std::atomic<FaultInjector*> g_fault_injector;
+}  // namespace internal
+
+/// The currently installed injector, or nullptr (the common case — one
+/// relaxed load, no barrier on the hot path).
+inline FaultInjector* ActiveFaultInjector() {
+  return internal::g_fault_injector.load(std::memory_order_acquire);
+}
+
+/// One draw at `site` against the active injector; false when none is
+/// installed.
+inline bool InjectFault(FaultSite site) {
+  FaultInjector* injector = ActiveFaultInjector();
+  return injector != nullptr && injector->Draw(site);
+}
+
+/// Installs `injector` for the scope's lifetime. Not reentrant: nesting
+/// two scopes restores the outer one on exit but both must outlive any
+/// thread still drawing.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector)
+      : previous_(internal::g_fault_injector.exchange(
+            injector, std::memory_order_acq_rel)) {}
+  ~ScopedFaultInjection() {
+    internal::g_fault_injector.store(previous_, std::memory_order_release);
+  }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_SERVICE_FAULT_INJECTION_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "service/fault_injection.h"
 
 namespace netbone {
 
@@ -104,6 +105,14 @@ ScoreCache::Lineage ScoreCache::LineageFor(uint64_t child) const {
 void ScoreCache::Put(const ScoreKey& key,
                      std::shared_ptr<const CachedScore> score) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Fault-injection site: a dropped insert models the cache losing the
+  // allocation race under memory pressure. The caller's shared_ptr still
+  // serves every waiter of the in-flight computation — the entry is
+  // simply never cached, so the next request on the key rescores.
+  if (InjectFault(FaultSite::kCacheInsertFailure)) {
+    ++insert_failures_;
+    return;
+  }
   const auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->second->bytes();
@@ -141,6 +150,7 @@ ScoreCache::Stats ScoreCache::stats() const {
   stats.lineage_entries = static_cast<int64_t>(lineage_.size());
   stats.bytes = bytes_;
   stats.byte_budget = byte_budget_;
+  stats.insert_failures = insert_failures_;
   return stats;
 }
 

@@ -172,6 +172,9 @@ class ScoreCache {
     int64_t lineage_entries = 0;
     int64_t bytes = 0;
     int64_t byte_budget = 0;
+    /// Inserts dropped by the fault-injection harness (simulated
+    /// allocation failure in Put); always 0 in production.
+    int64_t insert_failures = 0;
   };
 
   /// byte_budget <= 0 means unlimited.
@@ -249,6 +252,7 @@ class ScoreCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t insert_failures_ = 0;
   LruList lru_;  // front = most recently used
   std::unordered_map<ScoreKey, LruList::iterator, ScoreKeyHash> index_;
   std::unordered_map<uint64_t, Lineage> lineage_;  // child -> record

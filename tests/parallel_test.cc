@@ -11,12 +11,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/cancel.h"
 
 #include "core/disparity_filter.h"
 #include "core/maximum_spanning_tree.h"
@@ -414,6 +417,105 @@ TEST(ParallelScoreEdgesTest, FirstErrorWinsMatchesSerialSweep) {
     EXPECT_EQ(parallel.status().ToString(), serial.status().ToString())
         << "threads " << threads;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation inside the scoring loops.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelScoreEdgesTest, PreCancelledTokenStopsBeforeScoring) {
+  const Graph g = MakeScoringGraph(Directedness::kUndirected);
+  CancelSource source;
+  source.Cancel();
+  std::atomic<int64_t> scored{0};
+  for (const int threads : {1, 4}) {
+    const auto result = ParallelScoreEdges(
+        g, threads,
+        [&](EdgeId, const Edge& e, EdgeScore* out) -> Status {
+          scored.fetch_add(1, std::memory_order_relaxed);
+          *out = EdgeScore{e.weight, 0.0};
+          return Status::OK();
+        },
+        source.token());
+    ASSERT_FALSE(result.ok()) << "threads " << threads;
+    EXPECT_TRUE(result.status().IsCancelled());
+  }
+  // Polled at chunk granularity: a token fired before the sweep starts
+  // means at most a stride per worker runs, never the full edge table.
+  EXPECT_LT(scored.load(), g.num_edges());
+}
+
+TEST(ParallelScoreEdgesTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  const Graph g = MakeScoringGraph(Directedness::kUndirected);
+  CancelSource source(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+  const auto result = ParallelScoreEdges(
+      g, 4,
+      [](EdgeId, const Edge& e, EdgeScore* out) -> Status {
+        *out = EdgeScore{e.weight, 0.0};
+        return Status::OK();
+      },
+      source.token());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST(ParallelScoreEdgesTest, RecordedEdgeErrorOutranksCancellation) {
+  // An edge error recorded before the token fires beats the cancellation:
+  // a serial sweep would have hit that edge before any cancellation check
+  // at or past it. Edge 0 errors *and* fires the token, so every later
+  // chunk may bail cancelled — the edge-0 error must still win.
+  const Graph g = MakeScoringGraph(Directedness::kUndirected);
+  for (const int threads : {1, 4}) {
+    CancelSource source;
+    const auto result = ParallelScoreEdges(
+        g, threads,
+        [&](EdgeId id, const Edge&, EdgeScore*) -> Status {
+          if (id == 0) {
+            source.Cancel();
+            return Status::InvalidArgument("bad edge 0");
+          }
+          return Status::OK();
+        },
+        source.token());
+    ASSERT_FALSE(result.ok()) << "threads " << threads;
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+  }
+}
+
+TEST(ParallelScoreEdgesTest, MethodOptionsPlumbCancelTokens) {
+  const Graph g = MakeScoringGraph(Directedness::kUndirected);
+  CancelSource source;
+  source.Cancel();
+
+  NoiseCorrectedOptions nc;
+  nc.cancel = source.token();
+  const auto nc_result = NoiseCorrected(g, nc);
+  ASSERT_FALSE(nc_result.ok());
+  EXPECT_TRUE(nc_result.status().IsCancelled());
+
+  DisparityFilterOptions df;
+  df.cancel = source.token();
+  const auto df_result = DisparityFilter(g, df);
+  ASSERT_FALSE(df_result.ok());
+  EXPECT_TRUE(df_result.status().IsCancelled());
+
+  NaiveThresholdOptions nt;
+  nt.cancel = source.token();
+  const auto nt_result = NaiveThreshold(g, nt);
+  ASSERT_FALSE(nt_result.ok());
+  EXPECT_TRUE(nt_result.status().IsCancelled());
+}
+
+TEST(ParallelScoreEdgesTest, HssHonoursDeadlineBetweenSourceBatches) {
+  const Graph g = MakeScoringGraph(Directedness::kUndirected);
+  HighSalienceSkeletonOptions options;
+  CancelSource source(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+  options.cancel = source.token();
+  const auto result = HighSalienceSkeleton(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
 }
 
 // ---------------------------------------------------------------------------

@@ -11,8 +11,10 @@
 #include "service/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <future>
 #include <optional>
 #include <string>
@@ -22,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "core/filter.h"
 #include "core/high_salience_skeleton.h"
@@ -33,6 +36,7 @@
 #include "gen/erdos_renyi.h"
 #include "graph/builder.h"
 #include "graph/delta.h"
+#include "service/fault_injection.h"
 #include "service/graph_store.h"
 #include "service/score_cache.h"
 
@@ -903,6 +907,507 @@ TEST(ScoreCacheTest, LineageIsAccountedAndPeekDoesNotCountHits) {
   cache.Clear();
   EXPECT_EQ(cache.stats().lineage_entries, 0);
   EXPECT_EQ(cache.stats().bytes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (deterministic chaos harness).
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  FaultInjector a(1234), b(1234), c(99);
+  const FaultSpec spec{.probability = 0.3};
+  for (FaultInjector* injector : {&a, &b, &c}) {
+    injector->Configure(FaultSite::kScoringFailure, spec);
+  }
+  int same = 0, diff = 0;
+  int64_t injected_a = 0;
+  for (int draw = 0; draw < 200; ++draw) {
+    const bool da = a.Draw(FaultSite::kScoringFailure);
+    const bool db = b.Draw(FaultSite::kScoringFailure);
+    const bool dc = c.Draw(FaultSite::kScoringFailure);
+    injected_a += da ? 1 : 0;
+    EXPECT_EQ(da, db);  // identical seeds replay identically
+    (da == dc ? same : diff)++;
+  }
+  EXPECT_GT(diff, 0);  // a different seed is a different schedule
+  EXPECT_EQ(a.draws(FaultSite::kScoringFailure), 200);
+  EXPECT_EQ(a.injected(FaultSite::kScoringFailure), injected_a);
+  // ~30% of 200, loosely bounded: the point is "neither none nor all".
+  EXPECT_GT(injected_a, 20);
+  EXPECT_LT(injected_a, 140);
+}
+
+TEST(FaultInjectorTest, MaxInjectionsBoundsTheFaults) {
+  FaultInjector injector(7);
+  injector.Configure(FaultSite::kCacheInsertFailure,
+                     {.probability = 1.0, .max_injections = 3});
+  int64_t fired = 0;
+  for (int draw = 0; draw < 10; ++draw) {
+    fired += injector.Draw(FaultSite::kCacheInsertFailure) ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(injector.injected(FaultSite::kCacheInsertFailure), 3);
+  EXPECT_EQ(injector.draws(FaultSite::kCacheInsertFailure), 10);
+}
+
+TEST(FaultInjectorTest, DisabledIsInertAndScopesRestore) {
+  EXPECT_EQ(ActiveFaultInjector(), nullptr);
+  EXPECT_FALSE(InjectFault(FaultSite::kScoringFailure));
+  FaultInjector outer(1), inner(2);
+  {
+    ScopedFaultInjection outer_scope(&outer);
+    EXPECT_EQ(ActiveFaultInjector(), &outer);
+    {
+      ScopedFaultInjection inner_scope(&inner);
+      EXPECT_EQ(ActiveFaultInjector(), &inner);
+    }
+    EXPECT_EQ(ActiveFaultInjector(), &outer);
+  }
+  EXPECT_EQ(ActiveFaultInjector(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines, cancellation, and the failure taxonomy.
+// ---------------------------------------------------------------------------
+
+BackboneRequest ShareRequest(uint64_t graph, Method method,
+                             double share = 0.3) {
+  BackboneRequest request;
+  request.graph = graph;
+  request.method = method;
+  request.kind = RequestKind::kTopShare;
+  request.share = share;
+  return request;
+}
+
+TEST(BackboneEngineFaultTest, DeadlineExceededIsTypedAndNeverNegativeCached) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(80));
+  FaultInjector injector(11);
+  injector.Configure(FaultSite::kScoringLatency,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(500)});
+  {
+    ScopedFaultInjection scope(&injector);
+    BackboneRequest request = ShareRequest(graph, Method::kNoiseCorrected);
+    request.timeout = std::chrono::milliseconds(15);
+    const auto start = std::chrono::steady_clock::now();
+    const Result<BackboneResponse> result = engine.Execute(request);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsDeadlineExceeded());
+    EXPECT_TRUE(result.status().IsCancellationShaped());
+    // Within deadline + one grain (1ms sleep slice + scheduling slack),
+    // nowhere near the 500ms the stalled scoring would have served.
+    EXPECT_LT(elapsed, std::chrono::milliseconds(200));
+  }
+  const BackboneEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.deadline_hits, 1);
+  EXPECT_EQ(stats.negative_entries, 0);  // the taxonomy exemption
+  EXPECT_GE(stats.negative_exempt, 1);
+
+  // The key was never poisoned: the same request without a budget
+  // succeeds on the first try (injection scope has ended).
+  const Result<BackboneResponse> retry =
+      engine.Execute(ShareRequest(graph, Method::kNoiseCorrected));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(engine.stats().negative_hits, 0);
+}
+
+TEST(BackboneEngineFaultTest, CallerCancelTokenStopsTheRequest) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(81));
+  FaultInjector injector(12);
+  injector.Configure(FaultSite::kScoringLatency,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(500)});
+  ScopedFaultInjection scope(&injector);
+
+  CancelSource source;
+  BackboneRequest request = ShareRequest(graph, Method::kDisparityFilter);
+  request.cancel = source.token();
+  std::optional<Result<BackboneResponse>> result;
+  std::thread worker([&] { result = engine.Execute(request); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  source.Cancel();
+  worker.join();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->ok());
+  EXPECT_TRUE(result->status().IsCancelled());
+  const BackboneEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.cancellations, 1);
+  EXPECT_EQ(stats.negative_entries, 0);
+  EXPECT_GE(stats.negative_exempt, 1);
+}
+
+TEST(BackboneEngineFaultTest, TransientFailuresRetryThenSucceed) {
+  BackboneEngine engine;  // default max_retries = 3
+  const uint64_t graph = engine.AddGraph(BenchGraph(82));
+  FaultInjector injector(13);
+  // Exactly the first two attempts fail; the third succeeds.
+  injector.Configure(FaultSite::kScoringFailure,
+                     {.probability = 1.0, .max_injections = 2});
+  ScopedFaultInjection scope(&injector);
+  const Result<BackboneResponse> result =
+      engine.Execute(ShareRequest(graph, Method::kNoiseCorrected));
+  ASSERT_TRUE(result.ok());
+  const BackboneEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.scores_computed, 1);  // only the successful attempt scored
+  EXPECT_EQ(stats.negative_entries, 0);
+}
+
+TEST(BackboneEngineFaultTest, ExhaustedRetriesAreNegativeCached) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(83));
+  FaultInjector injector(14);
+  injector.Configure(FaultSite::kScoringFailure, {.probability = 1.0});
+  {
+    ScopedFaultInjection scope(&injector);
+    const Result<BackboneResponse> result =
+        engine.Execute(ShareRequest(graph, Method::kNaiveThreshold));
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsUnavailable());
+    EXPECT_TRUE(result.status().IsTransient());
+  }
+  BackboneEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.retries, 3);  // 1 attempt + 3 re-attempts, all injected
+  EXPECT_EQ(stats.negative_entries, 1);  // transient-but-exhausted is cached
+
+  // Injection is gone, but the negative cache answers until cleared.
+  ASSERT_FALSE(engine.Execute(ShareRequest(graph, Method::kNaiveThreshold))
+                   .ok());
+  EXPECT_EQ(engine.stats().negative_hits, 1);
+  engine.ClearNegativeCache();
+  ASSERT_TRUE(engine.Execute(ShareRequest(graph, Method::kNaiveThreshold))
+                  .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and backpressure.
+// ---------------------------------------------------------------------------
+
+/// Waits until the dispatcher has popped whatever it is working on, so
+/// the next Submit lands in a queue of known depth.
+void AwaitQueueDrainedToDepth(const BackboneEngine& engine, int64_t depth) {
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (engine.stats().queue_depth <= depth) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "queue never drained to depth " << depth;
+}
+
+TEST(BackboneEngineFaultTest, BoundedQueueRejectsNewBatches) {
+  BackboneEngineOptions options;
+  options.max_queued_batches = 1;
+  options.overload_policy = OverloadPolicy::kRejectNew;
+  BackboneEngine engine(options);
+  const uint64_t graph = engine.AddGraph(BenchGraph(84));
+  FaultInjector injector(15);
+  // Stall the dispatcher on the first batch only, long enough to pile up.
+  injector.Configure(FaultSite::kDispatcherStall,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(300),
+                      .max_injections = 1});
+  ScopedFaultInjection scope(&injector);
+
+  const std::vector<BackboneRequest> batch{
+      ShareRequest(graph, Method::kNaiveThreshold)};
+  auto first = engine.Submit(batch);
+  AwaitQueueDrainedToDepth(engine, 0);  // dispatcher holds it, stalled
+  auto queued = engine.Submit(batch);   // fills the 1-deep queue
+  auto rejected = engine.Submit(batch);  // bounces
+
+  const auto refused = rejected.get();
+  ASSERT_EQ(refused.size(), 1u);
+  ASSERT_FALSE(refused[0].ok());
+  EXPECT_TRUE(refused[0].status().IsResourceExhausted());
+  EXPECT_EQ(engine.stats().rejected_batches, 1);
+
+  // The accepted work still completes exactly.
+  for (auto* future : {&first, &queued}) {
+    for (const auto& result : future->get()) EXPECT_TRUE(result.ok());
+  }
+  EXPECT_EQ(engine.stats().shed_batches, 0);
+}
+
+TEST(BackboneEngineFaultTest, ShedOldestFailsTheQueuedBatch) {
+  BackboneEngineOptions options;
+  options.max_queued_batches = 1;
+  options.overload_policy = OverloadPolicy::kShedOldest;
+  BackboneEngine engine(options);
+  const uint64_t graph = engine.AddGraph(BenchGraph(85));
+  FaultInjector injector(16);
+  injector.Configure(FaultSite::kDispatcherStall,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(300),
+                      .max_injections = 1});
+  ScopedFaultInjection scope(&injector);
+
+  const std::vector<BackboneRequest> batch{
+      ShareRequest(graph, Method::kNaiveThreshold)};
+  auto first = engine.Submit(batch);
+  AwaitQueueDrainedToDepth(engine, 0);
+  auto shed = engine.Submit(batch);      // queued...
+  auto fresh = engine.Submit(batch);     // ...then shed by this one
+
+  const auto shed_results = shed.get();  // resolves immediately
+  ASSERT_EQ(shed_results.size(), 1u);
+  ASSERT_FALSE(shed_results[0].ok());
+  EXPECT_TRUE(shed_results[0].status().IsUnavailable());
+  EXPECT_EQ(engine.stats().shed_batches, 1);
+
+  for (auto* future : {&first, &fresh}) {
+    for (const auto& result : future->get()) EXPECT_TRUE(result.ok());
+  }
+  EXPECT_EQ(engine.stats().rejected_batches, 0);
+}
+
+TEST(BackboneEngineFaultTest, InflightLimitRefusesNewColdScorings) {
+  BackboneEngineOptions options;
+  options.max_inflight_scores = 1;
+  BackboneEngine engine(options);
+  const uint64_t graph = engine.AddGraph(BenchGraph(86));
+  FaultInjector injector(17);
+  // Only the first scoring stalls (the probe below must run unstalled).
+  injector.Configure(FaultSite::kScoringLatency,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(400),
+                      .max_injections = 1});
+  ScopedFaultInjection scope(&injector);
+
+  std::optional<Result<BackboneResponse>> slow;
+  std::thread worker([&] {
+    slow = engine.Execute(ShareRequest(graph, Method::kNoiseCorrected));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // A second *key* is refused while the first scoring occupies the slot.
+  const Result<BackboneResponse> refused =
+      engine.Execute(ShareRequest(graph, Method::kDisparityFilter));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted());
+  worker.join();
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_TRUE(slow->ok());
+  EXPECT_EQ(engine.stats().inflight_rejected, 1);
+
+  // The refusal was about engine load, not the key: it works now.
+  EXPECT_TRUE(
+      engine.Execute(ShareRequest(graph, Method::kDisparityFilter)).ok());
+  EXPECT_EQ(engine.stats().negative_hits, 0);
+}
+
+TEST(BackboneEngineFaultTest, QueueDelayCountsAgainstSubmitDeadlines) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(87));
+  FaultInjector injector(18);
+  injector.Configure(FaultSite::kDispatcherStall,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(100),
+                      .max_injections = 1});
+  ScopedFaultInjection scope(&injector);
+
+  BackboneRequest request = ShareRequest(graph, Method::kNaiveThreshold);
+  request.timeout = std::chrono::milliseconds(10);
+  const auto results =
+      engine.Submit(std::vector<BackboneRequest>{request}).get();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].ok());
+  // Armed at Submit, expired in the (stalled) queue: pre-answered without
+  // ever scoring.
+  EXPECT_TRUE(results[0].status().IsDeadlineExceeded());
+  EXPECT_EQ(engine.stats().scores_computed, 0);
+  EXPECT_GE(engine.stats().deadline_hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown with queued work (regression: futures must never dangle).
+// ---------------------------------------------------------------------------
+
+TEST(BackboneEngineFaultTest, DestructionResolvesQueuedSubmitFutures) {
+  FaultInjector injector(19);
+  injector.Configure(FaultSite::kDispatcherStall,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(400)});
+  ScopedFaultInjection scope(&injector);
+
+  std::vector<std::future<std::vector<Result<BackboneResponse>>>> futures;
+  {
+    BackboneEngine engine;
+    const uint64_t graph = engine.AddGraph(BenchGraph(88));
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(engine.Submit(std::vector<BackboneRequest>{
+          ShareRequest(graph, Method::kNoiseCorrected)}));
+    }
+    // Destructor runs with the dispatcher stalled on the first batch and
+    // the rest queued.
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready);
+    for (const auto& result : future.get()) {
+      if (result.ok()) continue;
+      // A queued batch is cancelled with a typed status; the stalled one
+      // may also surface the shutdown cancellation from its scoring.
+      EXPECT_TRUE(result.status().IsUnavailable() ||
+                  result.status().IsCancellationShaped())
+          << result.status().ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Negative-cache TTL expiry and concurrent ClearNegativeCache.
+// ---------------------------------------------------------------------------
+
+TEST(BackboneEngineFaultTest, NegativeCacheTtlExpiresAndRearms) {
+  BackboneEngineOptions options;
+  options.negative_ttl = std::chrono::milliseconds(50);
+  BackboneEngine engine(options);
+  const uint64_t graph = engine.AddGraph(BenchGraph(89));
+
+  // Deterministic failure: the HSS cost guard (|V| * |E| > 1).
+  BackboneRequest request =
+      ShareRequest(graph, Method::kHighSalienceSkeleton);
+  request.score_options.hss_max_cost = 1;
+
+  ASSERT_FALSE(engine.Execute(request).ok());
+  EXPECT_EQ(engine.stats().negative_entries, 1);
+  ASSERT_FALSE(engine.Execute(request).ok());
+  EXPECT_EQ(engine.stats().scores_computed, 1);  // answered from memory
+  EXPECT_EQ(engine.stats().negative_hits, 1);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(engine.stats().negative_entries, 0);  // expired, not yet swept
+  ASSERT_FALSE(engine.Execute(request).ok());
+  EXPECT_EQ(engine.stats().scores_computed, 2);  // TTL lapsed: re-attempted
+  EXPECT_EQ(engine.stats().negative_hits, 1);
+}
+
+TEST(BackboneEngineFaultTest, ClearNegativeCacheUnderConcurrentSubmitLoad) {
+  BackboneEngine engine;
+  const uint64_t graph = engine.AddGraph(BenchGraph(90));
+
+  BackboneRequest good = ShareRequest(graph, Method::kNaiveThreshold);
+  BackboneRequest bad = ShareRequest(graph, Method::kHighSalienceSkeleton);
+  bad.score_options.hss_max_cost = 1;
+
+  std::atomic<int64_t> good_failures{0}, bad_successes{0};
+  constexpr int kThreads = 4;
+  constexpr int kBatchesPerThread = 20;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kBatchesPerThread; ++i) {
+        auto results =
+            engine.Submit(std::vector<BackboneRequest>{good, bad}).get();
+        if (!results[0].ok()) good_failures.fetch_add(1);
+        if (results[1].ok()) bad_successes.fetch_add(1);
+      }
+    });
+  }
+  // Hammer the clear while the submits run: entries appear and vanish,
+  // in-flight failures re-insert concurrently.
+  for (int i = 0; i < 200; ++i) {
+    engine.ClearNegativeCache();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Whatever the interleaving: good requests always succeed, the guarded
+  // HSS key always fails (from the negative cache or a fresh attempt).
+  EXPECT_EQ(good_failures.load(), 0);
+  EXPECT_EQ(bad_successes.load(), 0);
+  ASSERT_TRUE(engine.Execute(good).ok());
+  const Result<BackboneResponse> still_bad = engine.Execute(bad);
+  ASSERT_FALSE(still_bad.ok());
+  EXPECT_TRUE(still_bad.status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation.
+// ---------------------------------------------------------------------------
+
+TEST(BackboneEngineFaultTest, DegradedRequestServedFromWarmAncestor) {
+  BackboneEngineOptions options;
+  options.enable_delta_rescore = false;  // force the (stalled) full path
+  BackboneEngine engine(options);
+  const Graph base_graph = IntWeightGraph(91);
+  const uint64_t base = engine.AddGraph(base_graph);
+  const uint64_t revision =
+      engine.AddGraphRevision(TransferWeight(base_graph, 6, 3), base);
+
+  const Result<BackboneResponse> warm =
+      engine.Execute(ShareRequest(base, Method::kNoiseCorrected));
+  ASSERT_TRUE(warm.ok());
+
+  FaultInjector injector(20);
+  injector.Configure(FaultSite::kScoringLatency,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(400)});
+  ScopedFaultInjection scope(&injector);
+
+  BackboneRequest request = ShareRequest(revision, Method::kNoiseCorrected);
+  request.timeout = std::chrono::milliseconds(10);
+
+  // Without the opt-in, the lapse is a plain typed failure.
+  const Result<BackboneResponse> strict = engine.Execute(request);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsDeadlineExceeded());
+
+  // With it, the stale-but-exact ancestor entry answers, flagged, and the
+  // exact recompute is queued behind the client.
+  request.allow_degraded = true;
+  const Result<BackboneResponse> degraded = engine.Execute(request);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->degraded_from, base);
+  EXPECT_EQ(degraded->kept_edges, warm->kept_edges);
+  EXPECT_EQ(degraded->coverage, warm->coverage);
+  const BackboneEngine::Stats stats = engine.stats();
+  EXPECT_GE(stats.degraded_served, 1);
+  EXPECT_GE(stats.background_refreshes, 1);
+}
+
+TEST(BackboneEngineFaultTest, DegradedHssFallsBackToSampledApproximation) {
+  BackboneEngineOptions options;
+  options.degraded_hss_sample = 32;
+  BackboneEngine engine(options);
+  const uint64_t graph = engine.AddGraph(BenchGraph(92));
+
+  // Reference: what an explicit sampled request computes (same seed).
+  BackboneEngine reference_engine;
+  const uint64_t ref_graph = reference_engine.AddGraph(BenchGraph(92));
+  BackboneRequest sampled =
+      ShareRequest(ref_graph, Method::kHighSalienceSkeleton);
+  sampled.score_options.hss_source_sample_size = 32;
+  const Result<BackboneResponse> reference =
+      reference_engine.Execute(sampled);
+  ASSERT_TRUE(reference.ok());
+
+  FaultInjector injector(21);
+  // Stall only the exact scoring; the sampled fallback (the second draw)
+  // runs clean.
+  injector.Configure(FaultSite::kScoringLatency,
+                     {.probability = 1.0,
+                      .latency = std::chrono::milliseconds(400),
+                      .max_injections = 1});
+  ScopedFaultInjection scope(&injector);
+
+  BackboneRequest request = ShareRequest(graph, Method::kHighSalienceSkeleton);
+  request.timeout = std::chrono::milliseconds(10);
+  request.allow_degraded = true;
+  const Result<BackboneResponse> degraded = engine.Execute(request);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->degraded_from, graph);
+  // The approximation is itself exact *for its declared sample*: it is
+  // bit-identical to the explicitly-sampled request, never a silently
+  // perturbed exact answer.
+  EXPECT_EQ(degraded->kept_edges, reference->kept_edges);
+  EXPECT_EQ(degraded->coverage, reference->coverage);
+  EXPECT_GE(engine.stats().degraded_served, 1);
 }
 
 TEST(GraphStoreTest, DeltaBetweenResidentGraphs) {
