@@ -23,17 +23,32 @@ from pathlib import Path
 
 
 def load_snapshot(directory: Path):
-    """Maps (bench, method, n, threads) -> median_ns for one snapshot."""
+    """Maps (bench, method, n, threads) -> median_ns for one snapshot.
+
+    Records missing identity fields or a median are skipped with a warning
+    rather than erroring: a snapshot directory may hold files written by a
+    newer harness whose records this baseline never had, and one malformed
+    entry must not block the whole comparison.
+    """
     records = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         with open(path) as handle:
             data = json.load(handle)
         bench = data.get("bench", path.stem)
         for record in data.get("records", []):
-            key = (bench, record["method"], record["n"], record["threads"])
+            method = record.get("method")
+            n = record.get("n")
+            threads = record.get("threads")
             median = record.get("median_ns")
+            if method is None or n is None or threads is None:
+                print(
+                    f"  warning: skipping malformed record in {path.name}: "
+                    f"{record}",
+                    file=sys.stderr,
+                )
+                continue
             if median is not None:
-                records[key] = float(median)
+                records[(bench, method, n, threads)] = float(median)
     return records
 
 

@@ -5,6 +5,7 @@
 //
 //   ./example_netbone_serve [num_requests] [cache_mb]
 //   ./example_netbone_serve --chaos[=seed] [num_requests] [cache_mb]
+//   ./example_netbone_serve --snapshot-dir=PATH [num_requests] [cache_mb]
 //
 // The trace mimics a production mix: a skewed graph popularity (one hot
 // network), method cycling, and a mix of request kinds — threshold
@@ -12,13 +13,22 @@
 //
 // --chaos replays the same trace under seeded fault injection
 // (service/fault_injection.h): 2% scoring failures, 2% injected scoring
-// latency, 2% dropped cache inserts and 2% dispatcher stalls, with every
-// request carrying a 250 ms deadline and opting into degradation. The
-// seed makes a run reproducible — rerunning with the same seed injects
-// the same faults at the same draws. Failed requests are expected here
-// (and typed); the exit code only reflects crashes/untyped failures.
+// latency, 2% dropped cache inserts and 2% dispatcher stalls — plus,
+// when --snapshot-dir is given, 10% snapshot write failures, short
+// reads and pre-rename kills — with every request carrying a 250 ms
+// deadline and opting into degradation. The seed makes a run
+// reproducible — rerunning with the same seed injects the same faults at
+// the same draws. Failed requests are expected here (and typed); the
+// exit code only reflects crashes/untyped failures.
+//
+// --snapshot-dir=PATH enables crash-safe persistence: the engine
+// restores the snapshot found there at startup (a second run of this
+// example serves warm from request one), writes a fresh one on clean
+// shutdown, and a SIGTERM mid-replay stops the trace and snapshots
+// before exiting — kill -TERM is a clean drain, not a data loss.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,9 +45,20 @@
 
 namespace nb = netbone;
 
+namespace {
+
+// Async-signal-safe termination flag: the SIGTERM handler only sets it;
+// the replay loop polls it between batches and drains cleanly.
+volatile std::sig_atomic_t g_terminate = 0;
+
+void HandleSigterm(int) { g_terminate = 1; }
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool chaos = false;
   uint64_t chaos_seed = 0xC7A05;
+  std::string snapshot_dir;
   int positional[2] = {400, 64};
   int positionals = 0;
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +67,8 @@ int main(int argc, char** argv) {
       if (argv[i][7] == '=') {
         chaos_seed = std::strtoull(argv[i] + 8, nullptr, 0);
       }
+    } else if (std::strncmp(argv[i], "--snapshot-dir=", 15) == 0) {
+      snapshot_dir = argv[i] + 15;
     } else if (positionals < 2) {
       positional[positionals++] = std::atoi(argv[i]);
     }
@@ -55,6 +78,7 @@ int main(int argc, char** argv) {
 
   nb::BackboneEngineOptions options;
   options.cache_byte_budget = cache_mb << 20;
+  options.snapshot_dir = snapshot_dir;
   if (chaos) {
     // Bounded admission so the stalled dispatcher exercises shedding.
     options.max_queued_batches = 8;
@@ -77,12 +101,35 @@ int main(int argc, char** argv) {
     injector->Configure(nb::FaultSite::kDispatcherStall,
                         {.probability = 0.02,
                          .latency = std::chrono::milliseconds(5)});
+    if (!snapshot_dir.empty()) {
+      // Snapshot I/O runs a handful of times per process (restore,
+      // periodic, shutdown), so these sites get a higher rate than the
+      // per-request ones to actually fire in a short demo.
+      injector->Configure(nb::FaultSite::kSnapshotWriteFailure,
+                          {.probability = 0.10});
+      injector->Configure(nb::FaultSite::kSnapshotShortRead,
+                          {.probability = 0.10});
+      injector->Configure(nb::FaultSite::kSnapshotRenameKill,
+                          {.probability = 0.10});
+    }
     injection = std::make_unique<nb::ScopedFaultInjection>(injector.get());
     std::printf("chaos mode: seed 0x%llx, 2%% fault rates, 250 ms "
                 "deadlines, degradation on\n",
                 static_cast<unsigned long long>(chaos_seed));
   }
+  if (!snapshot_dir.empty()) {
+    std::signal(SIGTERM, HandleSigterm);
+  }
   nb::BackboneEngine engine(options);
+  if (!snapshot_dir.empty()) {
+    const nb::BackboneEngine::Stats boot = engine.stats();
+    std::printf("snapshot restore: %lld graphs, %lld entries, %lld "
+                "lineage, %lld quarantined\n",
+                static_cast<long long>(boot.restored_graphs),
+                static_cast<long long>(boot.restored_entries),
+                static_cast<long long>(boot.restored_lineage),
+                static_cast<long long>(boot.quarantined_sections));
+  }
 
   // Three resident networks; the "hot" one is submitted twice and dedupes
   // to a single resident copy.
@@ -146,6 +193,11 @@ int main(int argc, char** argv) {
   std::vector<std::future<std::vector<nb::Result<nb::BackboneResponse>>>>
       futures;
   for (size_t begin = 0; begin < trace.size(); begin += 32) {
+    if (g_terminate != 0) {
+      std::printf("SIGTERM: draining after %zu submitted requests\n",
+                  begin);
+      break;
+    }
     const size_t end = std::min(begin + 32, trace.size());
     futures.push_back(engine.Submit(std::vector<nb::BackboneRequest>(
         trace.begin() + static_cast<ptrdiff_t>(begin),
@@ -200,6 +252,21 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.graphs.dedup_hits));
   std::printf("%-28s %12.2f\n", "resident graph MB",
               static_cast<double>(stats.graphs.resident_bytes) / (1 << 20));
+  if (!snapshot_dir.empty()) {
+    // Snapshot the drained state explicitly (a SIGTERM drain wants the
+    // state on disk even if the destructor's shutdown snapshot is then a
+    // no-op re-write) and report durability counters.
+    const nb::Status written = engine.WriteSnapshotNow();
+    if (!written.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   written.ToString().c_str());
+    }
+    const nb::BackboneEngine::Stats snap = engine.stats();
+    std::printf("%-28s %12lld\n", "snapshot writes",
+                static_cast<long long>(snap.snapshot_writes));
+    std::printf("%-28s %12lld\n", "snapshot write failures",
+                static_cast<long long>(snap.snapshot_failures));
+  }
   if (chaos) {
     std::printf("%-28s %12lld\n", "degraded responses",
                 static_cast<long long>(degraded));
@@ -216,7 +283,10 @@ int main(int argc, char** argv) {
     for (const auto site :
          {nb::FaultSite::kScoringFailure, nb::FaultSite::kScoringLatency,
           nb::FaultSite::kCacheInsertFailure,
-          nb::FaultSite::kDispatcherStall}) {
+          nb::FaultSite::kDispatcherStall,
+          nb::FaultSite::kSnapshotWriteFailure,
+          nb::FaultSite::kSnapshotShortRead,
+          nb::FaultSite::kSnapshotRenameKill}) {
       std::printf("fault site %-17d %6lld / %-6lld injected/draws\n",
                   static_cast<int>(site),
                   static_cast<long long>(injector->injected(site)),

@@ -72,13 +72,21 @@ class Result {
     if (!_netbone_status.ok()) return _netbone_status; \
   } while (0)
 
+/// Token pasting with macro expansion: direct `a##__LINE__` pastes the
+/// literal token `__LINE__`, so every expansion would share one variable
+/// name and two uses in a scope would collide.
+#define NETBONE_INTERNAL_CONCAT2(a, b) a##b
+#define NETBONE_INTERNAL_CONCAT(a, b) NETBONE_INTERNAL_CONCAT2(a, b)
+
 /// Evaluates a Result<T> expression; on failure returns its Status, on
 /// success assigns the value to `lhs`.
-#define NETBONE_ASSIGN_OR_RETURN(lhs, expr)               \
-  auto _netbone_result_##__LINE__ = (expr);               \
-  if (!_netbone_result_##__LINE__.ok())                   \
-    return _netbone_result_##__LINE__.status();           \
-  lhs = std::move(_netbone_result_##__LINE__).value()
+#define NETBONE_ASSIGN_OR_RETURN(lhs, expr) \
+  NETBONE_ASSIGN_OR_RETURN_IMPL(            \
+      NETBONE_INTERNAL_CONCAT(_netbone_result_, __LINE__), lhs, expr)
+#define NETBONE_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                                  \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
 
 }  // namespace netbone
 

@@ -101,6 +101,31 @@ ScoreOrder::ScoreOrder(const ScoredEdges& scored) : scored_(&scored) {
   g_sorts_performed.fetch_add(1, std::memory_order_relaxed);
 }
 
+Result<ScoreOrder> ScoreOrder::FromPermutation(const ScoredEdges& scored,
+                                               std::vector<EdgeId> ids) {
+  const size_t n = static_cast<size_t>(scored.size());
+  if (ids.size() != n) {
+    return Status::Corruption("score order length does not match table");
+  }
+  std::vector<char> seen(n, 0);
+  for (const EdgeId id : ids) {
+    if (id < 0 || static_cast<size_t>(id) >= n ||
+        seen[static_cast<size_t>(id)] != 0) {
+      return Status::Corruption("score order is not a permutation");
+    }
+    seen[static_cast<size_t>(id)] = 1;
+  }
+  // Adjacent-pair agreement with the strict-weak-order comparator is
+  // enough: a total order has exactly one sorted permutation.
+  const DescendingScore cmp{&scored, &scored.graph()};
+  for (size_t i = 1; i < n; ++i) {
+    if (cmp(ids[i], ids[i - 1])) {
+      return Status::Corruption("score order violates the sort comparator");
+    }
+  }
+  return ScoreOrder(ValidatedTag{}, scored, std::move(ids));
+}
+
 ScoreOrder::ScoreOrder(const ScoredEdges& scored, const ScoreOrder& base,
                        std::span<const EdgeId> base_to_next,
                        std::span<const EdgeId> dirty)

@@ -22,8 +22,10 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "core/filter.h"
 #include "core/scored_edges.h"
 #include "graph/graph.h"
@@ -62,6 +64,19 @@ class ScoreOrder {
              std::span<const EdgeId> base_to_next,
              std::span<const EdgeId> dirty);
 
+  /// Restore construction for the snapshot path (service/snapshot.h):
+  /// adopts a previously computed permutation instead of sorting. The
+  /// candidate is fully validated in O(E) — it must be a permutation of
+  /// [0, E) whose every adjacent pair satisfies the (score desc, weight
+  /// desc, id asc) comparator; the comparator is a total order, so
+  /// adjacent agreement pins the entire sequence to the one permutation
+  /// the sorting constructor would produce. Returns Corruption when the
+  /// candidate fails either check. SortsPerformed() does not advance:
+  /// restoring is not a sort, and the warm-restart zero-sort gate counts
+  /// on that.
+  static Result<ScoreOrder> FromPermutation(const ScoredEdges& scored,
+                                            std::vector<EdgeId> ids);
+
   /// The scored table the order was built from.
   const ScoredEdges& scored() const { return *scored_; }
 
@@ -99,6 +114,10 @@ class ScoreOrder {
   static int64_t SortsPerformed();
 
  private:
+  struct ValidatedTag {};
+  ScoreOrder(ValidatedTag, const ScoredEdges& scored, std::vector<EdgeId> ids)
+      : scored_(&scored), ids_(std::move(ids)) {}
+
   const ScoredEdges* scored_ = nullptr;
   std::vector<EdgeId> ids_;
 };

@@ -1,0 +1,92 @@
+// Copyright 2026 The netbone Authors.
+
+#include "graph/codec.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace netbone {
+
+namespace {
+
+// Bumped on any layout change; decoders reject unknown versions.
+constexpr uint32_t kGraphCodecVersion = 1;
+
+static_assert(sizeof(Edge) == 2 * sizeof(NodeId) + sizeof(double),
+              "Edge must be padding-free for the PodVec fast path");
+
+}  // namespace
+
+void EncodeGraph(const Graph& graph, ByteWriter* writer) {
+  writer->U32(kGraphCodecVersion);
+  writer->U32(graph.directed() ? 1u : 0u);
+  writer->U32(static_cast<uint32_t>(graph.num_nodes()));
+  const uint32_t num_labels =
+      graph.has_labels() ? static_cast<uint32_t>(graph.num_nodes()) : 0u;
+  writer->U32(num_labels);
+  for (uint32_t v = 0; v < num_labels; ++v) {
+    writer->Str(graph.LabelOf(static_cast<NodeId>(v)));
+  }
+  writer->PodVec(graph.edges());
+}
+
+Result<Graph> DecodeGraph(ByteReader* reader) {
+  NETBONE_ASSIGN_OR_RETURN(const uint32_t version, reader->U32());
+  if (version != kGraphCodecVersion) {
+    return Status::Corruption("unknown graph codec version " +
+                              std::to_string(version));
+  }
+  NETBONE_ASSIGN_OR_RETURN(const uint32_t directed, reader->U32());
+  if (directed > 1) {
+    return Status::Corruption("bad directedness tag");
+  }
+  NETBONE_ASSIGN_OR_RETURN(const uint32_t num_nodes_raw, reader->U32());
+  if (num_nodes_raw > static_cast<uint32_t>(INT32_MAX)) {
+    return Status::Corruption("node count out of range");
+  }
+  const NodeId num_nodes = static_cast<NodeId>(num_nodes_raw);
+  NETBONE_ASSIGN_OR_RETURN(const uint32_t num_labels, reader->U32());
+  if (num_labels != 0 && num_labels != num_nodes_raw) {
+    return Status::Corruption("label count does not match node count");
+  }
+
+  // Duplicates are impossible in a canonical table, so treat one as the
+  // corruption it is; self-loops are legal content and must round-trip.
+  GraphBuilder builder(directed == 1 ? Directedness::kDirected
+                                     : Directedness::kUndirected,
+                       DuplicateEdgePolicy::kError, SelfLoopPolicy::kKeep);
+  for (uint32_t v = 0; v < num_labels; ++v) {
+    NETBONE_ASSIGN_OR_RETURN(const std::string label, reader->Str());
+    if (builder.InternLabel(label) != static_cast<NodeId>(v)) {
+      return Status::Corruption("duplicate label in label table");
+    }
+  }
+  builder.ReserveNodes(num_nodes);
+
+  NETBONE_ASSIGN_OR_RETURN(const std::vector<Edge> edges,
+                           reader->PodVec<Edge>());
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      return Status::Corruption("edge endpoint out of range");
+    }
+    builder.AddEdge(e.src, e.dst, e.weight);
+  }
+
+  Result<Graph> graph = builder.Build();
+  if (!graph.ok()) {
+    // The builder's own diagnostics (duplicate edge, non-finite weight)
+    // mean the bytes were not a canonical table: typed corruption.
+    return Status::Corruption("graph rebuild failed: " +
+                              graph.status().ToString());
+  }
+  if (graph->num_edges() != static_cast<int64_t>(edges.size())) {
+    return Status::Corruption("canonical rebuild changed the edge count");
+  }
+  return graph;
+}
+
+}  // namespace netbone

@@ -1,0 +1,39 @@
+// Copyright 2026 The netbone Authors.
+//
+// Binary codec for the canonical Graph representation: the edge table plus
+// directedness, node count and (optional) labels — exactly the inputs
+// GraphBuilder consumes, so decoding is "replay the build". Because the
+// builder canonicalizes deterministically and marginals are accumulated in
+// canonical edge order, a decode of an encode reproduces the original
+// graph bitwise: same edge table, same strengths, same fingerprint. The
+// snapshot subsystem (service/snapshot.h) relies on that to re-intern
+// graphs after a restart without trusting anything but the edge table, and
+// ROADMAP item 4's mmap spill tier will share this layout.
+//
+// DecodeGraph is designed for hostile input: every length and id is
+// validated before use and failures come back as typed Corruption, never
+// a crash. Content authentication (checksums, fingerprint comparison) is
+// the caller's job — the codec only guarantees structural sanity.
+
+#ifndef NETBONE_GRAPH_CODEC_H_
+#define NETBONE_GRAPH_CODEC_H_
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "graph/graph.h"
+
+namespace netbone {
+
+/// Appends the canonical encoding of `graph` to `writer`.
+void EncodeGraph(const Graph& graph, ByteWriter* writer);
+
+/// Decodes one graph from `reader` (advancing it), rebuilding through
+/// GraphBuilder so all derived state (marginals, label index) is exactly
+/// what a fresh build would produce. Returns Corruption on any structural
+/// violation: bad directedness tag, out-of-range endpoints, label count
+/// mismatch, duplicate edges, non-finite weights, truncation.
+Result<Graph> DecodeGraph(ByteReader* reader);
+
+}  // namespace netbone
+
+#endif  // NETBONE_GRAPH_CODEC_H_

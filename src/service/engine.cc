@@ -1,6 +1,7 @@
 #include "service/engine.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <optional>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "eval/stability.h"
 #include "graph/delta.h"
 #include "service/fault_injection.h"
+#include "service/snapshot.h"
 
 namespace netbone {
 namespace {
@@ -49,6 +51,25 @@ BackboneEngine::BackboneEngine(const Options& options)
     : options_(options),
       graphs_(options.graph_byte_budget),
       cache_(options.cache_byte_budget) {
+  if (!options_.snapshot_dir.empty()) {
+    // Restore before the dispatcher exists: the store and cache are
+    // mutated single-threaded. A missing snapshot is the normal first
+    // boot; a corrupted one salvages what it can (quarantine counters
+    // below) and a hard failure — unreadable file, version skew — starts
+    // cold and is counted, never thrown.
+    std::error_code ec;
+    std::filesystem::create_directories(options_.snapshot_dir, ec);
+    Result<SnapshotRestoreReport> restored = RestoreSnapshot(
+        SnapshotFilePath(options_.snapshot_dir), &graphs_, &cache_);
+    if (restored.ok()) {
+      restored_graphs_ = restored->graphs_restored;
+      restored_entries_ = restored->entries_restored;
+      restored_lineage_ = restored->lineage_restored;
+      quarantined_sections_ = restored->sections_quarantined;
+    } else if (!restored.status().IsNotFound()) {
+      ++snapshot_restore_errors_;
+    }
+  }
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -66,6 +87,28 @@ BackboneEngine::~BackboneEngine() {
   lifetime_.Cancel();
   queue_cv_.notify_all();
   dispatcher_.join();
+  // With the dispatcher drained and no API callers left (destruction
+  // implies exclusive access), the state is quiescent: the shutdown
+  // snapshot captures exactly what a restart will restore.
+  if (options_.snapshot_on_shutdown && !options_.snapshot_dir.empty()) {
+    // A failure here is already counted in snapshot_failures_; there is
+    // no caller left to report it to.
+    WriteSnapshotNow();
+  }
+}
+
+Status BackboneEngine::WriteSnapshotNow() {
+  if (options_.snapshot_dir.empty()) {
+    return Status::FailedPrecondition("engine has no snapshot_dir");
+  }
+  Result<SnapshotWriteStats> written = WriteSnapshot(
+      SnapshotFilePath(options_.snapshot_dir), graphs_, cache_);
+  if (!written.ok()) {
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    return written.status();
+  }
+  snapshot_writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 uint64_t BackboneEngine::AddGraph(Graph graph) {
@@ -883,9 +926,30 @@ std::future<std::vector<Result<BackboneResponse>>> BackboneEngine::Submit(
 
 void BackboneEngine::DispatcherLoop() {
   std::unique_lock<std::mutex> lock(queue_mu_);
+  // Periodic background snapshots ride the dispatcher thread: it already
+  // exists, already wakes for work, and a snapshot between batches can
+  // never run concurrently with one from the destructor. Snapshots are
+  // maintenance — no request deadline applies to them.
+  const bool periodic = options_.snapshot_interval.count() > 0 &&
+                        !options_.snapshot_dir.empty();
+  auto next_snapshot = periodic
+                           ? SteadyClock::now() + options_.snapshot_interval
+                           : SteadyClock::time_point::max();
   for (;;) {
-    queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (periodic) {
+      queue_cv_.wait_until(lock, next_snapshot, [this] {
+        return shutdown_ || !queue_.empty();
+      });
+    } else {
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    }
     if (shutdown_) break;
+    if (periodic && SteadyClock::now() >= next_snapshot) {
+      lock.unlock();
+      WriteSnapshotNow();  // failures counted in snapshot_failures_
+      lock.lock();
+      next_snapshot = SteadyClock::now() + options_.snapshot_interval;
+    }
     if (queue_.empty()) continue;
     PendingBatch batch = std::move(queue_.front());
     queue_.pop_front();
@@ -937,6 +1001,14 @@ BackboneEngine::Stats BackboneEngine::stats() const {
   stats.degraded_served = degraded_served_.load(std::memory_order_relaxed);
   stats.background_refreshes =
       background_refreshes_.load(std::memory_order_relaxed);
+  stats.restored_graphs = restored_graphs_;
+  stats.restored_entries = restored_entries_;
+  stats.restored_lineage = restored_lineage_;
+  stats.quarantined_sections = quarantined_sections_;
+  stats.snapshot_restore_errors = snapshot_restore_errors_;
+  stats.snapshot_writes = snapshot_writes_.load(std::memory_order_relaxed);
+  stats.snapshot_failures =
+      snapshot_failures_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stats.queue_depth = static_cast<int64_t>(queue_.size());

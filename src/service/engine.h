@@ -93,6 +93,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -281,6 +282,21 @@ struct BackboneEngineOptions {
   /// Source-sample size for the degraded sampled-HSS fallback
   /// (BackboneRequest::allow_degraded); <= 0 disables that fallback.
   int64_t degraded_hss_sample = 64;
+
+  /// Directory for crash-safe snapshots of the serving state
+  /// (service/snapshot.h). Non-empty enables persistence: the
+  /// constructor restores the snapshot found there (salvaging intact
+  /// sections of a corrupted one and starting cold for the rest), and
+  /// WriteSnapshotNow / the periodic + shutdown hooks below write new
+  /// ones atomically. Empty (the default) disables all of it.
+  std::string snapshot_dir;
+  /// Write a final snapshot in the destructor, after the dispatcher has
+  /// drained — a clean shutdown preserves the warm state.
+  bool snapshot_on_shutdown = true;
+  /// When > 0, the dispatcher thread also writes a snapshot roughly this
+  /// often. Background snapshots carry no request deadline — they are
+  /// maintenance, not serving work.
+  std::chrono::milliseconds snapshot_interval{0};
 };
 
 /// Long-lived serving engine: graph residency + score cache + request
@@ -310,6 +326,17 @@ class BackboneEngine {
     int64_t negative_exempt = 0;   ///< failures exempted from negative caching
     int64_t degraded_served = 0;   ///< responses served by a degraded path
     int64_t background_refreshes = 0;  ///< exact recomputes queued by degradation
+
+    /// Durability counters (PR 7). The restore fields describe the one
+    /// restore attempt the constructor made; the write counters grow
+    /// over the engine's lifetime.
+    int64_t restored_graphs = 0;       ///< graphs re-interned from snapshot
+    int64_t restored_entries = 0;      ///< score entries restored warm
+    int64_t restored_lineage = 0;      ///< lineage records restored
+    int64_t quarantined_sections = 0;  ///< snapshot sections refused
+    int64_t snapshot_writes = 0;       ///< snapshots committed to disk
+    int64_t snapshot_failures = 0;     ///< snapshot writes that failed
+    int64_t snapshot_restore_errors = 0;  ///< restores that failed outright
 
     GraphStore::Stats graphs;
     ScoreCache::Stats cache;
@@ -364,6 +391,14 @@ class BackboneEngine {
   /// on a previously-failing key re-attempts it. For operators that
   /// fixed an environmental cause.
   void ClearNegativeCache();
+
+  /// Writes a snapshot of the current serving state to
+  /// options.snapshot_dir via the atomic temp-file + fsync + rename
+  /// protocol (service/snapshot.h); on any failure the previous snapshot
+  /// is untouched. FailedPrecondition when no snapshot_dir is
+  /// configured. Safe from any thread; concurrent serving continues
+  /// (the writer holds the store/cache locks only to enumerate).
+  Status WriteSnapshotNow();
 
   Stats stats() const;
 
@@ -501,6 +536,16 @@ class BackboneEngine {
   std::atomic<int64_t> negative_exempt_{0};
   std::atomic<int64_t> degraded_served_{0};
   std::atomic<int64_t> background_refreshes_{0};
+  std::atomic<int64_t> snapshot_writes_{0};
+  std::atomic<int64_t> snapshot_failures_{0};
+
+  /// Set once by the constructor's restore attempt, before any other
+  /// thread exists; plain fields on purpose.
+  int64_t restored_graphs_ = 0;
+  int64_t restored_entries_ = 0;
+  int64_t restored_lineage_ = 0;
+  int64_t quarantined_sections_ = 0;
+  int64_t snapshot_restore_errors_ = 0;
 
   /// Engine-wide shutdown token, chained as a parent into every
   /// request's cancel token: the destructor fires it so in-flight

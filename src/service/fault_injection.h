@@ -44,8 +44,19 @@ enum class FaultSite : int {
   kCacheInsertFailure = 2,
   /// The Submit dispatcher stalls before executing a batch.
   kDispatcherStall = 3,
+  /// A snapshot write fails mid-stream (full disk, yanked volume): the
+  /// temp file is discarded and the previous committed snapshot survives.
+  kSnapshotWriteFailure = 4,
+  /// A snapshot read comes back short (torn page, truncated file): the
+  /// restore path sees fewer bytes than the file holds and must salvage
+  /// the intact prefix section-by-section.
+  kSnapshotShortRead = 5,
+  /// The process dies after writing the temp file but before the
+  /// atomic rename — the classic torn-publish window. The committed
+  /// snapshot must be the old one, bit-for-bit.
+  kSnapshotRenameKill = 6,
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 7;
 
 /// Per-site configuration.
 struct FaultSpec {

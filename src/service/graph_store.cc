@@ -227,6 +227,19 @@ void GraphStore::set_byte_budget(int64_t byte_budget) {
   TrimLocked();
 }
 
+std::vector<StoredGraph> GraphStore::ResidentGraphs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StoredGraph> resident;
+  resident.reserve(graphs_.size());
+  // Back-to-front: lru_.front() is most recent, so the vector reads
+  // LRU-first for the snapshot writer.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const auto entry = graphs_.find(*it);
+    resident.push_back(StoredGraph{*it, entry->second.graph});
+  }
+  return resident;
+}
+
 GraphStore::Stats GraphStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats;

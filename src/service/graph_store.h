@@ -28,6 +28,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/random.h"  // Mix64, the shared hash diffusion step
 #include "common/result.h"
@@ -110,6 +111,11 @@ class GraphStore {
 
   /// Changes the budget (<= 0 = unlimited) and trims immediately.
   void set_byte_budget(int64_t byte_budget);
+
+  /// All resident graphs, least-recently-used first and without touching
+  /// recency — the snapshot writer's enumeration order (restoring by
+  /// re-Intern in sequence reproduces the same LRU order).
+  std::vector<StoredGraph> ResidentGraphs() const;
 
   Stats stats() const;
 

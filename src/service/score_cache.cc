@@ -9,6 +9,10 @@ namespace netbone {
 
 void CachedScore::FinishBuild() {
   profile_ = BuildSweepProfile(*order_);
+  PriceBytes();
+}
+
+void CachedScore::PriceBytes() {
   bytes_ = static_cast<int64_t>(sizeof(CachedScore)) +
            VectorBytes(scored_.scores()) +
            static_cast<int64_t>(order_->ids().size() * sizeof(EdgeId)) +
@@ -46,6 +50,25 @@ std::shared_ptr<const CachedScore> CachedScore::BuildPatched(
                                        entry->scored_.size()};
   entry->FinishBuild();
   return entry;
+}
+
+Result<std::shared_ptr<const CachedScore>> CachedScore::Restore(
+    std::shared_ptr<const Graph> graph, ScoredEdges scored,
+    std::vector<EdgeId> order_ids, SweepProfile profile,
+    std::optional<DeltaProvenance> provenance) {
+  std::shared_ptr<CachedScore> entry(new CachedScore());
+  entry->graph_ = std::move(graph);
+  entry->scored_ = std::move(scored);
+  // Same two-phase rule as Build: the permutation is validated against
+  // the member table at its final address, not the caller's temporary.
+  Result<ScoreOrder> order =
+      ScoreOrder::FromPermutation(entry->scored_, std::move(order_ids));
+  if (!order.ok()) return order.status();
+  entry->order_.emplace(std::move(*order));
+  entry->profile_ = std::move(profile);
+  entry->provenance_ = std::move(provenance);
+  entry->PriceBytes();
+  return std::shared_ptr<const CachedScore>(std::move(entry));
 }
 
 std::shared_ptr<const CachedScore> ScoreCache::GetLocked(
@@ -138,6 +161,31 @@ void ScoreCache::Clear() {
   lineage_.clear();
   lineage_bytes_ = 0;
   bytes_ = 0;
+}
+
+std::vector<std::pair<ScoreKey, std::shared_ptr<const CachedScore>>>
+ScoreCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ScoreKey, std::shared_ptr<const CachedScore>>>
+      entries;
+  entries.reserve(lru_.size());
+  // Back-to-front: lru_.front() is most recent, so the vector reads
+  // LRU-first and a re-Put replay restores the same recency order.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    entries.push_back(*it);
+  }
+  return entries;
+}
+
+std::vector<std::pair<uint64_t, ScoreCache::Lineage>>
+ScoreCache::LineageEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, Lineage>> entries;
+  entries.reserve(lineage_.size());
+  for (const auto& [child, record] : lineage_) {
+    entries.emplace_back(child, record);
+  }
+  return entries;
 }
 
 ScoreCache::Stats ScoreCache::stats() const {

@@ -27,8 +27,10 @@
 #include <span>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/random.h"  // Mix64, the shared hash diffusion step
+#include "common/result.h"
 #include "core/registry.h"
 #include "core/scored_edges.h"
 #include "core/sweep.h"
@@ -121,6 +123,18 @@ class CachedScore {
       const CachedScore& base, std::span<const EdgeId> base_to_next,
       std::span<const EdgeId> dirty, uint64_t base_fingerprint);
 
+  /// Rebuilds an entry from snapshotted artifacts (service/snapshot.h):
+  /// the stored permutation is adopted through ScoreOrder::FromPermutation
+  /// (validated in O(E), zero sorts) and the stored profile is used as-is
+  /// (its lengths were validated by the decoder; its content is covered by
+  /// the section checksum). Corruption when the permutation fails
+  /// validation. Preconditions: scored.graph() is *graph, profile was
+  /// decoded for this graph's edge/node counts.
+  static Result<std::shared_ptr<const CachedScore>> Restore(
+      std::shared_ptr<const Graph> graph, ScoredEdges scored,
+      std::vector<EdgeId> order_ids, SweepProfile profile,
+      std::optional<DeltaProvenance> provenance);
+
   const Graph& graph() const { return *graph_; }
   const std::shared_ptr<const Graph>& graph_handle() const { return graph_; }
   const ScoredEdges& scored() const { return scored_; }
@@ -140,8 +154,10 @@ class CachedScore {
  private:
   CachedScore() = default;
 
-  /// Shared tail of both factories: profile + byte pricing.
+  /// Shared tail of the computing factories: profile + byte pricing.
   void FinishBuild();
+  /// Byte pricing alone (the restore factory already has a profile).
+  void PriceBytes();
 
   std::shared_ptr<const Graph> graph_;
   ScoredEdges scored_;
@@ -228,6 +244,16 @@ class ScoreCache {
   void set_byte_budget(int64_t byte_budget);
 
   void Clear();
+
+  /// All resident entries, least-recently-used first and without touching
+  /// recency — the snapshot writer's enumeration order, chosen so a
+  /// restore that re-Puts in sequence reproduces the LRU order (the last
+  /// Put is the most recent, exactly as before the snapshot).
+  std::vector<std::pair<ScoreKey, std::shared_ptr<const CachedScore>>>
+  Entries() const;
+
+  /// All lineage records (child fingerprint + record), unordered.
+  std::vector<std::pair<uint64_t, Lineage>> LineageEntries() const;
 
   Stats stats() const;
 
