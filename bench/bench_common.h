@@ -72,9 +72,13 @@ class JsonBenchLog {
 
   /// Appends one timing record. `n` is the problem size (edges, nodes —
   /// whatever the harness sweeps); NaN timings are recorded as null.
+  /// `p95_ns` is optional: when given (non-NaN), the record carries a
+  /// "p95_ns" field and bench/compare_bench_json.py gates tail-latency
+  /// regressions on it alongside the median.
   void Record(const std::string& method, int64_t n, int threads,
-              double median_ns, double min_ns) {
-    records_.push_back(Entry{method, n, threads, median_ns, min_ns});
+              double median_ns, double min_ns, double p95_ns = NaN()) {
+    records_.push_back(Entry{method, n, threads, median_ns, min_ns,
+                             p95_ns});
   }
 
   /// Seconds-flavored convenience for harnesses that time with Timer.
@@ -99,13 +103,20 @@ class JsonBenchLog {
                  name_.c_str());
     for (size_t i = 0; i < records_.size(); ++i) {
       const Entry& e = records_[i];
+      // p95_ns is emitted only when recorded, so older tooling that
+      // expects exactly the median/min schema keeps parsing untouched
+      // files byte-identically.
+      std::string p95;
+      if (e.p95_ns == e.p95_ns) {
+        p95 = ", \"p95_ns\": " + JsonNumber(e.p95_ns);
+      }
       std::fprintf(out,
                    "    {\"method\": \"%s\", \"n\": %lld, \"threads\": %d, "
-                   "\"median_ns\": %s, \"min_ns\": %s}%s\n",
+                   "\"median_ns\": %s, \"min_ns\": %s%s}%s\n",
                    JsonEscape(e.method).c_str(),
                    static_cast<long long>(e.n), e.threads,
                    JsonNumber(e.median_ns).c_str(),
-                   JsonNumber(e.min_ns).c_str(),
+                   JsonNumber(e.min_ns).c_str(), p95.c_str(),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
@@ -119,6 +130,7 @@ class JsonBenchLog {
     int threads;
     double median_ns;
     double min_ns;
+    double p95_ns;  ///< NaN = not recorded (field omitted from JSON)
   };
 
   static std::string JsonNumber(double value) {

@@ -7,6 +7,10 @@ files into a timestamped directory under ``bench/history/``. This script
 compares the two most recent snapshots (or two explicitly named ones) record
 by record — a record is identified by ``(bench, method, n, threads)`` — and
 flags any whose ``median_ns`` grew by more than the threshold (default 10%).
+Records that carry the optional ``p95_ns`` field (exported latency
+percentiles — the observability bench and MetricsSnapshot::RenderJson write
+it) are additionally gated on p95 growth with the same threshold, so tail
+latency regressions are caught even when the median holds.
 
 Usage:
     compare_bench_json.py [--history DIR] [--threshold PCT] [OLD NEW]
@@ -23,12 +27,13 @@ from pathlib import Path
 
 
 def load_snapshot(directory: Path):
-    """Maps (bench, method, n, threads) -> median_ns for one snapshot.
+    """Maps (bench, method, n, threads) -> {metric: ns} for one snapshot.
 
-    Records missing identity fields or a median are skipped with a warning
-    rather than erroring: a snapshot directory may hold files written by a
-    newer harness whose records this baseline never had, and one malformed
-    entry must not block the whole comparison.
+    The metric dict holds ``median_ns`` and, when the record exported one,
+    ``p95_ns``. Records missing identity fields or a median are skipped
+    with a warning rather than erroring: a snapshot directory may hold
+    files written by a newer harness whose records this baseline never
+    had, and one malformed entry must not block the whole comparison.
     """
     records = {}
     for path in sorted(directory.glob("BENCH_*.json")):
@@ -47,8 +52,13 @@ def load_snapshot(directory: Path):
                     file=sys.stderr,
                 )
                 continue
-            if median is not None:
-                records[(bench, method, n, threads)] = float(median)
+            if median is None:
+                continue
+            metrics = {"median_ns": float(median)}
+            p95 = record.get("p95_ns")
+            if p95 is not None:
+                metrics["p95_ns"] = float(p95)
+            records[(bench, method, n, threads)] = metrics
     return records
 
 
@@ -112,20 +122,25 @@ def main() -> int:
     regressions = []
     improvements = 0
     for key in sorted(old.keys() & new.keys()):
-        old_ns, new_ns = old[key], new[key]
-        if old_ns <= 0:
-            continue
-        change = 100.0 * (new_ns - old_ns) / old_ns
-        if change > args.threshold:
-            regressions.append((key, old_ns, new_ns, change))
-        elif change < -args.threshold:
-            improvements += 1
+        # median always; p95 only when both snapshots exported it (a
+        # record gaining or losing the field is never flagged for it).
+        for metric in ("median_ns", "p95_ns"):
+            old_ns = old[key].get(metric)
+            new_ns = new[key].get(metric)
+            if old_ns is None or new_ns is None or old_ns <= 0:
+                continue
+            change = 100.0 * (new_ns - old_ns) / old_ns
+            if change > args.threshold:
+                regressions.append((key, metric, old_ns, new_ns, change))
+            elif change < -args.threshold and metric == "median_ns":
+                improvements += 1
 
-    for key, old_ns, new_ns, change in regressions:
+    for key, metric, old_ns, new_ns, change in regressions:
         bench, method, n, threads = key
         print(
-            f"  REGRESSION {bench}/{method} (n={n}, threads={threads}): "
-            f"{format_ns(old_ns)} -> {format_ns(new_ns)} (+{change:.1f}%)"
+            f"  REGRESSION {bench}/{method} (n={n}, threads={threads}) "
+            f"{metric}: {format_ns(old_ns)} -> {format_ns(new_ns)} "
+            f"(+{change:.1f}%)"
         )
 
     only_old = sorted(old.keys() - new.keys())

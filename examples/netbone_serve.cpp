@@ -6,6 +6,8 @@
 //   ./example_netbone_serve [num_requests] [cache_mb]
 //   ./example_netbone_serve --chaos[=seed] [num_requests] [cache_mb]
 //   ./example_netbone_serve --snapshot-dir=PATH [num_requests] [cache_mb]
+//   ./example_netbone_serve --stats-interval=MS --metrics-json=PATH
+//                           --trace-sample=N [num_requests] [cache_mb]
 //
 // The trace mimics a production mix: a skewed graph popularity (one hot
 // network), method cycling, and a mix of request kinds — threshold
@@ -26,20 +28,37 @@
 // example serves warm from request one), writes a fresh one on clean
 // shutdown, and a SIGTERM mid-replay stops the trace and snapshots
 // before exiting — kill -TERM is a clean drain, not a data loss.
+//
+// Observability (src/obs/): the final summary always ends with the
+// engine's full metric table (merged with the process-wide scheduler
+// registry). --stats-interval=MS additionally dumps that table roughly
+// every MS milliseconds while the replay runs, and SIGUSR1 triggers one
+// on-demand dump at the next monitor tick. --metrics-json=PATH writes
+// the final snapshot as BENCH_*.json-schema JSON (diffable with
+// bench/compare_bench_json.py). --trace-sample=N samples every Nth
+// request into the trace ring and prints the span chains of the last
+// few sampled requests at exit.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
 #include "core/registry.h"
 #include "gen/erdos_renyi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/engine.h"
 #include "service/fault_injection.h"
 
@@ -47,11 +66,75 @@ namespace nb = netbone;
 
 namespace {
 
-// Async-signal-safe termination flag: the SIGTERM handler only sets it;
-// the replay loop polls it between batches and drains cleanly.
+// Async-signal-safe flags: the handlers only set them; the replay loop
+// and the monitor thread poll them. SIGTERM drains cleanly; SIGUSR1
+// requests one metrics dump at the next monitor tick.
 volatile std::sig_atomic_t g_terminate = 0;
+volatile std::sig_atomic_t g_dump_metrics = 0;
 
 void HandleSigterm(int) { g_terminate = 1; }
+void HandleSigusr1(int) { g_dump_metrics = 1; }
+
+/// Engine registry merged with the process-wide one (scheduler metrics),
+/// so one dump shows the whole serving stack.
+nb::obs::MetricsSnapshot MergedMetrics(const nb::BackboneEngine& engine) {
+  nb::obs::MetricsSnapshot snapshot = engine.Metrics();
+  snapshot.Merge(nb::obs::MetricRegistry::Global().Snapshot());
+  return snapshot;
+}
+
+/// Background metrics monitor: wakes every 50 ms to honour SIGUSR1
+/// promptly, and prints the full table every `interval` (0 = only on
+/// signal). Stopped (and joined) before the final summary prints.
+class MetricsMonitor {
+ public:
+  MetricsMonitor(const nb::BackboneEngine& engine,
+                 std::chrono::milliseconds interval)
+      : engine_(engine), interval_(interval) {
+    thread_ = std::thread([this] { Run(); });
+  }
+  ~MetricsMonitor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    auto next_dump = interval_.count() > 0
+                         ? std::chrono::steady_clock::now() + interval_
+                         : std::chrono::steady_clock::time_point::max();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(50),
+                   [this] { return stop_; });
+      if (stop_) break;
+      const bool on_demand = g_dump_metrics != 0;
+      const bool periodic =
+          interval_.count() > 0 &&
+          std::chrono::steady_clock::now() >= next_dump;
+      if (!on_demand && !periodic) continue;
+      g_dump_metrics = 0;
+      if (periodic) next_dump += interval_;
+      lock.unlock();
+      std::printf("\n--- metrics %s ---\n%s",
+                  on_demand ? "(SIGUSR1)" : "(interval)",
+                  MergedMetrics(engine_).RenderText().c_str());
+      std::fflush(stdout);
+      lock.lock();
+    }
+  }
+
+  const nb::BackboneEngine& engine_;
+  const std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -59,6 +142,9 @@ int main(int argc, char** argv) {
   bool chaos = false;
   uint64_t chaos_seed = 0xC7A05;
   std::string snapshot_dir;
+  std::string metrics_json;
+  long stats_interval_ms = 0;
+  long trace_sample = 0;
   int positional[2] = {400, 64};
   int positionals = 0;
   for (int i = 1; i < argc; ++i) {
@@ -69,6 +155,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--snapshot-dir=", 15) == 0) {
       snapshot_dir = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      metrics_json = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--stats-interval=", 17) == 0) {
+      stats_interval_ms = std::strtol(argv[i] + 17, nullptr, 0);
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      trace_sample = std::strtol(argv[i] + 15, nullptr, 0);
     } else if (positionals < 2) {
       positional[positionals++] = std::atoi(argv[i]);
     }
@@ -79,6 +171,7 @@ int main(int argc, char** argv) {
   nb::BackboneEngineOptions options;
   options.cache_byte_budget = cache_mb << 20;
   options.snapshot_dir = snapshot_dir;
+  options.trace_sample_rate = trace_sample;
   if (chaos) {
     // Bounded admission so the stalled dispatcher exercises shedding.
     options.max_queued_batches = 8;
@@ -120,7 +213,12 @@ int main(int argc, char** argv) {
   if (!snapshot_dir.empty()) {
     std::signal(SIGTERM, HandleSigterm);
   }
+  std::signal(SIGUSR1, HandleSigusr1);
   nb::BackboneEngine engine(options);
+  // The monitor owns all mid-replay dumps (periodic + SIGUSR1); scoped so
+  // it joins before the final summary prints.
+  std::unique_ptr<MetricsMonitor> monitor = std::make_unique<MetricsMonitor>(
+      engine, std::chrono::milliseconds(stats_interval_ms));
   if (!snapshot_dir.empty()) {
     const nb::BackboneEngine::Stats boot = engine.stats();
     std::printf("snapshot restore: %lld graphs, %lld entries, %lld "
@@ -267,8 +365,47 @@ int main(int argc, char** argv) {
     std::printf("%-28s %12lld\n", "snapshot write failures",
                 static_cast<long long>(snap.snapshot_failures));
   }
+  // Final observability summary: stop the monitor first so its dumps
+  // cannot interleave, then render one merged snapshot. The same
+  // snapshot drives the chaos per-site report below — injected-vs-drawn
+  // counts come from the registry's fault gauges, the same source of
+  // truth every other dump reads, not from a private injector pointer.
+  monitor.reset();
+  const nb::obs::MetricsSnapshot metrics = MergedMetrics(engine);
+  std::printf("\n--- final metrics ---\n%s", metrics.RenderText().c_str());
+  if (!metrics_json.empty()) {
+    if (metrics.WriteJsonFile(metrics_json, "netbone_serve")) {
+      std::printf("metrics json: %s\n", metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics json: %s\n",
+                   metrics_json.c_str());
+    }
+  }
+  if (trace_sample > 0) {
+    const auto traces = engine.tracer().Snapshot();
+    std::printf("\ntraces: %lld sampled, %lld dropped; last %zu:\n",
+                static_cast<long long>(engine.tracer().sampled()),
+                static_cast<long long>(engine.tracer().dropped()),
+                std::min<size_t>(traces.size(), 3));
+    for (size_t t = traces.size() - std::min<size_t>(traces.size(), 3);
+         t < traces.size(); ++t) {
+      const nb::obs::RequestTrace& trace = traces[t];
+      std::printf("  #%llu %s/%s path=%s total=%lldus spans:",
+                  static_cast<unsigned long long>(trace.request_id),
+                  trace.method, trace.kind,
+                  nb::obs::AnswerPathName(trace.path),
+                  static_cast<long long>(trace.total_ns / 1000));
+      for (int s = 0; s < trace.num_spans; ++s) {
+        std::printf(" %s=%lldus",
+                    nb::obs::SpanKindName(trace.spans[s].kind),
+                    static_cast<long long>(
+                        trace.spans[s].duration_ns / 1000));
+      }
+      std::printf("\n");
+    }
+  }
   if (chaos) {
-    std::printf("%-28s %12lld\n", "degraded responses",
+    std::printf("\n%-28s %12lld\n", "degraded responses",
                 static_cast<long long>(degraded));
     std::printf("%-28s %12lld\n", "retries",
                 static_cast<long long>(stats.retries));
@@ -280,17 +417,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(stats.cache.insert_failures));
     std::printf("%-28s %12lld\n", "background refreshes",
                 static_cast<long long>(stats.background_refreshes));
-    for (const auto site :
-         {nb::FaultSite::kScoringFailure, nb::FaultSite::kScoringLatency,
-          nb::FaultSite::kCacheInsertFailure,
-          nb::FaultSite::kDispatcherStall,
-          nb::FaultSite::kSnapshotWriteFailure,
-          nb::FaultSite::kSnapshotShortRead,
-          nb::FaultSite::kSnapshotRenameKill}) {
-      std::printf("fault site %-17d %6lld / %-6lld injected/draws\n",
-                  static_cast<int>(site),
-                  static_cast<long long>(injector->injected(site)),
-                  static_cast<long long>(injector->draws(site)));
+    for (int s = 0; s < nb::kNumFaultSites; ++s) {
+      const auto site = static_cast<nb::FaultSite>(s);
+      const std::string base =
+          std::string("fault.") + nb::FaultSiteName(site);
+      std::printf("fault %-22s %6lld / %-6lld injected/draws\n",
+                  nb::FaultSiteName(site),
+                  static_cast<long long>(metrics.ValueOf(base + ".injected")),
+                  static_cast<long long>(metrics.ValueOf(base + ".draws")));
     }
     // Chaos succeeds as long as nothing crashed, wedged, or failed with
     // an untyped status; injected failures are the point.

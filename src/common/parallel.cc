@@ -160,6 +160,7 @@ TaskScheduler::TaskScheduler(int num_threads) {
 }
 
 TaskScheduler::~TaskScheduler() {
+  if (metrics_registry_ != nullptr) metrics_registry_->Unregister(this);
   shutdown_.store(true, std::memory_order_release);
   Signal();
   {
@@ -178,9 +179,41 @@ TaskScheduler& TaskScheduler::Global() {
   // deadlock with other atexit teardown. NETBONE_NUM_THREADS overrides
   // the hardware-concurrency default for containerized deployments whose
   // cgroup quota is narrower than the host's core count.
-  static TaskScheduler* scheduler = new TaskScheduler(SchedulerThreadsFromEnv(
-      std::getenv("NETBONE_NUM_THREADS"), ResolveThreadCount(0)));
+  static TaskScheduler* scheduler = [] {
+    auto* s = new TaskScheduler(SchedulerThreadsFromEnv(
+        std::getenv("NETBONE_NUM_THREADS"), ResolveThreadCount(0)));
+    // Both the scheduler and the global registry are leaked, so the
+    // non-owning registration can never dangle.
+    s->RegisterMetrics(obs::MetricRegistry::Global(), "scheduler");
+    return s;
+  }();
   return *scheduler;
+}
+
+TaskScheduler::MetricsStats TaskScheduler::metrics_stats() const {
+  MetricsStats stats;
+  stats.tasks_executed = tasks_executed_.Value();
+  stats.steals = steals_.Value();
+  stats.parks = parks_.Value();
+  stats.wakes = wakes_.Value();
+  stats.injected = injected_count_.Value();
+  stats.inline_runs = inline_runs_.Value();
+  return stats;
+}
+
+void TaskScheduler::RegisterMetrics(obs::MetricRegistry& registry,
+                                    const std::string& prefix) {
+  metrics_registry_ = &registry;
+  registry.RegisterCounter(prefix + ".tasks_executed", &tasks_executed_,
+                           this);
+  registry.RegisterCounter(prefix + ".steals", &steals_, this);
+  registry.RegisterCounter(prefix + ".parks", &parks_, this);
+  registry.RegisterCounter(prefix + ".wakes", &wakes_, this);
+  registry.RegisterCounter(prefix + ".injected", &injected_count_, this);
+  registry.RegisterCounter(prefix + ".inline_runs", &inline_runs_, this);
+  registry.RegisterGauge(
+      prefix + ".workers", [this] { return int64_t{num_workers()}; }, this);
+  registry.RegisterHistogram(prefix + ".task_ns", &task_ns_, this);
 }
 
 void TaskScheduler::WorkerLoop(int worker_id) {
@@ -219,12 +252,16 @@ TaskScheduler::Task* TaskScheduler::FindTask(Worker* self) {
   if (self != nullptr) {
     for (const int victim : self->victims) {
       if (Task* task = DequeSteal(*workers_[static_cast<size_t>(victim)])) {
+        steals_.Increment();
         return task;
       }
     }
   } else {
     for (const auto& worker : workers_) {
-      if (Task* task = DequeSteal(*worker)) return task;
+      if (Task* task = DequeSteal(*worker)) {
+        steals_.Increment();
+        return task;
+      }
     }
   }
   return nullptr;
@@ -240,7 +277,16 @@ bool TaskScheduler::HelpOnce() {
 
 void TaskScheduler::ExecuteTask(Task* task) {
   TaskGroup* group = task->group;
-  task->fn();
+  if (task_timing_.load(std::memory_order_relaxed)) {
+    const auto start = std::chrono::steady_clock::now();
+    task->fn();
+    task_ns_.Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+  } else {
+    task->fn();
+  }
+  tasks_executed_.Increment();
   delete task;
   // The group may be destroyed the instant a waiter observes pending == 0,
   // so this decrement is the last touch of group memory; the wakeup below
@@ -258,6 +304,7 @@ void TaskScheduler::Submit(Task* task) {
     }
     // Own deque full: run inline. Correct (the task just executes now,
     // on this worker) and self-limiting — draining the task frees work.
+    inline_runs_.Increment();
     ExecuteTask(task);
     return;
   }
@@ -266,6 +313,7 @@ void TaskScheduler::Submit(Task* task) {
 }
 
 void TaskScheduler::Inject(Task* task) {
+  injected_count_.Increment();
   std::lock_guard<std::mutex> lock(inject_mu_);
   injected_.push_back(task);
 }
@@ -279,6 +327,7 @@ void TaskScheduler::Signal() {
     // and the notify reaches it.
     { std::lock_guard<std::mutex> lock(sleep_mu_); }
     sleep_cv_.notify_all();
+    wakes_.Increment();
   }
 }
 
@@ -288,6 +337,7 @@ void TaskScheduler::SleepUntilSignal(uint64_t observed_epoch) {
       epoch() != observed_epoch) {
     return;
   }
+  parks_.Increment();
   sleepers_.fetch_add(1, std::memory_order_acq_rel);
   sleep_cv_.wait_for(lock, kParkTimeout, [&] {
     return shutdown_.load(std::memory_order_acquire) ||

@@ -40,9 +40,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace netbone {
 
@@ -102,6 +105,32 @@ class TaskScheduler {
   /// Deque-owning worker threads (0 for a size-1 scheduler).
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  /// Coherent readout of the scheduler's health counters. Steals, parks,
+  /// and wakes are the load-balance story: high steals with low parks
+  /// means busy balanced work; high parks means starvation.
+  struct MetricsStats {
+    int64_t tasks_executed = 0;
+    int64_t steals = 0;
+    int64_t parks = 0;
+    int64_t wakes = 0;
+    int64_t injected = 0;
+    int64_t inline_runs = 0;  ///< deque-full fallbacks (spawner ran inline)
+  };
+  MetricsStats metrics_stats() const;
+
+  /// Turns on per-task latency recording into the task_ns histogram.
+  /// Off by default: the clock reads (~20ns/task) are the one piece of
+  /// scheduler instrumentation that is not free.
+  void EnableTaskTiming(bool on) {
+    task_timing_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Registers this scheduler's counters/histogram under
+  /// `<prefix>.<name>` using `this` as the owner cookie. Global()
+  /// self-registers into MetricRegistry::Global() under "scheduler".
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& prefix);
+
   /// Process-wide scheduler sized to hardware concurrency, created on
   /// first use and intentionally never destroyed (avoids shutdown-order
   /// races with static destructors).
@@ -151,6 +180,19 @@ class TaskScheduler {
   std::condition_variable sleep_cv_;
   std::atomic<int> sleepers_{0};  // incremented only under sleep_mu_
   std::atomic<bool> shutdown_{false};
+
+  // Observability (obs/metrics.h): relaxed sharded counters — one
+  // fetch_add per event on the owner's cache line, negligible next to
+  // the work being scheduled. Task timing is opt-in (two clock reads).
+  obs::ShardedCounter tasks_executed_;
+  obs::ShardedCounter steals_;
+  obs::ShardedCounter parks_;
+  obs::ShardedCounter wakes_;
+  obs::ShardedCounter injected_count_;
+  obs::ShardedCounter inline_runs_;
+  obs::LatencyHistogram task_ns_;
+  std::atomic<bool> task_timing_{false};
+  obs::MetricRegistry* metrics_registry_ = nullptr;  // set by RegisterMetrics
 };
 
 /// A join point for a set of spawned tasks. Spawn() hands tasks to the

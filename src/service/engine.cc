@@ -45,12 +45,67 @@ double BackoffJitter(const ScoreKey& key, int attempt) {
   return 0.5 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
 }
 
+/// Scope guard for one trace span: stamps start on entry and duration on
+/// exit into the ResolveInfo fields the caller names. `on` is the
+/// caller's info->timed — when false nothing is read or written, so the
+/// untraced path pays one branch.
+class SpanTimer {
+ public:
+  SpanTimer(const obs::TraceRecorder& tracer, bool on, int64_t* start_ns,
+            int64_t* duration_ns)
+      : tracer_(tracer), on_(on), start_(start_ns), duration_(duration_ns) {
+    if (on_) *start_ = tracer_.NowNs();
+  }
+  ~SpanTimer() {
+    if (on_) *duration_ = tracer_.NowNs() - *start_;
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  const obs::TraceRecorder& tracer_;
+  const bool on_;
+  int64_t* start_;
+  int64_t* duration_;
+};
+
 }  // namespace
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kTopK:
+      return "top_k";
+    case RequestKind::kTopShare:
+      return "top_share";
+    case RequestKind::kScoreThreshold:
+      return "score_threshold";
+    case RequestKind::kGrowUntilConnected:
+      return "grow_until_connected";
+    case RequestKind::kSweep:
+      return "sweep";
+    case RequestKind::kCoveragePoint:
+      return "coverage_point";
+    case RequestKind::kStabilityPoint:
+      return "stability_point";
+  }
+  return "unknown";
+}
 
 BackboneEngine::BackboneEngine(const Options& options)
     : options_(options),
+      tracer_(options.trace_sample_rate, options.trace_buffer_bytes),
       graphs_(options.graph_byte_budget),
       cache_(options.cache_byte_budget) {
+  cache_.set_metrics_timing(options_.enable_metrics);
+  graphs_.set_metrics_timing(options_.enable_metrics);
+  if (options_.enable_metrics) {
+    for (auto& hist : kind_latency_) {
+      hist = std::make_unique<obs::LatencyHistogram>();
+    }
+    for (auto& hist : path_latency_) {
+      hist = std::make_unique<obs::LatencyHistogram>();
+    }
+  }
   if (!options_.snapshot_dir.empty()) {
     // Restore before the dispatcher exists: the store and cache are
     // mutated single-threaded. A missing snapshot is the normal first
@@ -59,6 +114,7 @@ BackboneEngine::BackboneEngine(const Options& options)
     // cold and is counted, never thrown.
     std::error_code ec;
     std::filesystem::create_directories(options_.snapshot_dir, ec);
+    obs::ScopedRecord timing(options_.enable_metrics, &snapshot_restore_ns_);
     Result<SnapshotRestoreReport> restored = RestoreSnapshot(
         SnapshotFilePath(options_.snapshot_dir), &graphs_, &cache_);
     if (restored.ok()) {
@@ -70,6 +126,7 @@ BackboneEngine::BackboneEngine(const Options& options)
       ++snapshot_restore_errors_;
     }
   }
+  RegisterEngineMetrics();
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -101,13 +158,14 @@ Status BackboneEngine::WriteSnapshotNow() {
   if (options_.snapshot_dir.empty()) {
     return Status::FailedPrecondition("engine has no snapshot_dir");
   }
+  obs::ScopedRecord timing(options_.enable_metrics, &snapshot_write_ns_);
   Result<SnapshotWriteStats> written = WriteSnapshot(
       SnapshotFilePath(options_.snapshot_dir), graphs_, cache_);
   if (!written.ok()) {
-    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    snapshot_failures_.Increment();
     return written.status();
   }
-  snapshot_writes_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_writes_.Increment();
   return Status::OK();
 }
 
@@ -148,7 +206,7 @@ void BackboneEngine::RememberFailureLocked(const ScoreKey& key,
   // succeed for the next caller. Negative-caching them would poison the
   // key for every client behind one impatient request.
   if (status.IsCancellationShaped() || status.IsResourceExhausted()) {
-    negative_exempt_.fetch_add(1, std::memory_order_relaxed);
+    negative_exempt_.Increment();
     return;
   }
   // The table is bounded: negative keys are attacker/typo-shaped input,
@@ -169,22 +227,34 @@ void BackboneEngine::RememberFailureLocked(const ScoreKey& key,
 
 std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
     const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-    bool* cache_hit, std::shared_future<ScoreResult>* pending,
+    ResolveInfo* info, std::shared_future<ScoreResult>* pending,
     const CancelToken& cancel) {
-  *cache_hit = false;
+  info->cache_hit = false;
   const bool negative_enabled = options_.negative_ttl.count() > 0;
   std::promise<ScoreResult> promise;
+  // The lookup span covers the whole cache + negative + in-flight
+  // resolution window (including the lock wait); it is closed before any
+  // of the block's returns and once more on the compute fall-through.
+  if (info->timed) info->lookup_start_ns = tracer_.NowNs();
+  const auto end_lookup = [&] {
+    if (info->timed) {
+      info->lookup_ns = tracer_.NowNs() - info->lookup_start_ns;
+    }
+  };
   {
     std::unique_lock<std::mutex> lock(score_mu_);
     if (std::shared_ptr<const CachedScore> hit = cache_.Get(key)) {
-      *cache_hit = true;
+      info->cache_hit = true;
+      end_lookup();
       return ScoreResult(std::move(hit));
     }
     if (negative_enabled) {
       const auto it = negative_.find(key);
       if (it != negative_.end()) {
         if (std::chrono::steady_clock::now() < it->second.expiry) {
-          negative_hits_.fetch_add(1, std::memory_order_relaxed);
+          negative_hits_.Increment();
+          info->negative_hit = true;
+          end_lookup();
           return ScoreResult(it->second.status);
         }
         negative_.erase(it);  // expired: re-attempt
@@ -197,6 +267,7 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
       // context-only (header invariant), and this function also runs
       // inside ExecuteBatch's work-stealing tasks.
       *pending = it->second;
+      end_lookup();
       return std::nullopt;
     }
     // Admission control: a cold scoring past the in-flight bound is
@@ -207,12 +278,14 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
     if (options_.max_inflight_scores > 0 &&
         static_cast<int64_t>(inflight_.size()) >=
             options_.max_inflight_scores) {
-      inflight_rejected_.fetch_add(1, std::memory_order_relaxed);
+      inflight_rejected_.Increment();
+      end_lookup();
       return ScoreResult(
           Status::ResourceExhausted("in-flight scoring limit reached"));
     }
     inflight_.emplace(key, promise.get_future().share());
   }
+  end_lookup();
 
   // The caller holds the store pin for this graph (taken at resolve time,
   // before any fan-out, so the byte budget cannot evict the fingerprint
@@ -225,11 +298,12 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
     }
     if (options_.enable_delta_rescore) {
       if (std::shared_ptr<const CachedScore> patched =
-              TryDeltaRescore(key, graph, cancel)) {
+              TryDeltaRescore(key, graph, cancel, info)) {
+        info->delta_patched = true;
         return ScoreResult(std::move(patched));
       }
     }
-    return ComputeScoreWithRetry(key, graph, cancel);
+    return ComputeScoreWithRetry(key, graph, cancel, info);
   }();
   {
     std::lock_guard<std::mutex> lock(score_mu_);
@@ -250,7 +324,11 @@ std::optional<BackboneEngine::ScoreResult> BackboneEngine::StartOrJoinScore(
 
 BackboneEngine::ScoreResult BackboneEngine::ComputeScoreWithRetry(
     const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-    const CancelToken& cancel) {
+    const CancelToken& cancel, ResolveInfo* info) {
+  // The cold-score span covers the whole retry loop: injected latency,
+  // backoff sleeps and re-attempts are all time this key spent scoring.
+  SpanTimer span(tracer_, info->timed, &info->score_start_ns,
+                 &info->score_ns);
   RunMethodOptions run;
   run.num_threads = options_.num_threads;
   run.hss_max_cost = key.options.hss_max_cost;
@@ -280,7 +358,7 @@ BackboneEngine::ScoreResult BackboneEngine::ComputeScoreWithRetry(
         return ScoreResult(
             Status::Unavailable("injected scoring failure"));
       }
-      scores_computed_.fetch_add(1, std::memory_order_relaxed);
+      scores_computed_.Increment();
       Result<ScoredEdges> scored = RunMethod(key.method, *graph, run);
       if (!scored.ok()) return ScoreResult(scored.status());
       return ScoreResult(CachedScore::Build(graph, std::move(*scored)));
@@ -289,7 +367,8 @@ BackboneEngine::ScoreResult BackboneEngine::ComputeScoreWithRetry(
         attempt >= options_.max_retries) {
       return result;
     }
-    retries_.fetch_add(1, std::memory_order_relaxed);
+    retries_.Increment();
+    ++info->retries;
     // Exponential backoff with deterministic jitter; the sleep never
     // outlives the budget (a lapsed deadline surfaces as the sleep's
     // status, typed, not as a burned core).
@@ -335,10 +414,14 @@ BackboneEngine::WarmAncestor BackboneEngine::FindWarmAncestor(
 
 std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
     const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-    const CancelToken& cancel) {
+    const CancelToken& cancel, ResolveInfo* info) {
   if (!SupportsDeltaRescore(key.method)) return nullptr;
 
-  WarmAncestor ancestor = FindWarmAncestor(key);
+  WarmAncestor ancestor = [&] {
+    SpanTimer span(tracer_, info->timed, &info->lineage_start_ns,
+                   &info->lineage_ns);
+    return FindWarmAncestor(key);
+  }();
   if (ancestor.entry == nullptr) return nullptr;
   const std::shared_ptr<const CachedScore>& base = ancestor.entry;
   const uint64_t base_fingerprint = ancestor.fingerprint;
@@ -346,12 +429,15 @@ std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
   // From here on a warm ancestor exists: any bail-out is a fallback the
   // stats should show. The ancestor graph comes from the entry's own
   // handle, so a GraphStore eviction of the ancestor cannot break the
-  // diff.
+  // diff. The patch span covers diff + rescore + merge, including
+  // attempts that end in a fallback.
+  SpanTimer span(tracer_, info->timed, &info->patch_start_ns,
+                 &info->patch_ns);
   std::optional<GraphDelta> computed;
   if (ancestor.delta == nullptr) {
     Result<GraphDelta> diff = ComputeGraphDelta(base->graph(), *graph);
     if (!diff.ok()) {
-      delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      delta_fallbacks_.Increment();
       return nullptr;
     }
     computed = *std::move(diff);
@@ -371,12 +457,12 @@ std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
     // fallback counter (the full path returns the typed status at its
     // own pre-flight check).
     if (rescored.ok() || !rescored.status().IsCancellationShaped()) {
-      delta_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      delta_fallbacks_.Increment();
     }
     return nullptr;
   }
   DeltaRescoreResult& patch = **rescored;
-  delta_rescores_.fetch_add(1, std::memory_order_relaxed);
+  delta_rescores_.Increment();
   return CachedScore::BuildPatched(
       graph,
       ScoredEdges(graph.get(), base->scored().method(),
@@ -386,7 +472,7 @@ std::shared_ptr<const CachedScore> BackboneEngine::TryDeltaRescore(
 
 BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
     const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-    bool* cache_hit, const CancelToken& cancel) {
+    ResolveInfo* info, const CancelToken& cancel) {
   // Bounded resolve loop: round k re-enters when round k-1's shared
   // computation died of a *foreign* budget (the starter's deadline, not
   // ours) — on re-entry this caller may become the starter. Bounded so a
@@ -396,9 +482,10 @@ BackboneEngine::ScoreResult BackboneEngine::GetOrComputeScore(
   for (int round = 0; round < kMaxResolveRounds; ++round) {
     std::shared_future<ScoreResult> pending;
     std::optional<ScoreResult> result =
-        StartOrJoinScore(key, graph, cache_hit, &pending, cancel);
+        StartOrJoinScore(key, graph, info, &pending, cancel);
     if (!result.has_value()) {
-      coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_waits_.Increment();
+      info->coalesced = true;
       if (cancel.CanExpire()) {
         // Joiners wait with their *own* budget: the shared computation
         // keeps running for everyone else when this caller gives up.
@@ -516,33 +603,38 @@ Result<BackboneResponse> BackboneEngine::BuildResponse(
 
 Result<BackboneResponse> BackboneEngine::Execute(
     const BackboneRequest& request) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.Increment();
+  const int64_t begin_ns = MetricsNowNs();
+  ResolveInfo info;
+  info.timed = tracer_.enabled();
+  const SteadyClock::time_point deadline =
+      DeadlineFor(request, SteadyClock::now());
   const std::shared_ptr<const Graph> graph = graphs_.Find(request.graph);
   if (graph == nullptr) {
+    RecordOutcome(request, /*ok=*/false, /*degraded=*/false, info, begin_ns,
+                  deadline, /*queue_wait_ns=*/0);
     return Status::NotFound("unknown graph fingerprint (AddGraph first)");
   }
   // One token carries all three reasons this request may stop: its
   // deadline (armed here), the caller's explicit cancel, and engine
   // shutdown.
-  CancelSource source(DeadlineFor(request, SteadyClock::now()),
-                      request.cancel, lifetime_.token());
+  CancelSource source(deadline, request.cancel, lifetime_.token());
   const CancelToken token = source.token();
   const ScoreKey key =
       MakeScoreKey(request.graph, request.method, request.score_options);
-  bool cache_hit = false;
   // Pinned from resolve through scoring: the store's byte budget must not
   // evict a graph a request is actively using (the shared_ptr keeps the
   // memory alive regardless — the pin keeps the *fingerprint* resolvable
   // for the requests that will want the cached score next).
   graphs_.Pin(request.graph);
-  const ScoreResult score = GetOrComputeScore(key, graph, &cache_hit, token);
+  const ScoreResult score = GetOrComputeScore(key, graph, &info, token);
   graphs_.Unpin(request.graph);
   if (!score.ok()) {
     const Status& status = score.status();
     if (status.IsDeadlineExceeded()) {
-      deadline_hits_.fetch_add(1, std::memory_order_relaxed);
+      deadline_hits_.Increment();
     } else if (status.IsCancelled()) {
-      cancellations_.fetch_add(1, std::memory_order_relaxed);
+      cancellations_.Increment();
     }
     if (request.allow_degraded &&
         (status.IsCancellationShaped() || status.IsTransient() ||
@@ -550,16 +642,29 @@ Result<BackboneResponse> BackboneEngine::Execute(
         !lifetime_.CancellationRequested()) {
       if (std::optional<Result<BackboneResponse>> stale =
               TryDegradedResponse(request, key)) {
+        RecordOutcome(request, stale->ok(), /*degraded=*/true, info,
+                      begin_ns, deadline, /*queue_wait_ns=*/0);
         return *std::move(stale);
       }
       if (std::optional<Result<BackboneResponse>> sampled =
               TryDegradedSampledHss(request, graph)) {
+        RecordOutcome(request, sampled->ok(), /*degraded=*/true, info,
+                      begin_ns, deadline, /*queue_wait_ns=*/0);
         return *std::move(sampled);
       }
     }
+    RecordOutcome(request, /*ok=*/false, /*degraded=*/false, info, begin_ns,
+                  deadline, /*queue_wait_ns=*/0);
     return status;
   }
-  return BuildResponse(request, **score, cache_hit);
+  Result<BackboneResponse> response = [&] {
+    SpanTimer span(tracer_, info.timed, &info.extract_start_ns,
+                   &info.extract_ns);
+    return BuildResponse(request, **score, info.cache_hit);
+  }();
+  RecordOutcome(request, response.ok(), /*degraded=*/false, info, begin_ns,
+                deadline, /*queue_wait_ns=*/0);
+  return response;
 }
 
 std::optional<Result<BackboneResponse>> BackboneEngine::TryDegradedResponse(
@@ -575,7 +680,7 @@ std::optional<Result<BackboneResponse>> BackboneEngine::TryDegradedResponse(
   if (!response.ok()) return std::nullopt;
   response->degraded = true;
   response->degraded_from = ancestor.fingerprint;
-  degraded_served_.fetch_add(1, std::memory_order_relaxed);
+  degraded_served_.Increment();
   ScheduleBackgroundRefresh(request);
   return response;
 }
@@ -602,18 +707,19 @@ BackboneEngine::TryDegradedSampledHss(
   // it runs without the lapsed deadline — only engine shutdown can stop
   // it. It caches under its canonical sampled key: repeat degradations
   // on the same graph are warm.
-  bool cache_hit = false;
+  ResolveInfo sampled_info;
   graphs_.Pin(request.graph);
-  const ScoreResult score =
-      GetOrComputeScore(sampled_key, graph, &cache_hit, lifetime_.token());
+  const ScoreResult score = GetOrComputeScore(sampled_key, graph,
+                                              &sampled_info,
+                                              lifetime_.token());
   graphs_.Unpin(request.graph);
   if (!score.ok()) return std::nullopt;
   Result<BackboneResponse> response =
-      BuildResponse(request, **score, cache_hit);
+      BuildResponse(request, **score, sampled_info.cache_hit);
   if (!response.ok()) return std::nullopt;
   response->degraded = true;
   response->degraded_from = request.graph;
-  degraded_served_.fetch_add(1, std::memory_order_relaxed);
+  degraded_served_.Increment();
   ScheduleBackgroundRefresh(request);
   return response;
 }
@@ -628,6 +734,7 @@ void BackboneEngine::ScheduleBackgroundRefresh(
   PendingBatch batch;
   batch.requests.push_back(std::move(exact));
   batch.deadlines.push_back(SteadyClock::time_point::max());
+  batch.enqueued = SteadyClock::now();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     // Refreshes never displace client work: full queue (or shutdown)
@@ -638,7 +745,7 @@ void BackboneEngine::ScheduleBackgroundRefresh(
       return;
     }
     queue_.push_back(std::move(batch));
-    background_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    background_refreshes_.Increment();
   }
   queue_cv_.notify_one();
 }
@@ -651,15 +758,20 @@ std::vector<Result<BackboneResponse>> BackboneEngine::ExecuteBatch(
   for (const BackboneRequest& request : requests) {
     deadlines.push_back(DeadlineFor(request, now));
   }
-  return ExecuteBatchWithDeadlines(requests, deadlines);
+  return ExecuteBatchWithDeadlines(requests, deadlines,
+                                   /*queue_wait_ns=*/0);
 }
 
 std::vector<Result<BackboneResponse>>
 BackboneEngine::ExecuteBatchWithDeadlines(
     std::span<const BackboneRequest> requests,
-    std::span<const SteadyClock::time_point> deadlines) {
+    std::span<const SteadyClock::time_point> deadlines,
+    int64_t queue_wait_ns) {
   const int64_t n = static_cast<int64_t>(requests.size());
-  requests_.fetch_add(n, std::memory_order_relaxed);
+  requests_.Add(n);
+  obs::ScopedRecord batch_timing(options_.enable_metrics,
+                                 &batch_execute_ns_);
+  const int64_t begin_ns = MetricsNowNs();
   const SteadyClock::time_point entry_now = SteadyClock::now();
 
   // Resolve graphs and collapse the batch onto its distinct score keys
@@ -735,7 +847,8 @@ BackboneEngine::ExecuteBatchWithDeadlines(
   // deadlock-freedom invariant).
   std::vector<std::optional<ScoreResult>> scores(keys.size());
   std::vector<std::shared_future<ScoreResult>> pending(keys.size());
-  std::vector<char> cache_hits(keys.size(), 0);
+  std::vector<ResolveInfo> infos(keys.size());
+  for (ResolveInfo& info : infos) info.timed = tracer_.enabled();
   const int width = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(
                            ResolveThreadCount(options_.num_threads)),
@@ -743,10 +856,8 @@ BackboneEngine::ExecuteBatchWithDeadlines(
   if (width <= 1) {
     // One key (the common warm case) or a serial engine: no task handoff.
     for (size_t s = 0; s < keys.size(); ++s) {
-      bool cache_hit = false;
-      scores[s] =
-          GetOrComputeScore(keys[s], key_graphs[s], &cache_hit, key_tokens[s]);
-      cache_hits[s] = cache_hit ? 1 : 0;
+      scores[s] = GetOrComputeScore(keys[s], key_graphs[s], &infos[s],
+                                    key_tokens[s]);
     }
   } else {
     std::atomic<size_t> next_key{0};
@@ -754,10 +865,8 @@ BackboneEngine::ExecuteBatchWithDeadlines(
       for (;;) {
         const size_t s = next_key.fetch_add(1, std::memory_order_relaxed);
         if (s >= keys.size()) return;
-        bool cache_hit = false;
-        scores[s] = StartOrJoinScore(keys[s], key_graphs[s], &cache_hit,
+        scores[s] = StartOrJoinScore(keys[s], key_graphs[s], &infos[s],
                                      &pending[s], key_tokens[s]);
-        cache_hits[s] = cache_hit ? 1 : 0;
       }
     };
     {
@@ -773,7 +882,8 @@ BackboneEngine::ExecuteBatchWithDeadlines(
         // is chained under shutdown), falling back through the full
         // resolve loop when the foreign computation died of *its*
         // budget while ours is still live.
-        coalesced_waits_.fetch_add(1, std::memory_order_relaxed);
+        coalesced_waits_.Increment();
+        infos[s].coalesced = true;
         constexpr auto kJoinSlice = std::chrono::milliseconds(1);
         std::optional<Status> lapsed;
         while (pending[s].wait_for(kJoinSlice) !=
@@ -790,10 +900,8 @@ BackboneEngine::ExecuteBatchWithDeadlines(
         ScoreResult joined = pending[s].get();
         if (!joined.ok() && joined.status().IsCancellationShaped() &&
             key_tokens[s].Check().ok()) {
-          bool cache_hit = false;
-          joined = GetOrComputeScore(keys[s], key_graphs[s], &cache_hit,
+          joined = GetOrComputeScore(keys[s], key_graphs[s], &infos[s],
                                      key_tokens[s]);
-          cache_hits[s] = cache_hit ? 1 : 0;
         }
         scores[s] = std::move(joined);
       }
@@ -810,60 +918,64 @@ BackboneEngine::ExecuteBatchWithDeadlines(
   // sibling's longer budget finished the scoring.
   std::vector<std::optional<Result<BackboneResponse>>> out(
       static_cast<size_t>(n));
-  ParallelFor(n, options_.num_threads,
-              [&](int64_t begin, int64_t end, int /*chunk*/) {
-                for (int64_t i = begin; i < end; ++i) {
-                  const size_t slot = static_cast<size_t>(i);
-                  const Resolved& r = resolved[slot];
-                  const BackboneRequest& request = requests[slot];
-                  if (r.expired) {
-                    deadline_hits_.fetch_add(1, std::memory_order_relaxed);
-                    out[slot] = Result<BackboneResponse>(
-                        Status::DeadlineExceeded(
-                            "deadline expired before batch execution"));
-                    continue;
-                  }
-                  if (r.graph == nullptr) {
-                    out[slot] = Result<BackboneResponse>(Status::NotFound(
-                        "unknown graph fingerprint (AddGraph first)"));
-                    continue;
-                  }
-                  if (!request.cancel.IsNull() &&
-                      !request.cancel.Check().ok()) {
-                    cancellations_.fetch_add(1, std::memory_order_relaxed);
-                    out[slot] = Result<BackboneResponse>(
-                        request.cancel.Check());
-                    continue;
-                  }
-                  const ScoreResult& score = *scores[r.key_slot];
-                  if (!score.ok()) {
-                    const Status& status = score.status();
-                    if (status.IsDeadlineExceeded()) {
-                      deadline_hits_.fetch_add(1,
-                                               std::memory_order_relaxed);
-                    } else if (status.IsCancelled()) {
-                      cancellations_.fetch_add(1,
-                                               std::memory_order_relaxed);
-                    }
-                    if (request.allow_degraded &&
-                        (status.IsCancellationShaped() ||
-                         status.IsTransient() ||
-                         status.IsResourceExhausted())) {
-                      if (std::optional<Result<BackboneResponse>> stale =
-                              TryDegradedResponse(request,
-                                                  keys[r.key_slot])) {
-                        out[slot] = *std::move(stale);
-                        continue;
-                      }
-                    }
-                    out[slot] = Result<BackboneResponse>(status);
-                    continue;
-                  }
-                  out[slot] =
-                      BuildResponse(request, **score,
-                                    /*cache_hit=*/cache_hits[r.key_slot] != 0);
+  ParallelFor(
+      n, options_.num_threads,
+      [&](int64_t begin, int64_t end, int /*chunk*/) {
+        for (int64_t i = begin; i < end; ++i) {
+          const size_t slot = static_cast<size_t>(i);
+          const Resolved& r = resolved[slot];
+          const BackboneRequest& request = requests[slot];
+          const SteadyClock::time_point deadline = deadlines[slot];
+          // Outcome accounting closes each slot exactly once: every
+          // branch below assigns out[slot] and falls through to the
+          // RecordOutcome at the bottom. Pre-resolution failures carry
+          // an empty ResolveInfo; resolved requests copy their key's
+          // shared info so the per-request extract span lands in a
+          // private copy.
+          ResolveInfo info;
+          info.timed = tracer_.enabled();
+          bool degraded = false;
+          if (r.expired) {
+            deadline_hits_.Increment();
+            out[slot] = Result<BackboneResponse>(Status::DeadlineExceeded(
+                "deadline expired before batch execution"));
+          } else if (r.graph == nullptr) {
+            out[slot] = Result<BackboneResponse>(Status::NotFound(
+                "unknown graph fingerprint (AddGraph first)"));
+          } else if (!request.cancel.IsNull() &&
+                     !request.cancel.Check().ok()) {
+            cancellations_.Increment();
+            out[slot] = Result<BackboneResponse>(request.cancel.Check());
+          } else {
+            info = infos[r.key_slot];
+            const ScoreResult& score = *scores[r.key_slot];
+            if (!score.ok()) {
+              const Status& status = score.status();
+              if (status.IsDeadlineExceeded()) {
+                deadline_hits_.Increment();
+              } else if (status.IsCancelled()) {
+                cancellations_.Increment();
+              }
+              out[slot] = Result<BackboneResponse>(status);
+              if (request.allow_degraded &&
+                  (status.IsCancellationShaped() || status.IsTransient() ||
+                   status.IsResourceExhausted())) {
+                if (std::optional<Result<BackboneResponse>> stale =
+                        TryDegradedResponse(request, keys[r.key_slot])) {
+                  out[slot] = *std::move(stale);
+                  degraded = true;
                 }
-              });
+              }
+            } else {
+              SpanTimer span(tracer_, info.timed, &info.extract_start_ns,
+                             &info.extract_ns);
+              out[slot] = BuildResponse(request, **score, info.cache_hit);
+            }
+          }
+          RecordOutcome(request, out[slot]->ok(), degraded, info, begin_ns,
+                        deadline, queue_wait_ns);
+        }
+      });
 
   std::vector<Result<BackboneResponse>> results;
   results.reserve(static_cast<size_t>(n));
@@ -878,6 +990,7 @@ std::future<std::vector<Result<BackboneResponse>>> BackboneEngine::Submit(
   // batch over, not when the dispatcher gets around to it.
   const SteadyClock::time_point now = SteadyClock::now();
   PendingBatch batch;
+  batch.enqueued = now;
   batch.deadlines.reserve(requests.size());
   for (const BackboneRequest& request : requests) {
     batch.deadlines.push_back(DeadlineFor(request, now));
@@ -900,7 +1013,7 @@ std::future<std::vector<Result<BackboneResponse>>> BackboneEngine::Submit(
         static_cast<int64_t>(queue_.size()) >=
             options_.max_queued_batches) {
       if (options_.overload_policy == OverloadPolicy::kRejectNew) {
-        rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+        rejected_batches_.Increment();
         batch.promise.set_value(
             FailAll(batch.requests.size(),
                     Status::ResourceExhausted("submit queue is full")));
@@ -908,10 +1021,10 @@ std::future<std::vector<Result<BackboneResponse>>> BackboneEngine::Submit(
       }
       shed = std::move(queue_.front());
       queue_.pop_front();
-      shed_batches_.fetch_add(1, std::memory_order_relaxed);
+      shed_batches_.Increment();
     }
     queue_.push_back(std::move(batch));
-    submitted_batches_.fetch_add(1, std::memory_order_relaxed);
+    submitted_batches_.Increment();
   }
   if (shed.has_value()) {
     // Resolved outside the lock: a waiter on the shed future may react
@@ -963,8 +1076,15 @@ void BackboneEngine::DispatcherLoop() {
       InterruptibleSleep(injector->latency(FaultSite::kDispatcherStall),
                          lifetime_.token());
     }
-    batch.promise.set_value(
-        ExecuteBatchWithDeadlines(batch.requests, batch.deadlines));
+    // Queue wait includes any injected stall above — from the client's
+    // side both are time the batch sat between Submit and execution.
+    const int64_t queue_wait_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - batch.enqueued)
+            .count();
+    if (options_.enable_metrics) queue_wait_ns_.Record(queue_wait_ns);
+    batch.promise.set_value(ExecuteBatchWithDeadlines(
+        batch.requests, batch.deadlines, queue_wait_ns));
     lock.lock();
   }
   // Shutdown: queued batches are *cancelled*, not executed — their
@@ -981,42 +1101,38 @@ void BackboneEngine::DispatcherLoop() {
 
 BackboneEngine::Stats BackboneEngine::stats() const {
   Stats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.scores_computed = scores_computed_.load(std::memory_order_relaxed);
-  stats.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
-  stats.submitted_batches =
-      submitted_batches_.load(std::memory_order_relaxed);
-  stats.negative_hits = negative_hits_.load(std::memory_order_relaxed);
-  stats.delta_rescores = delta_rescores_.load(std::memory_order_relaxed);
-  stats.delta_fallbacks = delta_fallbacks_.load(std::memory_order_relaxed);
-  stats.shed_batches = shed_batches_.load(std::memory_order_relaxed);
-  stats.rejected_batches =
-      rejected_batches_.load(std::memory_order_relaxed);
-  stats.inflight_rejected =
-      inflight_rejected_.load(std::memory_order_relaxed);
-  stats.deadline_hits = deadline_hits_.load(std::memory_order_relaxed);
-  stats.cancellations = cancellations_.load(std::memory_order_relaxed);
-  stats.retries = retries_.load(std::memory_order_relaxed);
-  stats.negative_exempt = negative_exempt_.load(std::memory_order_relaxed);
-  stats.degraded_served = degraded_served_.load(std::memory_order_relaxed);
-  stats.background_refreshes =
-      background_refreshes_.load(std::memory_order_relaxed);
+  stats.requests = requests_.Value();
+  stats.scores_computed = scores_computed_.Value();
+  stats.coalesced_waits = coalesced_waits_.Value();
+  stats.submitted_batches = submitted_batches_.Value();
+  stats.negative_hits = negative_hits_.Value();
+  stats.delta_rescores = delta_rescores_.Value();
+  stats.delta_fallbacks = delta_fallbacks_.Value();
+  stats.shed_batches = shed_batches_.Value();
+  stats.rejected_batches = rejected_batches_.Value();
+  stats.inflight_rejected = inflight_rejected_.Value();
+  stats.deadline_hits = deadline_hits_.Value();
+  stats.cancellations = cancellations_.Value();
+  stats.retries = retries_.Value();
+  stats.negative_exempt = negative_exempt_.Value();
+  stats.degraded_served = degraded_served_.Value();
+  stats.background_refreshes = background_refreshes_.Value();
   stats.restored_graphs = restored_graphs_;
   stats.restored_entries = restored_entries_;
   stats.restored_lineage = restored_lineage_;
   stats.quarantined_sections = quarantined_sections_;
   stats.snapshot_restore_errors = snapshot_restore_errors_;
-  stats.snapshot_writes = snapshot_writes_.load(std::memory_order_relaxed);
-  stats.snapshot_failures =
-      snapshot_failures_.load(std::memory_order_relaxed);
+  stats.snapshot_writes = snapshot_writes_.Value();
+  stats.snapshot_failures = snapshot_failures_.Value();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    // One coherent snapshot of the lock-guarded fields: both mutexes are
+    // taken together (scoped_lock orders them deadlock-free) so queue
+    // depth and negative entries describe the same instant instead of
+    // two piecemeal reads with requests landing in between.
+    std::scoped_lock lock(score_mu_, queue_mu_);
     stats.queue_depth = static_cast<int64_t>(queue_.size());
-  }
-  {
     // Live entries only: expired ones awaiting a lazy sweep don't count.
     const auto now = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(score_mu_);
     for (const auto& [key, entry] : negative_) {
       if (now < entry.expiry) ++stats.negative_entries;
     }
@@ -1024,6 +1140,199 @@ BackboneEngine::Stats BackboneEngine::stats() const {
   stats.graphs = graphs_.stats();
   stats.cache = cache_.stats();
   return stats;
+}
+
+obs::AnswerPath BackboneEngine::ClassifyPath(bool ok, bool degraded,
+                                             const ResolveInfo& info) {
+  // Precedence mirrors how the answer was actually produced: a degraded
+  // serve overrides everything (the exact path already failed), then
+  // failures split on whether the negative cache answered. A coalesced
+  // joiner without its own cache hit classifies as cold — it paid (a
+  // share of) a fresh computation's latency, which is what the per-path
+  // histogram prices.
+  if (degraded) return obs::AnswerPath::kDegraded;
+  if (!ok) {
+    return info.negative_hit ? obs::AnswerPath::kNegative
+                             : obs::AnswerPath::kFailed;
+  }
+  if (info.cache_hit) return obs::AnswerPath::kWarm;
+  if (info.delta_patched) return obs::AnswerPath::kDelta;
+  return obs::AnswerPath::kCold;
+}
+
+void BackboneEngine::RecordOutcome(const BackboneRequest& request, bool ok,
+                                   bool degraded, const ResolveInfo& info,
+                                   int64_t begin_ns,
+                                   SteadyClock::time_point deadline,
+                                   int64_t queue_wait_ns) {
+  const bool metrics = options_.enable_metrics;
+  const bool tracing = tracer_.enabled();
+  if (!metrics && !tracing) return;
+  const int64_t end_ns = tracer_.NowNs();
+  const int64_t total_ns = std::max<int64_t>(end_ns - begin_ns, 0);
+  const obs::AnswerPath path = ClassifyPath(ok, degraded, info);
+  if (metrics) {
+    kind_latency_[static_cast<size_t>(request.kind)]->Record(total_ns);
+    path_latency_[static_cast<size_t>(path)]->Record(total_ns);
+  }
+  if (!tracing || !tracer_.ShouldSample()) return;
+
+  obs::RequestTrace trace;
+  trace.request_id =
+      trace_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace.SetMethod(MethodName(request.method));
+  trace.SetKind(RequestKindName(request.kind));
+  trace.path = path;
+  trace.ok = ok;
+  trace.cache_hit = info.cache_hit;
+  trace.degraded = degraded;
+  trace.retries = static_cast<uint8_t>(std::min(info.retries, 255));
+  // The trace starts at admission: queue wait (async batches) precedes
+  // the execution window begin_ns opened.
+  const int64_t origin = begin_ns - queue_wait_ns;
+  trace.begin_ns = origin;
+  trace.total_ns = end_ns - origin;
+  if (deadline != SteadyClock::time_point::max()) {
+    trace.deadline_slack_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline - SteadyClock::now())
+            .count();
+  }
+  if (queue_wait_ns > 0) {
+    trace.AddSpan(obs::SpanKind::kAdmission, 0, queue_wait_ns);
+  }
+  const auto add_span = [&](obs::SpanKind kind, int64_t start_ns,
+                            int64_t duration_ns) {
+    if (start_ns >= 0) {
+      trace.AddSpan(kind, start_ns - origin, duration_ns);
+    }
+  };
+  add_span(obs::SpanKind::kCacheLookup, info.lookup_start_ns,
+           info.lookup_ns);
+  add_span(obs::SpanKind::kLineageWalk, info.lineage_start_ns,
+           info.lineage_ns);
+  add_span(obs::SpanKind::kDeltaPatch, info.patch_start_ns, info.patch_ns);
+  add_span(obs::SpanKind::kColdScore, info.score_start_ns, info.score_ns);
+  add_span(obs::SpanKind::kExtract, info.extract_start_ns,
+           info.extract_ns);
+  tracer_.Commit(trace);
+}
+
+void BackboneEngine::RegisterEngineMetrics() {
+  auto counter = [&](const char* name, obs::ShardedCounter* c) {
+    registry_.RegisterCounter(name, c, this);
+  };
+  counter("engine.requests", &requests_);
+  counter("engine.scores_computed", &scores_computed_);
+  counter("engine.coalesced_waits", &coalesced_waits_);
+  counter("engine.submitted_batches", &submitted_batches_);
+  counter("engine.negative_hits", &negative_hits_);
+  counter("engine.delta_rescores", &delta_rescores_);
+  counter("engine.delta_fallbacks", &delta_fallbacks_);
+  counter("engine.shed_batches", &shed_batches_);
+  counter("engine.rejected_batches", &rejected_batches_);
+  counter("engine.inflight_rejected", &inflight_rejected_);
+  counter("engine.deadline_hits", &deadline_hits_);
+  counter("engine.cancellations", &cancellations_);
+  counter("engine.retries", &retries_);
+  counter("engine.negative_exempt", &negative_exempt_);
+  counter("engine.degraded_served", &degraded_served_);
+  counter("engine.background_refreshes", &background_refreshes_);
+  counter("engine.snapshot_writes", &snapshot_writes_);
+  counter("engine.snapshot_failures", &snapshot_failures_);
+
+  registry_.RegisterGauge(
+      "engine.queue_depth",
+      [this] {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        return static_cast<int64_t>(queue_.size());
+      },
+      this);
+  registry_.RegisterGauge(
+      "engine.inflight_scores",
+      [this] {
+        std::lock_guard<std::mutex> lock(score_mu_);
+        return static_cast<int64_t>(inflight_.size());
+      },
+      this);
+  registry_.RegisterGauge(
+      "engine.negative_entries",
+      [this] {
+        // Same live-scan semantics as stats(): expired entries awaiting
+        // a lazy sweep don't count.
+        const auto now = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(score_mu_);
+        int64_t live = 0;
+        for (const auto& [key, entry] : negative_) {
+          if (now < entry.expiry) ++live;
+        }
+        return live;
+      },
+      this);
+  registry_.RegisterGauge("engine.restored_graphs",
+                          [this] { return restored_graphs_; }, this);
+  registry_.RegisterGauge("engine.restored_entries",
+                          [this] { return restored_entries_; }, this);
+  registry_.RegisterGauge("engine.restored_lineage",
+                          [this] { return restored_lineage_; }, this);
+  registry_.RegisterGauge("engine.quarantined_sections",
+                          [this] { return quarantined_sections_; }, this);
+  registry_.RegisterGauge("engine.snapshot_restore_errors",
+                          [this] { return snapshot_restore_errors_; },
+                          this);
+  registry_.RegisterGauge(
+      "trace.sampled", [this] { return tracer_.sampled(); }, this);
+  registry_.RegisterGauge(
+      "trace.dropped", [this] { return tracer_.dropped(); }, this);
+
+  // Fault-injection fire counts, one gauge pair per site, read from
+  // whatever injector is active at snapshot time — chaos runs report
+  // injected-vs-observed from the same registry as everything else.
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    const std::string base = std::string("fault.") + FaultSiteName(site);
+    registry_.RegisterGauge(
+        base + ".injected",
+        [site] {
+          FaultInjector* injector = ActiveFaultInjector();
+          return injector != nullptr ? injector->injected(site) : 0;
+        },
+        this);
+    registry_.RegisterGauge(
+        base + ".draws",
+        [site] {
+          FaultInjector* injector = ActiveFaultInjector();
+          return injector != nullptr ? injector->draws(site) : 0;
+        },
+        this);
+  }
+
+  if (options_.enable_metrics) {
+    for (int k = 0; k < kNumRequestKinds; ++k) {
+      registry_.RegisterHistogram(
+          std::string("engine.latency.kind.") +
+              RequestKindName(static_cast<RequestKind>(k)),
+          kind_latency_[static_cast<size_t>(k)].get(), this);
+    }
+    for (int p = 0; p < obs::kNumAnswerPaths; ++p) {
+      const auto path = static_cast<obs::AnswerPath>(p);
+      if (path == obs::AnswerPath::kUnknown) continue;  // never recorded
+      registry_.RegisterHistogram(
+          std::string("engine.latency.path.") + obs::AnswerPathName(path),
+          path_latency_[static_cast<size_t>(p)].get(), this);
+    }
+  }
+  registry_.RegisterHistogram("engine.queue_wait_ns", &queue_wait_ns_,
+                              this);
+  registry_.RegisterHistogram("engine.batch_execute_ns",
+                              &batch_execute_ns_, this);
+  registry_.RegisterHistogram("engine.snapshot_write_ns",
+                              &snapshot_write_ns_, this);
+  registry_.RegisterHistogram("engine.snapshot_restore_ns",
+                              &snapshot_restore_ns_, this);
+
+  cache_.RegisterMetrics(registry_, "cache", this);
+  graphs_.RegisterMetrics(registry_, "store", this);
 }
 
 }  // namespace netbone

@@ -83,6 +83,7 @@
 #ifndef NETBONE_SERVICE_ENGINE_H_
 #define NETBONE_SERVICE_ENGINE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -102,6 +103,8 @@
 #include "common/result.h"
 #include "core/registry.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/graph_store.h"
 #include "service/score_cache.h"
 
@@ -129,6 +132,10 @@ enum class RequestKind {
   /// the share-backbone of `graph` against `next_graph`.
   kStabilityPoint,
 };
+inline constexpr int kNumRequestKinds = 7;
+
+/// Stable short name for a request kind (metric names, trace labels).
+const char* RequestKindName(RequestKind kind);
 
 /// A typed request against an interned graph.
 struct BackboneRequest {
@@ -297,6 +304,20 @@ struct BackboneEngineOptions {
   /// often. Background snapshots carry no request deadline — they are
   /// maintenance, not serving work.
   std::chrono::milliseconds snapshot_interval{0};
+
+  /// Observability (src/obs/). When true (the default) the engine
+  /// registers its counters/gauges/histograms in its MetricRegistry and
+  /// records per-kind / per-answer-path latency distributions. The cost
+  /// is a few relaxed fetch_adds and two clock reads per request; false
+  /// reduces instrumentation to the legacy Stats counters alone.
+  bool enable_metrics = true;
+  /// Trace sampling: 0 (default) disables per-request traces entirely
+  /// (no ring allocated, one predictable branch per request); 1 traces
+  /// every request; N traces every Nth. Sampled requests additionally
+  /// pay one clock read per span boundary.
+  int64_t trace_sample_rate = 0;
+  /// Byte budget for the trace ring (rounded down to whole slots).
+  int64_t trace_buffer_bytes = int64_t{1} << 20;
 };
 
 /// Long-lived serving engine: graph residency + score cache + request
@@ -402,8 +423,46 @@ class BackboneEngine {
 
   Stats stats() const;
 
+  /// One consistent snapshot of every metric the engine registered:
+  /// counters, gauges (queue depth, cache/store occupancy, fault-injection
+  /// fire counts), and latency histograms per request kind and per answer
+  /// path. Merge with obs::MetricRegistry::Global().Snapshot() for the
+  /// process-wide scheduler metrics.
+  obs::MetricsSnapshot Metrics() const { return registry_.Snapshot(); }
+
+  /// The engine's own registry (for callers that want to add metrics or
+  /// render alongside the engine's).
+  obs::MetricRegistry& registry() const { return registry_; }
+
+  /// The per-request trace ring (enabled() is false unless
+  /// Options::trace_sample_rate > 0).
+  const obs::TraceRecorder& tracer() const { return tracer_; }
+
  private:
   using ScoreResult = Result<std::shared_ptr<const CachedScore>>;
+
+  /// Per-request resolve bookkeeping threaded through the score-resolution
+  /// helpers: which roads the request took (for answer-path classification)
+  /// and, when tracing is on, where the time went (span boundaries in
+  /// tracer_ timebase; start < 0 = span never entered).
+  struct ResolveInfo {
+    bool cache_hit = false;      ///< positive cache answered
+    bool negative_hit = false;   ///< negative cache answered (failure)
+    bool delta_patched = false;  ///< answered by patching a warm ancestor
+    bool coalesced = false;      ///< joined another request's computation
+    int retries = 0;             ///< transient-failure re-attempts
+    bool timed = false;          ///< span clocks on (tracer enabled)
+    int64_t lookup_start_ns = -1;   ///< kCacheLookup
+    int64_t lookup_ns = 0;
+    int64_t lineage_start_ns = -1;  ///< kLineageWalk
+    int64_t lineage_ns = 0;
+    int64_t patch_start_ns = -1;    ///< kDeltaPatch
+    int64_t patch_ns = 0;
+    int64_t score_start_ns = -1;    ///< kColdScore
+    int64_t score_ns = 0;
+    int64_t extract_start_ns = -1;  ///< kExtract
+    int64_t extract_ns = 0;
+  };
 
   /// The non-blocking half of score resolution: positive cache, negative
   /// cache, then either computes the score itself (registering the key
@@ -415,7 +474,7 @@ class BackboneEngine {
   /// The *caller* awaits `pending`, from caller context only.
   std::optional<ScoreResult> StartOrJoinScore(
       const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-      bool* cache_hit, std::shared_future<ScoreResult>* pending,
+      ResolveInfo* info, std::shared_future<ScoreResult>* pending,
       const CancelToken& cancel = {});
 
   /// Cache lookup + in-flight coalescing + scoring. Caller context only
@@ -428,7 +487,7 @@ class BackboneEngine {
   /// loop and may become the starter itself.
   ScoreResult GetOrComputeScore(const ScoreKey& key,
                                 const std::shared_ptr<const Graph>& graph,
-                                bool* cache_hit,
+                                ResolveInfo* info,
                                 const CancelToken& cancel = {});
 
   /// The cold scoring itself, with the transient-failure retry loop and
@@ -436,7 +495,8 @@ class BackboneEngine {
   /// (the key is registered); never touches engine locks.
   ScoreResult ComputeScoreWithRetry(const ScoreKey& key,
                                     const std::shared_ptr<const Graph>& graph,
-                                    const CancelToken& cancel);
+                                    const CancelToken& cancel,
+                                    ResolveInfo* info);
 
   /// Records a scoring failure in the negative cache — unless the status
   /// is cancellation-shaped or an admission rejection, which say nothing
@@ -454,7 +514,7 @@ class BackboneEngine {
   /// rescore. Never blocks on other requests' work.
   std::shared_ptr<const CachedScore> TryDeltaRescore(
       const ScoreKey& key, const std::shared_ptr<const Graph>& graph,
-      const CancelToken& cancel = {});
+      const CancelToken& cancel, ResolveInfo* info);
 
   /// Pure response assembly from a resolved score; never blocks.
   Result<BackboneResponse> BuildResponse(const BackboneRequest& request,
@@ -493,13 +553,51 @@ class BackboneEngine {
 
   /// Batch execution against per-request deadlines armed by the caller
   /// (Execute/ExecuteBatch arm at call time, Submit at submit time).
+  /// `queue_wait_ns` is the batch's time in the Submit queue (0 for
+  /// synchronous paths) — the admission span of every request's trace.
   std::vector<Result<BackboneResponse>> ExecuteBatchWithDeadlines(
       std::span<const BackboneRequest> requests,
-      std::span<const std::chrono::steady_clock::time_point> deadlines);
+      std::span<const std::chrono::steady_clock::time_point> deadlines,
+      int64_t queue_wait_ns);
 
   void DispatcherLoop();
 
+  /// tracer_ timebase now when any instrumentation wants a clock
+  /// (metrics or tracing), else 0 — the one branch the uninstrumented
+  /// hot path pays. The tracer's epoch is armed even at sample rate 0,
+  /// so its timebase is always valid to read.
+  int64_t MetricsNowNs() const {
+    return options_.enable_metrics || tracer_.enabled() ? tracer_.NowNs()
+                                                        : 0;
+  }
+
+  /// Which road ultimately answered, from the resolve bookkeeping.
+  static obs::AnswerPath ClassifyPath(bool ok, bool degraded,
+                                      const ResolveInfo& info);
+
+  /// Terminal accounting for one request: records the per-kind and
+  /// per-path latency histograms (when enable_metrics) and commits a
+  /// trace span chain (when this request sampled). `begin_ns` is the
+  /// request's dispatch time in tracer_ timebase (0 when tracing off);
+  /// `deadline` as armed (time_point::max() = none).
+  void RecordOutcome(const BackboneRequest& request, bool ok, bool degraded,
+                     const ResolveInfo& info, int64_t begin_ns,
+                     std::chrono::steady_clock::time_point deadline,
+                     int64_t queue_wait_ns);
+
+  /// Registers every engine metric (counters, gauges, per-kind/per-path
+  /// histograms, cache/store/fault gauges) into registry_. Constructor
+  /// only, before the dispatcher thread starts.
+  void RegisterEngineMetrics();
+
   const Options options_;
+
+  /// Declared before the caches and counters they reference: members are
+  /// destroyed in reverse order, so the registry (non-owning pointers)
+  /// outlives everything registered in it.
+  mutable obs::MetricRegistry registry_;
+  obs::TraceRecorder tracer_;
+
   GraphStore graphs_;
   ScoreCache cache_;
 
@@ -520,24 +618,40 @@ class BackboneEngine {
   };
   std::unordered_map<ScoreKey, NegativeEntry, ScoreKeyHash> negative_;
 
-  std::atomic<int64_t> requests_{0};
-  std::atomic<int64_t> scores_computed_{0};
-  std::atomic<int64_t> coalesced_waits_{0};
-  std::atomic<int64_t> submitted_batches_{0};
-  std::atomic<int64_t> negative_hits_{0};
-  std::atomic<int64_t> delta_rescores_{0};
-  std::atomic<int64_t> delta_fallbacks_{0};
-  std::atomic<int64_t> shed_batches_{0};
-  std::atomic<int64_t> rejected_batches_{0};
-  std::atomic<int64_t> inflight_rejected_{0};
-  std::atomic<int64_t> deadline_hits_{0};
-  std::atomic<int64_t> cancellations_{0};
-  std::atomic<int64_t> retries_{0};
-  std::atomic<int64_t> negative_exempt_{0};
-  std::atomic<int64_t> degraded_served_{0};
-  std::atomic<int64_t> background_refreshes_{0};
-  std::atomic<int64_t> snapshot_writes_{0};
-  std::atomic<int64_t> snapshot_failures_{0};
+  /// Request-path counters: sharded relaxed-atomic (obs/metrics.h), so
+  /// concurrent bumps never contend on a shared cache line. Exact; both
+  /// stats() and the registry read the same instances.
+  obs::ShardedCounter requests_;
+  obs::ShardedCounter scores_computed_;
+  obs::ShardedCounter coalesced_waits_;
+  obs::ShardedCounter submitted_batches_;
+  obs::ShardedCounter negative_hits_;
+  obs::ShardedCounter delta_rescores_;
+  obs::ShardedCounter delta_fallbacks_;
+  obs::ShardedCounter shed_batches_;
+  obs::ShardedCounter rejected_batches_;
+  obs::ShardedCounter inflight_rejected_;
+  obs::ShardedCounter deadline_hits_;
+  obs::ShardedCounter cancellations_;
+  obs::ShardedCounter retries_;
+  obs::ShardedCounter negative_exempt_;
+  obs::ShardedCounter degraded_served_;
+  obs::ShardedCounter background_refreshes_;
+  obs::ShardedCounter snapshot_writes_;
+  obs::ShardedCounter snapshot_failures_;
+
+  /// Latency distributions (populated when Options::enable_metrics).
+  std::array<std::unique_ptr<obs::LatencyHistogram>, kNumRequestKinds>
+      kind_latency_;
+  std::array<std::unique_ptr<obs::LatencyHistogram>, obs::kNumAnswerPaths>
+      path_latency_;
+  obs::LatencyHistogram queue_wait_ns_;      ///< Submit -> dispatch
+  obs::LatencyHistogram batch_execute_ns_;   ///< batch dispatch -> done
+  obs::LatencyHistogram snapshot_write_ns_;
+  obs::LatencyHistogram snapshot_restore_ns_;
+
+  /// Ids for sampled traces (bumped only when a request samples).
+  std::atomic<uint64_t> trace_ids_{0};
 
   /// Set once by the constructor's restore attempt, before any other
   /// thread exists; plain fields on purpose.
@@ -558,6 +672,9 @@ class BackboneEngine {
     /// against the budget); time_point::max() = none.
     std::vector<std::chrono::steady_clock::time_point> deadlines;
     std::promise<std::vector<Result<BackboneResponse>>> promise;
+    /// When the batch entered the queue — the dispatcher turns this into
+    /// the queue-wait histogram and the traces' admission span.
+    std::chrono::steady_clock::time_point enqueued;
   };
   mutable std::mutex queue_mu_;  // mutable: stats() reads queue depth
   std::condition_variable queue_cv_;

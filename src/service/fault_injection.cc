@@ -19,6 +19,26 @@ uint64_t SiteSalt(FaultSite site) {
 
 }  // namespace
 
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kScoringFailure:
+      return "scoring_failure";
+    case FaultSite::kScoringLatency:
+      return "scoring_latency";
+    case FaultSite::kCacheInsertFailure:
+      return "cache_insert_failure";
+    case FaultSite::kDispatcherStall:
+      return "dispatcher_stall";
+    case FaultSite::kSnapshotWriteFailure:
+      return "snapshot_write_failure";
+    case FaultSite::kSnapshotShortRead:
+      return "snapshot_short_read";
+    case FaultSite::kSnapshotRenameKill:
+      return "snapshot_rename_kill";
+  }
+  return "unknown";
+}
+
 FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {
   for (auto& d : draws_) d.store(0, std::memory_order_relaxed);
   for (auto& i : injected_) i.store(0, std::memory_order_relaxed);

@@ -58,6 +58,10 @@ enum class FaultSite : int {
 };
 inline constexpr int kNumFaultSites = 7;
 
+/// Stable short name for a site, used in metric names
+/// ("fault.<name>.injected") and chaos reports.
+const char* FaultSiteName(FaultSite site);
+
 /// Per-site configuration.
 struct FaultSpec {
   /// Probability in [0, 1] that a draw at this site injects.

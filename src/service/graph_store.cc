@@ -135,6 +135,9 @@ void GraphStore::TouchLocked(Entry& entry) const {
 
 void GraphStore::TrimLocked(std::optional<uint64_t> keep) {
   if (byte_budget_ <= 0) return;
+  if (resident_bytes_ <= byte_budget_) return;
+  obs::ScopedRecord timing(metrics_timing_.load(std::memory_order_relaxed),
+                           &evict_ns_);
   // Walk from the LRU tail, skipping pinned entries — a graph with an
   // in-flight scoring stays resident even over budget (better a
   // transiently fat store than a fingerprint that vanishes mid-request)
@@ -154,6 +157,8 @@ void GraphStore::TrimLocked(std::optional<uint64_t> keep) {
 }
 
 StoredGraph GraphStore::Intern(Graph graph) {
+  obs::ScopedRecord timing(metrics_timing_.load(std::memory_order_relaxed),
+                           &intern_ns_);
   const uint64_t fingerprint = GraphFingerprint(graph);
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(fingerprint);
@@ -176,6 +181,8 @@ StoredGraph GraphStore::Intern(Graph graph) {
 }
 
 std::shared_ptr<const Graph> GraphStore::Find(uint64_t fingerprint) const {
+  obs::ScopedRecord timing(metrics_timing_.load(std::memory_order_relaxed),
+                           &find_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = graphs_.find(fingerprint);
   if (it == graphs_.end()) return nullptr;
@@ -238,6 +245,24 @@ std::vector<StoredGraph> GraphStore::ResidentGraphs() const {
     resident.push_back(StoredGraph{*it, entry->second.graph});
   }
   return resident;
+}
+
+void GraphStore::RegisterMetrics(obs::MetricRegistry& registry,
+                                 const std::string& prefix,
+                                 const void* owner) {
+  auto gauge = [&](const char* name, int64_t Stats::* field) {
+    registry.RegisterGauge(
+        prefix + "." + name, [this, field] { return stats().*field; }, owner);
+  };
+  gauge("graphs", &Stats::graphs);
+  gauge("resident_bytes", &Stats::resident_bytes);
+  gauge("inserts", &Stats::inserts);
+  gauge("dedup_hits", &Stats::dedup_hits);
+  gauge("evictions", &Stats::evictions);
+  gauge("byte_budget", &Stats::byte_budget);
+  registry.RegisterHistogram(prefix + ".intern_ns", &intern_ns_, owner);
+  registry.RegisterHistogram(prefix + ".find_ns", &find_ns_, owner);
+  registry.RegisterHistogram(prefix + ".evict_ns", &evict_ns_, owner);
 }
 
 GraphStore::Stats GraphStore::stats() const {

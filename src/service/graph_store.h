@@ -22,15 +22,18 @@
 #ifndef NETBONE_SERVICE_GRAPH_STORE_H_
 #define NETBONE_SERVICE_GRAPH_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/random.h"  // Mix64, the shared hash diffusion step
+#include "obs/metrics.h"
 #include "common/result.h"
 #include "graph/delta.h"
 #include "graph/graph.h"
@@ -119,6 +122,18 @@ class GraphStore {
 
   Stats stats() const;
 
+  /// Registers this store's stats as callback gauges and its operation
+  /// latency histograms (intern/find/evict, populated only while
+  /// set_metrics_timing(true)) under `<prefix>.<name>`. The caller owns
+  /// unregistration via the `owner` cookie.
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& prefix, const void* owner);
+
+  /// Turns on latency recording for Intern/Find/eviction.
+  void set_metrics_timing(bool on) {
+    metrics_timing_.store(on, std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     std::shared_ptr<const Graph> graph;
@@ -144,6 +159,11 @@ class GraphStore {
   int64_t inserts_ = 0;
   int64_t dedup_hits_ = 0;
   int64_t evictions_ = 0;
+
+  std::atomic<bool> metrics_timing_{false};
+  obs::LatencyHistogram intern_ns_;  ///< Intern latency (fingerprint + insert)
+  mutable obs::LatencyHistogram find_ns_;  ///< Find latency
+  obs::LatencyHistogram evict_ns_;   ///< per-Trim latency when it evicted
 };
 
 }  // namespace netbone

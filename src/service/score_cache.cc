@@ -1,5 +1,6 @@
 #include "service/score_cache.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/bytes.h"
@@ -80,6 +81,8 @@ std::shared_ptr<const CachedScore> ScoreCache::GetLocked(
 }
 
 std::shared_ptr<const CachedScore> ScoreCache::Get(const ScoreKey& key) {
+  obs::ScopedRecord timing(metrics_timing_.load(std::memory_order_relaxed),
+                           &get_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<const CachedScore> entry = GetLocked(key);
   ++(entry != nullptr ? hits_ : misses_);
@@ -127,6 +130,8 @@ ScoreCache::Lineage ScoreCache::LineageFor(uint64_t child) const {
 
 void ScoreCache::Put(const ScoreKey& key,
                      std::shared_ptr<const CachedScore> score) {
+  obs::ScopedRecord timing(metrics_timing_.load(std::memory_order_relaxed),
+                           &put_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   // Fault-injection site: a dropped insert models the cache losing the
   // allocation race under memory pressure. The caller's shared_ptr still
@@ -188,6 +193,28 @@ ScoreCache::LineageEntries() const {
   return entries;
 }
 
+void ScoreCache::RegisterMetrics(obs::MetricRegistry& registry,
+                                 const std::string& prefix,
+                                 const void* owner) {
+  // Callback gauges over the locked stats() fields: the cache pays
+  // nothing to maintain them; each read takes one snapshot under mu_.
+  auto gauge = [&](const char* name, int64_t Stats::* field) {
+    registry.RegisterGauge(
+        prefix + "." + name, [this, field] { return stats().*field; }, owner);
+  };
+  gauge("hits", &Stats::hits);
+  gauge("misses", &Stats::misses);
+  gauge("evictions", &Stats::evictions);
+  gauge("entries", &Stats::entries);
+  gauge("lineage_entries", &Stats::lineage_entries);
+  gauge("bytes", &Stats::bytes);
+  gauge("byte_budget", &Stats::byte_budget);
+  gauge("insert_failures", &Stats::insert_failures);
+  registry.RegisterHistogram(prefix + ".get_ns", &get_ns_, owner);
+  registry.RegisterHistogram(prefix + ".put_ns", &put_ns_, owner);
+  registry.RegisterHistogram(prefix + ".evict_ns", &evict_ns_, owner);
+}
+
 ScoreCache::Stats ScoreCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats;
@@ -204,6 +231,9 @@ ScoreCache::Stats ScoreCache::stats() const {
 
 void ScoreCache::TrimLocked() {
   if (byte_budget_ <= 0) return;
+  if (bytes_ <= byte_budget_ || lru_.empty()) return;
+  obs::ScopedRecord timing(metrics_timing_.load(std::memory_order_relaxed),
+                           &evict_ns_);
   // Lineage bytes count against the budget but only entries are evicted:
   // the loop stops when the list drains even if lineage alone overflows
   // (its hard cap bounds that at a few MiB).

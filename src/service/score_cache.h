@@ -19,17 +19,20 @@
 #ifndef NETBONE_SERVICE_SCORE_CACHE_H_
 #define NETBONE_SERVICE_SCORE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"  // Mix64, the shared hash diffusion step
+#include "obs/metrics.h"
 #include "common/result.h"
 #include "core/registry.h"
 #include "core/scored_edges.h"
@@ -257,6 +260,19 @@ class ScoreCache {
 
   Stats stats() const;
 
+  /// Registers this cache's stats as callback gauges and its operation
+  /// latency histograms (get/put/evict, populated only while
+  /// set_metrics_timing(true)) under `<prefix>.<name>`. The caller owns
+  /// unregistration via the `owner` cookie.
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& prefix, const void* owner);
+
+  /// Turns on latency recording for Get/Put/eviction (two clock reads
+  /// per operation). Off by default so uninstrumented users pay nothing.
+  void set_metrics_timing(bool on) {
+    metrics_timing_.store(on, std::memory_order_relaxed);
+  }
+
  private:
   /// Approximate bytes one lineage entry occupies (two fingerprints plus
   /// hash-map node overhead) — the unit the lineage map is priced at.
@@ -283,6 +299,11 @@ class ScoreCache {
   std::unordered_map<ScoreKey, LruList::iterator, ScoreKeyHash> index_;
   std::unordered_map<uint64_t, Lineage> lineage_;  // child -> record
   int64_t lineage_bytes_ = 0;  // lineage map share of bytes_
+
+  std::atomic<bool> metrics_timing_{false};
+  obs::LatencyHistogram get_ns_;    ///< Get latency (hit or miss)
+  obs::LatencyHistogram put_ns_;    ///< Put latency (including any trim)
+  obs::LatencyHistogram evict_ns_;  ///< per-Trim latency when it evicted
 };
 
 }  // namespace netbone

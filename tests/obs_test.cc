@@ -1,0 +1,472 @@
+// Tests for the observability primitives (src/obs/): histogram bucket
+// boundary exactness, deterministic merge across shard counts,
+// concurrent-record identity (the multiset of recorded values fully
+// determines the snapshot, whatever the thread interleaving — this file
+// is folded into the TSan suite to pin the data-race-freedom half of
+// that claim), ShardedCounter exactness under contention, registry
+// snapshot/coalesce/render behavior, quantile readout semantics, and the
+// trace ring (sampling arithmetic, wraparound, never-blocking commits,
+// JSON dump shape).
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netbone::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket layout
+
+TEST(HistogramBuckets, SmallValuesGetExactUnitBuckets) {
+  for (int64_t v = 0; v < kHistogramSubBuckets; ++v) {
+    EXPECT_EQ(HistogramBucketIndex(v), v) << "value " << v;
+    EXPECT_EQ(HistogramBucketLowerBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(HistogramBuckets, NegativeValuesClampToBucketZero) {
+  EXPECT_EQ(HistogramBucketIndex(-1), 0);
+  EXPECT_EQ(HistogramBucketIndex(INT64_MIN), 0);
+}
+
+TEST(HistogramBuckets, HugeValuesClampToLastBucket) {
+  const int last = kHistogramBuckets - 1;
+  EXPECT_EQ(HistogramBucketIndex(int64_t{1} << kHistogramMaxMajor), last);
+  EXPECT_EQ(HistogramBucketIndex(INT64_MAX), last);
+}
+
+TEST(HistogramBuckets, LowerBoundRoundTripsToSameBucket) {
+  // Every bucket's inclusive lower bound must land back in that bucket,
+  // and (below the clamp) the value one-before must land in an earlier
+  // bucket: together these pin the boundaries exactly.
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const int64_t lo = HistogramBucketLowerBound(b);
+    EXPECT_EQ(HistogramBucketIndex(lo), b) << "bucket " << b;
+    if (b > 0) {
+      EXPECT_LT(HistogramBucketIndex(lo - 1), b) << "bucket " << b;
+    }
+  }
+}
+
+TEST(HistogramBuckets, BucketsCoverTheRangeMonotonically) {
+  for (int b = 1; b < kHistogramBuckets; ++b) {
+    EXPECT_LT(HistogramBucketLowerBound(b - 1), HistogramBucketLowerBound(b));
+  }
+  // Spot-check the sub-bucket geometry: one octave above the linear
+  // range, buckets advance by 2 (16 sub-buckets spanning [32, 64)).
+  const int b32 = HistogramBucketIndex(32);
+  EXPECT_EQ(HistogramBucketIndex(33), b32);      // same 2-wide sub-bucket
+  EXPECT_EQ(HistogramBucketIndex(34), b32 + 1);  // next sub-bucket
+  EXPECT_EQ(HistogramBucketIndex(63), b32 + kHistogramSubBuckets - 1);
+  EXPECT_EQ(HistogramBucketIndex(64), b32 + kHistogramSubBuckets);
+}
+
+TEST(HistogramBuckets, PowersOfTwoStartTheirOctave) {
+  for (int major = 4; major < kHistogramMaxMajor; ++major) {
+    const int64_t v = int64_t{1} << major;
+    EXPECT_EQ(HistogramBucketLowerBound(HistogramBucketIndex(v)), v)
+        << "2^" << major << " must open its own sub-bucket";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram recording + quantiles
+
+TEST(LatencyHistogram, EmptySnapshotIsAllZero) {
+  LatencyHistogram hist;
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.p50(), 0);
+  EXPECT_EQ(snap.p99(), 0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactCountSumMinMax) {
+  LatencyHistogram hist;
+  int64_t sum = 0;
+  for (int64_t v = 1; v <= 1000; ++v) {
+    hist.Record(v * 7);
+    sum += v * 7;
+  }
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 7);
+  EXPECT_EQ(snap.max, 7000);
+}
+
+TEST(LatencyHistogram, QuantileReadsBucketLowerBoundAndExactMax) {
+  LatencyHistogram hist(1);
+  for (int64_t v = 1; v <= 100; ++v) hist.Record(v);
+  const HistogramSnapshot snap = hist.Snapshot();
+  // Small values sit in exact unit buckets, so low/mid quantiles read
+  // back exactly; the top quantile reports the exact recorded max even
+  // though 100 shares a 4-wide sub-bucket.
+  EXPECT_EQ(snap.ValueAtQuantile(0.01), 1);
+  EXPECT_EQ(snap.ValueAtQuantile(0.10), 10);
+  EXPECT_EQ(snap.p50(), HistogramBucketLowerBound(HistogramBucketIndex(50)));
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 100);
+  EXPECT_EQ(snap.max, 100);
+}
+
+TEST(LatencyHistogram, SingleValueReportsItselfAtEveryQuantile) {
+  LatencyHistogram hist(1);
+  hist.Record(12345);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.ValueAtQuantile(0.0), snap.ValueAtQuantile(1.0));
+  EXPECT_EQ(snap.ValueAtQuantile(1.0), 12345);  // exact-max rule
+}
+
+// Records `values` into `hist` using `num_threads` threads, striped so
+// every thread gets a distinct slice of the multiset.
+void RecordStriped(LatencyHistogram& hist, const std::vector<int64_t>& values,
+                   int num_threads) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < values.size();
+           i += static_cast<size_t>(num_threads)) {
+        hist.Record(values[i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+std::vector<int64_t> TestMultiset() {
+  // A spread that exercises unit buckets, mid-octaves, duplicates, and
+  // the clamp bucket.
+  std::vector<int64_t> values;
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int shift = static_cast<int>((state >> 58) % 42);  // 0..41
+    values.push_back(static_cast<int64_t>(state >> (63 - shift % 40)));
+  }
+  values.push_back(0);
+  values.push_back(int64_t{1} << (kHistogramMaxMajor + 1));  // clamps
+  return values;
+}
+
+TEST(LatencyHistogram, SnapshotIsDeterministicAcrossShardAndThreadCounts) {
+  const std::vector<int64_t> values = TestMultiset();
+
+  // Reference: single shard, single thread.
+  LatencyHistogram reference(1);
+  for (const int64_t v : values) reference.Record(v);
+  const HistogramSnapshot expected = reference.Snapshot();
+
+  for (const int shards : {1, 3, 8}) {
+    for (const int threads : {1, 2, 7}) {
+      LatencyHistogram hist(shards);
+      RecordStriped(hist, values, threads);
+      const HistogramSnapshot snap = hist.Snapshot();
+      EXPECT_EQ(snap.count, expected.count)
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(snap.sum, expected.sum);
+      EXPECT_EQ(snap.min, expected.min);
+      EXPECT_EQ(snap.max, expected.max);
+      EXPECT_EQ(snap.buckets, expected.buckets);
+      EXPECT_EQ(snap.p50(), expected.p50());
+      EXPECT_EQ(snap.p95(), expected.p95());
+      EXPECT_EQ(snap.p99(), expected.p99());
+    }
+  }
+}
+
+TEST(LatencyHistogram, MergeIsOrderIndependent) {
+  const std::vector<int64_t> values = TestMultiset();
+  LatencyHistogram a(1);
+  LatencyHistogram b(1);
+  LatencyHistogram all(1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i % 2 == 0 ? a : b).Record(values[i]);
+    all.Record(values[i]);
+  }
+  HistogramSnapshot ab = a.Snapshot();
+  ab.Merge(b.Snapshot());
+  HistogramSnapshot ba = b.Snapshot();
+  ba.Merge(a.Snapshot());
+  const HistogramSnapshot expected = all.Snapshot();
+  EXPECT_EQ(ab.buckets, expected.buckets);
+  EXPECT_EQ(ba.buckets, expected.buckets);
+  EXPECT_EQ(ab.count, expected.count);
+  EXPECT_EQ(ab.sum, expected.sum);
+  EXPECT_EQ(ab.min, expected.min);
+  EXPECT_EQ(ab.max, expected.max);
+  EXPECT_EQ(ba.p95(), ab.p95());
+  EXPECT_EQ(ab.p99(), expected.p99());
+}
+
+TEST(LatencyHistogram, ConcurrentRecordWhileSnapshotting) {
+  // TSan target: snapshots taken mid-traffic must be race-free and every
+  // record must eventually land exactly once.
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const HistogramSnapshot snap = hist.Snapshot();
+      EXPECT_LE(snap.count, int64_t{kThreads} * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) hist.Record(t * kPerThread + i);
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, kThreads * kPerThread - 1);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCounter
+
+TEST(ShardedCounter, ExactUnderConcurrency) {
+  ShardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread);
+  counter.Add(-5);
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kPerThread - 5);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry + MetricsSnapshot
+
+TEST(MetricRegistry, SnapshotSortsAndReadsEveryKind) {
+  MetricRegistry registry;
+  ShardedCounter requests;
+  ShardedCounter errors;
+  LatencyHistogram latency(1);
+  requests.Add(42);
+  errors.Add(3);
+  latency.Record(100);
+  latency.Record(200);
+  int owner = 0;
+  registry.RegisterCounter("z.requests", &requests, &owner);
+  registry.RegisterCounter("a.errors", &errors, &owner);
+  registry.RegisterGauge("m.depth", [] { return int64_t{7}; }, &owner);
+  registry.RegisterHistogram("lat.ns", &latency, &owner);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.errors");  // sorted by name
+  EXPECT_EQ(snap.counters[1].name, "z.requests");
+  EXPECT_EQ(snap.ValueOf("z.requests"), 42);
+  EXPECT_EQ(snap.ValueOf("a.errors"), 3);
+  EXPECT_EQ(snap.ValueOf("m.depth"), 7);
+  EXPECT_EQ(snap.ValueOf("missing", -1), -1);
+  const HistogramSnapshot* hist = snap.FindHistogram("lat.ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2);
+  EXPECT_EQ(snap.FindHistogram("missing"), nullptr);
+
+  registry.Unregister(&owner);
+  const MetricsSnapshot empty = registry.Snapshot();
+  EXPECT_TRUE(empty.counters.empty());
+  EXPECT_TRUE(empty.gauges.empty());
+  EXPECT_TRUE(empty.histograms.empty());
+}
+
+TEST(MetricRegistry, DuplicateNamesCoalesceInSnapshot) {
+  MetricRegistry registry;
+  ShardedCounter a;
+  ShardedCounter b;
+  a.Add(10);
+  b.Add(32);
+  int owner = 0;
+  registry.RegisterCounter("same.name", &a, &owner);
+  registry.RegisterCounter("same.name", &b, &owner);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.ValueOf("same.name"), 42);
+  registry.Unregister(&owner);
+}
+
+TEST(MetricsSnapshot, MergeAddsValuesAndFoldsHistograms) {
+  MetricsSnapshot a;
+  a.counters.push_back({"hits", 5});
+  a.gauges.push_back({"depth", 2});
+  MetricsSnapshot b;
+  b.counters.push_back({"hits", 7});
+  b.counters.push_back({"misses", 1});
+  LatencyHistogram hist(1);
+  hist.Record(50);
+  b.histograms.push_back({"lat", hist.Snapshot()});
+  a.Merge(b);
+  EXPECT_EQ(a.ValueOf("hits"), 12);
+  EXPECT_EQ(a.ValueOf("misses"), 1);
+  EXPECT_EQ(a.ValueOf("depth"), 2);
+  ASSERT_NE(a.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(a.FindHistogram("lat")->count, 1);
+}
+
+TEST(MetricsSnapshot, RenderTextAndJsonCarryTheMetrics) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"engine.requests", 9});
+  LatencyHistogram hist(1);
+  for (int64_t v = 1; v <= 20; ++v) hist.Record(v * 1000);
+  snap.histograms.push_back({"engine.latency", hist.Snapshot()});
+  const std::string text = snap.RenderText();
+  EXPECT_NE(text.find("engine.requests"), std::string::npos);
+  EXPECT_NE(text.find("engine.latency"), std::string::npos);
+  const std::string json = snap.RenderJson("obs_test");
+  EXPECT_NE(json.find("\"bench\": \"obs_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ns\""), std::string::npos);
+  // Counter records carry their value; histogram records carry timings.
+  EXPECT_NE(json.find("\"value\": 9"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TEST(TraceRecorder, RateZeroDisablesSamplingButKeepsClock) {
+  TraceRecorder recorder(/*sample_rate=*/0, /*buffer_bytes=*/1 << 16);
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_FALSE(recorder.ShouldSample());
+  EXPECT_EQ(recorder.capacity(), 0);
+  // The clock stays valid even when tracing is off — metrics-only
+  // callers use it for per-request latency timestamps.
+  const int64_t t0 = recorder.NowNs();
+  EXPECT_GE(t0, 0);
+  EXPECT_GE(recorder.NowNs(), t0);
+}
+
+TEST(TraceRecorder, SamplesExactlyOneInN) {
+  TraceRecorder recorder(/*sample_rate=*/4, /*buffer_bytes=*/1 << 16);
+  int sampled = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (recorder.ShouldSample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 100);
+}
+
+RequestTrace MakeTrace(uint64_t id) {
+  RequestTrace trace;
+  trace.request_id = id;
+  trace.SetMethod("noise_corrected");
+  trace.SetKind("top_k");
+  trace.path = AnswerPath::kWarm;
+  trace.ok = true;
+  trace.AddSpan(SpanKind::kCacheLookup, 10, 5);
+  trace.AddSpan(SpanKind::kExtract, 20, 3);
+  return trace;
+}
+
+TEST(TraceRecorder, RingKeepsTheNewestTracesOldestFirst) {
+  TraceRecorder recorder(/*sample_rate=*/1,
+                         /*buffer_bytes=*/4 * sizeof(RequestTrace));
+  const int64_t cap = recorder.capacity();
+  ASSERT_GT(cap, 0);
+  ASSERT_LE(cap, 4);
+  for (uint64_t id = 1; id <= 10; ++id) recorder.Commit(MakeTrace(id));
+  EXPECT_EQ(recorder.sampled(), 10);
+  const std::vector<RequestTrace> traces = recorder.Snapshot();
+  ASSERT_EQ(static_cast<int64_t>(traces.size()), cap);
+  // Wraparound keeps the newest `cap` traces, in commit order.
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[i].request_id,
+              10 - static_cast<uint64_t>(cap) + 1 + i);
+  }
+  EXPECT_EQ(std::string(traces[0].method), "noise_corrected");
+  EXPECT_EQ(std::string(traces[0].kind), "top_k");
+  EXPECT_EQ(traces[0].num_spans, 2);
+  EXPECT_EQ(traces[0].spans[0].kind, SpanKind::kCacheLookup);
+}
+
+TEST(TraceRecorder, SpanOverflowDropsSilently) {
+  RequestTrace trace;
+  for (int i = 0; i < RequestTrace::kMaxSpans + 3; ++i) {
+    trace.AddSpan(SpanKind::kExtract, i, 1);
+  }
+  EXPECT_EQ(trace.num_spans, RequestTrace::kMaxSpans);
+}
+
+TEST(TraceRecorder, ConcurrentCommitAndSnapshotNeverBlocks) {
+  // TSan target: writers lap the ring while a reader snapshots; every
+  // commit either lands or is counted as dropped, never lost silently.
+  TraceRecorder recorder(/*sample_rate=*/1,
+                         /*buffer_bytes=*/8 * sizeof(RequestTrace));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<RequestTrace> traces = recorder.Snapshot();
+      EXPECT_LE(static_cast<int64_t>(traces.size()), recorder.capacity());
+      for (const RequestTrace& trace : traces) {
+        EXPECT_LE(trace.num_spans, RequestTrace::kMaxSpans);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Commit(
+            MakeTrace(static_cast<uint64_t>(t) * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(recorder.sampled() + recorder.dropped(),
+            int64_t{kThreads} * kPerThread);
+}
+
+TEST(TraceRecorder, DumpJsonContainsSpanChains) {
+  TraceRecorder recorder(/*sample_rate=*/1,
+                         /*buffer_bytes=*/4 * sizeof(RequestTrace));
+  recorder.Commit(MakeTrace(7));
+  const std::string json = recorder.DumpJson();
+  EXPECT_NE(json.find("\"request_id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"path\": \"warm\""), std::string::npos);
+  EXPECT_NE(json.find("cache_lookup"), std::string::npos);
+  EXPECT_NE(json.find("extract"), std::string::npos);
+}
+
+TEST(TraceNames, AreStableStrings) {
+  EXPECT_STREQ(AnswerPathName(AnswerPath::kWarm), "warm");
+  EXPECT_STREQ(AnswerPathName(AnswerPath::kDelta), "delta");
+  EXPECT_STREQ(AnswerPathName(AnswerPath::kCold), "cold");
+  EXPECT_STREQ(AnswerPathName(AnswerPath::kDegraded), "degraded");
+  EXPECT_STREQ(AnswerPathName(AnswerPath::kNegative), "negative");
+  EXPECT_STREQ(AnswerPathName(AnswerPath::kFailed), "failed");
+  EXPECT_STREQ(SpanKindName(SpanKind::kAdmission), "admission");
+  EXPECT_STREQ(SpanKindName(SpanKind::kColdScore), "cold_score");
+}
+
+}  // namespace
+}  // namespace netbone::obs
