@@ -26,6 +26,27 @@ inline bool QuickMode() {
          std::string(env) != "";
 }
 
+/// True when the binary is instrumented by ASan or TSan. Sanitizer
+/// builds run the smoke suite for its *correctness* gates (identity,
+/// zero-sort, error taxonomy); pure timing-ratio gates are skipped there
+/// — instrumentation overhead is wildly non-uniform across code shapes
+/// (per-access checks dwarf vector kernels but swamp scheduler and
+/// cache-bookkeeping paths), so a ratio measured under a sanitizer says
+/// nothing about the production binary.
+inline constexpr bool SanitizerBuild() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 /// Prints a banner naming the experiment and the paper artifact it
 /// regenerates.
 inline void Banner(const std::string& experiment,

@@ -98,6 +98,12 @@ int main() {
       row.push_back(Num(t.min, 4));
       json.RecordSeconds(nb::MethodTag(m), graph->num_edges(), 1, t.median,
                          t.min);
+      // Normalized per-edge cost alongside the total: the statistic the
+      // vectorized-kernel work (core/simd_kernels.h) moves, comparable
+      // across graph sizes where totals are not.
+      const double edges = static_cast<double>(graph->num_edges());
+      json.Record(nb::MethodTag(m) + "/edge", graph->num_edges(), 1,
+                  t.median * 1e9 / edges, t.min * 1e9 / edges);
       if (m == nb::Method::kNoiseCorrected && t.median == t.median) {
         log_edges.push_back(std::log10(
             static_cast<double>(graph->num_edges())));

@@ -1,0 +1,220 @@
+// Measures the vectorized scoring kernels (core/simd_kernels.h) against
+// their scalar oracles on the Fig. 9 graph family (ER, average degree 3),
+// and enforces the two contracts the SIMD layer ships under:
+//
+//   1. IDENTITY (always checked): the full NC / DF / NT sweeps produce
+//      bit-identical score tables with vector kernels and with
+//      NETBONE_SIMD forced to scalar, at 1, 2 and 4 threads. Any
+//      mismatch fails the run.
+//   2. SPEEDUP (checked on wide-lane hosts only): with >= 4 doubles per
+//      lane group (AVX2), the NC and DF batch kernels must run at least
+//      2x faster per edge than the scalar oracle loop. Hosts without
+//      wide lanes (SSE2/NEON 2-wide, or -DNETBONE_SIMD=off builds) skip
+//      the gate — 2-wide speedups are real but below 2x, and a scalar
+//      build has nothing to compare.
+//
+// Timings are single-threaded calls straight into the batch entry points
+// (no pool handoff), so per-edge ns isolates kernel throughput. Writes
+// BENCH_simd_kernels.json: per-method total ("NC_scalar") and per-edge
+// ("NC_scalar/edge") records for scalar and the host's best level.
+// NETBONE_BENCH_QUICK=1 shrinks sizes and reps to smoke-test level.
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/disparity_filter.h"
+#include "core/naive.h"
+#include "core/noise_corrected.h"
+#include "core/simd_kernels.h"
+#include "gen/erdos_renyi.h"
+#include "graph/edge_columns.h"
+
+namespace nb = netbone;
+using netbone::bench::Banner;
+using netbone::bench::Num;
+using netbone::bench::PrintRow;
+
+namespace {
+
+/// Median/min of `reps` timed calls of one batch kernel over the whole
+/// edge table at a forced level, in ns per edge. The output buffer is
+/// reused and its first element folded into a sink so the calls cannot
+/// be optimized away.
+template <typename Batch>
+std::pair<double, double> TimeBatch(nb::SimdLevel level, int64_t num_edges,
+                                    int reps, std::vector<nb::EdgeScore>* out,
+                                    double* sink, const Batch& batch) {
+  nb::ScopedSimdLevelOverride forced(level);
+  std::vector<double> times;
+  for (int rep = 0; rep < reps; ++rep) {
+    nb::Timer timer;
+    const int64_t bad = batch(0, num_edges, out->data());
+    const double elapsed = timer.ElapsedSeconds();
+    if (bad >= 0) return {netbone::bench::NaN(), netbone::bench::NaN()};
+    *sink += (*out)[0].score;
+    times.push_back(elapsed * 1e9 / static_cast<double>(num_edges));
+  }
+  std::sort(times.begin(), times.end());
+  return {times[times.size() / 2], times.front()};
+}
+
+bool BitEqualScores(const std::vector<nb::EdgeScore>& a,
+                    const std::vector<nb::EdgeScore>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(nb::EdgeScore)) == 0);
+}
+
+}  // namespace
+
+int main() {
+  Banner("simd_kernels",
+         "batched kernel throughput vs scalar oracle + identity gate");
+  const bool quick = netbone::bench::QuickMode();
+  netbone::bench::JsonBenchLog json("simd_kernels");
+
+  const nb::SimdLevel best = nb::SupportedSimdLevels().back();
+  const std::string best_name = nb::SimdLevelName(best);
+  std::printf("active level: %s, wide lanes: %s\n",
+              nb::SimdLevelName(nb::ActiveSimdLevel()),
+              nb::SimdHasWideLanes() ? "yes" : "no");
+
+  std::vector<nb::NodeId> sizes = {200000, 800000};
+  if (quick) sizes = {60000};
+  const int reps = quick ? 5 : 7;
+
+  double sink = 0.0;
+  double nc_speedup = netbone::bench::NaN();
+  double df_speedup = netbone::bench::NaN();
+
+  PrintRow({"edges", "kernel", "scalar", "min", best_name, "min", "speedup"});
+  for (const nb::NodeId n : sizes) {
+    const auto graph = nb::GenerateErdosRenyi(
+        {.num_nodes = n, .average_degree = 3.0, .seed = 77});
+    if (!graph.ok()) continue;
+    // Materialize outside the timed region: production sweeps amortize
+    // this one O(|E|) gather across every rescore of the graph.
+    const nb::EdgeColumns& cols = graph->edge_columns();
+    const int64_t m = cols.size();
+    std::vector<nb::EdgeScore> out(static_cast<size_t>(m));
+
+    nb::NcKernelConfig nc_cfg;
+    nc_cfg.n_total = graph->matrix_total();
+    const auto nc_batch = [&](int64_t b, int64_t e, nb::EdgeScore* o) {
+      return nb::NoiseCorrectedBatch(cols, nc_cfg, b, e, o);
+    };
+    const auto df_batch = [&](int64_t b, int64_t e, nb::EdgeScore* o) {
+      return nb::DisparityFilterBatch(cols, nb::DisparityEndpointRule::kEither,
+                                      b, e, o);
+    };
+    const auto nt_batch = [&](int64_t b, int64_t e, nb::EdgeScore* o) {
+      return nb::NaiveThresholdBatch(cols, b, e, o);
+    };
+
+    const struct {
+      const char* tag;
+      std::pair<double, double> scalar;
+      std::pair<double, double> simd;
+    } rows[] = {
+        {"NC", TimeBatch(nb::SimdLevel::kScalar, m, reps, &out, &sink,
+                         nc_batch),
+         TimeBatch(best, m, reps, &out, &sink, nc_batch)},
+        {"DF", TimeBatch(nb::SimdLevel::kScalar, m, reps, &out, &sink,
+                         df_batch),
+         TimeBatch(best, m, reps, &out, &sink, df_batch)},
+        {"NT", TimeBatch(nb::SimdLevel::kScalar, m, reps, &out, &sink,
+                         nt_batch),
+         TimeBatch(best, m, reps, &out, &sink, nt_batch)},
+    };
+    for (const auto& row : rows) {
+      const double speedup = row.scalar.first / row.simd.first;
+      PrintRow({std::to_string(m), row.tag, Num(row.scalar.first, 2),
+                Num(row.scalar.second, 2), Num(row.simd.first, 2),
+                Num(row.simd.second, 2), Num(speedup, 2)});
+      const std::string tag(row.tag);
+      // Per-edge ns records carry the cross-PR trajectory; totals let
+      // compare_bench_json.py weigh large-graph noise sensibly.
+      json.Record(tag + "_scalar/edge", m, 1, row.scalar.first,
+                  row.scalar.second);
+      json.Record(tag + "_" + best_name + "/edge", m, 1, row.simd.first,
+                  row.simd.second);
+      json.Record(tag + "_scalar", m, 1,
+                  row.scalar.first * static_cast<double>(m),
+                  row.scalar.second * static_cast<double>(m));
+      json.Record(tag + "_" + best_name, m, 1,
+                  row.simd.first * static_cast<double>(m),
+                  row.simd.second * static_cast<double>(m));
+      // The gate reads the largest graph (last size), where per-edge cost
+      // is steadiest.
+      if (tag == "NC") nc_speedup = speedup;
+      if (tag == "DF") df_speedup = speedup;
+    }
+  }
+
+  // Identity gate: full public sweeps, vector vs forced-scalar, at 1, 2
+  // and 4 threads, on a fresh graph from the same family.
+  const auto graph = nb::GenerateErdosRenyi(
+      {.num_nodes = quick ? 20000 : 100000, .average_degree = 3.0,
+       .seed = 91});
+  if (!graph.ok()) {
+    std::printf("FAILED: could not generate the identity-gate graph\n");
+    return 1;
+  }
+  bool identical = true;
+  for (const int threads : {1, 2, 4}) {
+    nb::NoiseCorrectedOptions nc;
+    nc.num_threads = threads;
+    nb::DisparityFilterOptions df;
+    df.num_threads = threads;
+    nb::NaiveThresholdOptions nt;
+    nt.num_threads = threads;
+    const auto nc_vec = nb::NoiseCorrected(*graph, nc);
+    const auto df_vec = nb::DisparityFilter(*graph, df);
+    const auto nt_vec = nb::NaiveThreshold(*graph, nt);
+    nb::ScopedSimdLevelOverride scalar(nb::SimdLevel::kScalar);
+    const auto nc_ref = nb::NoiseCorrected(*graph, nc);
+    const auto df_ref = nb::DisparityFilter(*graph, df);
+    const auto nt_ref = nb::NaiveThreshold(*graph, nt);
+    const bool ok =
+        nc_vec.ok() && df_vec.ok() && nt_vec.ok() && nc_ref.ok() &&
+        df_ref.ok() && nt_ref.ok() &&
+        BitEqualScores(nc_vec->scores(), nc_ref->scores()) &&
+        BitEqualScores(df_vec->scores(), df_ref->scores()) &&
+        BitEqualScores(nt_vec->scores(), nt_ref->scores());
+    std::printf("identity @ %d thread(s): %s\n", threads,
+                ok ? "bit-identical" : "MISMATCH");
+    identical = identical && ok;
+  }
+  if (!identical) {
+    std::printf("FAILED: vector kernels are not bit-identical to scalar\n");
+    return 1;
+  }
+
+  std::printf("(sink %.3f)\n", sink);
+
+  // Speedup gate, wide-lane hosts and uninstrumented builds only.
+  if (netbone::bench::SanitizerBuild()) {
+    std::printf(
+        "speedup gate skipped: sanitizer build (identity gate still "
+        "enforced)\n");
+    return 0;
+  }
+  if (!nb::SimdHasWideLanes()) {
+    std::printf(
+        "speedup gate skipped: no >=4-wide SIMD level active on this "
+        "host/build (identity gate still enforced)\n");
+    return 0;
+  }
+  std::printf("speedup gate (>= 2x required): NC %.2fx, DF %.2fx\n",
+              nc_speedup, df_speedup);
+  if (!(nc_speedup >= 2.0) || !(df_speedup >= 2.0)) {
+    std::printf("FAILED: wide-lane host but NC/DF kernel speedup < 2x\n");
+    return 1;
+  }
+  std::printf("PASSED\n");
+  return 0;
+}

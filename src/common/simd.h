@@ -1,0 +1,214 @@
+// Copyright 2026 The netbone Authors.
+//
+// Minimal portable SIMD wrapper for the batched scoring kernels
+// (core/simd_kernels*.cc). One trait class per instruction set exposes a
+// fixed-width pack of doubles plus exactly the operations the kernels
+// need; the width-generic kernel templates (core/simd_kernels_impl.h)
+// compile against whichever trait their translation unit enables.
+//
+// Bit-identity ground rules, which every trait must honour:
+//  * Only IEEE-754 correctly-rounded operations are exposed: add, sub,
+//    mul, div, sqrt. A lane op therefore produces exactly the bits the
+//    scalar op produces for the same inputs — vectorization changes
+//    throughput, never values.
+//  * No fused-multiply-add, ever. The kernel TUs are compiled with FMA
+//    codegen off (-mno-fma / -ffp-contract=off, see CMakeLists.txt) so
+//    the compiler cannot contract a Mul+Add pair behind our backs; the
+//    wrapper itself never exposes an FMA primitive.
+//  * Min/Max/Blend are selection, not arithmetic: they return one of
+//    their operands bitwise. The kernels only rely on them for values
+//    where scalar std::min/std::max/ternary agree (no NaN lanes, no
+//    mixed-sign zeros), which the call sites establish.
+//
+// A trait is only defined when its TU is compiled for the matching ISA
+// (__AVX2__ / __SSE2__ on x86-64, __aarch64__ for NEON), so including
+// this header is always safe; dispatch across compiled traits happens at
+// runtime in core/simd_kernels.cc.
+
+#ifndef NETBONE_COMMON_SIMD_H_
+#define NETBONE_COMMON_SIMD_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace netbone::simd {
+
+// ---------------------------------------------------------------------------
+// AVX2: 4 doubles per lane group. Only compiled into the -mavx2 TU.
+// ---------------------------------------------------------------------------
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+struct Avx2 {
+  static constexpr int kWidth = 4;
+  using VD = __m256d;  ///< 4 doubles
+  using VM = __m256d;  ///< lane mask: all-ones / all-zeros doubles
+  using VE = __m256i;  ///< 4 int64 exponents
+
+  static VD Load(const double* p) { return _mm256_loadu_pd(p); }
+  static void Store(double* p, VD v) { _mm256_storeu_pd(p, v); }
+  static VD Set1(double x) { return _mm256_set1_pd(x); }
+  static VD Add(VD a, VD b) { return _mm256_add_pd(a, b); }
+  static VD Sub(VD a, VD b) { return _mm256_sub_pd(a, b); }
+  static VD Mul(VD a, VD b) { return _mm256_mul_pd(a, b); }
+  static VD Div(VD a, VD b) { return _mm256_div_pd(a, b); }
+  static VD Sqrt(VD a) { return _mm256_sqrt_pd(a); }
+  static VD Min(VD a, VD b) { return _mm256_min_pd(a, b); }
+  static VD Max(VD a, VD b) { return _mm256_max_pd(a, b); }
+  static VM CmpGt(VD a, VD b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static VM CmpGe(VD a, VD b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static VM CmpLt(VD a, VD b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static VM MaskAnd(VM a, VM b) { return _mm256_and_pd(a, b); }
+  static VD Blend(VM m, VD if_true, VD if_false) {
+    return _mm256_blendv_pd(if_false, if_true, m);
+  }
+  static bool AllTrue(VM m) { return _mm256_movemask_pd(m) == 0xF; }
+  static bool AnyTrue(VM m) { return _mm256_movemask_pd(m) != 0; }
+
+  /// Interleaves a/b into p: p[2i] = a[i], p[2i+1] = b[i] — the
+  /// (score, sdev) pair layout of an EdgeScore array.
+  static void StorePairs(double* p, VD a, VD b) {
+    const VD lo = _mm256_unpacklo_pd(a, b);  // a0 b0 a2 b2
+    const VD hi = _mm256_unpackhi_pd(a, b);  // a1 b1 a3 b3
+    _mm256_storeu_pd(p, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(p + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+
+  /// Converts lanes holding exact small non-negative integers (the DF
+  /// degree-1 column) to int64 exponents. Callers guard magnitude
+  /// (< 2^31) and fall back to scalar beyond it.
+  static VE ExpFromDouble(VD v) {
+    return _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(v));
+  }
+  static bool ExpAllZero(VE e) { return _mm256_testz_si256(e, e) != 0; }
+  static VM ExpOddMask(VE e) {
+    const __m256i one = _mm256_set1_epi64x(1);
+    return _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(_mm256_and_si256(e, one), one));
+  }
+  static VE ExpHalve(VE e) { return _mm256_srli_epi64(e, 1); }
+};
+
+#endif  // __AVX2__
+
+// ---------------------------------------------------------------------------
+// SSE2: 2 doubles. Baseline on every x86-64, no extra compile flags.
+// ---------------------------------------------------------------------------
+#if (defined(__SSE2__) || defined(_M_X64)) && \
+    (defined(__x86_64__) || defined(_M_X64))
+
+struct Sse2 {
+  static constexpr int kWidth = 2;
+  using VD = __m128d;
+  using VM = __m128d;
+  /// Exponents live in scalar slots: 64-bit integer compares predate
+  /// SSE4.1 and two lanes are not worth emulating them.
+  struct VE {
+    int64_t v[2];
+  };
+
+  static VD Load(const double* p) { return _mm_loadu_pd(p); }
+  static void Store(double* p, VD v) { _mm_storeu_pd(p, v); }
+  static VD Set1(double x) { return _mm_set1_pd(x); }
+  static VD Add(VD a, VD b) { return _mm_add_pd(a, b); }
+  static VD Sub(VD a, VD b) { return _mm_sub_pd(a, b); }
+  static VD Mul(VD a, VD b) { return _mm_mul_pd(a, b); }
+  static VD Div(VD a, VD b) { return _mm_div_pd(a, b); }
+  static VD Sqrt(VD a) { return _mm_sqrt_pd(a); }
+  static VD Min(VD a, VD b) { return _mm_min_pd(a, b); }
+  static VD Max(VD a, VD b) { return _mm_max_pd(a, b); }
+  static VM CmpGt(VD a, VD b) { return _mm_cmpgt_pd(a, b); }
+  static VM CmpGe(VD a, VD b) { return _mm_cmpge_pd(a, b); }
+  static VM CmpLt(VD a, VD b) { return _mm_cmplt_pd(a, b); }
+  static VM MaskAnd(VM a, VM b) { return _mm_and_pd(a, b); }
+  static VD Blend(VM m, VD if_true, VD if_false) {
+    // SSE2 has no blendv; masks are all-ones/all-zeros so and/andnot is
+    // an exact bitwise select.
+    return _mm_or_pd(_mm_and_pd(m, if_true), _mm_andnot_pd(m, if_false));
+  }
+  static bool AllTrue(VM m) { return _mm_movemask_pd(m) == 0x3; }
+  static bool AnyTrue(VM m) { return _mm_movemask_pd(m) != 0; }
+
+  static void StorePairs(double* p, VD a, VD b) {
+    _mm_storeu_pd(p, _mm_unpacklo_pd(a, b));      // a0 b0
+    _mm_storeu_pd(p + 2, _mm_unpackhi_pd(a, b));  // a1 b1
+  }
+
+  static VE ExpFromDouble(VD v) {
+    double tmp[2];
+    _mm_storeu_pd(tmp, v);
+    return VE{{static_cast<int64_t>(tmp[0]), static_cast<int64_t>(tmp[1])}};
+  }
+  static bool ExpAllZero(VE e) { return (e.v[0] | e.v[1]) == 0; }
+  static VM ExpOddMask(VE e) {
+    return _mm_castsi128_pd(_mm_set_epi64x((e.v[1] & 1) ? -1 : 0,
+                                           (e.v[0] & 1) ? -1 : 0));
+  }
+  static VE ExpHalve(VE e) { return VE{{e.v[0] >> 1, e.v[1] >> 1}}; }
+};
+
+#endif  // __SSE2__
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64): 2 doubles. Baseline on every aarch64.
+// ---------------------------------------------------------------------------
+#if defined(__aarch64__)
+
+struct Neon {
+  static constexpr int kWidth = 2;
+  using VD = float64x2_t;
+  using VM = uint64x2_t;
+  using VE = int64x2_t;
+
+  static VD Load(const double* p) { return vld1q_f64(p); }
+  static void Store(double* p, VD v) { vst1q_f64(p, v); }
+  static VD Set1(double x) { return vdupq_n_f64(x); }
+  static VD Add(VD a, VD b) { return vaddq_f64(a, b); }
+  static VD Sub(VD a, VD b) { return vsubq_f64(a, b); }
+  static VD Mul(VD a, VD b) { return vmulq_f64(a, b); }
+  static VD Div(VD a, VD b) { return vdivq_f64(a, b); }
+  static VD Sqrt(VD a) { return vsqrtq_f64(a); }
+  static VD Min(VD a, VD b) { return vminq_f64(a, b); }
+  static VD Max(VD a, VD b) { return vmaxq_f64(a, b); }
+  static VM CmpGt(VD a, VD b) { return vcgtq_f64(a, b); }
+  static VM CmpGe(VD a, VD b) { return vcgeq_f64(a, b); }
+  static VM CmpLt(VD a, VD b) { return vcltq_f64(a, b); }
+  static VM MaskAnd(VM a, VM b) { return vandq_u64(a, b); }
+  static VD Blend(VM m, VD if_true, VD if_false) {
+    return vbslq_f64(m, if_true, if_false);
+  }
+  static bool AllTrue(VM m) {
+    return vminvq_u32(vreinterpretq_u32_u64(m)) == 0xFFFFFFFFu;
+  }
+  static bool AnyTrue(VM m) {
+    return vmaxvq_u32(vreinterpretq_u32_u64(m)) != 0;
+  }
+
+  static void StorePairs(double* p, VD a, VD b) {
+    float64x2x2_t pair;
+    pair.val[0] = a;
+    pair.val[1] = b;
+    vst2q_f64(p, pair);  // a0 b0 a1 b1
+  }
+
+  static VE ExpFromDouble(VD v) { return vcvtq_s64_f64(v); }
+  static bool ExpAllZero(VE e) {
+    return vmaxvq_u32(vreinterpretq_u32_s64(e)) == 0;
+  }
+  static VM ExpOddMask(VE e) {
+    const int64x2_t one = vdupq_n_s64(1);
+    return vceqq_s64(vandq_s64(e, one), one);
+  }
+  static VE ExpHalve(VE e) { return vshrq_n_s64(e, 1); }
+};
+
+#endif  // __aarch64__
+
+}  // namespace netbone::simd
+
+#endif  // NETBONE_COMMON_SIMD_H_

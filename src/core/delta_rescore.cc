@@ -7,14 +7,19 @@
 #include "core/disparity_filter.h"
 #include "core/naive.h"
 #include "core/noise_corrected.h"
+#include "core/simd_kernels.h"
+#include "graph/edge_columns.h"
 
 namespace netbone {
 namespace {
 
 /// Copies clean slots and collects the dirty set, then rescores the dirty
-/// ids with `score_edge` (the method's per-edge kernel). `needs_marginals`
-/// is false for the naive threshold, whose score reads only the weight —
-/// its dirty set is exactly the changed/inserted edges.
+/// ids through `score_range` (the method's batched kernel over the
+/// successor's SoA columns) with `replay_edge` regenerating the winning
+/// per-edge Status — ParallelScoreEdgeRangeSubset hands the contiguous
+/// runs that dominate real deltas (endpoint stars) to whole vector lanes.
+/// `needs_marginals` is false for the naive threshold, whose score reads
+/// only the weight — its dirty set is exactly the changed/inserted edges.
 ///
 /// Two shapes. The common one — weight changes only, no structural churn
 /// (the noisy re-observation of a fixed edge set) — keeps edge ids
@@ -25,11 +30,11 @@ namespace {
 /// Structural deltas derive the alignment and dirty set from the
 /// delta's own inserted/deleted/changed/star lists — the classification
 /// lives in ComputeGraphDelta alone; nothing here re-compares edges.
-template <typename Scorer>
+template <typename RangeScorer, typename Replay>
 Result<std::optional<DeltaRescoreResult>> PatchScores(
     const ScoredEdges& base, const Graph& next, const GraphDelta& delta,
     const DeltaRescoreOptions& options, bool needs_marginals,
-    const Scorer& score_edge) {
+    const RangeScorer& score_range, const Replay& replay_edge) {
   const Graph& base_graph = base.graph();
   const bool scan_stars = needs_marginals && !delta.changed_nodes.empty();
 
@@ -113,10 +118,9 @@ Result<std::optional<DeltaRescoreResult>> PatchScores(
     }
   }
 
-  Status status =
-      ParallelScoreEdgeSubset(next, out.dirty, options.num_threads,
-                              options.grain, score_edge, &out.scores,
-                              options.cancel);
+  Status status = ParallelScoreEdgeRangeSubset(
+      out.dirty, options.num_threads, options.grain, score_range,
+      replay_edge, &out.scores, options.cancel);
   if (!status.ok()) return status;
   return std::optional<DeltaRescoreResult>(std::move(out));
 }
@@ -144,36 +148,42 @@ Result<std::optional<DeltaRescoreResult>> DeltaRescore(
       // the whole table, which is exactly a full rescore.
       const double n_total = next.matrix_total();
       if (!delta.totals_equal || !(n_total > 0.0)) return not_incremental;
-      const NoiseCorrectedOptions nc;  // registry defaults
+      const EdgeColumns& cols = next.edge_columns();
+      NcKernelConfig cfg;  // flag defaults match the registry defaults
+      cfg.n_total = n_total;
       return PatchScores(
           base, next, delta, options, /*needs_marginals=*/true,
-          [&next, n_total, nc](EdgeId, const Edge& e,
-                               EdgeScore* out) -> Status {
-            Result<NoiseCorrectedDetail> d = NoiseCorrectedEdge(
-                e.weight, next.out_strength(e.src), next.in_strength(e.dst),
-                n_total, nc);
-            if (!d.ok()) return d.status();
-            *out = EdgeScore{d->transformed_lift, d->sdev};
-            return Status::OK();
+          [&cols, cfg](int64_t begin, int64_t end, EdgeScore* out) {
+            return NoiseCorrectedBatch(cols, cfg, begin, end, out);
+          },
+          [&next, n_total](EdgeId id) {
+            const Edge& e = next.edge(id);
+            return NoiseCorrectedEdge(e.weight, next.out_strength(e.src),
+                                      next.in_strength(e.dst), n_total,
+                                      NoiseCorrectedOptions{})
+                .status();
           });
     }
     case Method::kDisparityFilter: {
+      const EdgeColumns& cols = next.edge_columns();
       const DisparityFilterOptions df;  // registry defaults
-      return PatchScores(base, next, delta, options,
-                         /*needs_marginals=*/true,
-                         [&next, df](EdgeId, const Edge& e,
-                                     EdgeScore* out) -> Status {
-                           *out = DisparityFilterEdgeScore(next, e, df);
-                           return Status::OK();
-                         });
+      return PatchScores(
+          base, next, delta, options, /*needs_marginals=*/true,
+          [&cols, df](int64_t begin, int64_t end, EdgeScore* out) {
+            return DisparityFilterBatch(cols, df.endpoint_rule, begin, end,
+                                        out);
+          },
+          [](EdgeId) { return Status::OK(); });
     }
-    case Method::kNaiveThreshold:
-      return PatchScores(base, next, delta, options,
-                         /*needs_marginals=*/false,
-                         [](EdgeId, const Edge& e, EdgeScore* out) -> Status {
-                           *out = EdgeScore{e.weight, 0.0};
-                           return Status::OK();
-                         });
+    case Method::kNaiveThreshold: {
+      const EdgeColumns& cols = next.edge_columns();
+      return PatchScores(
+          base, next, delta, options, /*needs_marginals=*/false,
+          [&cols](int64_t begin, int64_t end, EdgeScore* out) {
+            return NaiveThresholdBatch(cols, begin, end, out);
+          },
+          [](EdgeId) { return Status::OK(); });
+    }
     default:
       return not_incremental;
   }

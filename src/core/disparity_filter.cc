@@ -1,14 +1,16 @@
 #include "core/disparity_filter.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "core/simd_kernels.h"
+#include "graph/edge_columns.h"
 
 namespace netbone {
 
 double DisparityPValue(double share, int64_t degree) {
-  if (degree <= 1) return 1.0;  // a single edge is never significant alone
-  share = std::clamp(share, 0.0, 1.0);
-  return std::pow(1.0 - share, static_cast<double>(degree - 1));
+  // int64 -> double is exact for any degree below 2^53, far beyond any
+  // representable edge count.
+  return DisparityPValueDm1(share, static_cast<double>(degree - 1));
 }
 
 EdgeScore DisparityFilterEdgeScore(const Graph& graph, const Edge& e,
@@ -47,12 +49,17 @@ Result<ScoredEdges> DisparityFilter(const Graph& graph,
     return Status::FailedPrecondition("graph has no edges");
   }
 
-  Result<std::vector<EdgeScore>> scores = ParallelScoreEdges(
+  // Batched sweep over the SoA columns: whole chunk sub-ranges go to the
+  // vectorized DF kernel (bit-identical to DisparityFilterEdgeScore per
+  // element, which the identity suite enforces).
+  const EdgeColumns& cols = graph.edge_columns();
+  Result<std::vector<EdgeScore>> scores = ParallelScoreEdgeRanges(
       graph, options.num_threads,
-      [&](EdgeId, const Edge& e, EdgeScore* out) -> Status {
-        *out = DisparityFilterEdgeScore(graph, e, options);
-        return Status::OK();
+      [&](int64_t begin, int64_t end, EdgeScore* out) {
+        return DisparityFilterBatch(cols, options.endpoint_rule, begin, end,
+                                    out);
       },
+      [](EdgeId) { return Status::OK(); },  // DF accepts every edge
       options.cancel);
   if (!scores.ok()) return scores.status();
   return ScoredEdges(&graph, "disparity_filter", std::move(*scores),

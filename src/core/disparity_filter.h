@@ -16,6 +16,9 @@
 #ifndef NETBONE_CORE_DISPARITY_FILTER_H_
 #define NETBONE_CORE_DISPARITY_FILTER_H_
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/result.h"
 #include "core/scored_edges.h"
 #include "graph/graph.h"
@@ -47,6 +50,34 @@ struct DisparityFilterOptions {
 Result<ScoredEdges> DisparityFilter(const Graph& graph,
                                     const DisparityFilterOptions& options =
                                         {});
+
+/// Deterministic base^exp for a non-negative integer exponent, by LSB-first
+/// binary exponentiation. This replaces std::pow in the disparity p-value:
+/// the exponent k-1 is always a whole number, the multiply-only ladder is
+/// bit-for-bit reproducible across libms and platforms (std::pow is only
+/// faithfully rounded, and differently so per libm), and the identical
+/// ladder vectorizes lane-exactly (core/simd_kernels.h). Requires
+/// base in [0, 1] so the unconditional squaring can never overflow.
+inline double PowUIntExp(double base, uint64_t exp) {
+  double result = 1.0;
+  double b = base;
+  while (exp != 0) {
+    if (exp & 1) result *= b;
+    b *= b;
+    exp >>= 1;
+  }
+  return result;
+}
+
+/// DisparityPValue with the exponent supplied as a pre-gathered
+/// degree-minus-one double (the EdgeColumns dm1 layout; exact for any real
+/// degree). Single source of truth for the scalar and batched DF kernels.
+inline double DisparityPValueDm1(double share, double degree_minus_one) {
+  // degree <= 1: a single edge is never significant alone.
+  if (degree_minus_one <= 0.0) return 1.0;
+  share = std::clamp(share, 0.0, 1.0);
+  return PowUIntExp(1.0 - share, static_cast<uint64_t>(degree_minus_one));
+}
 
 /// The raw one-sided disparity p-value alpha = (1 - x)^(k - 1) for an edge
 /// carrying share `share` at a node of degree `degree`. Exposed for tests.

@@ -1,5 +1,8 @@
 #include "core/naive.h"
 
+#include "core/simd_kernels.h"
+#include "graph/edge_columns.h"
+
 namespace netbone {
 
 Result<ScoredEdges> NaiveThreshold(const Graph& graph,
@@ -7,12 +10,13 @@ Result<ScoredEdges> NaiveThreshold(const Graph& graph,
   if (graph.num_edges() == 0) {
     return Status::FailedPrecondition("graph has no edges");
   }
-  Result<std::vector<EdgeScore>> scores = ParallelScoreEdges(
+  const EdgeColumns& cols = graph.edge_columns();
+  Result<std::vector<EdgeScore>> scores = ParallelScoreEdgeRanges(
       graph, options.num_threads,
-      [](EdgeId, const Edge& e, EdgeScore* out) -> Status {
-        *out = EdgeScore{e.weight, 0.0};
-        return Status::OK();
+      [&cols](int64_t begin, int64_t end, EdgeScore* out) {
+        return NaiveThresholdBatch(cols, begin, end, out);
       },
+      [](EdgeId) { return Status::OK(); },  // NT accepts every edge
       options.cancel);
   if (!scores.ok()) return scores.status();
   return ScoredEdges(&graph, "naive_threshold", std::move(*scores),

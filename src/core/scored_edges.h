@@ -267,6 +267,147 @@ Status ParallelScoreEdgeSubset(const Graph& graph,
       scores, cancel);
 }
 
+/// Range-batch variant of ParallelScoreEdges: instead of a per-edge
+/// callback, each static chunk hands whole contiguous sub-ranges of the
+/// edge table to `score_range` — the entry point the vectorized kernels
+/// (core/simd_kernels.h) plug into, so lanes are filled from sequential
+/// loads with no per-edge dispatch.
+///
+/// `score_range` has signature int64_t(int64_t begin, int64_t end,
+/// EdgeScore* out): score edges [begin, end) into out[begin..end) and
+/// return the lowest edge id in the range with invalid inputs (out[] is
+/// unspecified from that id on), or -1 on success. `replay_edge` has
+/// signature Status(EdgeId) and regenerates the exact per-edge Status by
+/// re-running the scalar oracle; it is invoked once, after the join, on
+/// the winning (lowest) failing id — the same first-error-wins protocol
+/// as the per-edge sweeps, and bit-identical output when the batch kernel
+/// honours its identity contract. Chunk layout, cancellation cadence
+/// (every kCancelCheckStride edges) and thread-count invariance all match
+/// ParallelScoreEdges exactly.
+template <typename RangeScorer, typename Replay>
+Result<std::vector<EdgeScore>> ParallelScoreEdgeRanges(
+    const Graph& graph, int num_threads, const RangeScorer& score_range,
+    const Replay& replay_edge, const CancelToken& cancel = {}) {
+  const int64_t n = graph.num_edges();
+  std::vector<EdgeScore> scores(static_cast<size_t>(n));
+  if (n == 0) return scores;
+  const bool cancellable = cancel.CanExpire();
+
+  // Identical chunk geometry to the per-edge overload (see above): the
+  // schedule is part of the determinism contract.
+  constexpr int64_t kMinEdgesPerChunk = 2048;
+  const int64_t max_useful = std::max<int64_t>(n / kMinEdgesPerChunk, 1);
+  const int chunks = static_cast<int>(std::min<int64_t>(
+      NumParallelChunks(n, num_threads), max_useful));
+
+  std::vector<EdgeId> chunk_error_edge(static_cast<size_t>(chunks), -1);
+  std::atomic<bool> saw_cancel{false};
+
+  ParallelFor(n, chunks, [&](int64_t begin, int64_t end, int chunk) {
+    // The batch kernel runs kCancelCheckStride edges between polls — the
+    // same cadence the per-edge sweep gets from its modulo check.
+    for (int64_t sub = begin; sub < end; sub += kCancelCheckStride) {
+      if (cancellable) {
+        if (saw_cancel.load(std::memory_order_relaxed)) return;
+        if (!cancel.Check().ok()) {
+          saw_cancel.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      const int64_t sub_end = std::min<int64_t>(end, sub + kCancelCheckStride);
+      const int64_t bad = score_range(sub, sub_end, scores.data());
+      if (bad >= 0) {
+        chunk_error_edge[static_cast<size_t>(chunk)] = bad;
+        return;
+      }
+    }
+  });
+
+  EdgeId first_error = -1;
+  for (const EdgeId bad : chunk_error_edge) {
+    if (bad >= 0 && (first_error < 0 || bad < first_error)) first_error = bad;
+  }
+  if (first_error >= 0) {
+    Status status = replay_edge(first_error);
+    if (!status.ok()) return status;
+    // A kernel may only flag ids the oracle rejects; anything else is a
+    // kernel bug worth surfacing loudly rather than scoring silently.
+    return Status::Internal("batch kernel flagged an edge the scalar "
+                            "oracle accepts");
+  }
+  if (saw_cancel.load(std::memory_order_relaxed)) return cancel.Check();
+  return scores;
+}
+
+/// Range-batch variant of ParallelScoreEdgeSubset: the dirty-edge patching
+/// fast path. `ids` must be ascending; each dynamically-claimed block is
+/// decomposed into its maximal runs of *consecutive* edge ids and every
+/// run goes to `score_range` whole — so the contiguous spans that dominate
+/// real deltas (endpoint stars, inserted blocks of a sorted table) are
+/// scored by the vector kernels with sequential loads instead of a
+/// per-edge gather, while isolated ids degrade to width-1 ranges (the
+/// kernels' scalar tail). Scores land in scores[id]; untouched slots are
+/// preserved. First-error-wins matches ParallelScoreEdgeSubset: the
+/// lowest failing position (== lowest id, since ids ascend) wins and its
+/// Status is regenerated by `replay_edge`.
+template <typename RangeScorer, typename Replay>
+Status ParallelScoreEdgeRangeSubset(std::span<const EdgeId> ids,
+                                    int num_threads, int64_t grain,
+                                    const RangeScorer& score_range,
+                                    const Replay& replay_edge,
+                                    std::vector<EdgeScore>* scores,
+                                    const CancelToken& cancel = {}) {
+  const int64_t count = static_cast<int64_t>(ids.size());
+  if (count <= 0) return Status::OK();
+  const bool cancellable = cancel.CanExpire();
+  std::atomic<int64_t> first_error_pos{count};
+  std::atomic<bool> saw_cancel{false};
+  ParallelForDynamic(
+      count, grain, num_threads, [&](int64_t begin, int64_t end) {
+        if (cancellable) {
+          if (saw_cancel.load(std::memory_order_relaxed)) return;
+          if (!cancel.Check().ok()) {
+            saw_cancel.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        int64_t i = begin;
+        while (i < end) {
+          // Extend the run while ids stay consecutive.
+          int64_t run_end = i + 1;
+          while (run_end < end &&
+                 ids[static_cast<size_t>(run_end)] ==
+                     ids[static_cast<size_t>(run_end - 1)] + 1) {
+            ++run_end;
+          }
+          const EdgeId lo = ids[static_cast<size_t>(i)];
+          const EdgeId hi = ids[static_cast<size_t>(run_end - 1)] + 1;
+          const int64_t bad = score_range(lo, hi, scores->data());
+          if (bad >= 0) {
+            // Consecutive run: position of the failing id is offset from
+            // the run start by the id distance.
+            const int64_t pos = i + (bad - lo);
+            int64_t seen = first_error_pos.load(std::memory_order_relaxed);
+            while (pos < seen &&
+                   !first_error_pos.compare_exchange_weak(
+                       seen, pos, std::memory_order_relaxed)) {
+            }
+            return;  // abandon the rest of this block
+          }
+          i = run_end;
+        }
+      });
+  const int64_t winner = first_error_pos.load(std::memory_order_relaxed);
+  if (winner == count) {
+    if (saw_cancel.load(std::memory_order_relaxed)) return cancel.Check();
+    return Status::OK();
+  }
+  Status status = replay_edge(ids[static_cast<size_t>(winner)]);
+  if (!status.ok()) return status;
+  return Status::Internal("batch kernel flagged an edge the scalar oracle "
+                          "accepts");
+}
+
 }  // namespace netbone
 
 #endif  // NETBONE_CORE_SCORED_EDGES_H_

@@ -1,0 +1,30 @@
+// AVX2 instantiation of the batched scoring kernels. This TU is the only
+// one compiled with -mavx2 (plus -mno-fma -ffp-contract=off; see
+// CMakeLists.txt), so the 4-wide trait exists only here and the rest of
+// the library stays runnable on baseline x86-64.
+
+#include "core/simd_kernels_internal.h"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64)) && \
+    !defined(NETBONE_SIMD_DISABLED)
+
+#include "core/simd_kernels_impl.h"
+
+namespace netbone::internal_simd {
+
+const KernelTable* Avx2Kernels() {
+  static constexpr KernelTable kTable = MakeKernelTable<simd::Avx2>();
+  return &kTable;
+}
+
+}  // namespace netbone::internal_simd
+
+#else
+
+namespace netbone::internal_simd {
+
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace netbone::internal_simd
+
+#endif

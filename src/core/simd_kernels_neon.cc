@@ -1,0 +1,29 @@
+// NEON instantiation of the batched scoring kernels. NEON is the aarch64
+// baseline, so no ISA flag is needed — only -ffp-contract=off (see
+// CMakeLists.txt), which matters doubly here since aarch64 compilers
+// contract to FMA by default.
+
+#include "core/simd_kernels_internal.h"
+
+#if defined(__aarch64__) && !defined(NETBONE_SIMD_DISABLED)
+
+#include "core/simd_kernels_impl.h"
+
+namespace netbone::internal_simd {
+
+const KernelTable* NeonKernels() {
+  static constexpr KernelTable kTable = MakeKernelTable<simd::Neon>();
+  return &kTable;
+}
+
+}  // namespace netbone::internal_simd
+
+#else
+
+namespace netbone::internal_simd {
+
+const KernelTable* NeonKernels() { return nullptr; }
+
+}  // namespace netbone::internal_simd
+
+#endif

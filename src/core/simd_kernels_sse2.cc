@@ -1,0 +1,30 @@
+// SSE2 instantiation of the batched scoring kernels. SSE2 is the x86-64
+// baseline, so no ISA flag is needed — only -ffp-contract=off (see
+// CMakeLists.txt) to pin down the no-contraction guarantee.
+
+#include "core/simd_kernels_internal.h"
+
+#if (defined(__SSE2__) || defined(_M_X64)) &&        \
+    (defined(__x86_64__) || defined(_M_X64)) &&      \
+    !defined(NETBONE_SIMD_DISABLED)
+
+#include "core/simd_kernels_impl.h"
+
+namespace netbone::internal_simd {
+
+const KernelTable* Sse2Kernels() {
+  static constexpr KernelTable kTable = MakeKernelTable<simd::Sse2>();
+  return &kTable;
+}
+
+}  // namespace netbone::internal_simd
+
+#else
+
+namespace netbone::internal_simd {
+
+const KernelTable* Sse2Kernels() { return nullptr; }
+
+}  // namespace netbone::internal_simd
+
+#endif

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "graph/edge_columns.h"
 #include "graph/union_find.h"
 
 namespace netbone {
@@ -43,11 +44,14 @@ struct WalkResult {
 };
 
 /// The connect-index walk shared by GrowUntilConnected and
-/// BuildSweepProfile: feeds `visit(rank, edge, covered)` the edges in rank
-/// order together with the running covered-endpoint count, so callers
+/// BuildSweepProfile: feeds `visit(rank, weight, covered)` the edges in
+/// rank order together with the running covered-endpoint count, so callers
 /// building prefix arrays read the walk's own counters instead of
 /// re-deriving them. `stop_at_connect` enables the early exit for
-/// single-point callers.
+/// single-point callers. Endpoints and weights come from the graph's SoA
+/// columns (graph/edge_columns.h): the walk visits edges in rank order —
+/// random edge ids — and the dense int32/double columns touch half the
+/// bytes per probe that striding 16-byte Edge structs would.
 template <typename Visit>
 WalkResult WalkOrder(const ScoreOrder& order, bool stop_at_connect,
                      const Visit& visit) {
@@ -59,6 +63,7 @@ WalkResult WalkOrder(const ScoreOrder& order, bool stop_at_connect,
   const int64_t num_edges = order.size();
   if (result.target_nodes == 0) return result;  // no edges to walk either
 
+  const EdgeColumns& cols = g.edge_columns();
   UnionFind uf(g.num_nodes());
   std::vector<bool> touched(static_cast<size_t>(g.num_nodes()), false);
   int64_t touched_count = 0;
@@ -67,8 +72,10 @@ WalkResult WalkOrder(const ScoreOrder& order, bool stop_at_connect,
   bool connected = false;
 
   for (int64_t rank = 0; rank < num_edges; ++rank) {
-    const Edge& e = g.edge(order.id_at(rank));
-    for (const NodeId v : {e.src, e.dst}) {
+    const size_t id = static_cast<size_t>(order.id_at(rank));
+    const NodeId src = cols.src[id];
+    const NodeId dst = cols.dst[id];
+    for (const NodeId v : {src, dst}) {
       if (!touched[static_cast<size_t>(v)]) {
         touched[static_cast<size_t>(v)] = true;
         ++touched_count;
@@ -77,10 +84,10 @@ WalkResult WalkOrder(const ScoreOrder& order, bool stop_at_connect,
     // SetSize is only consulted when a merge actually happened — a failed
     // Union cannot grow any set, and skipping the extra Find pays on the
     // later ranks where most edges close cycles.
-    if (uf.Union(e.src, e.dst)) {
-      largest = std::max(largest, uf.SetSize(e.src));
+    if (uf.Union(src, dst)) {
+      largest = std::max(largest, uf.SetSize(src));
     }
-    visit(rank, e, touched_count);
+    visit(rank, cols.weight[id], touched_count);
     if (!connected && touched_count == result.target_nodes &&
         largest == result.target_nodes) {
       connected = true;
@@ -227,8 +234,8 @@ SweepProfile BuildSweepProfile(const ScoreOrder& order) {
   double weight = 0.0;
   const WalkResult walk = WalkOrder(
       order, /*stop_at_connect=*/false,
-      [&](int64_t rank, const Edge& e, int64_t covered) {
-        weight += e.weight;
+      [&](int64_t rank, double edge_weight, int64_t covered) {
+        weight += edge_weight;
         profile.covered_nodes[static_cast<size_t>(rank) + 1] = covered;
         profile.kept_weight[static_cast<size_t>(rank) + 1] = weight;
       });
@@ -247,7 +254,7 @@ BackboneMask TopShare(const ScoreOrder& order, double share) {
 
 BackboneMask GrowUntilConnected(const ScoreOrder& order) {
   const WalkResult walk = WalkOrder(order, /*stop_at_connect=*/true,
-                                    [](int64_t, const Edge&, int64_t) {});
+                                    [](int64_t, double, int64_t) {});
   return order.PrefixMask(walk.connect_k);
 }
 

@@ -4,6 +4,15 @@
 
 namespace netbone {
 
+const EdgeColumns& Graph::edge_columns() const {
+  internal::EdgeColumnsCache& cache = *columns_cache_;
+  std::call_once(cache.once, [this, &cache] {
+    MaterializeEdgeColumns(*this, &cache.columns);
+    cache.ready.store(true, std::memory_order_release);
+  });
+  return cache.columns;
+}
+
 double Graph::matrix_total() const {
   if (directed()) return total_weight_;
   // Symmetric matrix: every off-diagonal edge appears twice; a self-loop

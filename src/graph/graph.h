@@ -13,11 +13,13 @@
 #define NETBONE_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "graph/edge_columns.h"
 
 namespace netbone {
 
@@ -69,6 +71,20 @@ class Graph {
 
   /// The edge at `id`. Precondition: 0 <= id < num_edges().
   const Edge& edge(EdgeId id) const { return edges_[static_cast<size_t>(id)]; }
+
+  /// Structure-of-arrays view of the edge table with pre-gathered
+  /// marginals (graph/edge_columns.h), materialized lazily on first use
+  /// and cached for the graph's lifetime. Copies of a Graph share one
+  /// cache (the contents are a pure function of the edge table, which
+  /// copies share byte-for-byte). Thread-safe: concurrent first callers
+  /// materialize exactly once. O(|E|) on the first call, O(1) after.
+  const EdgeColumns& edge_columns() const;
+
+  /// True once edge_columns() has materialized (so byte accounting can
+  /// price the derived cache without forcing it into existence).
+  bool edge_columns_materialized() const {
+    return columns_cache_->ready.load(std::memory_order_acquire);
+  }
 
   /// Sum of all edge weights as stored (undirected edges counted once).
   double total_weight() const { return total_weight_; }
@@ -140,6 +156,10 @@ class Graph {
   std::vector<std::string> labels_;
   // label -> id, populated by GraphBuilder alongside labels_.
   std::unordered_map<std::string, NodeId> label_index_;
+  // Lazily-built SoA view (edge_columns()). Never null; copies share the
+  // slot, so a graph family materializes the gather at most once.
+  std::shared_ptr<internal::EdgeColumnsCache> columns_cache_ =
+      std::make_shared<internal::EdgeColumnsCache>();
 };
 
 }  // namespace netbone

@@ -124,6 +124,12 @@ int64_t ApproxGraphBytes(const Graph& graph) {
       bytes += static_cast<int64_t>(sizeof(NodeId) + 4 * sizeof(void*));
     }
   }
+  // The SoA scoring columns are a derived cache materialized on first cold
+  // score; price them in once they exist (at intern time they usually
+  // don't, so budgets tuned to bare graphs keep their meaning).
+  if (graph.edge_columns_materialized()) {
+    bytes += graph.edge_columns().bytes();
+  }
   return bytes;
 }
 
