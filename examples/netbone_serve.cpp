@@ -4,6 +4,7 @@
 // the engine's cache statistics.
 //
 //   ./example_netbone_serve [num_requests] [cache_mb]
+//   ./example_netbone_serve --shards=N [num_requests] [cache_mb]
 //   ./example_netbone_serve --chaos[=seed] [num_requests] [cache_mb]
 //   ./example_netbone_serve --snapshot-dir=PATH [num_requests] [cache_mb]
 //   ./example_netbone_serve --stats-interval=MS --metrics-json=PATH
@@ -12,6 +13,12 @@
 // The trace mimics a production mix: a skewed graph popularity (one hot
 // network), method cycling, and a mix of request kinds — threshold
 // extractions, O(1) coverage points, full sweep profiles.
+//
+// --shards=N serves the same trace through a ShardedBackboneEngine:
+// every request routes to one of N independent engine shards by graph
+// fingerprint (budgets split N ways, per-shard snapshot subdirectories
+// under --snapshot-dir, per-shard "shardK." metric namespaces next to
+// the unprefixed rollup). Responses are bit-identical at every N.
 //
 // --chaos replays the same trace under seeded fault injection
 // (service/fault_injection.h): 2% scoring failures, 2% injected scoring
@@ -59,8 +66,8 @@
 #include "gen/erdos_renyi.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "service/engine.h"
 #include "service/fault_injection.h"
+#include "service/sharded_engine.h"
 
 namespace nb = netbone;
 
@@ -76,8 +83,10 @@ void HandleSigterm(int) { g_terminate = 1; }
 void HandleSigusr1(int) { g_dump_metrics = 1; }
 
 /// Engine registry merged with the process-wide one (scheduler metrics),
-/// so one dump shows the whole serving stack.
-nb::obs::MetricsSnapshot MergedMetrics(const nb::BackboneEngine& engine) {
+/// so one dump shows the whole serving stack. With --shards=N this is
+/// the rollup plus every shard's "shardK." namespace.
+nb::obs::MetricsSnapshot MergedMetrics(
+    const nb::ShardedBackboneEngine& engine) {
   nb::obs::MetricsSnapshot snapshot = engine.Metrics();
   snapshot.Merge(nb::obs::MetricRegistry::Global().Snapshot());
   return snapshot;
@@ -88,7 +97,7 @@ nb::obs::MetricsSnapshot MergedMetrics(const nb::BackboneEngine& engine) {
 /// signal). Stopped (and joined) before the final summary prints.
 class MetricsMonitor {
  public:
-  MetricsMonitor(const nb::BackboneEngine& engine,
+  MetricsMonitor(const nb::ShardedBackboneEngine& engine,
                  std::chrono::milliseconds interval)
       : engine_(engine), interval_(interval) {
     thread_ = std::thread([this] { Run(); });
@@ -128,7 +137,7 @@ class MetricsMonitor {
     }
   }
 
-  const nb::BackboneEngine& engine_;
+  const nb::ShardedBackboneEngine& engine_;
   const std::chrono::milliseconds interval_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -145,10 +154,14 @@ int main(int argc, char** argv) {
   std::string metrics_json;
   long stats_interval_ms = 0;
   long trace_sample = 0;
+  int num_shards = 1;
   int positional[2] = {400, 64};
   int positionals = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--chaos", 7) == 0) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      num_shards = std::max(1, static_cast<int>(
+                                   std::strtol(argv[i] + 9, nullptr, 0)));
+    } else if (std::strncmp(argv[i], "--chaos", 7) == 0) {
       chaos = true;
       if (argv[i][7] == '=') {
         chaos_seed = std::strtoull(argv[i] + 8, nullptr, 0);
@@ -214,13 +227,21 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, HandleSigterm);
   }
   std::signal(SIGUSR1, HandleSigusr1);
-  nb::BackboneEngine engine(options);
+  nb::ShardedBackboneEngineOptions sharded_options;
+  sharded_options.num_shards = num_shards;
+  sharded_options.engine = options;
+  nb::ShardedBackboneEngine engine(sharded_options);
+  if (num_shards > 1) {
+    std::printf("sharded serving: %d shards, routing epoch %llu\n",
+                engine.num_shards(),
+                static_cast<unsigned long long>(engine.RoutingEpoch()));
+  }
   // The monitor owns all mid-replay dumps (periodic + SIGUSR1); scoped so
   // it joins before the final summary prints.
   std::unique_ptr<MetricsMonitor> monitor = std::make_unique<MetricsMonitor>(
       engine, std::chrono::milliseconds(stats_interval_ms));
   if (!snapshot_dir.empty()) {
-    const nb::BackboneEngine::Stats boot = engine.stats();
+    const nb::BackboneEngine::Stats boot = engine.stats().total;
     std::printf("snapshot restore: %lld graphs, %lld entries, %lld "
                 "lineage, %lld quarantined\n",
                 static_cast<long long>(boot.restored_graphs),
@@ -286,7 +307,7 @@ int main(int argc, char** argv) {
   // Replay through the async pipeline in batches of 32.
   std::printf("replaying %d requests over %lld resident graphs...\n",
               num_requests,
-              static_cast<long long>(engine.stats().graphs.graphs));
+              static_cast<long long>(engine.stats().total.graphs.graphs));
   nb::Timer timer;
   std::vector<std::future<std::vector<nb::Result<nb::BackboneResponse>>>>
       futures;
@@ -323,7 +344,20 @@ int main(int argc, char** argv) {
   }
   const double elapsed = timer.ElapsedSeconds();
 
-  const nb::BackboneEngine::Stats stats = engine.stats();
+  const nb::ShardedBackboneEngine::Stats sharded_stats = engine.stats();
+  const nb::BackboneEngine::Stats& stats = sharded_stats.total;
+  if (num_shards > 1) {
+    std::printf("\n%-28s %12lld\n", "routing epoch",
+                static_cast<long long>(sharded_stats.routing_epoch));
+    std::printf("%-28s %12lld\n", "routing overrides",
+                static_cast<long long>(sharded_stats.routing_overrides));
+    std::printf("%-28s %12lld\n", "families migrated",
+                static_cast<long long>(sharded_stats.migrations));
+    for (size_t s = 0; s < sharded_stats.shards.size(); ++s) {
+      std::printf("shard %-22zu %12lld requests\n", s,
+                  static_cast<long long>(sharded_stats.shards[s].requests));
+    }
+  }
   std::printf("\n%-28s %12lld\n", "requests ok / failed",
               static_cast<long long>(ok_count));
   std::printf("%-28s %12lld\n", "  failed",
@@ -359,7 +393,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "snapshot write failed: %s\n",
                    written.ToString().c_str());
     }
-    const nb::BackboneEngine::Stats snap = engine.stats();
+    const nb::BackboneEngine::Stats snap = engine.stats().total;
     std::printf("%-28s %12lld\n", "snapshot writes",
                 static_cast<long long>(snap.snapshot_writes));
     std::printf("%-28s %12lld\n", "snapshot write failures",
@@ -382,10 +416,13 @@ int main(int argc, char** argv) {
     }
   }
   if (trace_sample > 0) {
-    const auto traces = engine.tracer().Snapshot();
+    // Each shard samples into its own ring; the demo prints shard 0's
+    // span chains (with --shards=1 that is every trace).
+    const nb::obs::TraceRecorder& tracer = engine.shard(0).tracer();
+    const auto traces = tracer.Snapshot();
     std::printf("\ntraces: %lld sampled, %lld dropped; last %zu:\n",
-                static_cast<long long>(engine.tracer().sampled()),
-                static_cast<long long>(engine.tracer().dropped()),
+                static_cast<long long>(tracer.sampled()),
+                static_cast<long long>(tracer.dropped()),
                 std::min<size_t>(traces.size(), 3));
     for (size_t t = traces.size() - std::min<size_t>(traces.size(), 3);
          t < traces.size(); ++t) {

@@ -1,0 +1,120 @@
+// Copyright 2026 The netbone Authors.
+//
+// Bounded lock-free multi-producer/multi-consumer FIFO ring (Dmitry
+// Vyukov's sequence-number design). Each cell carries a sequence counter
+// that encodes, relative to the monotonically increasing enqueue/dequeue
+// positions, whether the cell is free, full, or in transit — producers
+// and consumers claim a position with one CAS and then touch only their
+// own cell, so contention is a single cache line per operation and
+// producers never wait on consumers (or vice versa) beyond the CAS.
+//
+// Memory-ordering contract: the release store of a cell's sequence by
+// TryPush pairs with the acquire load in TryPop, so everything written
+// before a push happens-before the pop that returns the value — the same
+// publication guarantee the mutex-guarded queue this replaces provided.
+//
+// Bounded and non-blocking by design: TryPush refuses when the ring is
+// full and TryPop refuses when it is empty, and the caller chooses the
+// fallback (the TaskScheduler runs the task inline, mirroring its
+// full-deque policy). FIFO order holds per the CAS-claimed positions.
+
+#ifndef NETBONE_COMMON_MPMC_QUEUE_H_
+#define NETBONE_COMMON_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netbone {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// A ring holding at least `min_capacity` elements (rounded up to a
+  /// power of two, minimum 2, so position masking is a single AND).
+  explicit MpmcQueue(size_t min_capacity)
+      : cells_(std::bit_ceil(min_capacity < 2 ? size_t{2} : min_capacity)),
+        mask_(cells_.size() - 1) {
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  size_t capacity() const { return cells_.size(); }
+
+  /// Enqueues `value`; false when the ring is full (the value is left
+  /// untouched and the caller keeps ownership).
+  bool TryPush(const T& value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is free at this position: claim it. A weak CAS may fail
+        // spuriously; the loop simply retries at the updated position.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the consumer lap hasn't freed this cell: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues the oldest element into *out; false when the ring is empty.
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // no producer has published this position: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    // Mark the cell free for the producer one lap ahead.
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  std::vector<Cell> cells_;
+  const size_t mask_;
+  // Producers and consumers advance independent positions; padding keeps
+  // them off each other's cache line.
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace netbone
+
+#endif  // NETBONE_COMMON_MPMC_QUEUE_H_

@@ -242,12 +242,8 @@ TaskScheduler::Task* TaskScheduler::FindTask(Worker* self) {
     if (Task* task = DequePop(*self)) return task;
   }
   {
-    std::lock_guard<std::mutex> lock(inject_mu_);
-    if (!injected_.empty()) {
-      Task* task = injected_.front();
-      injected_.pop_front();
-      return task;
-    }
+    Task* task = nullptr;
+    if (injected_.TryPop(&task)) return task;
   }
   if (self != nullptr) {
     for (const int victim : self->victims) {
@@ -308,14 +304,21 @@ void TaskScheduler::Submit(Task* task) {
     ExecuteTask(task);
     return;
   }
-  Inject(task);
+  if (!Inject(task)) {
+    // Injection ring full: run inline on the submitting thread. Correct
+    // (the task just executes now) and self-limiting — draining the task
+    // frees queue pressure — exactly like the full-deque path above.
+    inline_runs_.Increment();
+    ExecuteTask(task);
+    return;
+  }
   Signal();
 }
 
-void TaskScheduler::Inject(Task* task) {
+bool TaskScheduler::Inject(Task* task) {
+  if (!injected_.TryPush(task)) return false;
   injected_count_.Increment();
-  std::lock_guard<std::mutex> lock(inject_mu_);
-  injected_.push_back(task);
+  return true;
 }
 
 void TaskScheduler::Signal() {

@@ -4,8 +4,9 @@
 //
 //  * TaskScheduler / TaskGroup — a deterministic work-stealing task
 //    runtime: one Chase–Lev-style deque per persistent worker thread,
-//    idle workers stealing over a fixed-seed victim permutation, and an
-//    injection queue for threads outside the pool. Nested TaskGroups
+//    idle workers stealing over a fixed-seed victim permutation, and a
+//    lock-free MPMC injection ring for threads outside the pool. Nested
+//    TaskGroups
 //    spawned from inside a running task push onto the executing worker's
 //    own deque, so an outer fan-out (methods, batch keys) and the inner
 //    loops it triggers share one pool instead of serializing each other.
@@ -36,7 +37,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mpmc_queue.h"
 #include "obs/metrics.h"
 
 namespace netbone {
@@ -77,7 +78,8 @@ class TaskGroup;
 /// Work-stealing task runtime. The scheduler owns `num_threads - 1`
 /// persistent OS worker threads (a scheduler of size 1 owns none), each
 /// with a private Chase–Lev deque; threads outside the pool submit root
-/// tasks through a shared injection queue and help execute tasks while
+/// tasks through a shared lock-free MPMC injection ring
+/// (common/mpmc_queue.h) and help execute tasks while
 /// waiting, so the calling thread always participates. Idle workers
 /// steal from victims in a per-worker permutation drawn from a fixed
 /// seed — the steal pattern carries no run-to-run entropy source of its
@@ -152,9 +154,12 @@ class TaskScheduler {
   /// Runs the task, deletes it, and retires it from its group.
   void ExecuteTask(Task* task);
   /// Routes a task to the current worker's deque (falling back to inline
-  /// execution when the deque is full) or to the injection queue.
+  /// execution when the deque is full) or to the injection ring (same
+  /// inline fallback when the ring is full).
   void Submit(Task* task);
-  void Inject(Task* task);
+  /// Enqueues onto the lock-free injection ring; false when full (the
+  /// caller keeps ownership and runs the task inline).
+  bool Inject(Task* task);
   /// Publishes "the set of runnable tasks changed": bumps the epoch and
   /// wakes sleepers.
   void Signal();
@@ -172,8 +177,12 @@ class TaskScheduler {
 
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex inject_mu_;
-  std::deque<Task*> injected_;
+  /// Root-task submissions from threads outside the pool. Lock-free so N
+  /// concurrent injectors (the sharded engine's dispatchers) never
+  /// serialize on a queue mutex; bounded, with inline execution as the
+  /// overflow policy (mirroring the full-deque fallback).
+  static constexpr size_t kInjectCapacity = 4096;
+  MpmcQueue<Task*> injected_{kInjectCapacity};
 
   std::atomic<uint64_t> epoch_{0};
   std::mutex sleep_mu_;

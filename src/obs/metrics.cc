@@ -213,6 +213,14 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   }
 }
 
+MetricsSnapshot MetricsSnapshot::WithPrefix(const std::string& prefix) const {
+  MetricsSnapshot out = *this;
+  for (Value& v : out.counters) v.name = prefix + v.name;
+  for (Value& v : out.gauges) v.name = prefix + v.name;
+  for (Histogram& h : out.histograms) h.name = prefix + h.name;
+  return out;
+}
+
 int64_t MetricsSnapshot::ValueOf(const std::string& name,
                                  int64_t fallback) const {
   for (const Value& counter : counters) {
@@ -345,6 +353,16 @@ void MetricRegistry::RegisterGauge(std::string name,
   entries_.push_back(std::move(entry));
 }
 
+void MetricRegistry::RegisterGaugeGroup(
+    std::function<std::vector<MetricsSnapshot::Value>()> read,
+    const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.owner = owner;
+  entry.gauge_group = std::move(read);
+  entries_.push_back(std::move(entry));
+}
+
 void MetricRegistry::RegisterHistogram(std::string name,
                                        const LatencyHistogram* histogram,
                                        const void* owner) {
@@ -372,6 +390,12 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
         snap.counters.push_back({entry.name, entry.counter->Value()});
       } else if (entry.gauge) {
         snap.gauges.push_back({entry.name, entry.gauge()});
+      } else if (entry.gauge_group) {
+        // One callback invocation yields all of the group's values, so
+        // they come from a single coherent read of the owner's state.
+        for (MetricsSnapshot::Value& value : entry.gauge_group()) {
+          snap.gauges.push_back(std::move(value));
+        }
       } else if (entry.histogram != nullptr) {
         snap.histograms.push_back({entry.name, entry.histogram->Snapshot()});
       }

@@ -220,6 +220,11 @@ struct MetricsSnapshot {
   /// histograms merge bucket-wise, new names append. Keeps name order.
   void Merge(const MetricsSnapshot& other);
 
+  /// A copy with `prefix` prepended to every counter/gauge/histogram
+  /// name. Lets a multi-shard owner re-emit one shard's snapshot under a
+  /// per-shard namespace ("shard3.") next to the unprefixed rollup.
+  MetricsSnapshot WithPrefix(const std::string& prefix) const;
+
   /// Counter or gauge value by exact name; `fallback` when absent.
   int64_t ValueOf(const std::string& name, int64_t fallback = 0) const;
   /// Histogram by exact name; nullptr when absent.
@@ -254,6 +259,14 @@ class MetricRegistry {
                        const void* owner = nullptr);
   void RegisterGauge(std::string name, std::function<int64_t()> read,
                      const void* owner = nullptr);
+  /// A gauge *group*: one callback producing several named values,
+  /// evaluated exactly once per Snapshot(). Use this when the values
+  /// are fields of one mutex-guarded struct — per-field gauges would
+  /// each take the owner's lock separately and a snapshot could observe
+  /// fields from different instants; a group reads them atomically.
+  void RegisterGaugeGroup(
+      std::function<std::vector<MetricsSnapshot::Value>()> read,
+      const void* owner = nullptr);
   void RegisterHistogram(std::string name, const LatencyHistogram* histogram,
                          const void* owner = nullptr);
 
@@ -269,10 +282,11 @@ class MetricRegistry {
 
  private:
   struct Entry {
-    std::string name;
+    std::string name;  // empty for gauge groups (values carry full names)
     const void* owner = nullptr;
     const ShardedCounter* counter = nullptr;        // exactly one of
-    std::function<int64_t()> gauge;                 // these three is
+    std::function<int64_t()> gauge;                 // these four is
+    std::function<std::vector<MetricsSnapshot::Value>()> gauge_group;
     const LatencyHistogram* histogram = nullptr;    // set
   };
 

@@ -256,22 +256,27 @@ std::vector<StoredGraph> GraphStore::ResidentGraphs() const {
 void GraphStore::RegisterMetrics(obs::MetricRegistry& registry,
                                  const std::string& prefix,
                                  const void* owner) {
-  auto gauge = [&](const char* name, int64_t Stats::* field) {
-    registry.RegisterGauge(
-        prefix + "." + name, [this, field] { return stats().*field; }, owner);
-  };
-  gauge("graphs", &Stats::graphs);
-  gauge("resident_bytes", &Stats::resident_bytes);
-  gauge("inserts", &Stats::inserts);
-  gauge("dedup_hits", &Stats::dedup_hits);
-  gauge("evictions", &Stats::evictions);
-  gauge("byte_budget", &Stats::byte_budget);
+  // One gauge group over a single StatsSnapshot() call — see
+  // ScoreCache::RegisterMetrics for why per-field gauges would tear.
+  registry.RegisterGaugeGroup(
+      [this, prefix]() {
+        const Stats s = StatsSnapshot();
+        return std::vector<obs::MetricsSnapshot::Value>{
+            {prefix + ".graphs", s.graphs},
+            {prefix + ".resident_bytes", s.resident_bytes},
+            {prefix + ".inserts", s.inserts},
+            {prefix + ".dedup_hits", s.dedup_hits},
+            {prefix + ".evictions", s.evictions},
+            {prefix + ".byte_budget", s.byte_budget},
+        };
+      },
+      owner);
   registry.RegisterHistogram(prefix + ".intern_ns", &intern_ns_, owner);
   registry.RegisterHistogram(prefix + ".find_ns", &find_ns_, owner);
   registry.RegisterHistogram(prefix + ".evict_ns", &evict_ns_, owner);
 }
 
-GraphStore::Stats GraphStore::stats() const {
+GraphStore::Stats GraphStore::StatsSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats;
   stats.graphs = static_cast<int64_t>(graphs_.size());

@@ -120,7 +120,11 @@ class GraphStore {
   /// re-Intern in sequence reproduces the same LRU order).
   std::vector<StoredGraph> ResidentGraphs() const;
 
-  Stats stats() const;
+  /// One coherent readout of every counter, taken under a single lock
+  /// acquisition — the unit a multi-shard rollup sums, so aggregated
+  /// stats can't tear mid-read. stats() is an alias.
+  Stats StatsSnapshot() const;
+  Stats stats() const { return StatsSnapshot(); }
 
   /// Registers this store's stats as callback gauges and its operation
   /// latency histograms (intern/find/evict, populated only while

@@ -193,29 +193,59 @@ ScoreCache::LineageEntries() const {
   return entries;
 }
 
+int64_t ScoreCache::EraseGraphEntries(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.graph == fingerprint) {
+      bytes_ -= it->second->bytes();
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  const auto lineage_it = lineage_.find(fingerprint);
+  if (lineage_it != lineage_.end()) {
+    const int64_t record_bytes =
+        kLineageEntryBytes + (lineage_it->second.delta != nullptr
+                                  ? lineage_it->second.delta->ApproxBytes()
+                                  : 0);
+    bytes_ -= record_bytes;
+    lineage_bytes_ -= record_bytes;
+    lineage_.erase(lineage_it);
+  }
+  return dropped;
+}
+
 void ScoreCache::RegisterMetrics(obs::MetricRegistry& registry,
                                  const std::string& prefix,
                                  const void* owner) {
-  // Callback gauges over the locked stats() fields: the cache pays
-  // nothing to maintain them; each read takes one snapshot under mu_.
-  auto gauge = [&](const char* name, int64_t Stats::* field) {
-    registry.RegisterGauge(
-        prefix + "." + name, [this, field] { return stats().*field; }, owner);
-  };
-  gauge("hits", &Stats::hits);
-  gauge("misses", &Stats::misses);
-  gauge("evictions", &Stats::evictions);
-  gauge("entries", &Stats::entries);
-  gauge("lineage_entries", &Stats::lineage_entries);
-  gauge("bytes", &Stats::bytes);
-  gauge("byte_budget", &Stats::byte_budget);
-  gauge("insert_failures", &Stats::insert_failures);
+  // One gauge *group* over a single StatsSnapshot() call: every field a
+  // registry snapshot reports comes from the same instant under mu_, so
+  // a rollup summing shards can't observe torn per-field reads.
+  registry.RegisterGaugeGroup(
+      [this, prefix]() {
+        const Stats s = StatsSnapshot();
+        return std::vector<obs::MetricsSnapshot::Value>{
+            {prefix + ".hits", s.hits},
+            {prefix + ".misses", s.misses},
+            {prefix + ".evictions", s.evictions},
+            {prefix + ".entries", s.entries},
+            {prefix + ".lineage_entries", s.lineage_entries},
+            {prefix + ".bytes", s.bytes},
+            {prefix + ".byte_budget", s.byte_budget},
+            {prefix + ".insert_failures", s.insert_failures},
+        };
+      },
+      owner);
   registry.RegisterHistogram(prefix + ".get_ns", &get_ns_, owner);
   registry.RegisterHistogram(prefix + ".put_ns", &put_ns_, owner);
   registry.RegisterHistogram(prefix + ".evict_ns", &evict_ns_, owner);
 }
 
-ScoreCache::Stats ScoreCache::stats() const {
+ScoreCache::Stats ScoreCache::StatsSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats;
   stats.hits = hits_;

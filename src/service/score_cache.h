@@ -258,7 +258,18 @@ class ScoreCache {
   /// All lineage records (child fingerprint + record), unordered.
   std::vector<std::pair<uint64_t, Lineage>> LineageEntries() const;
 
-  Stats stats() const;
+  /// Drops every score entry keyed on `fingerprint` plus its lineage
+  /// record, adjusting the byte accounting (not counted as evictions —
+  /// this is shard-migration retirement, not budget pressure). Entries
+  /// still referenced elsewhere stay valid through their shared_ptrs.
+  /// Returns the number of score entries dropped.
+  int64_t EraseGraphEntries(uint64_t fingerprint);
+
+  /// One coherent readout of every counter, taken under a single lock
+  /// acquisition — the unit a multi-shard rollup sums, so aggregated
+  /// stats can't tear mid-read. stats() is an alias.
+  Stats StatsSnapshot() const;
+  Stats stats() const { return StatsSnapshot(); }
 
   /// Registers this cache's stats as callback gauges and its operation
   /// latency histograms (get/put/evict, populated only while

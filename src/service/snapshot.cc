@@ -10,8 +10,11 @@
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -307,16 +310,18 @@ std::string SnapshotFilePath(const std::string& snapshot_dir) {
   return snapshot_dir + "/netbone.snapshot";
 }
 
-Result<SnapshotWriteStats> WriteSnapshot(const std::string& path,
-                                         const GraphStore& store,
-                                         const ScoreCache& cache) {
-  // Fault site: the write fails wholesale (full disk, yanked volume).
-  // Checked up front so a chaos run pays no serialization cost for it.
-  if (InjectFault(FaultSite::kSnapshotWriteFailure)) {
-    return Status::IOError("injected snapshot write failure");
-  }
+namespace {
 
-  SnapshotWriteStats stats;
+// Serializes the snapshot image (header + sections + footer) for `store`
+// + `cache` into a byte string. When `filter` is non-null only state
+// belonging to those fingerprints is emitted — the shard-migration
+// subset; a null filter is the full snapshot.
+std::string BuildSnapshotImage(
+    const GraphStore& store, const ScoreCache& cache,
+    const std::unordered_set<uint64_t>* filter, SnapshotWriteStats* stats) {
+  const auto wanted = [filter](uint64_t fingerprint) {
+    return filter == nullptr || filter->count(fingerprint) > 0;
+  };
   ByteWriter file;
   file.U64(kSnapshotMagic);
   file.U32(kSnapshotVersion);
@@ -337,35 +342,39 @@ Result<SnapshotWriteStats> WriteSnapshot(const std::string& path,
   const auto entries = cache.Entries();
   std::unordered_map<uint64_t, bool> written_graphs;
   for (const StoredGraph& resident : residents) {
+    if (!wanted(resident.fingerprint)) continue;
     ByteWriter payload;
     EncodeGraphSection(resident.fingerprint, /*resident=*/true,
                        *resident.graph, &payload);
     emit(SectionType::kGraph, payload.buffer());
     written_graphs.emplace(resident.fingerprint, true);
-    ++stats.graphs;
+    ++stats->graphs;
   }
   for (const auto& [key, entry] : entries) {
+    if (!wanted(key.graph)) continue;
     if (written_graphs.emplace(key.graph, false).second) {
       ByteWriter payload;
       EncodeGraphSection(key.graph, /*resident=*/false, entry->graph(),
                          &payload);
       emit(SectionType::kGraph, payload.buffer());
-      ++stats.graphs;
+      ++stats->graphs;
     }
   }
 
   for (const auto& [key, entry] : entries) {
+    if (!wanted(key.graph)) continue;
     ByteWriter payload;
     EncodeScoreEntrySection(key, *entry, &payload);
     emit(SectionType::kScoreEntry, payload.buffer());
-    ++stats.entries;
+    ++stats->entries;
   }
 
   for (const auto& [child, record] : cache.LineageEntries()) {
+    if (!wanted(child)) continue;
     ByteWriter payload;
     EncodeLineageSection(child, record, &payload);
     emit(SectionType::kLineage, payload.buffer());
-    ++stats.lineage;
+    ++stats->lineage;
   }
 
   // The commit marker: restore treats a snapshot without a consistent
@@ -374,17 +383,16 @@ Result<SnapshotWriteStats> WriteSnapshot(const std::string& path,
   footer.U64(section_count);
   emit(SectionType::kFooter, footer.buffer());
 
-  stats.bytes = static_cast<int64_t>(file.size());
-  NETBONE_RETURN_IF_ERROR(WriteFileDurably(path, file.buffer()));
-  return stats;
+  stats->bytes = static_cast<int64_t>(file.size());
+  return file.buffer();
 }
 
-Result<SnapshotRestoreReport> RestoreSnapshot(const std::string& path,
-                                              GraphStore* store,
-                                              ScoreCache* cache) {
-  NETBONE_ASSIGN_OR_RETURN(const std::vector<unsigned char> bytes,
-                           ReadFileFully(path));
-  const std::span<const unsigned char> file(bytes);
+// The salvage walk over an in-memory snapshot image — the shared body of
+// RestoreSnapshot (file restore, quarantine-tolerant) and
+// DecodeFingerprintState (migration blob, strict caller).
+Result<SnapshotRestoreReport> RestoreFromImage(
+    std::span<const unsigned char> file, GraphStore* store,
+    ScoreCache* cache) {
   if (file.size() < kFileHeaderBytes) {
     return Status::Corruption("snapshot too short for a header");
   }
@@ -552,6 +560,62 @@ Result<SnapshotRestoreReport> RestoreSnapshot(const std::string& path,
   if (!saw_footer && report.first_error.ok()) {
     report.first_error =
         Status::Corruption("snapshot has no commit footer (torn write)");
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<SnapshotWriteStats> WriteSnapshot(const std::string& path,
+                                         const GraphStore& store,
+                                         const ScoreCache& cache) {
+  // Fault site: the write fails wholesale (full disk, yanked volume).
+  // Checked up front so a chaos run pays no serialization cost for it.
+  if (InjectFault(FaultSite::kSnapshotWriteFailure)) {
+    return Status::IOError("injected snapshot write failure");
+  }
+  SnapshotWriteStats stats;
+  const std::string image =
+      BuildSnapshotImage(store, cache, /*filter=*/nullptr, &stats);
+  NETBONE_RETURN_IF_ERROR(WriteFileDurably(path, image));
+  return stats;
+}
+
+Result<SnapshotRestoreReport> RestoreSnapshot(const std::string& path,
+                                              GraphStore* store,
+                                              ScoreCache* cache) {
+  NETBONE_ASSIGN_OR_RETURN(const std::vector<unsigned char> bytes,
+                           ReadFileFully(path));
+  return RestoreFromImage(std::span<const unsigned char>(bytes), store,
+                          cache);
+}
+
+std::string EncodeFingerprintState(const GraphStore& store,
+                                   const ScoreCache& cache,
+                                   std::span<const uint64_t> fingerprints,
+                                   SnapshotWriteStats* stats) {
+  const std::unordered_set<uint64_t> filter(fingerprints.begin(),
+                                            fingerprints.end());
+  SnapshotWriteStats local;
+  std::string image =
+      BuildSnapshotImage(store, cache, &filter,
+                         stats != nullptr ? stats : &local);
+  return image;
+}
+
+Result<SnapshotRestoreReport> DecodeFingerprintState(
+    std::string_view image, GraphStore* store, ScoreCache* cache) {
+  const std::span<const unsigned char> bytes(
+      reinterpret_cast<const unsigned char*>(image.data()), image.size());
+  NETBONE_ASSIGN_OR_RETURN(SnapshotRestoreReport report,
+                           RestoreFromImage(bytes, store, cache));
+  // A migration blob travels process-to-process memory, not a crashing
+  // disk: salvage semantics do not apply. Anything short of a clean,
+  // fully-committed decode means the migration must be abandoned (the
+  // source shard still has everything).
+  if (!report.committed || report.sections_quarantined > 0) {
+    if (!report.first_error.ok()) return report.first_error;
+    return Status::Corruption("fingerprint state blob did not decode cleanly");
   }
   return report;
 }

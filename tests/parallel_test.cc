@@ -15,11 +15,13 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/cancel.h"
+#include "common/mpmc_queue.h"
 
 #include "core/disparity_filter.h"
 #include "core/maximum_spanning_tree.h"
@@ -823,6 +825,132 @@ TEST(RegistryParallelTest, SampledHssOptionsFlowThroughRunMethod) {
   ASSERT_TRUE(b.ok());
   for (EdgeId id = 0; id < g->num_edges(); ++id) {
     EXPECT_EQ(a->at(id).score, b->at(id).score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MpmcQueue — the scheduler's lock-free injection ring.
+// ---------------------------------------------------------------------------
+
+TEST(MpmcQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcQueue<int>(0).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpmcQueue<int>(64).capacity(), 64u);
+}
+
+TEST(MpmcQueueTest, FifoOrderSingleThread) {
+  MpmcQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.TryPush(i));
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(MpmcQueueTest, PushRefusesWhenFullPopRefusesWhenEmpty) {
+  MpmcQueue<int> queue(2);
+  int out = -1;
+  EXPECT_FALSE(queue.TryPop(&out));  // empty from the start
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: value refused, caller keeps it
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3));  // the freed cell is reusable next lap
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(MpmcQueueTest, WrapsAcrossManyLaps) {
+  MpmcQueue<int> queue(4);
+  int out = -1;
+  for (int lap = 0; lap < 1000; ++lap) {
+    EXPECT_TRUE(queue.TryPush(lap));
+    EXPECT_TRUE(queue.TryPush(lap + 1000000));
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, lap);
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, lap + 1000000);
+  }
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersDeliverEveryValueOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  MpmcQueue<int> queue(64);  // far smaller than the traffic: wraps a lot
+  std::atomic<int> popped{0};
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!queue.TryPush(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&queue, &popped, &seen]() {
+      int out = -1;
+      while (popped.load(std::memory_order_relaxed) <
+             kProducers * kPerProducer) {
+        if (queue.TryPop(&out)) {
+          seen[static_cast<size_t>(out)]++;
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(MpmcQueueTest, PerProducerFifoOrderHoldsUnderConcurrency) {
+  // FIFO holds per claimed position; with a single consumer, each
+  // producer's values must drain in that producer's push order.
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 4000;
+  MpmcQueue<int> queue(32);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!queue.TryPush(p * kPerProducer + i)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<int> last(kProducers, -1);
+  int drained = 0;
+  int out = -1;
+  while (drained < kProducers * kPerProducer) {
+    if (!queue.TryPop(&out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int producer = out / kPerProducer;
+    const int seq = out % kPerProducer;
+    EXPECT_GT(seq, last[static_cast<size_t>(producer)]);
+    last[static_cast<size_t>(producer)] = seq;
+    ++drained;
+  }
+  for (std::thread& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(last[static_cast<size_t>(p)], kPerProducer - 1);
   }
 }
 
